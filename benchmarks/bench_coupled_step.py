@@ -1,0 +1,118 @@
+"""E11 — coupled-model step cost across execution modes and transports.
+
+Paper basis: §3's promise of one unified interface over all integration
+modes, and §7's CCSM application.  Expected shapes:
+
+* per-step cost is in the same ballpark across SCME / MCSE / MCME — the
+  mode changes *wiring*, not work;
+* the comm_join transport ("join") and the name-addressed p2p transport
+  carry the same fields and land within a small factor of each other;
+* physics answers are identical everywhere (asserted — the real E11
+  result).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pcm_monolithic import run_pcm_monolithic
+from repro.climate.ccsm import CCSMConfig, run_ccsm
+
+NSTEPS = 4
+
+
+@pytest.mark.parametrize("mode", ["scme", "mcse", "mcme"])
+def test_coupled_run_by_mode(benchmark, mode):
+    cfg = CCSMConfig(nsteps=NSTEPS)
+
+    def run():
+        return run_ccsm(mode, cfg)
+
+    diags = benchmark(run)
+    assert diags["coupler"]["max_exchange_residual"] < 1e-10
+    benchmark.extra_info.update(mode=mode, nsteps=NSTEPS)
+
+
+@pytest.mark.parametrize("exchange", ["p2p", "join"])
+def test_coupled_run_by_transport(benchmark, exchange):
+    cfg = CCSMConfig(nsteps=NSTEPS, exchange=exchange)
+
+    def run():
+        return run_ccsm("scme", cfg)
+
+    benchmark(run)
+    benchmark.extra_info.update(exchange=exchange, nsteps=NSTEPS)
+
+
+def test_modes_identical_answers(benchmark):
+    """The E11 headline: bitwise-equal physics across modes (timed once as
+    the full four-mode comparison campaign)."""
+    cfg = CCSMConfig(nsteps=NSTEPS)
+
+    def run():
+        reference = run_ccsm("scme", cfg)
+        for mode in ("mcse", "mcme"):
+            other = run_ccsm(mode, cfg)
+            for kind in ("atmosphere", "ocean", "land", "ice"):
+                np.testing.assert_array_equal(
+                    other[kind]["final_field"], reference[kind]["final_field"]
+                )
+        return reference
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_monolithic_baseline_run(benchmark):
+    """E12 companion: the hardwired PCM-style build, same physics."""
+    cfg = CCSMConfig(nsteps=NSTEPS)
+
+    def run():
+        return run_pcm_monolithic(cfg)
+
+    diags = benchmark(run)
+    benchmark.extra_info["memory_waste_factor"] = round(diags["memory"].waste_factor, 2)
+
+
+@pytest.mark.parametrize("coupler", ["serial-1", "serial-3", "parallel-3"])
+def test_coupled_run_by_coupler_mode(benchmark, coupler):
+    """Serial (rank-0) vs band-distributed coupler at a larger resolution
+    where the flux computation is worth distributing."""
+    mode, nprocs = coupler.split("-")
+    base = CCSMConfig()
+    cfg = CCSMConfig(
+        nsteps=NSTEPS,
+        shapes={
+            "atmosphere": (48, 96),
+            "ocean": (36, 72),
+            "land": (24, 48),
+            "ice": (24, 24),
+        },
+        procs=dict(base.procs, coupler=int(nprocs)),
+        coupler_mode=mode,
+    )
+
+    def run():
+        return run_ccsm("scme", cfg)
+
+    diags = benchmark(run)
+    assert diags["coupler"]["max_exchange_residual"] < 1e-9
+    benchmark.extra_info.update(coupler=coupler, nsteps=NSTEPS)
+
+
+@pytest.mark.parametrize("resolution", ["16x32", "32x64"])
+def test_coupled_run_by_resolution(benchmark, resolution):
+    nlat, nlon = map(int, resolution.split("x"))
+    cfg = CCSMConfig(
+        nsteps=NSTEPS,
+        shapes={
+            "atmosphere": (nlat, nlon),
+            "ocean": (nlat * 3 // 4, nlon * 3 // 4),
+            "land": (nlat // 2, nlon // 2),
+            "ice": (nlat // 2, nlon // 4),
+        },
+    )
+
+    def run():
+        return run_ccsm("scme", cfg)
+
+    benchmark(run)
+    benchmark.extra_info.update(resolution=resolution, nsteps=NSTEPS)

@@ -1,0 +1,32 @@
+"""E6 companion — file-exchange coupling vs MPH in-memory messaging.
+
+The pre-MPMD baseline couples components through the filesystem.  The
+expected shape: per-exchange cost orders of magnitude above the in-memory
+name-addressed messaging of bench_p2p (milliseconds of write+poll+read vs
+microseconds of mailbox delivery), plus a file-count bill per step.
+"""
+
+import pytest
+
+from repro.baselines.file_coupling import run_file_coupled
+from repro.climate.grid import LatLonGrid
+
+NSTEPS = 5
+
+
+@pytest.mark.parametrize("shape", [(4, 8), (16, 32)])
+def test_file_coupled_exchange(benchmark, shape, tmp_path_factory):
+    grid = LatLonGrid(*shape)
+    counter = iter(range(10_000))
+
+    def run():
+        workdir = tmp_path_factory.mktemp(f"fc_{next(counter)}")
+        return run_file_coupled(grid, NSTEPS, 3600.0, workdir)
+
+    report = benchmark(run)
+    assert report.files_written == 2 * NSTEPS
+    benchmark.extra_info.update(
+        shape=f"{shape[0]}x{shape[1]}",
+        per_exchange_seconds=round(report.atm_exchange_seconds, 6),
+        files_written=report.files_written,
+    )

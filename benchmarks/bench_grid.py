@@ -1,0 +1,54 @@
+"""Future-work (c) — cross-site coupling cost vs wide-area latency.
+
+Expected shape: exchange time is dominated by the configured one-way
+latency (two hops per coupled step), so doubling the latency roughly
+doubles step time — the alpha term of the alpha–beta model; the zero-
+latency session measures the pure software overhead of the grid layer.
+"""
+
+import pytest
+
+from repro import components_setup
+from repro.grid import ClusterSpec, grid_setup, run_grid
+
+ROUNDTRIPS = 5
+
+
+def make_side(name, peer_cluster, peer_component, initiate):
+    def program(world, env):
+        mph = components_setup(world, name, env=env)
+        gmph = grid_setup(mph, env.grid_cluster, env.grid_channel)
+        for i in range(ROUNDTRIPS):
+            if initiate:
+                gmph.send(i, peer_cluster, peer_component, 0, tag=1)
+                gmph.recv(tag=2)
+            else:
+                obj, src, _ = gmph.recv(tag=1)
+                gmph.send(obj, src, peer_component, 0, tag=2)
+        return True
+
+    program.__name__ = name
+    return program
+
+
+@pytest.mark.parametrize("latency_ms", [0, 5, 10])
+def test_cross_site_pingpong(benchmark, latency_ms):
+    def run():
+        return run_grid(
+            [
+                ClusterSpec(
+                    "east",
+                    [(make_side("ocn", "west", "atm", True), 1)],
+                    registry="BEGIN\nocn\nEND",
+                ),
+                ClusterSpec(
+                    "west",
+                    [(make_side("atm", "east", "ocn", False), 1)],
+                    registry="BEGIN\natm\nEND",
+                ),
+            ],
+            latency=latency_ms / 1000.0,
+        )
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info.update(latency_ms=latency_ms, roundtrips=ROUNDTRIPS)

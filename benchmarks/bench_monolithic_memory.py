@@ -1,0 +1,47 @@
+"""E12 — the §2.2 static-allocation memory waste of the monolithic build.
+
+Paper basis: "Static allocation will increase unnecessary memory usage.
+For example, component A on processor group A will still allocate memory
+for static allocations in module component B which actually sits in
+processor group B."
+
+Measured: bytes of per-process static arrays under the monolithic build
+vs the MPH-style own-component-only allocation, across resolutions.  The
+waste factor grows with the number of components whose grids a process
+does *not* run — asserted > 2 at every size (5 components here).
+"""
+
+import pytest
+
+from repro.baselines.pcm_monolithic import run_pcm_monolithic
+from repro.climate.ccsm import CCSMConfig
+
+
+def scaled_config(scale: int) -> CCSMConfig:
+    return CCSMConfig(
+        nsteps=1,
+        shapes={
+            "atmosphere": (8 * scale, 16 * scale),
+            "ocean": (6 * scale, 12 * scale),
+            "land": (4 * scale, 8 * scale),
+            "ice": (4 * scale, 4 * scale),
+        },
+    )
+
+
+@pytest.mark.parametrize("scale", [1, 2, 4])
+def test_static_allocation_waste(benchmark, scale):
+    cfg = scaled_config(scale)
+
+    def run():
+        return run_pcm_monolithic(cfg)
+
+    diags = benchmark(run)
+    mem = diags["memory"]
+    assert mem.waste_factor > 2.0
+    benchmark.extra_info.update(
+        scale=scale,
+        all_modules_bytes=mem.all_modules_bytes,
+        own_component_bytes=mem.own_component_bytes,
+        waste_factor=round(mem.waste_factor, 2),
+    )

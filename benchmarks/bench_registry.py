@@ -1,0 +1,63 @@
+"""Registry parsing cost — the runtime-configuration price of MPH §3.
+
+The registration file is read once per job by the root and broadcast, so
+absolute cost barely matters; the shape of interest is that parsing stays
+linear in file size (no accidental quadratic scans) and round-trips.
+"""
+
+import pytest
+
+from repro.core.registry import Registry
+
+
+def synthetic_registry(n_single: int, n_blocks: int, comps_per_block: int) -> str:
+    lines = ["BEGIN"]
+    for i in range(n_single):
+        lines.append(f"single{i} field{i} alpha={i}")
+    for b in range(n_blocks):
+        lines.append("Multi_Component_Begin")
+        for c in range(comps_per_block):
+            lines.append(f"blk{b}c{c} {c} {c} in{c}.nc key=val{c}")
+        lines.append("Multi_Component_End")
+    lines.append("END")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("scale", [1, 4, 16])
+def test_parse_scaling(benchmark, scale):
+    text = synthetic_registry(5 * scale, 2 * scale, 5)
+
+    reg = benchmark(Registry.from_text, text)
+    assert reg.total_components == 5 * scale + 10 * scale
+    benchmark.extra_info.update(
+        components=reg.total_components, chars=len(text)
+    )
+
+
+def test_paper_mcme_registry(benchmark):
+    text = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 15
+land       0 15
+chemistry  16 19
+Multi_Component_End
+Multi_Component_Begin
+ocean 0 15
+ice   16 31
+Multi_Component_End
+coupler
+END
+"""
+    reg = benchmark(Registry.from_text, text)
+    assert reg.total_components == 6
+
+
+def test_roundtrip(benchmark):
+    text = synthetic_registry(10, 3, 4)
+    reg = Registry.from_text(text)
+
+    def roundtrip():
+        return Registry.from_text(reg.to_text())
+
+    assert benchmark(roundtrip) == reg

@@ -1,0 +1,41 @@
+"""Ablation — what the substrate's safety nets cost.
+
+The deadlock watchdog and collective-operation validation are always-on
+by default; this bench measures their overhead on a communication-heavy
+workload so the default can be defended with a number.  Expected shape:
+both are near-free — the watchdog only runs on blocked waiters' wakeup
+slices and validation is one string compare per collective message.
+"""
+
+import pytest
+
+from repro.mpi import WorldConfig, run_spmd
+
+CONFIGS = {
+    "all-on": WorldConfig(),
+    "no-deadlock-detection": WorldConfig(deadlock_detection=False),
+    "no-collective-validation": WorldConfig(validate_collectives=False),
+    "all-off": WorldConfig(deadlock_detection=False, validate_collectives=False),
+}
+
+
+def chatty_workload(comm):
+    """A mix of p2p and collectives with real waiting."""
+    for i in range(20):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.send(i, right, tag=1)
+        comm.recv(source=left, tag=1)
+        comm.allreduce(i)
+        if i % 5 == 0:
+            comm.barrier()
+    return True
+
+
+@pytest.mark.parametrize("config", list(CONFIGS), ids=list(CONFIGS))
+def test_safety_net_overhead(benchmark, config):
+    def run():
+        return run_spmd(8, chatty_workload, config=CONFIGS[config])
+
+    benchmark(run)
+    benchmark.extra_info["config"] = config

@@ -1,0 +1,9 @@
+! poe-style command file: one line per MPI task (paper section 6).
+atmosphere
+atmosphere
+atmosphere
+atmosphere
+ocean
+ocean
+land
+coupler

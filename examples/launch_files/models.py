@@ -1,0 +1,56 @@
+"""Component programs for the command-line launch demo.
+
+The paper's MPH distribution shipped "convenient MPH testing codes,
+compile/run scripts on all major platforms" (§9); this directory is that
+bundle for the simulator: a program module, a registration file
+(``processors_map.in``) and a poe-style command file (``job.cmd``), wired
+together by ``mphrun``:
+
+    mphrun --cmdfile examples/launch_files/job.cmd \\
+           --programs models \\
+           --registry examples/launch_files/processors_map.in
+
+(run from inside ``examples/launch_files``, or put it on PYTHONPATH).
+Each program is an ordinary executable entry point: handshake, inquire,
+exchange one message with the coupler, report.
+"""
+
+from repro import components_setup
+
+
+def _component(name: str):
+    def program(world, env):
+        mph = components_setup(world, name, env=env)
+        if mph.local_proc_id() == 0:
+            mph.send(f"{name} checking in", "coupler", 0, tag=1)
+            return mph.recv("coupler", 0, tag=2)
+        return f"{name} worker {mph.local_proc_id()}"
+
+    program.__name__ = name
+    return program
+
+
+def coupler(world, env):
+    """Collects one check-in from every other component and replies."""
+    mph = components_setup(world, "coupler", env=env)
+    if mph.local_proc_id() != 0:
+        return "coupler worker"
+    seen = []
+    for _ in range(mph.total_components() - 1):
+        msg, sender, sender_rank = mph.recv_any(tag=1)
+        seen.append(sender)
+        mph.send(f"ack {sender}", sender, sender_rank, tag=2)
+    return f"coupler saw {sorted(seen)}"
+
+
+atmosphere = _component("atmosphere")
+ocean = _component("ocean")
+land = _component("land")
+
+#: The registry ``mphrun --programs models`` resolves program names in.
+PROGRAMS = {
+    "atmosphere": atmosphere,
+    "ocean": ocean,
+    "land": land,
+    "coupler": coupler,
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multi-channel output redirection (paper §5.4).
+
+Five components print freely; without redirection everything lands
+interleaved on the launching terminal.  One ``MPH_redirect_output`` call
+per process routes each component's local processor 0 to its own
+``<component>.log`` while every other processor shares one combined file —
+and log names can be overridden per component through environment
+variables (``MPH_LOG_<NAME>``), "defined by run time environment variables
+either in command line or in batch run script".
+
+Run:  python examples/multichannel_logging.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import components_setup, mph_run
+
+REGISTRY = """
+BEGIN
+atmosphere
+ocean
+coupler
+END
+"""
+
+
+def make_component(name: str, nsteps: int = 3):
+    def component(world, env):
+        mph = components_setup(world, name, env=env)
+        log_path = mph.redirect_output()
+        for step in range(nsteps):
+            # Ordinary prints — the component code does nothing special.
+            print(f"{name} step {step}: local rank {mph.local_proc_id()} reporting")
+        return str(log_path)
+
+    component.__name__ = name
+    return component
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="mph_logs_"))
+    result = mph_run(
+        [(make_component("atmosphere"), 2), (make_component("ocean"), 2), (make_component("coupler"), 1)],
+        registry=REGISTRY,
+        workdir=workdir,
+        # Override one component's log name via environment variable.
+        env_vars={"MPH_LOG_OCEAN": str(workdir / "ocean_custom.log")},
+    )
+
+    print(f"logs written under {workdir}:\n")
+    for path in sorted(workdir.iterdir()):
+        print(f"--- {path.name} ---")
+        print(path.read_text().rstrip())
+        print()
+
+    print("per-process log targets:", result.values())
+
+
+if __name__ == "__main__":
+    main()

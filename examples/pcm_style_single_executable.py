@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""PCM-style master program: MCSE mode, paper §4.2 verbatim.
+
+One executable contains every component as a subroutine; a master program
+dispatches each processor to its component with ``PROC_in_component``.
+The paper's example — 3 components on 36 processors::
+
+    BEGIN
+    Multi_Component_Begin
+    atmosphere 0 15
+    ocean 16 31
+    coupler 32 35
+    Multi_Component_End
+    END
+
+"Note that subroutine names do not have to be the same as the
+corresponding name-tags.  We use '_xyz', '_abc' etc to emphasize this
+fact."
+
+Run:  python examples/pcm_style_single_executable.py
+"""
+
+from repro import components_setup, mph_run
+from repro.mpi import MAX
+
+REGISTRY = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 15
+ocean 16 31
+coupler 32 35
+Multi_Component_End
+END
+"""
+
+
+def ocean_xyz(comm, mph):
+    """The 'ocean' subroutine (name deliberately different from the tag)."""
+    total = comm.allreduce(1)
+    return f"ocean_xyz on {total} procs, I am local {comm.rank}"
+
+
+def atmosphere(comm, mph):
+    """The 'atmosphere' subroutine."""
+    peak = comm.allreduce(comm.rank, op=MAX)
+    return f"atmosphere local {comm.rank}, highest local rank {peak}"
+
+
+def coupler_abc(comm, mph):
+    """The 'coupler' subroutine: pings ocean's local processor 0."""
+    if comm.rank == 0:
+        mph.send("coupler ping", "ocean", 0, tag=9)
+    return f"coupler_abc local {comm.rank}"
+
+
+def master(world, env):
+    """The master program of paper §4.2: one setup call naming all three
+    components, then PROC_in_component dispatch."""
+    mph = components_setup(world, "atmosphere", "ocean", "coupler", env=env)
+
+    result = None
+    comm = mph.proc_in_component("ocean")
+    if comm is not None:
+        if comm.rank == 0:
+            # Prove inter-component messaging works inside one executable.
+            ping = mph.recv("coupler", 0, tag=9)
+            result = ocean_xyz(comm, mph) + f" ({ping!r})"
+        else:
+            result = ocean_xyz(comm, mph)
+    comm = mph.proc_in_component("atmosphere")
+    if comm is not None:
+        result = atmosphere(comm, mph)
+    comm = mph.proc_in_component("coupler")
+    if comm is not None:
+        result = coupler_abc(comm, mph)
+    return result
+
+
+def main() -> None:
+    result = mph_run([(master, 36)], registry=REGISTRY)
+    values = result.values()
+    print("world rank  0 (atmosphere local 0):", values[0])
+    print("world rank 16 (ocean local 0):     ", values[16])
+    print("world rank 31 (ocean local 15):    ", values[31])
+    print("world rank 32 (coupler local 0):   ", values[32])
+
+
+if __name__ == "__main__":
+    main()

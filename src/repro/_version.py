@@ -1,0 +1,12 @@
+"""Version of the repro package.
+
+The major version tracks the MPH version history described in Section 7 of
+the paper: MPH1 (SCME), MPH2 (MCSE), MPH3 (MCME unified interface), MPH4
+(multi-instance + argument passing).  This reproduction implements the full
+MPH4 feature set, hence version 4.x here is mirrored by ``MPH_FEATURE_LEVEL``.
+"""
+
+__version__ = "1.0.0"
+
+#: Highest MPH paper feature level implemented (see module docstring).
+MPH_FEATURE_LEVEL = 4

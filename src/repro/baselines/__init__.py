@@ -1,0 +1,37 @@
+"""Baseline approaches the paper compares MPH against.
+
+* :mod:`repro.baselines.pcm_monolithic` — the PCM-style hardwired
+  single-executable build (§2.2), including its static-allocation memory
+  waste;
+* :mod:`repro.baselines.independent_jobs` — the conventional K-independent-
+  jobs ensemble with file output and offline post-processing (§2.5);
+* :mod:`repro.baselines.file_coupling` — filesystem-mediated component
+  coupling, the pre-MPMD exchange mechanism.
+"""
+
+from repro.baselines.file_coupling import FileCouplingReport, run_file_coupled
+from repro.baselines.independent_jobs import (
+    EnsembleRunReport,
+    perturbed_params,
+    postprocess,
+    run_independent_ensemble,
+    run_one_member,
+)
+from repro.baselines.pcm_monolithic import (
+    StaticAllocation,
+    hardwired_ranges,
+    run_pcm_monolithic,
+)
+
+__all__ = [
+    "FileCouplingReport",
+    "run_file_coupled",
+    "EnsembleRunReport",
+    "perturbed_params",
+    "postprocess",
+    "run_independent_ensemble",
+    "run_one_member",
+    "StaticAllocation",
+    "hardwired_ranges",
+    "run_pcm_monolithic",
+]

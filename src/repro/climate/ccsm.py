@@ -1,0 +1,618 @@
+"""The assembled toy CCSM: one driver, all five MPH execution modes.
+
+This module wires the component models and the flux coupler into a coupled
+system the way the paper's motivating application does, and — the point of
+the exercise — assembles *the same physics* under every MPH software
+integration mode:
+
+* ``"scme"``  — five single-component executables (paper §2.3/§4.1);
+* ``"mcse"``  — one executable containing all five components (§2.2/§4.2);
+* ``"mcme"``  — three executables: atmosphere+land, ocean+ice, coupler
+  (§2.4/§4.3);
+* ``"mcme_overlap"`` — as ``"mcme"`` but atmosphere and land fully
+  overlapping on processors (the §4.3 registry's overlap feature);
+* ``"scse"``  — a stand-alone single component (no coupling), the
+  conventional mode kept "for completeness" (§2.1).
+
+Because the numerics are decomposition-independent and the coupler computes
+on assembled global fields in a fixed order, the coupled run produces
+**identical answers in every mode** — the experiment E11 check.
+
+The per-step protocol is phase-split so it is deadlock-free even when
+several components share processors sequentially (the PCM pattern):
+every component first *publishes* its temperature to the coupler (eager
+sends), the coupler computes and returns fluxes, then every component
+*receives and steps*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.climate.components import (
+    AtmosphereModel,
+    ComponentModel,
+    LandModel,
+    OceanModel,
+    PhysicsParams,
+    SeaIceModel,
+)
+from repro.climate.coupler import FLUX_TAG_BASE, TEMP_TAG_BASE, FluxCoupler
+from repro.climate.grid import Decomposition, LatLonGrid
+from repro.core.mph import MPH, components_setup
+from repro.core.registry import Registry
+from repro.errors import ReproError
+from repro.launcher.job import mph_run
+from repro.mpi.comm import Comm
+
+#: Model component kinds (the coupler is handled separately).
+MODEL_KINDS = ("atmosphere", "ocean", "land", "ice")
+
+#: Surface kinds (everything the coupler merges under the atmosphere).
+SURFACE_KINDS = ("ocean", "land", "ice")
+
+_MODEL_CLASSES = {
+    "atmosphere": AtmosphereModel,
+    "ocean": OceanModel,
+    "land": LandModel,
+    "ice": SeaIceModel,
+}
+
+#: The execution modes :func:`run_ccsm` understands.
+MODES = ("scse", "scme", "mcse", "mcme", "mcme_overlap")
+
+
+@dataclass
+class CCSMConfig:
+    """Configuration of one coupled experiment.
+
+    ``names`` maps component kinds to registration name-tags — arbitrary,
+    exercising the paper's "its actual name is entirely arbitrary" design
+    point (one may register the atmosphere as ``NCAR_atm``).
+    """
+
+    shapes: dict[str, tuple[int, int]] = field(
+        default_factory=lambda: {
+            "atmosphere": (16, 32),
+            "ocean": (12, 24),
+            "land": (8, 16),
+            "ice": (6, 12),
+        }
+    )
+    procs: dict[str, int] = field(
+        default_factory=lambda: {
+            "atmosphere": 4,
+            "ocean": 2,
+            "land": 2,
+            "ice": 1,
+            "coupler": 1,
+        }
+    )
+    names: dict[str, str] = field(
+        default_factory=lambda: {
+            "atmosphere": "atmosphere",
+            "ocean": "ocean",
+            "land": "land",
+            "ice": "ice",
+            "coupler": "coupler",
+        }
+    )
+    coupling_coeff: dict[str, float] = field(
+        default_factory=lambda: {"ocean": 15.0, "land": 10.0, "ice": 5.0}
+    )
+    params: dict[str, PhysicsParams] = field(default_factory=dict)
+    nsteps: int = 8
+    dt: float = 3600.0
+    #: Exchange transport: ``"p2p"`` (§5.2 name-addressed messages) or
+    #: ``"join"`` (§5.1 collectives over joint communicators).
+    exchange: str = "p2p"
+    #: Write each component's checkpoint here at the end of the run.
+    checkpoint_dir: Optional[str] = None
+    #: Start from the checkpoints in this directory instead of the
+    #: analytic initial condition (restart is bitwise-exact; see
+    #: :mod:`repro.climate.checkpoint`).
+    restart_dir: Optional[str] = None
+    #: Optional seasonal insolation (see :mod:`repro.climate.forcing`)
+    #: applied to every solar-absorbing component.
+    forcing: Optional[Any] = None
+    #: Optional CO2 scenario applied to every OLR-emitting component.
+    co2: Optional[Any] = None
+    #: ``"serial"`` — the coupler computes on its local processor 0 (the
+    #: early-CCSM pattern); ``"parallel"`` — flux computation is
+    #: distributed over the coupler's processes by atmosphere latitude
+    #: band (results agree with serial to floating-point round-off, not
+    #: bitwise: partial-sum order differs).
+    coupler_mode: str = "serial"
+
+    def __post_init__(self) -> None:
+        if self.exchange not in ("p2p", "join"):
+            raise ReproError(f"exchange must be 'p2p' or 'join', got {self.exchange!r}")
+        if self.coupler_mode not in ("serial", "parallel"):
+            raise ReproError(
+                f"coupler_mode must be 'serial' or 'parallel', got {self.coupler_mode!r}"
+            )
+        if self.coupler_mode == "parallel" and self.exchange == "join":
+            raise ReproError(
+                "the parallel coupler currently runs over the p2p exchange; "
+                "use exchange='p2p' with coupler_mode='parallel'"
+            )
+
+    # -- accessors -----------------------------------------------------------
+
+    def grid(self, kind: str) -> LatLonGrid:
+        """The component's grid."""
+        nlat, nlon = self.shapes[kind]
+        return LatLonGrid(nlat, nlon, name=kind)
+
+    def name(self, kind: str) -> str:
+        """The component's registration name-tag."""
+        return self.names[kind]
+
+    def param(self, kind: str) -> PhysicsParams:
+        """The component's physics parameters (defaults per kind unless
+        overridden)."""
+        if kind in self.params:
+            return self.params[kind]
+        return _MODEL_CLASSES[kind].default_params()
+
+    @classmethod
+    def conservation(cls, **overrides) -> "CCSMConfig":
+        """A configuration with all external forcing off (no sun, no OLR,
+        no diffusion): total energy must then be exactly conserved by the
+        coupling exchange — the E11 conservation check."""
+        closed = {
+            kind: replace(
+                _MODEL_CLASSES[kind].default_params(),
+                solar_constant=0.0,
+                olr_a=0.0,
+                olr_b=0.0,
+                diffusivity=0.0,
+            )
+            for kind in MODEL_KINDS
+        }
+        return cls(params=closed, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+
+class ComponentRunner:
+    """One component model plus its half of the coupling protocol."""
+
+    def __init__(self, mph: MPH, cfg: CCSMConfig, kind: str, comm: Comm):
+        self.mph = mph
+        self.cfg = cfg
+        self.kind = kind
+        self.comm = comm
+        self.name = cfg.name(kind)
+        self.coupler_name = cfg.name("coupler")
+        self.comp_id = mph.layout.component(self.name).comp_id
+        self.model: ComponentModel = _MODEL_CLASSES[kind](
+            comm, cfg.grid(kind), cfg.param(kind), forcing=cfg.forcing, co2=cfg.co2
+        )
+        if cfg.restart_dir is not None:
+            from repro.climate import checkpoint
+
+            checkpoint.restore(self.model, cfg.restart_dir, self.name)
+        # Histories carry the initial state at index 0 and one entry per
+        # step after it (length ``nsteps + 1``), so energy drift can be
+        # audited against the step budgets.
+        self.mean_T: list[float] = [self.model.mean_temperature()]
+        self.energy: list[float] = [self.model.energy()]
+        self.mean_thickness: list[float] = (
+            [self.model.mean_thickness()] if isinstance(self.model, SeaIceModel) else []
+        )
+        #: Stand-alone detection (paper §2.3: "there are flags to detect if
+        #: the executable is running in a stand-alone mode or in a joint
+        #: multi-executable environment") — here, the absence of a
+        #: registered coupler switches coupling off.
+        self.standalone = not mph.layout.has_component(self.coupler_name)
+        self._join: Optional[Comm] = None
+        if cfg.exchange == "join" and not self.standalone:
+            # Component processors ranked first, coupler's second (§5.1).
+            self._join = mph.comm_join(self.name, self.coupler_name)
+            assert self._join is not None
+            self._cpl_root = mph.layout.component(self.name).size
+
+    def publish(self, step: int) -> None:
+        """Phase 1: hand this component's temperature to the coupler (a
+        no-op when running stand-alone)."""
+        if self.standalone:
+            return
+        if self._join is not None:
+            self._join.gather(self.model.temperature.data, root=self._cpl_root)
+            return
+        full = self.model.temperature.gather_global(root=0)
+        if self.comm.rank == 0:
+            self.mph.send(
+                (self.name, step, full),
+                self.coupler_name,
+                0,
+                TEMP_TAG_BASE + self.comp_id,
+            )
+
+    def receive_and_step(self, step: int) -> None:
+        """Phase 2: receive the coupling flux and advance one step (zero
+        flux when running stand-alone)."""
+        if self.standalone:
+            local_flux = None
+        elif self._join is not None:
+            local_flux = self._join.scatter(None, root=self._cpl_root)
+        else:
+            full = None
+            if self.comm.rank == 0:
+                got_step, full = self.mph.recv(
+                    self.coupler_name, 0, FLUX_TAG_BASE + self.comp_id
+                )
+                if got_step != step:
+                    raise ReproError(
+                        f"{self.name}: coupling protocol out of step "
+                        f"(expected {step}, got {got_step})"
+                    )
+            local_flux = _scatter_blocks(self.comm, self.cfg.grid(self.kind), full)
+        self.model.step(self.cfg.dt, local_flux)
+        self.mean_T.append(self.model.mean_temperature())
+        self.energy.append(self.model.energy())
+        if isinstance(self.model, SeaIceModel):
+            self.mean_thickness.append(self.model.mean_thickness())
+
+    def diagnostics(self) -> dict[str, Any]:
+        """Per-component diagnostics (identical on every component rank
+        except ``final_field``, populated on component-local rank 0)."""
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "name": self.name,
+            "size": self.comm.size,
+            "mean_T": list(self.mean_T),
+            "energy": list(self.energy),
+            "budget": {
+                "solar_in": self.model.budget.solar_in,
+                "olr_out": self.model.budget.olr_out,
+                "coupling_in": self.model.budget.coupling_in,
+                "diffusion_residual": self.model.budget.diffusion_residual,
+            },
+            "final_field": self.model.temperature.gather_global(root=0),
+        }
+        if self.mean_thickness:
+            out["mean_thickness"] = list(self.mean_thickness)
+        return out
+
+
+class CouplerRunner:
+    """The coupler component: collect, compute, redistribute."""
+
+    def __init__(self, mph: MPH, cfg: CCSMConfig, comm: Comm):
+        self.mph = mph
+        self.cfg = cfg
+        self.comm = comm
+        self.name = cfg.name("coupler")
+        self.active_kinds = [k for k in MODEL_KINDS if mph.layout.has_component(cfg.name(k))]
+        surfaces = [k for k in self.active_kinds if k != "atmosphere"]
+        if "atmosphere" not in self.active_kinds or not surfaces:
+            raise ReproError(
+                "the coupler needs an atmosphere and at least one surface component; "
+                f"active: {self.active_kinds}"
+            )
+        self.engine = FluxCoupler(
+            cfg.grid("atmosphere"),
+            {k: cfg.grid(k) for k in surfaces},
+            {k: cfg.coupling_coeff[k] for k in surfaces},
+        )
+        self._joins: dict[str, Comm] = {}
+        if cfg.exchange == "join":
+            for kind in self.active_kinds:
+                join = mph.comm_join(cfg.name(kind), self.name)
+                assert join is not None
+                self._joins[kind] = join
+
+    def _comp_size(self, kind: str) -> int:
+        return self.mph.layout.component(self.cfg.name(kind)).size
+
+    def step(self, step: int) -> None:
+        """One coupling step (between the components' two phases)."""
+        if self.cfg.exchange == "join":
+            self._step_join(step)
+        elif self.cfg.coupler_mode == "parallel" and self.comm.size > 1:
+            self._step_p2p_parallel(step)
+        else:
+            self._step_p2p(step)
+
+    def _step_p2p(self, step: int) -> None:
+        if self.comm.rank != 0:
+            return  # the p2p coupler is serial on its local processor 0
+        temps: dict[str, np.ndarray] = {}
+        for kind in self.active_kinds:
+            name = self.cfg.name(kind)
+            comp_id = self.mph.layout.component(name).comp_id
+            got_name, got_step, full = self.mph.recv(name, 0, TEMP_TAG_BASE + comp_id)
+            if got_name != name or got_step != step:
+                raise ReproError(
+                    f"coupler protocol out of step: expected ({name}, {step}), got "
+                    f"({got_name}, {got_step})"
+                )
+            temps[kind] = full
+        atm_flux, sfc_fluxes = self.engine.compute_fluxes(
+            temps["atmosphere"], {k: v for k, v in temps.items() if k != "atmosphere"}
+        )
+        for kind in self.active_kinds:
+            name = self.cfg.name(kind)
+            comp_id = self.mph.layout.component(name).comp_id
+            payload = atm_flux if kind == "atmosphere" else sfc_fluxes[kind]
+            self.mph.send((step, payload), name, 0, FLUX_TAG_BASE + comp_id)
+
+    def _step_p2p_parallel(self, step: int) -> None:
+        """The distributed coupler: local processor 0 still owns the
+        component protocol, but the flux computation — regridding, merge,
+        back-regridding — is spread over every coupler process by
+        atmosphere latitude band and reassembled by reduction."""
+        from repro.mpi.reduce_ops import SUM
+
+        comm = self.comm
+        temps: Optional[dict[str, np.ndarray]] = None
+        if comm.rank == 0:
+            temps = {}
+            for kind in self.active_kinds:
+                name = self.cfg.name(kind)
+                comp_id = self.mph.layout.component(name).comp_id
+                got_name, got_step, full = self.mph.recv(name, 0, TEMP_TAG_BASE + comp_id)
+                if got_name != name or got_step != step:
+                    raise ReproError(
+                        f"coupler protocol out of step: expected ({name}, {step}), got "
+                        f"({got_name}, {got_step})"
+                    )
+                temps[kind] = full
+        temps = comm.bcast(temps, root=0)
+
+        atm_grid = self.cfg.grid("atmosphere")
+        decomp = Decomposition(atm_grid, comm.size)
+        start, stop = decomp.rows(comm.rank)
+        surfaces = {k: v for k, v in temps.items() if k != "atmosphere"}
+        atm_band, partials = self.engine.compute_fluxes_band(
+            temps["atmosphere"], surfaces, start, stop
+        )
+        bands = comm.gather(atm_band, root=0)
+        reduced: dict[str, Optional[np.ndarray]] = {}
+        for kind in self.active_kinds:
+            if kind != "atmosphere":
+                reduced[kind] = comm.reduce(partials[kind], op=SUM, root=0)
+        if comm.rank != 0:
+            return
+        assert bands is not None
+        atm_flux = np.concatenate(bands, axis=0)
+        sfc_fluxes = {k: v for k, v in reduced.items()}
+        self.engine.record_residual(atm_flux, sfc_fluxes)
+        for kind in self.active_kinds:
+            name = self.cfg.name(kind)
+            comp_id = self.mph.layout.component(name).comp_id
+            payload = atm_flux if kind == "atmosphere" else sfc_fluxes[kind]
+            self.mph.send((step, payload), name, 0, FLUX_TAG_BASE + comp_id)
+
+    def _step_join(self, step: int) -> None:
+        temps: dict[str, np.ndarray] = {}
+        for kind in self.active_kinds:
+            join = self._joins[kind]
+            root = self._comp_size(kind)  # coupler local 0's rank in the join
+            blocks = join.gather(None, root=root)
+            if join.rank == root:
+                assert blocks is not None
+                temps[kind] = np.concatenate(
+                    [b for b in blocks if b is not None], axis=0
+                )
+        fluxes: dict[str, Optional[np.ndarray]] = {k: None for k in self.active_kinds}
+        if self.comm.rank == 0:
+            atm_flux, sfc_fluxes = self.engine.compute_fluxes(
+                temps["atmosphere"],
+                {k: v for k, v in temps.items() if k != "atmosphere"},
+            )
+            fluxes["atmosphere"] = atm_flux
+            fluxes.update(sfc_fluxes)
+        for kind in self.active_kinds:
+            join = self._joins[kind]
+            root = self._comp_size(kind)
+            pieces = None
+            if join.rank == root:
+                full = fluxes[kind]
+                assert full is not None
+                decomp = Decomposition(self.cfg.grid(kind), self._comp_size(kind))
+                pieces = [
+                    full[decomp.rows(r)[0] : decomp.rows(r)[1]]
+                    for r in range(decomp.size)
+                ] + [None] * self.comm.size
+            join.scatter(pieces, root=root)
+
+    def diagnostics(self) -> dict[str, Any]:
+        """Coupler-side diagnostics: the exchange-balance audit."""
+        return {
+            "kind": "coupler",
+            "name": self.name,
+            "size": self.comm.size,
+            "exchange_residual": list(self.engine.exchange_residual),
+            "max_exchange_residual": self.engine.max_residual(),
+        }
+
+
+def _scatter_blocks(comm: Comm, grid: LatLonGrid, full: Optional[np.ndarray]) -> np.ndarray:
+    """Scatter a full field from component rank 0 into latitude blocks."""
+    decomp = Decomposition(grid, comm.size)
+    blocks = None
+    if comm.rank == 0:
+        assert full is not None
+        blocks = [full[decomp.rows(r)[0] : decomp.rows(r)[1]] for r in range(comm.size)]
+    return comm.scatter(blocks, root=0)
+
+
+# ---------------------------------------------------------------------------
+# programs and mode assembly
+# ---------------------------------------------------------------------------
+
+
+def _drive(mph: MPH, cfg: CCSMConfig, kinds: tuple[str, ...]) -> dict[str, Any]:
+    """Run the coupled loop for the components this process hosts."""
+    runners: list[ComponentRunner] = []
+    coupler: Optional[CouplerRunner] = None
+    for kind in kinds:
+        comm = mph.proc_in_component(cfg.name(kind))
+        if comm is None:
+            continue
+        if kind == "coupler":
+            coupler = CouplerRunner(mph, cfg, comm)
+        else:
+            runners.append(ComponentRunner(mph, cfg, kind, comm))
+    runners.sort(key=lambda r: r.comp_id)
+
+    for step in range(cfg.nsteps):
+        for r in runners:
+            r.publish(step)
+        if coupler is not None:
+            coupler.step(step)
+        for r in runners:
+            r.receive_and_step(step)
+
+    if cfg.checkpoint_dir is not None:
+        from repro.climate import checkpoint
+
+        for r in runners:
+            checkpoint.save(r.model, cfg.checkpoint_dir, r.name)
+
+    out: dict[str, Any] = {r.kind: r.diagnostics() for r in runners}
+    if coupler is not None:
+        out["coupler"] = coupler.diagnostics()
+    return out
+
+
+def _program(cfg: CCSMConfig, kinds: tuple[str, ...]):
+    """An executable hosting the given component kinds."""
+
+    def program(world, env):
+        names = [cfg.name(k) for k in kinds]
+        mph = components_setup(world, *names, env=env)
+        return _drive(mph, cfg, kinds)
+
+    program.__name__ = "_".join(k[:3] for k in kinds)
+    return program
+
+
+def build_registry(cfg: CCSMConfig, mode: str) -> Registry:
+    """The registration file for *mode* (the paper's §4 examples,
+    parameterised)."""
+    n = cfg.procs
+    name = cfg.name
+    if mode in ("scse", "scme"):
+        kinds = ("atmosphere",) if mode == "scse" else MODEL_KINDS + ("coupler",)
+        body = "\n".join(name(k) for k in kinds)
+        return Registry.from_text(f"BEGIN\n{body}\nEND\n")
+    if mode == "mcse":
+        lines, offset = [], 0
+        for k in MODEL_KINDS + ("coupler",):
+            lines.append(f"{name(k)} {offset} {offset + n[k] - 1}")
+            offset += n[k]
+        body = "\n".join(lines)
+        return Registry.from_text(
+            f"BEGIN\nMulti_Component_Begin\n{body}\nMulti_Component_End\nEND\n"
+        )
+    if mode == "mcme":
+        na, nl, no, ni = n["atmosphere"], n["land"], n["ocean"], n["ice"]
+        return Registry.from_text(
+            "BEGIN\n"
+            "Multi_Component_Begin\n"
+            f"{name('atmosphere')} 0 {na - 1}\n"
+            f"{name('land')} {na} {na + nl - 1}\n"
+            "Multi_Component_End\n"
+            "Multi_Component_Begin\n"
+            f"{name('ocean')} 0 {no - 1}\n"
+            f"{name('ice')} {no} {no + ni - 1}\n"
+            "Multi_Component_End\n"
+            f"{name('coupler')}\n"
+            "END\n"
+        )
+    if mode == "mcme_overlap":
+        na, no, ni = n["atmosphere"], n["ocean"], n["ice"]
+        if n["land"] != na:
+            raise ReproError(
+                "mcme_overlap fully overlaps land with atmosphere; set "
+                "procs['land'] == procs['atmosphere']"
+            )
+        return Registry.from_text(
+            "BEGIN\n"
+            "Multi_Component_Begin\n"
+            f"{name('atmosphere')} 0 {na - 1}\n"
+            f"{name('land')} 0 {na - 1}\n"
+            "Multi_Component_End\n"
+            "Multi_Component_Begin\n"
+            f"{name('ocean')} 0 {no - 1}\n"
+            f"{name('ice')} {no} {no + ni - 1}\n"
+            "Multi_Component_End\n"
+            f"{name('coupler')}\n"
+            "END\n"
+        )
+    raise ReproError(f"unknown mode {mode!r}; expected one of {MODES}")
+
+
+def build_executables(cfg: CCSMConfig, mode: str) -> list[tuple]:
+    """The ``(program, nprocs)`` list for *mode*."""
+    n = cfg.procs
+    if mode == "scse":
+        return [(_program(cfg, ("atmosphere",)), n["atmosphere"])]
+    if mode == "scme":
+        return [(_program(cfg, (k,)), n[k]) for k in MODEL_KINDS + ("coupler",)]
+    if mode == "mcse":
+        total = sum(n[k] for k in MODEL_KINDS + ("coupler",))
+        return [(_program(cfg, MODEL_KINDS + ("coupler",)), total)]
+    if mode == "mcme":
+        return [
+            (_program(cfg, ("atmosphere", "land")), n["atmosphere"] + n["land"]),
+            (_program(cfg, ("ocean", "ice")), n["ocean"] + n["ice"]),
+            (_program(cfg, ("coupler",)), n["coupler"]),
+        ]
+    if mode == "mcme_overlap":
+        return [
+            (_program(cfg, ("atmosphere", "land")), n["atmosphere"]),
+            (_program(cfg, ("ocean", "ice")), n["ocean"] + n["ice"]),
+            (_program(cfg, ("coupler",)), n["coupler"]),
+        ]
+    raise ReproError(f"unknown mode {mode!r}; expected one of {MODES}")
+
+
+def run_ccsm(mode: str, cfg: Optional[CCSMConfig] = None, **job_kwargs) -> dict[str, Any]:
+    """Run the coupled system in one execution mode.
+
+    Returns ``kind -> diagnostics`` assembled across executables, with
+    ``final_field`` taken from each component's local processor 0.
+
+    >>> diags = run_ccsm("scme", CCSMConfig(nsteps=2))
+    >>> sorted(diags)
+    ['atmosphere', 'coupler', 'ice', 'land', 'ocean']
+    """
+    cfg = cfg or CCSMConfig()
+    if mode == "scse":
+        # Stand-alone component: no coupler, pure single-component run.
+        cfg = replace(cfg)  # do not mutate the caller's config
+    registry = build_registry(cfg, mode)
+    executables = build_executables(cfg, mode)
+    result = mph_run(executables, registry=registry, **job_kwargs)
+
+    out: dict[str, Any] = {}
+    for proc in result.procs:
+        if not isinstance(proc.value, dict):
+            continue
+        for kind, diag in proc.value.items():
+            keep = out.get(kind)
+            if keep is None or (
+                diag.get("final_field") is not None and keep.get("final_field") is None
+            ):
+                out[kind] = diag
+    return out
+
+
+def total_energy_series(diags: dict[str, Any]) -> np.ndarray:
+    """Total heat content per step, summed over the model components —
+    constant under :meth:`CCSMConfig.conservation` physics."""
+    series = [np.asarray(d["energy"]) for k, d in diags.items() if k in MODEL_KINDS]
+    if not series:
+        raise ReproError("no model components in diagnostics")
+    return np.sum(series, axis=0)

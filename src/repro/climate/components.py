@@ -1,0 +1,346 @@
+"""Component models of the toy CCSM: atmosphere and surface components.
+
+Each component is a genuinely numerical (if deliberately simple) model: a
+2-D energy-balance temperature equation on its own lat–lon grid,
+
+.. math::
+
+    C \\, \\partial_t T = C D \\nabla^2 T + Q_{abs} - (A + B (T - T_0)) + F,
+
+where :math:`Q_{abs}` is absorbed insolation, :math:`A + B(T-T_0)` the
+linearised outgoing long-wave radiation, and :math:`F` the coupling flux
+received from the flux coupler each step.  Components differ in heat
+capacity, diffusivity, albedo and extra prognostics (sea ice carries a
+thickness field), which is what makes the coupled exchange non-trivial.
+
+The numerical core is decomposition-independent: the stencil is local plus
+halo rows, so a component produces bitwise-identical fields regardless of
+how many processes it runs on or which execution mode hosts it — the
+property experiment E11 leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.climate.fields import DistributedField
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+from repro.mpi.comm import Comm
+
+
+@dataclass
+class PhysicsParams:
+    """Physical parameters of one component model (per unit area, SI)."""
+
+    #: Areal heat capacity [J m^-2 K^-1].
+    heat_capacity: float = 1.0e7
+    #: Diffusivity in grid units per second (the stencil is unit-spaced).
+    diffusivity: float = 0.0
+    #: Shortwave albedo (surfaces only; the atmosphere absorbs no solar).
+    albedo: float = 0.3
+    #: Solar constant [W m^-2]; 0 switches insolation off.
+    solar_constant: float = 1361.0
+    #: OLR linearisation ``A + B (T - T_ref)`` [W m^-2], [W m^-2 K^-1].
+    olr_a: float = 0.0
+    olr_b: float = 0.0
+    #: Reference temperature for the OLR linearisation [K].
+    t_ref: float = 288.0
+
+    def validate(self) -> "PhysicsParams":
+        """Sanity-check parameter ranges; returns self for chaining."""
+        if self.heat_capacity <= 0:
+            raise ReproError(f"heat_capacity must be positive, got {self.heat_capacity}")
+        if not 0.0 <= self.albedo <= 1.0:
+            raise ReproError(f"albedo must be in [0, 1], got {self.albedo}")
+        if self.diffusivity < 0:
+            raise ReproError(f"diffusivity must be >= 0, got {self.diffusivity}")
+        return self
+
+
+def insolation(lat_deg: np.ndarray, solar_constant: float) -> np.ndarray:
+    """Annual-mean insolation profile: the classic second-Legendre EBM form
+    ``(S0/4) (1 - 0.48 P2(sin lat))`` [W m^-2]."""
+    s = np.sin(np.deg2rad(lat_deg))
+    p2 = 0.5 * (3.0 * s * s - 1.0)
+    return (solar_constant / 4.0) * (1.0 - 0.48 * p2)
+
+
+@dataclass
+class StepDiagnostics:
+    """Energy bookkeeping of one model step (area-integrated, W m^-2
+    equivalents since areas are fractional)."""
+
+    solar_in: float = 0.0
+    olr_out: float = 0.0
+    coupling_in: float = 0.0
+    diffusion_residual: float = 0.0
+
+
+class ComponentModel:
+    """Base class: an energy-balance temperature model on its own grid.
+
+    Parameters
+    ----------
+    comm :
+        The component communicator (from MPH).
+    grid :
+        The component's global grid.
+    params :
+        Physical parameters.
+    t_init :
+        ``fn(lat_deg, lon_deg) -> K`` initial condition; a smooth default
+        (warm equator, cold poles, small zonal wave) is used when omitted.
+    """
+
+    kind = "component"
+
+    def __init__(
+        self,
+        comm: Comm,
+        grid: LatLonGrid,
+        params: PhysicsParams,
+        t_init=None,
+        forcing=None,
+        co2=None,
+        field_cls=DistributedField,
+    ):
+        self.comm = comm
+        self.grid = grid
+        self.params = params.validate()
+        init = t_init if t_init is not None else self.default_initial_condition
+        #: The temperature field; *field_cls* selects the decomposition
+        #: (1-D latitude bands by default, or
+        #: :class:`~repro.climate.fields2d.DistributedField2D`).
+        self.temperature = field_cls.from_function(comm, grid, init)
+        #: Optional :class:`~repro.climate.forcing.SeasonalForcing`; when
+        #: set, insolation follows the seasonal cycle instead of the
+        #: annual-mean profile.
+        self.forcing = forcing
+        #: Optional :class:`~repro.climate.forcing.CO2Scenario`; when set,
+        #: its radiative forcing is subtracted from the OLR each step.
+        self.co2 = co2
+        #: Model time in seconds (advanced by each step's dt).
+        self.current_time = 0.0
+        #: Accumulated energy bookkeeping since construction.
+        self.budget = StepDiagnostics()
+        self.steps_taken = 0
+
+    @staticmethod
+    def default_initial_condition(lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+        """Warm equator / cold poles with a small zonal perturbation."""
+        return (
+            288.0
+            + 30.0 * (np.cos(np.deg2rad(lat)) ** 2 - 0.5)
+            + 2.0 * np.sin(np.deg2rad(2.0 * lon)) * np.cos(np.deg2rad(lat))
+        )
+
+    # -- physics ---------------------------------------------------------------
+
+    def _local_insolation(self) -> np.ndarray:
+        rs, cs = self.temperature.local_slices
+        lat = self.grid.lat_centers[rs]
+        if self.forcing is not None:
+            q = self.forcing.daily_insolation(lat, self.current_time)
+        else:
+            q = insolation(lat, self.params.solar_constant)
+        q = q * (1.0 - self.params.albedo)
+        ncols = len(range(*cs.indices(self.grid.nlon)))
+        return np.repeat(q[:, None], ncols, axis=1)
+
+    def absorbed_solar(self) -> np.ndarray:
+        """Absorbed shortwave [W m^-2] on the local block.  The base model
+        absorbs at the surface; the atmosphere overrides this to zero."""
+        return self._local_insolation()
+
+    def outgoing_longwave(self) -> np.ndarray:
+        """Linearised OLR [W m^-2] on the local block, reduced by any CO2
+        scenario's greenhouse forcing."""
+        p = self.params
+        olr = p.olr_a + p.olr_b * (self.temperature.data - p.t_ref)
+        if self.co2 is not None:
+            olr = olr - self.co2.forcing(self.current_time)
+        return olr
+
+    def step(self, dt: float, coupling_flux: Optional[np.ndarray] = None) -> StepDiagnostics:
+        """Advance one time step of *dt* seconds.
+
+        Parameters
+        ----------
+        coupling_flux :
+            Flux from the coupler on the local block [W m^-2], positive
+            warming this component.  ``None`` means zero.
+
+        Returns
+        -------
+        StepDiagnostics
+            This step's area-integrated energy terms (also accumulated on
+            :attr:`budget`).
+        """
+        p = self.params
+        temp = self.temperature
+        solar = self.absorbed_solar()
+        olr = self.outgoing_longwave()
+        flux = np.zeros_like(temp.data) if coupling_flux is None else np.asarray(coupling_flux)
+        if flux.shape != temp.data.shape:
+            raise ReproError(
+                f"{self.kind}: coupling flux shape {flux.shape} != local block "
+                f"{temp.data.shape}"
+            )
+        lap = temp.laplacian() if p.diffusivity > 0.0 else None
+
+        tendency = (solar - olr + flux) / p.heat_capacity
+        if lap is not None:
+            tendency = tendency + p.diffusivity * lap
+        temp.data = temp.data + dt * tendency
+
+        diag = StepDiagnostics(
+            solar_in=_integral(self, solar) * dt,
+            olr_out=_integral(self, olr) * dt,
+            coupling_in=_integral(self, flux) * dt,
+            diffusion_residual=(
+                _integral(self, p.heat_capacity * p.diffusivity * lap) * dt
+                if lap is not None
+                else 0.0
+            ),
+        )
+        self.budget.solar_in += diag.solar_in
+        self.budget.olr_out += diag.olr_out
+        self.budget.coupling_in += diag.coupling_in
+        self.budget.diffusion_residual += diag.diffusion_residual
+        self.steps_taken += 1
+        self.current_time += dt
+        return diag
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def mean_temperature(self) -> float:
+        """Area-weighted global mean temperature [K] (same on every rank)."""
+        return self.temperature.area_mean()
+
+    def energy(self) -> float:
+        """Heat content per unit planet area, ``C * <T>`` [J m^-2]."""
+        return self.params.heat_capacity * self.temperature.area_mean()
+
+
+def _integral(model: ComponentModel, local: np.ndarray) -> float:
+    """Area integral of a local block, decomposition-independent (see
+    :func:`repro.climate.fields.weighted_global_sum`)."""
+    from repro.climate.fields import weighted_global_sum
+
+    return weighted_global_sum(
+        model.comm, model.grid, local, model.temperature.local_slices
+    )
+
+
+class AtmosphereModel(ComponentModel):
+    """The atmosphere: diffusive heat transport, OLR to space, no direct
+    solar absorption (the surfaces absorb and hand heat up as coupling
+    flux)."""
+
+    kind = "atmosphere"
+
+    @classmethod
+    def default_params(cls) -> PhysicsParams:
+        """CCSM-toy defaults: light column, strong transport, full OLR."""
+        return PhysicsParams(
+            heat_capacity=1.0e7,
+            diffusivity=2.0e-6,
+            albedo=0.0,
+            solar_constant=0.0,  # surfaces absorb the sun
+            olr_a=210.0,
+            olr_b=2.0,
+            t_ref=288.0,
+        )
+
+    def absorbed_solar(self) -> np.ndarray:
+        """The toy atmosphere is shortwave-transparent."""
+        return np.zeros_like(self.temperature.data)
+
+
+class OceanModel(ComponentModel):
+    """The ocean: a 50 m mixed layer — huge heat capacity, slow response."""
+
+    kind = "ocean"
+
+    @classmethod
+    def default_params(cls) -> PhysicsParams:
+        return PhysicsParams(
+            heat_capacity=2.0e8,
+            diffusivity=5.0e-7,
+            albedo=0.10,
+            solar_constant=1361.0,
+            olr_a=0.0,
+            olr_b=0.0,  # surfaces vent through the atmosphere
+        )
+
+
+class LandModel(ComponentModel):
+    """The land surface: tiny heat capacity, fast response, no transport."""
+
+    kind = "land"
+
+    @classmethod
+    def default_params(cls) -> PhysicsParams:
+        return PhysicsParams(
+            heat_capacity=1.0e7,
+            diffusivity=0.0,
+            albedo=0.25,
+            solar_constant=1361.0,
+        )
+
+
+class SeaIceModel(ComponentModel):
+    """Sea ice: bright, cold, and carrying an ice-thickness prognostic.
+
+    Thickness grows where the ice temperature sits below freezing and
+    melts above it — a deliberately simple thermodynamic law that gives
+    the component distinct state to exchange and checkpoint.
+    """
+
+    kind = "seaice"
+
+    #: Freezing point [K] and thickness growth rate [m K^-1 s^-1].
+    t_freeze = 271.35
+    growth_rate = 1.0e-8
+
+    def __init__(
+        self,
+        comm: Comm,
+        grid: LatLonGrid,
+        params: PhysicsParams,
+        t_init=None,
+        forcing=None,
+        co2=None,
+        field_cls=DistributedField,
+    ):
+        super().__init__(
+            comm, grid, params, t_init, forcing=forcing, co2=co2, field_cls=field_cls
+        )
+        #: Ice thickness [m] on the local block.
+        self.thickness = np.full(self.temperature.data.shape, 1.0)
+
+    @classmethod
+    def default_params(cls) -> PhysicsParams:
+        return PhysicsParams(
+            heat_capacity=5.0e7,
+            diffusivity=0.0,
+            albedo=0.60,
+            solar_constant=1361.0,
+        )
+
+    def step(self, dt: float, coupling_flux: Optional[np.ndarray] = None) -> StepDiagnostics:
+        diag = super().step(dt, coupling_flux)
+        self.thickness = np.clip(
+            self.thickness + dt * self.growth_rate * (self.t_freeze - self.temperature.data),
+            0.0,
+            None,
+        )
+        return diag
+
+    def mean_thickness(self) -> float:
+        """Area-weighted mean ice thickness [m]."""
+        return _integral(self, self.thickness)

@@ -1,0 +1,78 @@
+"""Energy accounting across the coupled system.
+
+The acid test of a coupler is its books: every joule the atmosphere gains
+through coupling must have left a surface, and with all external forcing
+switched off (:meth:`repro.climate.ccsm.CCSMConfig.conservation`) the total
+heat content of the coupled system must stay constant to round-off.  This
+module assembles those budgets from per-component diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.climate.ccsm import MODEL_KINDS, total_energy_series
+from repro.errors import ReproError
+
+
+@dataclass
+class EnergyReport:
+    """The assembled energy budget of one coupled run."""
+
+    #: Total heat content per step [J m^-2 of planet area].
+    total_energy: np.ndarray
+    #: Net energy exchanged through coupling, summed over components
+    #: (should be ~0: the coupler only moves heat around).
+    net_coupling: float
+    #: Sum of per-step coupler exchange imbalances (round-off sized).
+    coupler_residual: float
+    #: Energy in through solar absorption, accumulated [J m^-2].
+    solar_in: float
+    #: Energy out through OLR, accumulated [J m^-2].
+    olr_out: float
+    #: Energy created/destroyed by the (non-conservative plain-stencil)
+    #: diffusion operator, accumulated — explicitly accounted, see
+    #: :mod:`repro.climate.components`.
+    diffusion_residual: float
+
+    @property
+    def drift(self) -> float:
+        """Total energy change over the run [J m^-2]."""
+        return float(self.total_energy[-1] - self.total_energy[0])
+
+    @property
+    def unexplained(self) -> float:
+        """Drift not explained by the tracked budget terms — the true
+        conservation error of the implementation."""
+        explained = self.solar_in - self.olr_out + self.net_coupling + self.diffusion_residual
+        return self.drift - explained
+
+    def relative_unexplained(self) -> float:
+        """:attr:`unexplained` scaled by the gross energy throughput."""
+        gross = abs(self.solar_in) + abs(self.olr_out) + 1e-30
+        return abs(self.unexplained) / gross
+
+
+def energy_report(diags: dict[str, Any]) -> EnergyReport:
+    """Assemble an :class:`EnergyReport` from :func:`run_ccsm` diagnostics."""
+    model_diags = {k: d for k, d in diags.items() if k in MODEL_KINDS}
+    if not model_diags:
+        raise ReproError("diagnostics contain no model components")
+    net_coupling = sum(d["budget"]["coupling_in"] for d in model_diags.values())
+    solar_in = sum(d["budget"]["solar_in"] for d in model_diags.values())
+    olr_out = sum(d["budget"]["olr_out"] for d in model_diags.values())
+    diffusion = sum(d["budget"]["diffusion_residual"] for d in model_diags.values())
+    coupler_residual = 0.0
+    if "coupler" in diags:
+        coupler_residual = float(np.sum(np.abs(diags["coupler"]["exchange_residual"])))
+    return EnergyReport(
+        total_energy=total_energy_series(diags),
+        net_coupling=net_coupling,
+        coupler_residual=coupler_residual,
+        solar_in=solar_in,
+        olr_out=olr_out,
+        diffusion_residual=diffusion,
+    )

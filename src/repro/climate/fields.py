@@ -1,0 +1,200 @@
+"""Distributed fields: latitude-block arrays with halo exchange.
+
+A :class:`DistributedField` holds one process's latitude band of a global
+``(nlat, nlon)`` field, plus the collective operations the component models
+need: halo exchange for the diffusion stencil, gather/scatter against the
+component's local processor 0 (how fields reach the coupler), and
+area-weighted global reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.climate.grid import Decomposition, LatLonGrid
+from repro.errors import ReproError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import PROC_NULL
+
+#: Tag namespace for halo traffic (isolated from coupling messages, which
+#: travel on the world communicator anyway).
+_HALO_TAG_NORTH = 21
+_HALO_TAG_SOUTH = 22
+
+
+class DistributedField:
+    """One component's share of a global field, decomposed by latitude.
+
+    Parameters
+    ----------
+    comm :
+        The component communicator; rank *r* owns the rows
+        ``decomp.rows(r)``.
+    grid :
+        The global grid.
+    data :
+        Initial local block (``decomp.local_shape(rank)``); zeros when
+        omitted.
+    """
+
+    def __init__(self, comm: Comm, grid: LatLonGrid, data: Optional[np.ndarray] = None):
+        self.comm = comm
+        self.grid = grid
+        self.decomp = Decomposition(grid, comm.size)
+        shape = self.decomp.local_shape(comm.rank)
+        if data is None:
+            self.data = np.zeros(shape)
+        else:
+            data = np.asarray(data, dtype=float)
+            if data.shape != shape:
+                raise ReproError(
+                    f"local block shape {data.shape} != expected {shape} on rank {comm.rank}"
+                )
+            self.data = data.copy()
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_function(cls, comm: Comm, grid: LatLonGrid, fn) -> "DistributedField":
+        """Initialise from ``fn(lat_deg, lon_deg)`` evaluated on cell
+        centers (vectorised via meshgrid) — deterministic initial
+        conditions independent of the decomposition."""
+        field = cls(comm, grid)
+        start, stop = field.rows_range
+        lat = grid.lat_centers[start:stop]
+        lon = grid.lon_centers
+        lat2d, lon2d = np.meshgrid(lat, lon, indexing="ij")
+        field.data = np.asarray(fn(lat2d, lon2d), dtype=float)
+        return field
+
+    @classmethod
+    def from_global(cls, comm: Comm, grid: LatLonGrid, full: np.ndarray) -> "DistributedField":
+        """Initialise by slicing a full global array locally (every rank
+        passes the same array)."""
+        field = cls(comm, grid)
+        start, stop = field.rows_range
+        field.data = np.asarray(full, dtype=float)[start:stop].copy()
+        return field
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def rows_range(self) -> tuple[int, int]:
+        """This rank's ``[start, stop)`` global row range."""
+        return self.decomp.rows(self.comm.rank)
+
+    @property
+    def local_slices(self) -> tuple[slice, slice]:
+        """The global ``(row, column)`` slices of the local block — the
+        decomposition-agnostic protocol shared with the 2-D fields."""
+        start, stop = self.rows_range
+        return (slice(start, stop), slice(0, self.grid.nlon))
+
+    @property
+    def local_shape(self) -> tuple[int, int]:
+        """Shape of the local block."""
+        return self.data.shape
+
+    def copy(self) -> "DistributedField":
+        """A deep copy sharing the communicator."""
+        return DistributedField(self.comm, self.grid, self.data)
+
+    # -- halo exchange -------------------------------------------------------------
+
+    def exchange_halos(self) -> tuple[np.ndarray, np.ndarray]:
+        """Exchange boundary rows with latitude neighbours.
+
+        Returns ``(north_halo, south_halo)`` — the neighbouring row to the
+        north (higher latitude) and south.  At the poles the local edge row
+        is returned (zero-gradient boundary), implemented with
+        ``PROC_NULL`` neighbours so no branches appear in the message code.
+        """
+        comm = self.comm
+        north = comm.rank + 1 if comm.rank + 1 < comm.size else PROC_NULL
+        south = comm.rank - 1 if comm.rank > 0 else PROC_NULL
+        # Eager sends: post both, then receive both.
+        comm.Send(self.data[-1], north, _HALO_TAG_NORTH)
+        comm.Send(self.data[0], south, _HALO_TAG_SOUTH)
+        south_halo = np.array(self.data[0])  # pole default: replicate edge
+        north_halo = np.array(self.data[-1])
+        if south != PROC_NULL:
+            comm.Recv(south_halo, south, _HALO_TAG_NORTH)
+        if north != PROC_NULL:
+            comm.Recv(north_halo, north, _HALO_TAG_SOUTH)
+        return north_halo, south_halo
+
+    def laplacian(self) -> np.ndarray:
+        """Five-point Laplacian of the local block (grid units).
+
+        Longitude is periodic (local ``np.roll``); latitude uses halo
+        rows, with zero-gradient poles.
+        """
+        north, south = self.exchange_halos()
+        up = np.vstack([self.data[1:], north[None, :]])
+        down = np.vstack([south[None, :], self.data[:-1]])
+        east = np.roll(self.data, -1, axis=1)
+        west = np.roll(self.data, 1, axis=1)
+        return up + down + east + west - 4.0 * self.data
+
+    # -- gather / scatter ------------------------------------------------------------
+
+    def gather_global(self, root: int = 0) -> Optional[np.ndarray]:
+        """Assemble the full global field on component-local rank *root*
+        (``None`` elsewhere)."""
+        blocks = self.comm.gather(self.data, root=root)
+        if self.comm.rank != root:
+            return None
+        assert blocks is not None
+        return np.concatenate(blocks, axis=0)
+
+    def set_from_global(self, full: Optional[np.ndarray], root: int = 0) -> None:
+        """Distribute a full field from *root* into the local blocks
+        (inverse of :meth:`gather_global`)."""
+        blocks = None
+        if self.comm.rank == root:
+            assert full is not None
+            full = np.asarray(full, dtype=float)
+            if full.shape != self.grid.shape:
+                raise ReproError(
+                    f"global field shape {full.shape} != grid shape {self.grid.shape}"
+                )
+            blocks = [
+                full[self.decomp.rows(r)[0] : self.decomp.rows(r)[1]]
+                for r in range(self.comm.size)
+            ]
+        self.data = self.comm.scatter(blocks, root=root).copy()
+
+    # -- reductions -------------------------------------------------------------------
+
+    def area_mean(self) -> float:
+        """Area-weighted global mean (identical on every rank, and bitwise
+        independent of the decomposition — see :func:`weighted_global_sum`)."""
+        return weighted_global_sum(self.comm, self.grid, self.data, self.local_slices)
+
+    def area_integral(self) -> float:
+        """Alias of :meth:`area_mean` (weights sum to 1)."""
+        return self.area_mean()
+
+
+def weighted_global_sum(comm: Comm, grid: LatLonGrid, local: np.ndarray, slices: tuple[slice, slice]) -> float:
+    """Area-weighted global sum of a decomposed field, decomposition-
+    independent to the bit.
+
+    Every rank contributes ``(slices, local * weights)``; rank 0 assembles
+    the full weighted array and sums it in one fixed (C-order) pass, so
+    the result is identical no matter how — or over how many processes —
+    the field was decomposed.  The value is broadcast to all ranks.
+    """
+    rs, cs = slices
+    w = grid.area_weights[rs, cs]
+    pieces = comm.gather((rs, cs, local * w), root=0)
+    total = None
+    if comm.rank == 0:
+        assert pieces is not None
+        full = np.zeros(grid.shape)
+        for prs, pcs, block in pieces:
+            full[prs, pcs] = block
+        total = float(full.sum())
+    return comm.bcast(total, root=0)

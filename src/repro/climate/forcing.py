@@ -1,0 +1,115 @@
+"""Time-dependent forcing: seasonal insolation and greenhouse scenarios.
+
+The static EBM insolation of :func:`repro.climate.components.insolation`
+is the annual mean; real CCSM runs are driven by the seasonal cycle and by
+greenhouse-gas scenarios.  This module provides both:
+
+* :class:`SeasonalForcing` — daily-mean top-of-atmosphere insolation from
+  the standard astronomical formula (solar declination from obliquity,
+  hour-angle integration, polar day/night handled exactly);
+* :class:`CO2Scenario` — a CO2 concentration path converted to the usual
+  logarithmic radiative forcing (~4 W m⁻² per doubling), used by the
+  global-warming example to perturb the OLR intercept.
+
+Both are pure functions of time, vectorised over latitude — components
+evaluate them once per step on their local latitude band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Seconds in the model year (365 days).
+YEAR_SECONDS = 365.0 * 86400.0
+
+
+@dataclass(frozen=True)
+class SeasonalForcing:
+    """Daily-mean insolation with a seasonal cycle.
+
+    Parameters
+    ----------
+    solar_constant :
+        TOA irradiance at normal incidence [W m^-2].
+    obliquity_deg :
+        Axial tilt; 0 switches seasons off (useful in tests).
+    year_seconds :
+        Length of the model year; time 0 is the northern vernal equinox.
+    """
+
+    solar_constant: float = 1361.0
+    obliquity_deg: float = 23.44
+    year_seconds: float = YEAR_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.year_seconds <= 0:
+            raise ReproError(f"year_seconds must be positive, got {self.year_seconds}")
+        if not 0.0 <= self.obliquity_deg < 90.0:
+            raise ReproError(f"obliquity must be in [0, 90) degrees, got {self.obliquity_deg}")
+
+    def declination(self, t: float) -> float:
+        """Solar declination [radians] at time *t* seconds (circular-orbit
+        approximation: δ = ε sin(2πt/T), t=0 at vernal equinox)."""
+        eps = np.deg2rad(self.obliquity_deg)
+        return float(eps * np.sin(2.0 * np.pi * t / self.year_seconds))
+
+    def daily_insolation(self, lat_deg: np.ndarray, t: float) -> np.ndarray:
+        """Daily-mean TOA insolation [W m^-2] at latitude(s) *lat_deg*.
+
+        The standard formula
+        ``Q = (S0/π)(h0 sinφ sinδ + cosφ cosδ sin h0)`` with the sunset
+        hour angle ``cos h0 = -tanφ tanδ`` clipped for polar day (h0=π)
+        and polar night (h0=0).
+        """
+        phi = np.deg2rad(np.asarray(lat_deg, dtype=float))
+        delta = self.declination(t)
+        cos_h0 = np.clip(-np.tan(phi) * np.tan(delta), -1.0, 1.0)
+        h0 = np.arccos(cos_h0)
+        q = (self.solar_constant / np.pi) * (
+            h0 * np.sin(phi) * np.sin(delta) + np.cos(phi) * np.cos(delta) * np.sin(h0)
+        )
+        return np.clip(q, 0.0, None)
+
+    def annual_mean(self, lat_deg: np.ndarray, samples: int = 73) -> np.ndarray:
+        """Annual-mean insolation by uniform time sampling (diagnostic)."""
+        times = np.linspace(0.0, self.year_seconds, samples, endpoint=False)
+        return np.mean([self.daily_insolation(lat_deg, t) for t in times], axis=0)
+
+
+@dataclass(frozen=True)
+class CO2Scenario:
+    """A CO2 concentration path and its radiative forcing.
+
+    ``concentration(t) = initial_ppm * (1 + rate_per_year)^(t/year)`` — the
+    classic "1% per year" transient scenario is
+    ``CO2Scenario(rate_per_year=0.01)``.
+    """
+
+    initial_ppm: float = 380.0
+    rate_per_year: float = 0.0
+    #: Forcing per CO2 doubling [W m^-2] (IPCC canonical ~3.7–4).
+    forcing_per_doubling: float = 4.0
+    year_seconds: float = YEAR_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.initial_ppm <= 0:
+            raise ReproError(f"initial_ppm must be positive, got {self.initial_ppm}")
+
+    def concentration(self, t: float) -> float:
+        """CO2 concentration [ppm] at time *t* seconds."""
+        years = t / self.year_seconds
+        return self.initial_ppm * (1.0 + self.rate_per_year) ** years
+
+    def forcing(self, t: float) -> float:
+        """Greenhouse radiative forcing [W m^-2] relative to t=0."""
+        return self.forcing_per_doubling * np.log2(self.concentration(t) / self.initial_ppm)
+
+    def years_to_doubling(self) -> float:
+        """Years until the concentration doubles (inf for a flat path)."""
+        if self.rate_per_year <= 0:
+            return float("inf")
+        return float(np.log(2.0) / np.log(1.0 + self.rate_per_year))

@@ -1,0 +1,72 @@
+"""MPH core: registration, handshaking, and the unified mode interface.
+
+The subpackage layout follows the paper:
+
+* :mod:`repro.core.registry` — the ``processors_map.in`` file (§3, §4);
+* :mod:`repro.core.handshake` — the split-based handshake algorithm (§6);
+* :mod:`repro.core.mph` — ``components_setup`` / ``multi_instance`` and
+  the :class:`MPH` handle (§4, §5.3);
+* :mod:`repro.core.join` — ``MPH_comm_join`` (§5.1);
+* :mod:`repro.core.messaging` — name-addressed send/recv (§5.2);
+* :mod:`repro.core.arguments` — ``MPH_get_argument`` (§4.4);
+* :mod:`repro.core.redirect` — multi-channel output (§5.4);
+* :mod:`repro.core.ensemble` — ensemble statistics and control (§2.5);
+* :mod:`repro.core.migration` — dynamic reallocation (§9 future work).
+"""
+
+from repro.core.arguments import ArgumentFields
+from repro.core.ensemble import (
+    CONTROL_TAG,
+    REPORT_TAG,
+    EnsembleCollector,
+    EnsembleMember,
+    EnsembleStats,
+    OnlineMoments,
+)
+from repro.core.handshake import ComponentDecl, HandshakeResult, InstanceDecl, handshake
+from repro.core.layout import ComponentInfo, ExecutableInfo, Layout
+from repro.core.migration import block_rows, migrate, redistribute_block
+from repro.core.mph import MPH, components_setup, multi_instance
+from repro.core.profiling import CommProfile, gather_profiles
+from repro.core.rearranger import Rearranger, overlap_schedule
+from repro.core.redirect import MultiChannelOutput
+from repro.core.registry import (
+    ComponentSpec,
+    MultiComponentEntry,
+    MultiInstanceEntry,
+    Registry,
+    SingleComponentEntry,
+)
+
+__all__ = [
+    "ArgumentFields",
+    "CONTROL_TAG",
+    "REPORT_TAG",
+    "EnsembleCollector",
+    "EnsembleMember",
+    "EnsembleStats",
+    "OnlineMoments",
+    "ComponentDecl",
+    "HandshakeResult",
+    "InstanceDecl",
+    "handshake",
+    "ComponentInfo",
+    "ExecutableInfo",
+    "Layout",
+    "block_rows",
+    "migrate",
+    "redistribute_block",
+    "MPH",
+    "components_setup",
+    "multi_instance",
+    "CommProfile",
+    "gather_profiles",
+    "Rearranger",
+    "overlap_schedule",
+    "MultiChannelOutput",
+    "ComponentSpec",
+    "MultiComponentEntry",
+    "MultiInstanceEntry",
+    "Registry",
+    "SingleComponentEntry",
+]

@@ -1,0 +1,159 @@
+"""Per-component argument fields and ``MPH_get_argument`` (paper §4.4).
+
+"Up to 5 character strings can be appended to each line of the
+instance_name in the registration file.  This is for passing input/output
+file names and parameters to the specific instances. ... Thus alpha2 will
+get integer 3 if a string "alpha=3" is present, beta will get real 4.5 if a
+string "beta=4.5" is present, and fname will get string "infile3" if such a
+string is in the first field."
+
+The Fortran original dispatches on the output variable's type (function
+overloading); the Python API takes the requested type explicitly, with
+:func:`get_argument` defaulting to natural-type inference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Type, Union
+
+from repro.errors import ArgumentError
+from repro.util.text import parse_scalar
+
+class _Missing:
+    """Sentinel distinguishing "no default supplied" from ``None`` (its
+    repr is stable so generated documentation is reproducible)."""
+
+    def __repr__(self) -> str:
+        return "<no default>"
+
+
+_MISSING = _Missing()
+
+
+class ArgumentFields:
+    """The argument fields of one component's registration line."""
+
+    def __init__(self, fields: Sequence[str], component: str = "?"):
+        self.fields = tuple(fields)
+        self.component = component
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ArgumentFields({self.component}: {self.fields})"
+
+    # -- key=value lookup -----------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Whether a ``key=value`` field with this key is present."""
+        return any(f.startswith(key + "=") for f in self.fields)
+
+    def raw(self, key: str) -> str:
+        """The raw string value of ``key=value`` (first match)."""
+        for f in self.fields:
+            if f.startswith(key + "="):
+                return f[len(key) + 1 :]
+        raise ArgumentError(
+            f"component {self.component!r}: no argument {key!r} among fields {self.fields}"
+        )
+
+    def get(
+        self,
+        key: Optional[str] = None,
+        as_type: Optional[Type] = None,
+        *,
+        field_num: Optional[int] = None,
+        default: Any = _MISSING,
+    ) -> Any:
+        """Look up an argument by key or positional field number.
+
+        Parameters
+        ----------
+        key :
+            ``key=value`` lookup, e.g. ``get("alpha", int)`` for a field
+            ``alpha=3``.
+        as_type :
+            Requested type (``int``, ``float``, ``str``, ``bool``); when
+            omitted the natural type is inferred.
+        field_num :
+            1-based positional access — the Fortran
+            ``MPH_get_argument(field_num=1, field_val=fname)`` form.
+        default :
+            Returned instead of raising when the key/field is absent.
+        """
+        if (key is None) == (field_num is None):
+            raise ArgumentError("pass exactly one of `key` or `field_num`")
+        if field_num is not None:
+            if not 1 <= field_num <= len(self.fields):
+                if default is not _MISSING:
+                    return default
+                raise ArgumentError(
+                    f"component {self.component!r}: field_num {field_num} out of range; "
+                    f"{len(self.fields)} fields present"
+                )
+            raw = self.fields[field_num - 1]
+        else:
+            assert key is not None
+            if not self.has(key):
+                if default is not _MISSING:
+                    return default
+                raise ArgumentError(
+                    f"component {self.component!r}: no argument {key!r} among fields "
+                    f"{self.fields}"
+                )
+            raw = self.raw(key)
+        return convert(raw, as_type, where=f"component {self.component!r}")
+
+    # Typed convenience accessors mirroring the Fortran overloads ------------
+
+    def get_int(self, key: str, default: Any = _MISSING) -> int:
+        """Integer argument (the ``integer`` overload)."""
+        return self.get(key, int, default=default)
+
+    def get_real(self, key: str, default: Any = _MISSING) -> float:
+        """Real argument (the ``real`` overload)."""
+        return self.get(key, float, default=default)
+
+    def get_string(self, key: str, default: Any = _MISSING) -> str:
+        """String argument (the ``character`` overload)."""
+        return self.get(key, str, default=default)
+
+    def get_bool(self, key: str, default: Any = _MISSING) -> bool:
+        """Flag argument: ``on/off``, ``true/false``, ``yes/no``, ``1/0``
+        (the paper's example uses ``debug=on``)."""
+        return self.get(key, bool, default=default)
+
+
+
+def convert(raw: str, as_type: Optional[Type], where: str = "") -> Any:
+    """Convert a raw field string to the requested type.
+
+    Raises
+    ------
+    ArgumentError
+        When the string does not parse as the requested type.
+    """
+    prefix = f"{where}: " if where else ""
+    if as_type is None:
+        return parse_scalar(raw)
+    if as_type is bool:
+        lowered = raw.lower()
+        if lowered in ("on", "true", "yes", "1", ".true."):
+            return True
+        if lowered in ("off", "false", "no", "0", ".false."):
+            return False
+        raise ArgumentError(f"{prefix}cannot interpret {raw!r} as a flag")
+    if as_type is int:
+        try:
+            return int(raw)
+        except ValueError:
+            raise ArgumentError(f"{prefix}cannot interpret {raw!r} as an integer") from None
+    if as_type is float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ArgumentError(f"{prefix}cannot interpret {raw!r} as a real") from None
+    if as_type is str:
+        return raw
+    raise ArgumentError(f"{prefix}unsupported argument type {as_type!r}")

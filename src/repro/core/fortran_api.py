@@ -1,0 +1,197 @@
+"""The Fortran-90-flavoured MPH API: the paper's names, verbatim.
+
+The primary Python interface is the :class:`~repro.core.mph.MPH` handle,
+but code being ported line-by-line from the Fortran original (or written
+to match the paper's listings) wants the exact names of Sections 4–5::
+
+    from repro.core import fortran_api as MPH_F
+
+    atmosphere_world = MPH_F.MPH_components_setup(world, name1="atmosphere",
+                                                  registry=..., env=env)
+    comm = MPH_F.PROC_in_component("ocean")
+    MPH_F.MPH_comm_join("atmosphere", "ocean")
+    MPH_F.MPH_send(data, "ocean", 3, tag=7)
+    MPH_F.MPH_redirect_output("atmosphere")
+    alpha = MPH_F.MPH_get_argument("alpha", int)
+
+Like the Fortran library, these functions operate on an implicit current
+handle: the setup call binds the handle to the *calling simulated process*
+(thread), so several components in one job can use the module
+concurrently without interference.  ``MPH_components_setup`` returns the
+executable's communicator — exactly what the paper's listings assign to
+``atmosphere_World`` / ``mpi_exec_world``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.core.mph import MPH, components_setup as _components_setup, multi_instance as _multi_instance
+from repro.errors import MPHError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import ANY_TAG
+
+_current = threading.local()
+
+
+def _handle() -> MPH:
+    mph = getattr(_current, "mph", None)
+    if mph is None:
+        raise MPHError(
+            "no MPH handle bound on this process: call MPH_components_setup or "
+            "MPH_multi_instance first"
+        )
+    return mph
+
+
+def current_handle() -> MPH:
+    """The bound :class:`MPH` handle of the calling process (escape hatch
+    to the full Python API)."""
+    return _handle()
+
+
+# ---------------------------------------------------------------------------
+# setup (paper §4)
+# ---------------------------------------------------------------------------
+
+
+def MPH_components_setup(
+    world: Comm,
+    name1: Optional[str] = None,
+    name2: Optional[str] = None,
+    name3: Optional[str] = None,
+    name4: Optional[str] = None,
+    name5: Optional[str] = None,
+    name6: Optional[str] = None,
+    name7: Optional[str] = None,
+    name8: Optional[str] = None,
+    name9: Optional[str] = None,
+    name10: Optional[str] = None,
+    *,
+    registry: Any = None,
+    env: Any = None,
+) -> Comm:
+    """``MPH_components_setup(name1=..., name2=..., ...)`` — up to 10
+    component names (the paper's limit), returns the executable
+    communicator and binds the handle for the rest of the module."""
+    names = [n for n in (name1, name2, name3, name4, name5, name6, name7, name8, name9, name10) if n is not None]
+    mph = _components_setup(world, *names, registry=registry, env=env)
+    _current.mph = mph
+    return mph.exe_world
+
+
+def MPH_multi_instance(world: Comm, prefix: str, *, registry: Any = None, env: Any = None) -> Comm:
+    """``Ocean_world = MPH_multi_instance("Ocean")`` (paper §4.4)."""
+    mph = _multi_instance(world, prefix, registry=registry, env=env)
+    _current.mph = mph
+    return mph.exe_world
+
+
+def PROC_in_component(name: str) -> Optional[Comm]:
+    """The paper's logical function: the component communicator when this
+    processor belongs to *name*, else ``None`` (§4.2)::
+
+        comm = PROC_in_component("ocean")
+        if comm is not None:
+            ocean_xyz(comm)
+    """
+    return _handle().proc_in_component(name)
+
+
+# ---------------------------------------------------------------------------
+# joining and messaging (paper §5.1 / §5.2)
+# ---------------------------------------------------------------------------
+
+
+def MPH_comm_join(name_first: str, name_second: str) -> Optional[Comm]:
+    """``comm_new = MPH_comm_join("atmosphere", "ocean")`` (§5.1)."""
+    return _handle().comm_join(name_first, name_second)
+
+
+def MPH_global_id(component: str, local_rank: int) -> int:
+    """Global rank of ``(component, local id)`` (§5.2)."""
+    return _handle().global_id(component, local_rank)
+
+
+def MPH_send(obj: Any, component: str, local_rank: int, tag: int = 0) -> None:
+    """Send to a processor addressed by component name + local id (§5.2)."""
+    _handle().send(obj, component, local_rank, tag)
+
+
+def MPH_recv(component: str, local_rank: int, tag: int = ANY_TAG) -> Any:
+    """Receive from a processor addressed by component name + local id."""
+    return _handle().recv(component, local_rank, tag)
+
+
+def MPH_Global_World() -> Comm:
+    """The application-wide communicator (§5.2: ``MPH_Global_World``)."""
+    return _handle().global_world
+
+
+# ---------------------------------------------------------------------------
+# inquiry (paper §5.3)
+# ---------------------------------------------------------------------------
+
+
+def MPH_local_proc_id(component: Optional[str] = None) -> int:
+    """``MPH_local_proc_id()``."""
+    return _handle().local_proc_id(component)
+
+
+def MPH_global_proc_id() -> int:
+    """``MPH_global_proc_id()``."""
+    return _handle().global_proc_id()
+
+
+def MPH_comp_name() -> str:
+    """``MPH_comp_name()`` (the expanded instance name under MIME)."""
+    return _handle().comp_name()
+
+
+def MPH_total_components() -> int:
+    """``MPH_total_components()``."""
+    return _handle().total_components()
+
+
+def MPH_exe_up_proc_limit() -> int:
+    """``MPH_exe_up_proc_limit()``."""
+    return _handle().exe_up_proc_limit()
+
+
+def MPH_exe_low_proc_limit() -> int:
+    """``MPH_exe_low_proc_limit()``."""
+    return _handle().exe_low_proc_limit()
+
+
+# ---------------------------------------------------------------------------
+# arguments and output (paper §4.4 / §5.4)
+# ---------------------------------------------------------------------------
+
+
+def MPH_get_argument(
+    key: Optional[str] = None,
+    as_type: Optional[type] = None,
+    *,
+    field_num: Optional[int] = None,
+    default: Any = None,
+) -> Any:
+    """``call MPH_get_argument("alpha", alpha2)`` — the Fortran overloads
+    become an explicit type argument; ``field_num=N`` gives positional
+    access (§4.4)."""
+    kwargs: dict = {"field_num": field_num}
+    if default is not None:
+        kwargs["default"] = default
+    return _handle().get_argument(key, as_type, **kwargs)
+
+
+def MPH_redirect_output(component_name: Optional[str] = None):
+    """``MPH_redirect_output(component_name)`` (§5.4); returns the log
+    path this processor now writes to (None outside a managed job)."""
+    return _handle().redirect_output(component_name)
+
+
+def MPH_help() -> str:
+    """A short reference of the Fortran-flavoured entry points."""
+    names = sorted(n for n in globals() if n.startswith(("MPH_", "PROC_")))
+    return "MPH Fortran-flavoured API: " + ", ".join(names)

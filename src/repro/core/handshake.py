@@ -1,0 +1,330 @@
+"""Component handshaking: the core algorithm of the paper (Section 6).
+
+When an MPMD job starts, "all executables share the same MPI_Comm_World,
+but with different logical processor IDs ... each processor does not know
+which executables are loaded onto other processors."  The handshake turns
+that anonymous world into a fully-mapped multi-component environment:
+
+1. the root processor (world rank 0) reads the registration file and
+   broadcasts it;
+2. every processor contributes its executable's *declaration* — the
+   component name-tags passed to ``MPH_components_setup`` or the instance
+   prefix passed to ``MPH_multi_instance`` — via an allgather;
+3. processors with identical declarations form an executable; each
+   executable is matched against exactly one registry entry, giving every
+   component a unique ``component_id`` (its position in the file);
+4. communicators are built by ``Comm_split``:
+
+   * when every executable is single-component, one split of the world by
+     ``component_id`` produces all component communicators at once — the
+     paper's single-component path (§6 case 1), strategy ``"world_split"``;
+   * otherwise the world is first split by executable, then each
+     executable splits into its components — with a **single** split when
+     its components do not overlap on processors, and **repeated** splits
+     (one per component, since a processor may belong to several) when
+     they do (§6 case 2) — strategy ``"exe_then_comp"``.
+
+The handshake is deterministic: every process derives the identical
+:class:`~repro.core.layout.Layout` from the broadcast registry and the
+allgathered declarations, with no further communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.core.layout import ComponentInfo, ExecutableInfo, Layout
+from repro.core.names import matches_prefix, validate_name
+from repro.core.registry import (
+    MultiComponentEntry,
+    MultiInstanceEntry,
+    Registry,
+    SingleComponentEntry,
+)
+from repro.errors import HandshakeError, RegistryError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import UNDEFINED
+
+
+@dataclass(frozen=True)
+class ComponentDecl:
+    """What ``MPH_components_setup(name1=..., name2=..., ...)`` declares."""
+
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise HandshakeError("MPH_components_setup needs at least one component name")
+        for n in self.names:
+            validate_name(n)
+        if len(set(self.names)) != len(self.names):
+            raise HandshakeError(f"duplicate names in components_setup call: {self.names}")
+
+
+@dataclass(frozen=True)
+class InstanceDecl:
+    """What ``MPH_multi_instance(prefix)`` declares."""
+
+    prefix: str
+
+    def __post_init__(self) -> None:
+        validate_name(self.prefix)
+
+
+Declaration = Union[ComponentDecl, InstanceDecl]
+
+
+@dataclass
+class HandshakeResult:
+    """Everything a process holds after a successful handshake."""
+
+    #: The global component/executable map (identical on every process).
+    layout: Layout
+    #: The broadcast registry.
+    registry: Registry
+    #: Index of this process's executable.
+    exe_id: int
+    #: Communicator spanning this process's executable.
+    exe_comm: Comm
+    #: Component communicators for the components covering this process
+    #: (one for a single-component executable; possibly several for a
+    #: multi-component executable with overlap; empty for an idle process
+    #: its registry entry covers with no component).
+    comp_comms: dict[str, Comm] = field(default_factory=dict)
+    #: Which split strategy ran: ``"world_split"`` or ``"exe_then_comp"``.
+    strategy: str = ""
+    #: The world communicator the handshake ran over.
+    world: Optional[Comm] = None
+    #: MPH-internal communicator (``comm_join`` context distribution etc.).
+    service_comm: Optional[Comm] = None
+    #: The declaration this executable made.
+    declaration: Optional[Declaration] = None
+
+    @property
+    def my_component_names(self) -> tuple[str, ...]:
+        """Names of the components covering this process, by component id."""
+        infos = sorted(
+            (self.layout.component(n) for n in self.comp_comms), key=lambda c: c.comp_id
+        )
+        return tuple(c.name for c in infos)
+
+
+def handshake(world: Comm, decl: Declaration, registry_input) -> HandshakeResult:
+    """Run the full component handshake over *world*.
+
+    Collective: every process of *world* must call it (each with its own
+    executable's declaration).  Raises :class:`HandshakeError` (on every
+    process, via abort propagation) when declarations and registration file
+    disagree.
+    """
+    max_comps = world.world.config.max_components_per_executable
+    if isinstance(decl, ComponentDecl) and len(decl.names) > max_comps:
+        raise HandshakeError(
+            f"executable declares {len(decl.names)} components; the limit is {max_comps} "
+            "(paper §4.3)"
+        )
+
+    # Step 1 — root reads the registration file and broadcasts it (§6).
+    registry: Registry
+    if world.rank == 0:
+        registry = Registry.load(registry_input)
+        world.bcast(registry)
+    else:
+        registry = world.bcast(None)
+
+    # Step 2 — allgather declarations.
+    decls: list[Declaration] = world.allgather(decl)
+
+    # Step 3 — group into executables and match against the registry.
+    exes, my_exe_id = _resolve_executables(registry, decls, world.rank)
+    layout = Layout(registry, exes)
+
+    # Step 4 — build communicators.
+    all_single = all(isinstance(e, SingleComponentEntry) for e in registry.entries)
+    if all_single:
+        strategy = "world_split"
+        # One split of the world by component id gives every component its
+        # communicator directly (§6 case 1); the executable communicator is
+        # the same thing for a single-component executable.
+        my_comp = layout.components_on(world.rank)[0]
+        comp_comm = world.split(my_comp.comp_id, key=world.rank)
+        assert comp_comm is not None
+        comp_comm.name = f"MPH:{my_comp.name}"
+        exe_comm = comp_comm
+        comp_comms = {my_comp.name: comp_comm}
+    else:
+        strategy = "exe_then_comp"
+        exe_comm = world.split(my_exe_id, key=world.rank)
+        assert exe_comm is not None
+        exe_comm.name = f"MPH:exe{my_exe_id}"
+        comp_comms = _split_components(exe_comm, layout, exes[_index_of(exes, my_exe_id)], world.rank)
+
+    service = world.dup("MPH_service")
+    return HandshakeResult(
+        layout=layout,
+        registry=registry,
+        exe_id=my_exe_id,
+        exe_comm=exe_comm,
+        comp_comms=comp_comms,
+        strategy=strategy,
+        world=world,
+        service_comm=service,
+        declaration=decl,
+    )
+
+
+def _index_of(exes: list[ExecutableInfo], exe_id: int) -> int:
+    for i, e in enumerate(exes):
+        if e.exe_id == exe_id:
+            return i
+    raise AssertionError(f"exe_id {exe_id} missing")  # pragma: no cover
+
+
+def _resolve_executables(
+    registry: Registry, decls: list[Declaration], my_rank: int
+) -> tuple[list[ExecutableInfo], int]:
+    """Group world ranks by declaration, match groups to registry entries,
+    and validate sizes.  Returns all executables plus the caller's exe id."""
+    groups: dict[Declaration, list[int]] = {}
+    for rank, d in enumerate(decls):
+        groups.setdefault(d, []).append(rank)
+
+    # Deterministic executable ordering: ascending lowest world rank.
+    ordered = sorted(groups.items(), key=lambda kv: kv[1][0])
+
+    matched_entries: dict[int, Declaration] = {}
+    exes: list[ExecutableInfo] = []
+    my_exe_id = -1
+    for exe_id, (d, ranks) in enumerate(ordered):
+        entry_index = _match_entry(registry, d)
+        if entry_index in matched_entries:
+            raise HandshakeError(
+                f"two executables declared the same registration entry "
+                f"({registry.entries[entry_index].component_names}); component names "
+                "must identify executables uniquely"
+            )
+        matched_entries[entry_index] = d
+        entry = registry.entries[entry_index]
+        if isinstance(entry, (MultiComponentEntry, MultiInstanceEntry)):
+            if entry.nprocs != len(ranks):
+                raise HandshakeError(
+                    f"executable declaring {entry.component_names} runs on "
+                    f"{len(ranks)} processes but the registration file allocates local "
+                    f"processors 0..{entry.nprocs - 1} ({entry.nprocs}); the launch "
+                    "command and registration file disagree"
+                )
+        exes.append(
+            ExecutableInfo(
+                exe_id=exe_id,
+                entry_index=entry_index,
+                kind=entry.kind,
+                world_ranks=tuple(ranks),
+                component_names=entry.component_names,
+                has_overlap=isinstance(entry, MultiComponentEntry) and entry.has_overlap,
+                instance_prefix=d.prefix if isinstance(d, InstanceDecl) else None,
+            )
+        )
+        if my_rank in ranks:
+            my_exe_id = exe_id
+
+    unmatched = [
+        e.component_names
+        for i, e in enumerate(registry.entries)
+        if i not in matched_entries
+    ]
+    if unmatched:
+        raise HandshakeError(
+            f"registration file registers components that no executable declared: "
+            f"{unmatched} — is an executable missing from the launch command?"
+        )
+    assert my_exe_id >= 0
+    return exes, my_exe_id
+
+
+def _match_entry(registry: Registry, decl: Declaration) -> int:
+    """Find the unique registry entry matching a declaration."""
+    if isinstance(decl, ComponentDecl):
+        target = frozenset(decl.names)
+        for i, entry in enumerate(registry.entries):
+            if isinstance(entry, MultiInstanceEntry):
+                continue
+            if frozenset(entry.component_names) == target:
+                return i
+        # Help the user: are some names registered, but grouped differently?
+        known = [n for n in decl.names if n in registry.component_names]
+        unknown = [n for n in decl.names if n not in registry.component_names]
+        if unknown:
+            raise HandshakeError(
+                f"component name-tags {unknown} do not appear in the registration file; "
+                f"registered names: {list(registry.component_names)}"
+            )
+        raise HandshakeError(
+            f"components {list(decl.names)} are registered, but not together as one "
+            "executable — the registration file groups them differently"
+        )
+    # InstanceDecl
+    candidates = [
+        i
+        for i, entry in enumerate(registry.entries)
+        if isinstance(entry, MultiInstanceEntry)
+        and all(matches_prefix(n, decl.prefix) for n in entry.component_names)
+    ]
+    if not candidates:
+        raise HandshakeError(
+            f"no Multi_Instance block whose instance names all use prefix "
+            f"{decl.prefix!r}; check the registration file"
+        )
+    if len(candidates) > 1:
+        raise HandshakeError(
+            f"prefix {decl.prefix!r} matches {len(candidates)} Multi_Instance blocks; "
+            "prefixes must identify the executable uniquely"
+        )
+    return candidates[0]
+
+
+def _split_components(
+    exe_comm: Comm, layout: Layout, exe: ExecutableInfo, world_rank: int
+) -> dict[str, Comm]:
+    """Create this executable's component communicators (§6 case 2).
+
+    Non-overlapping components need one ``Comm_split``; overlapping ones
+    need one split *per component* because a processor can only pass one
+    color per split.
+    """
+    my_infos = [
+        layout.component(name)
+        for name in exe.component_names
+        if world_rank in layout.component(name).world_ranks
+    ]
+
+    if exe.kind == "single":
+        # The executable communicator *is* the component communicator; a
+        # dup keeps their traffic separate.
+        info = layout.component(exe.component_names[0])
+        comm = exe_comm.dup(f"MPH:{info.name}")
+        return {info.name: comm}
+
+    comp_comms: dict[str, Comm] = {}
+    if not exe.has_overlap:
+        # Single split: color = my component id (every processor is in at
+        # most one component here; uncovered processors opt out).
+        color = my_infos[0].comp_id if my_infos else UNDEFINED
+        comm = exe_comm.split(color, key=world_rank)
+        if comm is not None:
+            info = my_infos[0]
+            comm.name = f"MPH:{info.name}"
+            comp_comms[info.name] = comm
+        return comp_comms
+
+    # Overlap: repeated splits, one per component, in registry order — a
+    # collective sequence every processor of the executable executes
+    # identically.
+    mine = {info.name for info in my_infos}
+    for name in exe.component_names:
+        member = name in mine
+        comm = exe_comm.split(0 if member else UNDEFINED, key=world_rank)
+        if comm is not None:
+            comm.name = f"MPH:{name}"
+            comp_comms[name] = comm
+    return comp_comms

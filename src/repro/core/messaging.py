@@ -1,0 +1,95 @@
+"""Inter-component communication addressed by component name (paper §5.2).
+
+"MPI communication between local processors and remote processors
+(processors on other components) are invoked through component names and
+the local ID.  For example, if a processor on atmosphere wants to send to
+Process 3 on ocean ..." — the component name plus local rank is translated
+to a global rank and the message travels over ``MPH_Global_World``, the
+plain world communicator ("The reason we did not use inter-communicator is
+because the entire application is assumed to run on a tightly coupled HPC
+computer with a single MPI_Comm_World").
+
+When components overlap on processors, the paper recommends message tags
+to disambiguate — these functions pass user tags straight through.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from repro.mpi.constants import ANY_TAG
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mph import MPH
+
+
+def mph_send(mph: "MPH", obj: Any, component: str, local_rank: int, tag: int = 0) -> None:
+    """Send *obj* to processor *local_rank* of *component* over the global
+    world communicator."""
+    dest = mph.global_id(component, local_rank)
+    mph.global_world.send(obj, dest, tag)
+
+
+def mph_isend(mph: "MPH", obj: Any, component: str, local_rank: int, tag: int = 0) -> Request:
+    """Nonblocking :func:`mph_send`."""
+    dest = mph.global_id(component, local_rank)
+    return mph.global_world.isend(obj, dest, tag)
+
+
+def mph_recv(
+    mph: "MPH",
+    component: str,
+    local_rank: int,
+    tag: int = ANY_TAG,
+    status: Optional[Status] = None,
+) -> Any:
+    """Receive from processor *local_rank* of *component*."""
+    source = mph.global_id(component, local_rank)
+    return mph.global_world.recv(source, tag, status)
+
+
+def mph_irecv(mph: "MPH", component: str, local_rank: int, tag: int = ANY_TAG) -> Request:
+    """Nonblocking :func:`mph_recv`."""
+    source = mph.global_id(component, local_rank)
+    return mph.global_world.irecv(source, tag)
+
+
+def mph_recv_any(mph: "MPH", tag: int = ANY_TAG) -> tuple[Any, str, int]:
+    """Receive from any process; identify the sender in component terms.
+
+    Returns ``(obj, component_name, local_rank)``.  When the sending world
+    rank hosts several overlapping components, the lowest-``comp_id``
+    component is reported (use tags to disambiguate, as the paper advises).
+    """
+    status = Status()
+    obj = mph.global_world.recv(tag=tag, status=status)
+    infos = mph.layout.components_on(status.source)
+    if not infos:
+        return obj, "?", status.source
+    info = min(infos, key=lambda c: c.comp_id)
+    return obj, info.name, info.local_rank_of(status.source)
+
+
+def mph_Send(
+    mph: "MPH", array: np.ndarray, component: str, local_rank: int, tag: int = 0
+) -> None:
+    """Buffer-mode send of a numpy array to ``(component, local_rank)``."""
+    dest = mph.global_id(component, local_rank)
+    mph.global_world.Send(array, dest, tag)
+
+
+def mph_Recv(
+    mph: "MPH",
+    buf: np.ndarray,
+    component: str,
+    local_rank: int,
+    tag: int = ANY_TAG,
+    status: Optional[Status] = None,
+) -> np.ndarray:
+    """Buffer-mode receive from ``(component, local_rank)`` into *buf*."""
+    source = mph.global_id(component, local_rank)
+    return mph.global_world.Recv(buf, source, tag, status)

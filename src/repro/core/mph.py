@@ -1,0 +1,386 @@
+"""The MPH handle: unified interface to all five execution modes.
+
+This module is the user-facing surface of the library.  The two entry
+points mirror the paper's:
+
+* :func:`components_setup` — ``MPH_components_setup(name1=..., ...)`` for
+  SCSE, SCME, MCSE, and MCME executables (paper §4.1–§4.3);
+* :func:`multi_instance` — ``MPH_multi_instance(prefix)`` for ensemble
+  (MIME) executables (paper §4.4).
+
+Both run the Section 6 handshake and return an :class:`MPH` handle whose
+methods cover the rest of the paper's API: the inquiry functions (§5.3),
+``comm_join`` (§5.1), inter-component send/recv (§5.2), per-instance
+argument access (§4.4), and standard-output redirection (§5.4).
+
+The Fortran original returns a communicator from the setup call; here the
+setup returns the richer handle and the communicator is ``mph.exe_world``
+(the executable's communicator — what the paper's examples bind to
+``mpi_exec_world``) or ``mph.component_comm(name)``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.core import messaging
+from repro.core.arguments import ArgumentFields
+from repro.core.profiling import CommProfile
+from repro.core.handshake import (
+    ComponentDecl,
+    Declaration,
+    HandshakeResult,
+    InstanceDecl,
+    handshake,
+)
+from repro.core.join import comm_join as _comm_join
+from repro.core.layout import ComponentInfo, Layout
+from repro.core.redirect import MultiChannelOutput
+from repro.core.registry import Registry
+from repro.errors import HandshakeError, MPHError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import ANY_TAG
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+
+class MPH:
+    """A process's view of the multi-component environment.
+
+    Never constructed directly — use :func:`components_setup` or
+    :func:`multi_instance`.
+    """
+
+    def __init__(self, hs: HandshakeResult, env=None):
+        self._hs = hs
+        self._env = env
+        self._output: Optional[MultiChannelOutput] = getattr(env, "output", None)
+        #: Per-process coupling-communication counters (see
+        #: :mod:`repro.core.profiling`).
+        self.profile = CommProfile()
+
+    # -- communicators ---------------------------------------------------------
+
+    @property
+    def global_world(self) -> Comm:
+        """The application-wide communicator (``MPH_Global_World``)."""
+        assert self._hs.world is not None
+        return self._hs.world
+
+    @property
+    def exe_world(self) -> Comm:
+        """This executable's communicator — the return value of
+        ``MPH_components_setup`` in the paper's examples."""
+        return self._hs.exe_comm
+
+    @property
+    def service_comm(self) -> Comm:
+        """MPH's private communicator for internal protocols."""
+        assert self._hs.service_comm is not None
+        return self._hs.service_comm
+
+    def component_comm(self, name: Optional[str] = None) -> Comm:
+        """The communicator of component *name* (must cover this process).
+
+        With no name, the process must run exactly one component — the
+        common case everywhere except overlapping multi-component
+        executables.
+        """
+        name = self._default_name(name)
+        comm = self._hs.comp_comms.get(name)
+        if comm is None:
+            raise HandshakeError(
+                f"this process (world rank {self.global_proc_id()}) is not in component "
+                f"{name!r}; it runs {list(self._hs.comp_comms) or 'no components'}"
+            )
+        return comm
+
+    def proc_in_component(self, name: str) -> Optional[Comm]:
+        """The paper's ``PROC_in_component(name, comm)``: the component's
+        communicator when this process belongs to it, else ``None``.
+
+        Typical master-program dispatch (paper §4.2)::
+
+            comm = mph.proc_in_component("ocean")
+            if comm is not None:
+                ocean_xyz(comm)
+        """
+        self.layout.component(name)  # unknown names are an error, not False
+        return self._hs.comp_comms.get(name)
+
+    def in_component(self, name: str) -> bool:
+        """Boolean form of :meth:`proc_in_component`."""
+        return self.proc_in_component(name) is not None
+
+    def comm_join(self, name_first: str, name_second: str) -> Optional[Comm]:
+        """Joint communicator over two components, first component's
+        processors ranked first (paper §5.1)."""
+        return _comm_join(self, name_first, name_second)
+
+    # -- identity / inquiry (paper §5.3) ------------------------------------------
+
+    @property
+    def layout(self) -> Layout:
+        """The global component/executable map."""
+        return self._hs.layout
+
+    @property
+    def registry(self) -> Registry:
+        """The broadcast registration file."""
+        return self._hs.registry
+
+    @property
+    def strategy(self) -> str:
+        """Which handshake split strategy ran (``"world_split"`` or
+        ``"exe_then_comp"``)."""
+        return self._hs.strategy
+
+    def _default_name(self, name: Optional[str]) -> str:
+        if name is not None:
+            return name
+        mine = self._hs.my_component_names
+        if len(mine) == 1:
+            return mine[0]
+        if not mine:
+            raise MPHError(
+                f"world rank {self.global_proc_id()} runs no component; its executable's "
+                "registration leaves it idle"
+            )
+        raise MPHError(
+            f"this process runs several components {list(mine)}; pass the component name"
+        )
+
+    def comp_name(self) -> str:
+        """This process's component name (``MPH_comp_name``).  For a
+        multi-instance executable this is the *expanded* instance name
+        (e.g. ``Ocean2``)."""
+        return self._default_name(None)
+
+    def comp_names(self) -> tuple[str, ...]:
+        """All components covering this process (several when overlapping)."""
+        return self._hs.my_component_names
+
+    def local_proc_id(self, name: Optional[str] = None) -> int:
+        """Component-local processor id (``MPH_local_proc_id``)."""
+        return self.component_comm(name).rank
+
+    def global_proc_id(self) -> int:
+        """Global processor id in the world (``MPH_global_proc_id``)."""
+        return self.global_world.rank
+
+    def total_components(self) -> int:
+        """Number of components in the application (``MPH_total_components``)."""
+        return self.layout.total_components
+
+    def num_executables(self) -> int:
+        """Number of executables in the application."""
+        return self.layout.num_executables
+
+    def exe_id(self) -> int:
+        """This executable's index."""
+        return self._hs.exe_id
+
+    def exe_low_proc_limit(self) -> int:
+        """Lowest global rank of this executable (``MPH_exe_low_proc_limit``)."""
+        return self.layout.executables[self._hs.exe_id].low_proc_limit
+
+    def exe_up_proc_limit(self) -> int:
+        """Highest global rank of this executable (``MPH_exe_up_proc_limit``)."""
+        return self.layout.executables[self._hs.exe_id].up_proc_limit
+
+    def component_info(self, name: Optional[str] = None) -> ComponentInfo:
+        """Full layout record of a component."""
+        return self.layout.component(self._default_name(name))
+
+    def component_size(self, name: Optional[str] = None) -> int:
+        """Processor count of a component."""
+        return self.component_info(name).size
+
+    def global_id(self, component: str, local_rank: int) -> int:
+        """Global rank of ``(component, local_rank)`` — the §5.2 address
+        translation (``MPH_global_id``)."""
+        return self.layout.global_rank(component, local_rank)
+
+    # -- inter-component messaging (paper §5.2) --------------------------------------
+
+    def send(self, obj: Any, component: str, local_rank: int, tag: int = 0) -> None:
+        """Send *obj* to processor *local_rank* of *component*."""
+        messaging.mph_send(self, obj, component, local_rank, tag)
+        self.profile.record_send(component)
+
+    def isend(self, obj: Any, component: str, local_rank: int, tag: int = 0) -> Request:
+        """Nonblocking :meth:`send`."""
+        req = messaging.mph_isend(self, obj, component, local_rank, tag)
+        self.profile.record_send(component)
+        return req
+
+    def recv(
+        self,
+        component: str,
+        local_rank: int,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Receive from processor *local_rank* of *component*."""
+        obj = messaging.mph_recv(self, component, local_rank, tag, status)
+        self.profile.record_recv(component)
+        return obj
+
+    def irecv(self, component: str, local_rank: int, tag: int = ANY_TAG) -> Request:
+        """Nonblocking :meth:`recv`."""
+        return messaging.mph_irecv(self, component, local_rank, tag)
+
+    def recv_any(self, tag: int = ANY_TAG) -> tuple[Any, str, int]:
+        """Receive from anyone; returns ``(obj, component, local_rank)``."""
+        obj, component, local_rank = messaging.mph_recv_any(self, tag)
+        self.profile.record_recv(component)
+        return obj, component, local_rank
+
+    def Send(self, array: np.ndarray, component: str, local_rank: int, tag: int = 0) -> None:
+        """Buffer-mode send of a numpy array."""
+        messaging.mph_Send(self, array, component, local_rank, tag)
+        self.profile.record_send(component)
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        component: str,
+        local_rank: int,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> np.ndarray:
+        """Buffer-mode receive into *buf*."""
+        out = messaging.mph_Recv(self, buf, component, local_rank, tag, status)
+        self.profile.record_recv(component)
+        return out
+
+    # -- arguments (paper §4.4) ---------------------------------------------------------
+
+    def arguments(self, name: Optional[str] = None) -> ArgumentFields:
+        """The registration-line argument fields of a component."""
+        info = self.component_info(name)
+        return ArgumentFields(info.fields, component=info.name)
+
+    def get_argument(
+        self,
+        key: Optional[str] = None,
+        as_type: Optional[type] = None,
+        *,
+        field_num: Optional[int] = None,
+        component: Optional[str] = None,
+        **kw,
+    ) -> Any:
+        """``MPH_get_argument``: fetch a registration-line argument.
+
+        >>> mph.get_argument("alpha", int)      # field "alpha=3"  -> 3
+        >>> mph.get_argument("beta", float)     # field "beta=4.5" -> 4.5
+        >>> mph.get_argument(field_num=1)       # first field, natural type
+        """
+        return self.arguments(component).get(key, as_type, field_num=field_num, **kw)
+
+    # -- output redirection (paper §5.4) ---------------------------------------------------
+
+    def redirect_output(
+        self, component_name: Optional[str] = None, workdir: Optional[Union[str, Path]] = None
+    ) -> Optional[Path]:
+        """``MPH_redirect_output``: route this process's stdout.
+
+        Local processor 0 of the component writes to the component's log
+        (``MPH_LOG_<NAME>`` env override, default ``<component>.log``);
+        every other processor shares the combined log.  Returns the log
+        path, or ``None`` when no output manager is installed (e.g. the
+        code runs outside an :class:`~repro.launcher.job.MpmdJob`).
+        """
+        name = self._default_name(component_name)
+        if self._output is None:
+            return None
+        env_vars = dict(getattr(self._env, "vars", {}) or {})
+        if workdir is None:
+            workdir = getattr(self._env, "workdir", None)
+        return self._output.redirect(
+            name,
+            is_channel_owner=self.local_proc_id(name) == 0,
+            env_vars=env_vars,
+            workdir=workdir,
+        )
+
+    def restore_output(self) -> None:
+        """Undo :meth:`redirect_output` for this process."""
+        if self._output is not None:
+            self._output.restore()
+
+    # ------------------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MPH world rank {self.global_proc_id()} exe {self._hs.exe_id} "
+            f"components {list(self._hs.comp_comms)}>"
+        )
+
+
+def _registry_input(registry: Any, env: Any) -> Any:
+    if registry is not None:
+        return registry
+    env_registry = getattr(env, "registry", None)
+    if env_registry is not None:
+        return env_registry
+    raise MPHError(
+        "no registration file: pass `registry=` to the setup call or launch through "
+        "mph_run(..., registry=...)"
+    )
+
+
+def components_setup(
+    world: Comm,
+    *names: str,
+    registry: Any = None,
+    env: Any = None,
+) -> MPH:
+    """``MPH_components_setup``: register this executable's components and
+    handshake with every other executable of the job.
+
+    Collective over *world*.  Pass one name per component of this
+    executable — one name for a single-component executable (SCME/SCSE),
+    several for a multi-component executable (MCSE/MCME)::
+
+        mph = components_setup(world, "atmosphere", env=env)            # SCME
+        mph = components_setup(world, "ocean", "ice", env=env)          # MCME
+        mph = components_setup(world, "atmosphere", "ocean", "coupler",
+                               registry=reg)                            # MCSE
+
+    The registration file comes from *registry* (a
+    :class:`~repro.core.registry.Registry`, path, or text) or, when
+    launched through :func:`repro.launcher.job.mph_run`, from the job
+    environment *env*.
+    """
+    decl: Declaration = ComponentDecl(tuple(names))
+    hs = handshake(world, decl, _registry_input(registry, env))
+    return MPH(hs, env=env)
+
+
+def multi_instance(
+    world: Comm,
+    prefix: str,
+    *,
+    registry: Any = None,
+    env: Any = None,
+) -> MPH:
+    """``MPH_multi_instance``: set up one executable replicated as multiple
+    instances for ensemble simulation (paper §4.4).
+
+    Every process of the executable calls this with the common component
+    name *prefix*; the registration file's ``Multi_Instance`` block
+    determines how many instances exist, which processors each owns, and
+    the expanded per-instance component names (``Ocean1``, ``Ocean2``, ...)
+    plus their argument fields.
+
+    >>> mph = multi_instance(world, "Ocean", env=env)
+    >>> mph.comp_name()                      # e.g. "Ocean2" on its ranks
+    >>> mph.get_argument("beta", float)      # instance-specific parameter
+    """
+    decl: Declaration = InstanceDecl(prefix)
+    hs = handshake(world, decl, _registry_input(registry, env))
+    return MPH(hs, env=env)

@@ -1,0 +1,85 @@
+"""Per-process coupling-communication profile.
+
+Knowing *which component pairs* exchange how many messages is the first
+question when a coupled system underperforms (the hpc-parallel rule:
+measure before optimising).  Every name-addressed MPH send/receive is
+counted here, cheaply, per process; :meth:`CommProfile.describe` renders
+the local ledger and :func:`gather_profiles` assembles the application-wide
+component-to-component traffic matrix on a chosen processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.mph import MPH
+
+
+@dataclass
+class CommProfile:
+    """Message counters of one process, keyed by peer component."""
+
+    #: Messages this process sent, by destination component.
+    sent: dict[str, int] = field(default_factory=dict)
+    #: Messages this process received, by source component.
+    received: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, component: str) -> None:
+        """Count one send to *component*."""
+        self.sent[component] = self.sent.get(component, 0) + 1
+
+    def record_recv(self, component: str) -> None:
+        """Count one receive from *component*."""
+        self.received[component] = self.received.get(component, 0) + 1
+
+    @property
+    def total_sent(self) -> int:
+        """All messages sent by this process."""
+        return sum(self.sent.values())
+
+    @property
+    def total_received(self) -> int:
+        """All messages received by this process."""
+        return sum(self.received.values())
+
+    def merge(self, other: "CommProfile") -> "CommProfile":
+        """Elementwise sum with another profile (used by gathering)."""
+        out = CommProfile(dict(self.sent), dict(self.received))
+        for comp, n in other.sent.items():
+            out.sent[comp] = out.sent.get(comp, 0) + n
+        for comp, n in other.received.items():
+            out.received[comp] = out.received.get(comp, 0) + n
+        return out
+
+    def describe(self) -> str:
+        """The local ledger as readable text."""
+        lines = [f"sent {self.total_sent} / received {self.total_received} messages"]
+        for comp in sorted(set(self.sent) | set(self.received)):
+            lines.append(
+                f"  {comp:<16s} -> {self.sent.get(comp, 0):>6d} sent, "
+                f"{self.received.get(comp, 0):>6d} received"
+            )
+        return "\n".join(lines)
+
+
+def gather_profiles(mph: "MPH", root_component: str) -> Optional[dict[str, CommProfile]]:
+    """Assemble every component's aggregate profile on *root_component*'s
+    local processor 0.
+
+    Collective over the global world.  Returns ``component name ->
+    merged profile`` on the root processor, ``None`` elsewhere.
+    """
+    world = mph.global_world
+    root_rank = mph.global_id(root_component, 0)
+    mine = (tuple(mph.comp_names()), mph.profile)
+    gathered = world.gather(mine, root=root_rank)
+    if world.rank != root_rank:
+        return None
+    assert gathered is not None
+    merged: dict[str, CommProfile] = {}
+    for names, profile in gathered:
+        for name in names:
+            merged[name] = merged.get(name, CommProfile()).merge(profile)
+    return merged

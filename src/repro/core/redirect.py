@@ -1,0 +1,205 @@
+"""Multi-channel standard-output redirection (paper Section 5.4).
+
+With five components running, "if nothing special is done, all these
+messages sent to stdout will go to the session launching terminal.  The
+mixed output would be extremely difficult to decipher."  MPH's answer:
+redirect the stdout of local processor 0 of each component to a
+``<component>.log`` file, while "all other occasional writes from all other
+processors are stored in one combined standard output file."
+
+Since this reproduction runs MPI processes as threads of one interpreter,
+per-process stdout is simulated with a *thread-aware* stdout proxy: while a
+:class:`MultiChannelOutput` is installed, each thread's ``print`` output is
+routed to the channel that thread registered (or passed through to the real
+stdout when it registered none).  Log file names come from environment
+variables — ``MPH_LOG_<NAME>`` per component and ``MPH_COMBINED_LOG`` for
+the combined stream — "defined by run time environment variables either in
+command line or in batch run script" (paper §5.4).
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import threading
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+
+class _ThreadAwareProxy(io.TextIOBase):
+    """A ``sys.stdout`` stand-in dispatching per-thread."""
+
+    def __init__(self, fallback: TextIO):
+        self._fallback = fallback
+        self._targets: dict[int, TextIO] = {}
+        self._lock = threading.Lock()
+
+    def _target(self) -> TextIO:
+        return self._targets.get(threading.get_ident(), self._fallback)
+
+    def register(self, target: TextIO) -> None:
+        with self._lock:
+            self._targets[threading.get_ident()] = target
+
+    def unregister(self) -> None:
+        with self._lock:
+            self._targets.pop(threading.get_ident(), None)
+
+    # io.TextIOBase interface -------------------------------------------------
+
+    def write(self, s: str) -> int:  # noqa: D102 - interface method
+        return self._target().write(s)
+
+    def flush(self) -> None:  # noqa: D102 - interface method
+        self._target().flush()
+
+    @property
+    def encoding(self) -> str:  # noqa: D102 - interface method
+        return getattr(self._target(), "encoding", "utf-8")
+
+    def writable(self) -> bool:  # noqa: D102 - interface method
+        return True
+
+
+class _LockedWriter(io.TextIOBase):
+    """A shared append-mode writer serialising lines from many threads —
+    the simulated "log mode" of parallel file systems (paper §5.4), where
+    "writes from different processors will be buffered and appended"."""
+
+    def __init__(self, stream: TextIO):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def write(self, s: str) -> int:  # noqa: D102 - interface method
+        with self._lock:
+            return self._stream.write(s)
+
+    def flush(self) -> None:  # noqa: D102 - interface method
+        with self._lock:
+            self._stream.flush()
+
+    def writable(self) -> bool:  # noqa: D102 - interface method
+        return True
+
+    def close_stream(self) -> None:
+        with self._lock:
+            self._stream.close()
+
+
+class MultiChannelOutput:
+    """The job-wide output manager: one log channel per component.
+
+    Use as a context manager around the job (done automatically by
+    :class:`repro.launcher.job.MpmdJob`); components then call
+    :meth:`redirect` — via ``MPH.redirect_output()`` — from their own
+    threads.
+
+    The manager is idempotent to install and safe to use uninstalled (all
+    operations become no-ops), so library code never has to care whether a
+    job harness set it up.
+    """
+
+    def __init__(self) -> None:
+        self._proxy: Optional[_ThreadAwareProxy] = None
+        self._saved_stdout: Optional[TextIO] = None
+        self._channels: dict[str, _LockedWriter] = {}
+        self._lock = threading.Lock()
+        self._installed = 0
+
+    # -- installation ------------------------------------------------------
+
+    def __enter__(self) -> "MultiChannelOutput":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    def install(self) -> None:
+        """Replace ``sys.stdout`` with the thread-aware proxy (re-entrant)."""
+        with self._lock:
+            self._installed += 1
+            if self._proxy is None:
+                self._saved_stdout = sys.stdout
+                self._proxy = _ThreadAwareProxy(sys.stdout)
+                sys.stdout = self._proxy  # type: ignore[assignment]
+
+    def uninstall(self) -> None:
+        """Restore ``sys.stdout`` and close all channels (when the last
+        installer leaves)."""
+        with self._lock:
+            if self._installed > 0:
+                self._installed -= 1
+            if self._installed > 0 or self._proxy is None:
+                return
+            sys.stdout = self._saved_stdout  # type: ignore[assignment]
+            self._proxy = None
+            self._saved_stdout = None
+            channels, self._channels = self._channels, {}
+        for writer in channels.values():
+            writer.close_stream()
+
+    @property
+    def installed(self) -> bool:
+        """Whether the proxy currently owns ``sys.stdout``."""
+        return self._proxy is not None
+
+    # -- channels ---------------------------------------------------------------
+
+    def _channel(self, key: str, path: Path) -> _LockedWriter:
+        with self._lock:
+            writer = self._channels.get(key)
+            if writer is None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                writer = _LockedWriter(open(path, "a", buffering=1))
+                self._channels[key] = writer
+            return writer
+
+    def redirect(
+        self,
+        component_name: str,
+        *,
+        is_channel_owner: bool,
+        env_vars: Optional[dict[str, str]] = None,
+        workdir: Optional[Union[str, Path]] = None,
+    ) -> Optional[Path]:
+        """Route the calling thread's stdout per the Section 5.4 policy.
+
+        Parameters
+        ----------
+        component_name :
+            The component this process belongs to.
+        is_channel_owner :
+            True on the component's local processor 0, which owns the
+            per-component log; other processors share the combined file.
+        env_vars :
+            Job environment variables; ``MPH_LOG_<NAME>`` (name upper-cased,
+            ``-``/``.`` mapped to ``_``) overrides the per-component log
+            path and ``MPH_COMBINED_LOG`` the combined path.
+        workdir :
+            Directory for default-named logs (default: current directory).
+
+        Returns
+        -------
+        Path or None
+            The log path this thread now writes to, or ``None`` when the
+            manager is not installed (no redirection happens).
+        """
+        if self._proxy is None:
+            return None
+        env_vars = env_vars or {}
+        base = Path(workdir) if workdir is not None else Path.cwd()
+        if is_channel_owner:
+            var = "MPH_LOG_" + component_name.upper().replace("-", "_").replace(".", "_")
+            path = Path(env_vars.get(var, base / f"{component_name}.log"))
+            key = f"component:{component_name}"
+        else:
+            path = Path(env_vars.get("MPH_COMBINED_LOG", base / "mph_combined.log"))
+            key = "combined"
+        self._proxy.register(self._channel(key, path))
+        return path
+
+    def restore(self) -> None:
+        """Undo :meth:`redirect` for the calling thread."""
+        if self._proxy is not None:
+            self._proxy.unregister()

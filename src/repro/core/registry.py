@@ -1,0 +1,458 @@
+"""The MPH registration file (``processors_map.in``): model, parser, writer.
+
+The registration file is MPH's single runtime input.  "The number of
+components and executables, names of each component, processor allocation
+are all determined by a component registration file that is read in when
+the multi-executable job is launched" (paper §3).
+
+Grammar (assembled from the paper's four examples, §4.1–§4.4)::
+
+    file        := 'BEGIN' entry* 'END'
+    entry       := single | multi_comp | multi_inst
+    single      := NAME field*                      ! one single-component exe
+    multi_comp  := 'Multi_Component_Begin'
+                       (NAME LOW HIGH field*)+
+                   'Multi_Component_End'
+    multi_inst  := 'Multi_Instance_Begin'
+                       (NAME LOW HIGH field*)+
+                   'Multi_Instance_End'
+    field       := TOKEN | KEY '=' VALUE            ! at most 5 per line
+
+* ``!`` starts a comment (``#`` also accepted).
+* ``LOW HIGH`` are **executable-local** processor indices (the §4.3 example
+  registers ``atmosphere 0 15`` and ``ocean 0 15`` in *different*
+  executables — the ranges are relative to each executable, whose size and
+  world ranks come from the job launcher).
+* Single-component executables carry no range: their size is whatever the
+  launcher gave them (§4.1).
+* Components of one multi-component executable may overlap (§4.3:
+  atmosphere and land overlap completely); instances of a multi-instance
+  executable may not (they are independent replicas).
+* Up to 5 free argument fields per line (§4.4), usable by
+  ``MPH_get_argument`` — on instance lines *and* on component lines ("this
+  parameter passing feature also works for the components of
+  multi-component executables").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.core.names import check_unique, validate_name
+from repro.errors import RegistryError
+from repro.util.text import parse_proc_range, tokenize_line
+
+#: The paper's limit on argument fields per line (§4.4: "Up to 5 character
+#: strings can be appended to each line").
+MAX_FIELDS = 5
+
+#: The paper's limit on components per executable (§4.3: "Each executable
+#: could contain up to 10 components").
+MAX_COMPONENTS_PER_EXECUTABLE = 10
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One component (or instance) line of the registration file.
+
+    ``low``/``high`` are executable-local processor indices (inclusive);
+    both are ``None`` for single-component executables, whose size the
+    launcher decides.
+    """
+
+    name: str
+    low: Optional[int] = None
+    high: Optional[int] = None
+    fields: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        validate_name(self.name)
+        if (self.low is None) != (self.high is None):
+            raise RegistryError(f"component {self.name!r}: low/high must be given together")
+        if self.low is not None:
+            assert self.high is not None
+            if self.low < 0 or self.high < self.low:
+                raise RegistryError(
+                    f"component {self.name!r}: invalid processor range {self.low}..{self.high}"
+                )
+        if len(self.fields) > MAX_FIELDS:
+            raise RegistryError(
+                f"component {self.name!r}: {len(self.fields)} argument fields exceed the "
+                f"limit of {MAX_FIELDS}"
+            )
+
+    @property
+    def has_range(self) -> bool:
+        """Whether an explicit processor range was registered."""
+        return self.low is not None
+
+    @property
+    def nprocs(self) -> Optional[int]:
+        """Registered processor count, or ``None`` when launcher-decided."""
+        if self.low is None or self.high is None:
+            return None
+        return self.high - self.low + 1
+
+    def local_indices(self) -> range:
+        """Executable-local processor indices covered by this component."""
+        if self.low is None or self.high is None:
+            raise RegistryError(f"component {self.name!r} has no registered range")
+        return range(self.low, self.high + 1)
+
+
+@dataclass(frozen=True)
+class SingleComponentEntry:
+    """A single-component executable (paper §4.1): just a name-tag."""
+
+    component: ComponentSpec
+
+    def __post_init__(self) -> None:
+        if self.component.has_range:
+            raise RegistryError(
+                f"single-component executable {self.component.name!r} must not register "
+                "a processor range: its size comes from the job launcher"
+            )
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        """Names registered by this entry (always one)."""
+        return (self.component.name,)
+
+    @property
+    def kind(self) -> str:
+        """Entry kind tag: ``"single"``."""
+        return "single"
+
+
+@dataclass(frozen=True)
+class MultiComponentEntry:
+    """A multi-component executable block (paper §4.2/§4.3)."""
+
+    components: tuple[ComponentSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise RegistryError("empty Multi_Component block")
+        if len(self.components) > MAX_COMPONENTS_PER_EXECUTABLE:
+            raise RegistryError(
+                f"Multi_Component block registers {len(self.components)} components; the "
+                f"limit is {MAX_COMPONENTS_PER_EXECUTABLE}"
+            )
+        for comp in self.components:
+            if not comp.has_range:
+                raise RegistryError(
+                    f"component {comp.name!r} inside a Multi_Component block needs an "
+                    "explicit 'low high' processor range"
+                )
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        """Names registered by this entry, in file order."""
+        return tuple(c.name for c in self.components)
+
+    @property
+    def kind(self) -> str:
+        """Entry kind tag: ``"multi_component"``."""
+        return "multi_component"
+
+    @property
+    def nprocs(self) -> int:
+        """The executable's processor count implied by the ranges."""
+        return max(c.high for c in self.components) + 1  # type: ignore[arg-type]
+
+    def overlapping_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of components sharing at least one local processor."""
+        out: list[tuple[str, str]] = []
+        comps = self.components
+        for i in range(len(comps)):
+            for j in range(i + 1, len(comps)):
+                a, b = comps[i], comps[j]
+                if a.low <= b.high and b.low <= a.high:  # type: ignore[operator]
+                    out.append((a.name, b.name))
+        return out
+
+    @property
+    def has_overlap(self) -> bool:
+        """Whether any two components overlap on processors."""
+        return bool(self.overlapping_pairs())
+
+    def uncovered_indices(self) -> list[int]:
+        """Executable-local processor indices covered by no component."""
+        covered: set[int] = set()
+        for c in self.components:
+            covered.update(c.local_indices())
+        return [i for i in range(self.nprocs) if i not in covered]
+
+
+@dataclass(frozen=True)
+class MultiInstanceEntry:
+    """A multi-instance executable block for ensembles (paper §4.4)."""
+
+    instances: tuple[ComponentSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise RegistryError("empty Multi_Instance block")
+        covered: set[int] = set()
+        for inst in self.instances:
+            if not inst.has_range:
+                raise RegistryError(
+                    f"instance {inst.name!r} inside a Multi_Instance block needs an "
+                    "explicit 'low high' processor range"
+                )
+            overlap = covered.intersection(inst.local_indices())
+            if overlap:
+                raise RegistryError(
+                    f"instance {inst.name!r} overlaps earlier instances on local "
+                    f"processors {sorted(overlap)}: instances are independent replicas "
+                    "and may not share processors"
+                )
+            covered.update(inst.local_indices())
+
+    @property
+    def component_names(self) -> tuple[str, ...]:
+        """Expanded instance names, in file order (paper: "Each component
+        will have the expanded component names")."""
+        return tuple(c.name for c in self.instances)
+
+    @property
+    def kind(self) -> str:
+        """Entry kind tag: ``"multi_instance"``."""
+        return "multi_instance"
+
+    @property
+    def nprocs(self) -> int:
+        """The executable's processor count implied by the ranges."""
+        return max(c.high for c in self.instances) + 1  # type: ignore[arg-type]
+
+    def uncovered_indices(self) -> list[int]:
+        """Executable-local processor indices covered by no instance."""
+        covered: set[int] = set()
+        for c in self.instances:
+            covered.update(c.local_indices())
+        return [i for i in range(self.nprocs) if i not in covered]
+
+
+RegistryEntry = Union[SingleComponentEntry, MultiComponentEntry, MultiInstanceEntry]
+
+
+class Registry:
+    """A parsed, validated registration file.
+
+    Construct with :meth:`from_text` / :meth:`from_file`, or directly from
+    entries.  The registry is immutable; :meth:`to_text` round-trips.
+    """
+
+    def __init__(self, entries: list[RegistryEntry]):
+        if not entries:
+            raise RegistryError("registration file registers no components")
+        self.entries: tuple[RegistryEntry, ...] = tuple(entries)
+        names = [n for e in self.entries for n in e.component_names]
+        check_unique(names)
+        #: All component names (instances expanded), in file order — this
+        #: order defines the global ``component_id`` used as the split
+        #: color (paper §6).
+        self.component_names: tuple[str, ...] = tuple(names)
+        self._specs: dict[str, ComponentSpec] = {}
+        for entry in self.entries:
+            for spec in _entry_specs(entry):
+                self._specs[spec.name] = spec
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, source: str = "<string>") -> "Registry":
+        """Parse registration-file *text* (see module docstring grammar)."""
+        return cls(list(_parse_entries(text, source)))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Registry":
+        """Parse the registration file at *path*."""
+        path = Path(path)
+        return cls.from_text(path.read_text(), source=str(path))
+
+    @classmethod
+    def load(cls, obj: Union["Registry", str, Path]) -> "Registry":
+        """Coerce a registry input: a :class:`Registry` passes through, a
+        path-like loads the file, and a string containing a newline (or
+        ``BEGIN``) parses as text."""
+        if isinstance(obj, Registry):
+            return obj
+        if isinstance(obj, Path):
+            return cls.from_file(obj)
+        if isinstance(obj, str):
+            if "\n" in obj or obj.lstrip().startswith("BEGIN"):
+                return cls.from_text(obj)
+            return cls.from_file(obj)
+        raise RegistryError(f"cannot interpret registry input of type {type(obj).__name__}")
+
+    # -- queries -----------------------------------------------------------------
+
+    def component_id(self, name: str) -> int:
+        """Global component id (file order), the handshake's split color."""
+        try:
+            return self.component_names.index(name)
+        except ValueError:
+            raise RegistryError(
+                f"component name-tag {name!r} does not appear in the registration file; "
+                f"registered names: {list(self.component_names)}"
+            ) from None
+
+    def spec(self, name: str) -> ComponentSpec:
+        """The :class:`ComponentSpec` registered under *name*."""
+        if name not in self._specs:
+            raise RegistryError(
+                f"component name-tag {name!r} does not appear in the registration file; "
+                f"registered names: {list(self.component_names)}"
+            )
+        return self._specs[name]
+
+    @property
+    def total_components(self) -> int:
+        """Number of components, instances expanded (``MPH_total_components``)."""
+        return len(self.component_names)
+
+    def entry_of(self, name: str) -> tuple[int, RegistryEntry]:
+        """The entry index and entry registering component *name*."""
+        for i, entry in enumerate(self.entries):
+            if name in entry.component_names:
+                return i, entry
+        raise RegistryError(f"component name-tag {name!r} does not appear in the registration file")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Registry) and self.entries == other.entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Registry {len(self.entries)} executables, {self.total_components} components>"
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render back to registration-file text (parse → render → parse is
+        the identity; property-tested)."""
+        lines = ["BEGIN"]
+        for entry in self.entries:
+            if isinstance(entry, SingleComponentEntry):
+                lines.append(_render_line(entry.component))
+            elif isinstance(entry, MultiComponentEntry):
+                lines.append("Multi_Component_Begin")
+                lines.extend(_render_line(c) for c in entry.components)
+                lines.append("Multi_Component_End")
+            else:
+                lines.append("Multi_Instance_Begin")
+                lines.extend(_render_line(c) for c in entry.instances)
+                lines.append("Multi_Instance_End")
+        lines.append("END")
+        return "\n".join(lines) + "\n"
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Write the registration file to *path*."""
+        Path(path).write_text(self.to_text())
+
+
+def _entry_specs(entry: RegistryEntry) -> tuple[ComponentSpec, ...]:
+    if isinstance(entry, SingleComponentEntry):
+        return (entry.component,)
+    if isinstance(entry, MultiComponentEntry):
+        return entry.components
+    return entry.instances
+
+
+def _render_line(spec: ComponentSpec) -> str:
+    parts = [spec.name]
+    if spec.has_range:
+        parts.extend([str(spec.low), str(spec.high)])
+    parts.extend(spec.fields)
+    return " ".join(parts)
+
+
+def _parse_component_line(tokens: list[str], where: str) -> ComponentSpec:
+    """Parse a ``NAME LOW HIGH field*`` line (range required)."""
+    name = tokens[0]
+    try:
+        low, high = parse_proc_range(tokens[1:3])
+    except ValueError as exc:
+        raise RegistryError(f"{where}: component {name!r}: {exc}") from exc
+    return ComponentSpec(name, low, high, tuple(tokens[3:]))
+
+
+def _parse_entries(text: str, source: str) -> Iterator[RegistryEntry]:
+    lines = text.splitlines()
+    state = "preamble"  # preamble -> body -> done; or inside a block
+    block_kind: Optional[str] = None
+    block_specs: list[ComponentSpec] = []
+
+    for lineno, raw in enumerate(lines, start=1):
+        tokens = tokenize_line(raw)
+        if not tokens:
+            continue
+        where = f"{source}:{lineno}"
+        head = tokens[0]
+
+        if state == "preamble":
+            if head != "BEGIN" or len(tokens) != 1:
+                raise RegistryError(f"{where}: expected 'BEGIN', got {raw.strip()!r}")
+            state = "body"
+            continue
+
+        if state == "done":
+            raise RegistryError(f"{where}: content after 'END': {raw.strip()!r}")
+
+        if state == "body":
+            if head == "END":
+                if len(tokens) != 1:
+                    raise RegistryError(f"{where}: trailing tokens after 'END'")
+                state = "done"
+                continue
+            if head == "Multi_Component_Begin":
+                state, block_kind, block_specs = "block", "multi_component", []
+                continue
+            if head == "Multi_Instance_Begin":
+                state, block_kind, block_specs = "block", "multi_instance", []
+                continue
+            if head in ("Multi_Component_End", "Multi_Instance_End"):
+                raise RegistryError(f"{where}: {head} without a matching Begin")
+            # A single-component executable: name plus optional argument
+            # fields (its processor count comes from the launcher).
+            try:
+                yield SingleComponentEntry(ComponentSpec(head, fields=tuple(tokens[1:])))
+            except RegistryError as exc:
+                raise RegistryError(f"{where}: {exc}") from exc
+            continue
+
+        # state == "block"
+        expected_end = (
+            "Multi_Component_End" if block_kind == "multi_component" else "Multi_Instance_End"
+        )
+        wrong_end = (
+            "Multi_Instance_End" if block_kind == "multi_component" else "Multi_Component_End"
+        )
+        if head == expected_end:
+            try:
+                if block_kind == "multi_component":
+                    yield MultiComponentEntry(tuple(block_specs))
+                else:
+                    yield MultiInstanceEntry(tuple(block_specs))
+            except RegistryError as exc:
+                raise RegistryError(f"{where}: {exc}") from exc
+            state, block_kind, block_specs = "body", None, []
+            continue
+        if head == wrong_end:
+            raise RegistryError(f"{where}: {head} closes a {block_kind} block")
+        if head in ("Multi_Component_Begin", "Multi_Instance_Begin"):
+            raise RegistryError(f"{where}: nested {head} blocks are not allowed")
+        if head in ("BEGIN", "END"):
+            raise RegistryError(f"{where}: {head} inside a {block_kind} block")
+        try:
+            block_specs.append(_parse_component_line(tokens, where))
+        except RegistryError:
+            raise
+
+    if state == "preamble":
+        raise RegistryError(f"{source}: registration file has no 'BEGIN'")
+    if state == "block":
+        raise RegistryError(f"{source}: unterminated {block_kind} block at end of file")
+    if state != "done":
+        raise RegistryError(f"{source}: registration file has no 'END'")

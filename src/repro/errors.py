@@ -1,0 +1,118 @@
+"""Exception hierarchy shared by every subsystem in the repro package.
+
+The hierarchy mirrors the layering of the system:
+
+* :class:`MPIError` and subclasses — raised by the simulated MPI substrate
+  (``repro.mpi``) for misuse of communicators, truncated receives, mismatched
+  collectives, and aborts.
+* :class:`LaunchError` — raised by the MPMD launcher (``repro.launcher``) for
+  malformed command files and illegal resource allocations.
+* :class:`MPHError` and :class:`RegistryError` — raised by MPH itself
+  (``repro.core``) for registration-file problems and handshake failures.
+
+Everything derives from :class:`ReproError` so callers can catch the whole
+family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated-MPI substrate errors
+# ---------------------------------------------------------------------------
+
+
+class MPIError(ReproError):
+    """Base class for errors raised by the simulated MPI substrate."""
+
+
+class CommError(MPIError):
+    """Misuse of a communicator (bad rank, freed comm, invalid color/key)."""
+
+
+class TruncationError(MPIError):
+    """A buffer-mode receive was posted with a buffer too small for the
+    matching message (the analogue of ``MPI_ERR_TRUNCATE``)."""
+
+
+class CollectiveMismatchError(MPIError):
+    """Processes of one communicator called different collective operations,
+    or the same collective with inconsistent parameters (e.g. roots)."""
+
+
+class AbortError(MPIError):
+    """The world was aborted — either explicitly via ``Comm.Abort`` or
+    because a sibling process raised an uncaught exception."""
+
+    def __init__(self, message: str, *, origin_rank: int | None = None):
+        super().__init__(message)
+        #: World rank of the process that triggered the abort, if known.
+        self.origin_rank = origin_rank
+
+
+class DeadlockError(MPIError):
+    """Every live process in the world is blocked with no message in flight.
+
+    The simulated substrate detects this condition (a luxury real MPI does
+    not offer) and aborts the job with a per-process diagnostic of what each
+    rank was blocked on.
+    """
+
+    def __init__(self, message: str, blocked_on: dict[int, str] | None = None):
+        super().__init__(message)
+        #: Mapping of world rank -> human-readable description of the call
+        #: the rank was blocked in when deadlock was declared.
+        self.blocked_on = dict(blocked_on or {})
+
+
+class TimeoutError_(MPIError):
+    """The job exceeded its wall-clock budget before completing."""
+
+
+# ---------------------------------------------------------------------------
+# Launcher errors
+# ---------------------------------------------------------------------------
+
+
+class LaunchError(ReproError):
+    """Malformed MPMD command file or illegal resource allocation."""
+
+
+class AllocationError(LaunchError):
+    """A resource allocation violates platform policy — e.g. two executables
+    overlapping on one processor (Section 2 of the paper: "Executables are
+    not allowed to overlap on processors")."""
+
+
+# ---------------------------------------------------------------------------
+# MPH errors
+# ---------------------------------------------------------------------------
+
+
+class MPHError(ReproError):
+    """Base class for errors raised by the MPH core library."""
+
+
+class RegistryError(MPHError):
+    """Malformed or inconsistent ``processors_map.in`` registration file."""
+
+
+class HandshakeError(MPHError):
+    """Component handshaking failed — e.g. a component declared a name-tag
+    absent from the registration file, duplicate component names, or an
+    executable whose runtime size disagrees with its registered processor
+    ranges."""
+
+
+class ArgumentError(MPHError):
+    """``MPH_get_argument``-style lookup failed or could not be converted to
+    the requested type."""
+
+
+class JoinError(MPHError):
+    """``MPH_comm_join`` was asked to join components that cannot be joined
+    (unknown names, or components overlapping on processors)."""

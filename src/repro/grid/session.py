@@ -1,0 +1,118 @@
+"""Grid sessions: several clusters, one wide-area channel.
+
+A :class:`GridSession` is the multi-site analogue of
+:class:`~repro.launcher.job.MpmdJob`: each cluster is an independent MPMD
+job with its own ``COMM_WORLD`` (separate :class:`~repro.mpi.world.World`
+instances — genuinely disjoint MPI universes), run concurrently and wired
+to one :class:`~repro.grid.channel.GridChannel`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.errors import LaunchError, ReproError
+from repro.grid.channel import GridChannel
+from repro.launcher.job import JobResult, MpmdJob
+
+
+@dataclass
+class ClusterSpec:
+    """One cluster of a grid session.
+
+    ``executables`` and ``registry`` are exactly what
+    :class:`~repro.launcher.job.MpmdJob` takes; each executable callable
+    additionally finds the session's channel and its cluster name on the
+    job environment (``env.vars['MPH_GRID_CLUSTER']`` plus the
+    ``grid_channel`` attribute patched onto *env*).
+    """
+
+    name: str
+    executables: Sequence[Any]
+    registry: Any = None
+    job_kwargs: dict = field(default_factory=dict)
+
+
+class GridSession:
+    """Run several clusters concurrently, bridged by a wide-area channel."""
+
+    def __init__(
+        self,
+        clusters: Sequence[ClusterSpec],
+        latency: float = 0.0,
+        bandwidth: Optional[float] = None,
+    ):
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names) or not names:
+            raise ReproError(f"cluster names must be non-empty and distinct: {names}")
+        self.clusters = list(clusters)
+        self.channel = GridChannel(names, latency=latency, bandwidth=bandwidth)
+
+    def run(self, timeout: float = 120.0) -> dict[str, JobResult]:
+        """Run every cluster to completion; returns per-cluster results.
+
+        A failure on any cluster fails the whole session (after every
+        cluster thread has stopped), mirroring how a co-allocated grid job
+        dies together.
+        """
+        results: dict[str, JobResult] = {}
+        errors: dict[str, BaseException] = {}
+
+        def run_cluster(spec: ClusterSpec) -> None:
+            job_kwargs = dict(spec.job_kwargs)  # keep the spec reusable
+            env_vars = dict(job_kwargs.pop("env_vars", {}) or {})
+            env_vars["MPH_GRID_CLUSTER"] = spec.name
+            job = MpmdJob(
+                [self._wrap(fn_n, spec.name) for fn_n in spec.executables],
+                registry=spec.registry,
+                env_vars=env_vars,
+                **job_kwargs,
+            )
+            try:
+                results[spec.name] = job.run(timeout=timeout)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors[spec.name] = exc
+
+        threads = [
+            threading.Thread(target=run_cluster, args=(spec,), name=f"cluster-{spec.name}", daemon=True)
+            for spec in self.clusters
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=timeout + 10.0)
+            if t.is_alive():
+                raise ReproError(f"grid session wedged: {t.name} did not finish")
+        if errors:
+            name, exc = sorted(errors.items())[0]
+            raise exc
+        return results
+
+    def _wrap(self, item, cluster_name: str):
+        """Attach the session channel to each executable's JobEnv."""
+        if not (isinstance(item, tuple) and 2 <= len(item) <= 3 and callable(item[0])):
+            raise LaunchError(
+                f"grid cluster executables must be (callable, nprocs[, argv]); got {item!r}"
+            )
+        fn = item[0]
+        channel = self.channel
+
+        def wrapped(world, env):
+            env.grid_channel = channel
+            env.grid_cluster = cluster_name
+            return fn(world, env)
+
+        wrapped.__name__ = getattr(fn, "__name__", "program")
+        return (wrapped,) + tuple(item[1:])
+
+
+def run_grid(
+    clusters: Sequence[ClusterSpec],
+    latency: float = 0.0,
+    bandwidth: Optional[float] = None,
+    timeout: float = 120.0,
+) -> dict[str, JobResult]:
+    """One-call grid launch (see :class:`GridSession`)."""
+    return GridSession(clusters, latency=latency, bandwidth=bandwidth).run(timeout=timeout)

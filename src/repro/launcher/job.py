@@ -1,0 +1,242 @@
+"""MPMD job execution: the environment MPH's handshake is born into.
+
+An :class:`MpmdJob` reproduces the startup condition of Section 6 of the
+paper: *K* executables are loaded onto disjoint subsets of one world, every
+process sees only the shared ``COMM_WORLD`` and its own global rank, and no
+process knows which executables occupy the other ranks.  Resolving that
+ignorance is exactly MPH's job.
+
+"Executables" here are Python callables with the signature
+``fn(comm_world, env) -> result`` where *env* is a per-process
+:class:`JobEnv` carrying the program's argv, the job's environment
+variables, the registration file, and the multi-channel output manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.errors import LaunchError
+from repro.launcher.cmdfile import ExecutableSpec, ProgramRegistry, resolve_programs
+from repro.launcher.rankmap import assign_ranks
+from repro.launcher.smp import Machine, Placement
+from repro.mpi.executor import ProcResult, run_world
+from repro.mpi.world import World, WorldConfig
+from repro.core.redirect import MultiChannelOutput
+
+
+@dataclass
+class JobEnv:
+    """Per-process view of the job environment (argv, env vars, registry).
+
+    Attributes
+    ----------
+    program :
+        Name of the executable this process runs.
+    exe_index :
+        Index of the executable in command-file order.
+    local_index :
+        Executable-local processor index of this process (ascending world
+        rank within the executable — the launcher convention).
+    argv :
+        Command-line arguments of the executable.
+    vars :
+        The job's environment variables (e.g. ``MPH_LOG_<NAME>`` overrides
+        for Section 5.4 output redirection).  Shared, treat as read-only.
+    workdir :
+        Directory for log files and other job outputs.
+    registry :
+        The MPH registration input — a :class:`repro.core.registry.Registry`,
+        a path, or raw text; handed to the handshake unchanged.
+    output :
+        The job's multi-channel output manager (Section 5.4).
+    """
+
+    program: str
+    exe_index: int
+    local_index: int
+    argv: tuple[str, ...] = ()
+    vars: dict[str, str] = field(default_factory=dict)
+    workdir: Optional[Path] = None
+    registry: Any = None
+    output: Optional[MultiChannelOutput] = None
+
+
+#: Accepted "executable" inputs for :class:`MpmdJob`: a full spec (resolved
+#: through a program registry), or ``(callable, nprocs)`` /
+#: ``(callable, nprocs, argv)`` shorthand.
+ExecutableLike = Union[ExecutableSpec, tuple]
+
+
+@dataclass
+class JobResult:
+    """Outcome of an MPMD job."""
+
+    #: Per-world-rank outcomes.
+    procs: list[ProcResult]
+    #: Executable specs in command-file order.
+    specs: list[ExecutableSpec]
+    #: ``assignment[i]`` — world ranks of executable *i*.
+    assignment: list[list[int]]
+    #: Machine placement, when a machine was supplied.
+    placement: Optional[Placement] = None
+
+    def values(self) -> list[Any]:
+        """Per-world-rank return values."""
+        return [p.value for p in self.procs]
+
+    def by_executable(self, which: Union[int, str]) -> list[Any]:
+        """Return values of one executable's processes, in local order.
+
+        *which* is the executable index or program name (the first match
+        when several executables share a name).
+        """
+        if isinstance(which, str):
+            for i, spec in enumerate(self.specs):
+                if spec.program == which:
+                    which = i
+                    break
+            else:
+                raise LaunchError(f"no executable named {which!r}")
+        return [self.procs[r].value for r in self.assignment[which]]
+
+
+class MpmdJob:
+    """A multi-executable job on one simulated world.
+
+    Parameters
+    ----------
+    executables :
+        The job's executables, in command-file order.  Each item is an
+        :class:`ExecutableSpec` (requires *programs* for name resolution)
+        or a ``(callable, nprocs[, argv])`` tuple.
+    programs :
+        Program registry for resolving spec names to callables.
+    rank_policy :
+        Global-rank assignment policy (see :mod:`repro.launcher.rankmap`).
+    machine :
+        Optional :class:`~repro.launcher.smp.Machine`; when given, the job
+        is placed under the platform allocation policy before running and
+        the placement is validated and returned in the result.
+    config :
+        :class:`~repro.mpi.world.WorldConfig` for the substrate.
+    env_vars, workdir, registry :
+        Propagated into every process's :class:`JobEnv`.
+    """
+
+    def __init__(
+        self,
+        executables: Sequence[ExecutableLike],
+        *,
+        programs: Optional[ProgramRegistry] = None,
+        rank_policy: str = "block",
+        machine: Optional[Machine] = None,
+        config: Optional[WorldConfig] = None,
+        env_vars: Optional[dict[str, str]] = None,
+        workdir: Optional[Union[str, Path]] = None,
+        registry: Any = None,
+    ):
+        if not executables:
+            raise LaunchError("an MPMD job needs at least one executable")
+        self.specs: list[ExecutableSpec] = []
+        self.fns: list[Callable] = []
+        pending_specs: list[ExecutableSpec] = []
+        for item in executables:
+            if isinstance(item, ExecutableSpec):
+                pending_specs.append(item)
+                self.specs.append(item)
+                self.fns.append(None)  # type: ignore[arg-type] - filled below
+            elif isinstance(item, tuple) and 2 <= len(item) <= 3 and callable(item[0]):
+                fn, nprocs = item[0], item[1]
+                argv = tuple(item[2]) if len(item) == 3 else ()
+                name = getattr(fn, "__name__", "program")
+                self.specs.append(ExecutableSpec(name, nprocs, argv))
+                self.fns.append(fn)
+            else:
+                raise LaunchError(
+                    f"cannot interpret executable {item!r}; pass an ExecutableSpec or "
+                    "(callable, nprocs[, argv])"
+                )
+        if pending_specs:
+            if programs is None:
+                raise LaunchError(
+                    "ExecutableSpec entries need a `programs` registry for name resolution"
+                )
+            resolved = iter(resolve_programs(pending_specs, programs))
+            self.fns = [fn if fn is not None else next(resolved) for fn in self.fns]
+
+        self.rank_policy = rank_policy
+        self.machine = machine
+        self.config = config
+        self.env_vars = dict(env_vars or {})
+        self.workdir = Path(workdir) if workdir is not None else None
+        self.registry = registry
+        self.output = MultiChannelOutput()
+
+    @property
+    def world_size(self) -> int:
+        """Total MPI processes across all executables."""
+        return sum(s.nprocs for s in self.specs)
+
+    def run(self, timeout: float = 120.0) -> JobResult:
+        """Launch the job and run it to completion."""
+        sizes = [s.nprocs for s in self.specs]
+        assignment = assign_ranks(sizes, self.rank_policy)
+        placement = self.machine.place(sizes, assignment) if self.machine else None
+
+        world = World(self.world_size, self.config)
+        rank_fns: list[Callable] = [None] * self.world_size  # type: ignore[list-item]
+        for exe_index, ranks in enumerate(assignment):
+            spec, fn = self.specs[exe_index], self.fns[exe_index]
+            for local_index, world_rank in enumerate(ranks):
+                env = JobEnv(
+                    program=spec.program,
+                    exe_index=exe_index,
+                    local_index=local_index,
+                    argv=spec.argv,
+                    vars=self.env_vars,
+                    workdir=self.workdir,
+                    registry=self.registry,
+                    output=self.output,
+                )
+                rank_fns[world_rank] = _bind(fn, env)
+
+        with self.output:
+            procs = run_world(world, rank_fns, timeout=timeout)
+        return JobResult(procs=procs, specs=self.specs, assignment=assignment, placement=placement)
+
+
+def _bind(fn: Callable, env: JobEnv) -> Callable:
+    """Close over this process's environment (late-binding-safe)."""
+
+    def entry(comm):
+        return fn(comm, env)
+
+    return entry
+
+
+def mph_run(
+    executables: Sequence[ExecutableLike],
+    registry: Any = None,
+    **job_kwargs,
+) -> JobResult:
+    """Convenience one-call launcher: build an :class:`MpmdJob` carrying
+    *registry* and run it.
+
+    >>> from repro import mph_run, components_setup
+    >>> def atm(world, env):
+    ...     mph = components_setup(world, "atmosphere", env=env)
+    ...     return mph.comp_name()
+    >>> def ocn(world, env):
+    ...     mph = components_setup(world, "ocean", env=env)
+    ...     return mph.comp_name()
+    >>> reg = "BEGIN\\natmosphere\\nocean\\nEND"
+    >>> result = mph_run([(atm, 2), (ocn, 2)], registry=reg)
+    >>> result.by_executable("atm")
+    ['atmosphere', 'atmosphere']
+    """
+    timeout = job_kwargs.pop("timeout", 120.0)
+    job = MpmdJob(executables, registry=registry, **job_kwargs)
+    return job.run(timeout=timeout)

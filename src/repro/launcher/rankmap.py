@@ -1,0 +1,92 @@
+"""Global-rank assignment policies for MPMD jobs.
+
+When a job with *K* executables starts, "all executables share the same
+MPI_Comm_World, but with different logical processor IDs.  How the processor
+IDs are assigned to each executable depends on the job launching commands"
+(paper, Section 6).  MPH must therefore work under *any* assignment; this
+module provides the two policies real launchers use so tests can assert the
+handshake result is invariant to the choice (experiment E13):
+
+* ``block`` — executable *i* receives a contiguous block of ranks, in
+  command-file order (IBM ``poe`` default);
+* ``round_robin`` — ranks are dealt cyclically across executables until
+  each is full (the ``-labelio``-style cyclic placement of some launchers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import LaunchError
+
+#: Names of the available policies.
+POLICIES = ("block", "round_robin")
+
+
+def assign_ranks(sizes: Sequence[int], policy: str = "block") -> list[list[int]]:
+    """Assign world ranks ``0..sum(sizes)-1`` to executables.
+
+    Parameters
+    ----------
+    sizes :
+        Process count of each executable, in command-file order.
+    policy :
+        One of :data:`POLICIES`.
+
+    Returns
+    -------
+    list of list of int
+        ``result[i]`` is the sorted list of world ranks owned by executable
+        *i*.  Executable-local processor index *p* corresponds to
+        ``result[i][p]`` — i.e. local indices follow ascending world rank,
+        which is the convention every real launcher documents.
+
+    Raises
+    ------
+    LaunchError
+        On an unknown policy or a non-positive executable size.
+    """
+    for i, n in enumerate(sizes):
+        if n < 1:
+            raise LaunchError(f"executable {i} requested {n} processes; need >= 1")
+    total = sum(sizes)
+    if policy == "block":
+        out: list[list[int]] = []
+        offset = 0
+        for n in sizes:
+            out.append(list(range(offset, offset + n)))
+            offset += n
+        return out
+    if policy == "round_robin":
+        out = [[] for _ in sizes]
+        remaining = list(sizes)
+        exe = 0
+        for rank in range(total):
+            # Find the next executable that still needs processes.
+            for _ in range(len(sizes)):
+                if remaining[exe] > 0:
+                    break
+                exe = (exe + 1) % len(sizes)
+            out[exe].append(rank)
+            remaining[exe] -= 1
+            exe = (exe + 1) % len(sizes)
+        return out
+    raise LaunchError(f"unknown rank-assignment policy {policy!r}; expected one of {POLICIES}")
+
+
+def executable_of_rank(assignment: Sequence[Sequence[int]], world_rank: int) -> tuple[int, int]:
+    """Invert an assignment: return ``(executable index, local index)`` of
+    *world_rank*.
+
+    Raises
+    ------
+    LaunchError
+        If the rank belongs to no executable (cannot happen for assignments
+        produced by :func:`assign_ranks`).
+    """
+    for exe, ranks in enumerate(assignment):
+        try:
+            return exe, list(ranks).index(world_rank)
+        except ValueError:
+            continue
+    raise LaunchError(f"world rank {world_rank} belongs to no executable")

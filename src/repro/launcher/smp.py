@@ -1,0 +1,178 @@
+"""SMP cluster topology and the resource-allocation policy of Section 2.
+
+The paper's platforms dictate two rules that shape MPH's whole design:
+
+* "Executables are not allowed to overlap on processors, i.e. each
+  processor or MPI process is exclusively owned by an executable";
+* "On clusters of SMP architectures, it is allowed that two executables
+  reside on one SMP node, each occupying different sets of processors."
+
+:class:`Machine` models a cluster of SMP nodes and places executables under
+those rules.  It also implements the paper's future-work item (a): "flexible
+way to handle SMP nodes, i.e. recognizing a 16-cpu SMP node could be carved
+into different number of MPI tasks" — see :meth:`Machine.carve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class CpuSlot:
+    """One CPU of one node: the unit of exclusive ownership."""
+
+    node: int
+    cpu: int
+
+
+@dataclass
+class SmpNode:
+    """An SMP node: ``ncpus`` processors sharing memory.
+
+    ``tasks`` is the number of MPI tasks this node is carved into; by
+    default one task per CPU.  Carving into fewer tasks models hybrid
+    MPI+threads executables that want whole-node slices.
+    """
+
+    node_id: int
+    ncpus: int
+    tasks: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.ncpus < 1:
+            raise AllocationError(f"node {self.node_id}: ncpus must be >= 1, got {self.ncpus}")
+        if self.tasks == -1:
+            self.tasks = self.ncpus
+        if not 1 <= self.tasks <= self.ncpus:
+            raise AllocationError(
+                f"node {self.node_id}: cannot carve {self.ncpus} cpus into {self.tasks} tasks"
+            )
+
+    @property
+    def cpus_per_task(self) -> int:
+        """CPUs owned by each MPI task on this node (floor division; the
+        remainder CPUs are left to the node's last task)."""
+        return self.ncpus // self.tasks
+
+    def task_slots(self) -> list[tuple[CpuSlot, ...]]:
+        """The CPU slots grouped per MPI task after carving."""
+        per = self.cpus_per_task
+        groups: list[tuple[CpuSlot, ...]] = []
+        cpu = 0
+        for t in range(self.tasks):
+            width = per if t < self.tasks - 1 else self.ncpus - cpu
+            groups.append(tuple(CpuSlot(self.node_id, cpu + i) for i in range(width)))
+            cpu += width
+        return groups
+
+
+@dataclass
+class Placement:
+    """Result of placing a job's executables onto a machine."""
+
+    #: ``task_cpus[world_rank]`` — CPU slots owned by that MPI task.
+    task_cpus: list[tuple[CpuSlot, ...]]
+    #: ``exe_of_rank[world_rank]`` — executable index owning that task.
+    exe_of_rank: list[int]
+
+    def node_of_rank(self, rank: int) -> int:
+        """Node hosting a world rank."""
+        return self.task_cpus[rank][0].node
+
+    def executables_on_node(self, node_id: int) -> set[int]:
+        """Which executables have at least one task on *node_id*."""
+        return {
+            self.exe_of_rank[r]
+            for r, cpus in enumerate(self.task_cpus)
+            if cpus[0].node == node_id
+        }
+
+    def validate_exclusive(self) -> None:
+        """Assert the platform policy: every CPU owned by at most one task."""
+        seen: dict[CpuSlot, int] = {}
+        for rank, cpus in enumerate(self.task_cpus):
+            for slot in cpus:
+                if slot in seen:
+                    raise AllocationError(
+                        f"cpu {slot} owned by both world ranks {seen[slot]} and {rank}"
+                    )
+                seen[slot] = rank
+
+
+class Machine:
+    """A cluster of SMP nodes with the paper's allocation policy."""
+
+    def __init__(self, nodes: Sequence[SmpNode]):
+        if not nodes:
+            raise AllocationError("a machine needs at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise AllocationError(f"duplicate node ids: {ids}")
+        self.nodes = list(nodes)
+
+    @classmethod
+    def homogeneous(cls, n_nodes: int, cpus_per_node: int, tasks_per_node: int = -1) -> "Machine":
+        """Convenience constructor for a uniform cluster."""
+        return cls(
+            [SmpNode(i, cpus_per_node, tasks_per_node) for i in range(n_nodes)]
+        )
+
+    @property
+    def total_tasks(self) -> int:
+        """MPI tasks available after carving every node."""
+        return sum(n.tasks for n in self.nodes)
+
+    def carve(self, node_id: int, tasks: int) -> None:
+        """Re-carve one node into a different number of MPI tasks
+        (future-work item (a) of the paper)."""
+        for n in self.nodes:
+            if n.node_id == node_id:
+                if not 1 <= tasks <= n.ncpus:
+                    raise AllocationError(
+                        f"node {node_id}: cannot carve {n.ncpus} cpus into {tasks} tasks"
+                    )
+                n.tasks = tasks
+                return
+        raise AllocationError(f"no node with id {node_id}")
+
+    def place(self, exe_sizes: Sequence[int], assignment: Sequence[Sequence[int]]) -> Placement:
+        """Place a job on the machine.
+
+        Tasks are laid out node-by-node in world-rank order (the standard
+        launcher behaviour).  Executables may share a node but never a CPU;
+        :class:`AllocationError` is raised when the job does not fit.
+
+        Parameters
+        ----------
+        exe_sizes :
+            Process counts per executable.
+        assignment :
+            World-rank assignment from
+            :func:`repro.launcher.rankmap.assign_ranks`.
+        """
+        total = sum(exe_sizes)
+        slots: list[tuple[CpuSlot, ...]] = []
+        for node in self.nodes:
+            slots.extend(node.task_slots())
+        if total > len(slots):
+            raise AllocationError(
+                f"job needs {total} MPI tasks but the machine offers {len(slots)}"
+            )
+        exe_of_rank = [-1] * total
+        for exe, ranks in enumerate(assignment):
+            for r in ranks:
+                if exe_of_rank[r] != -1:
+                    raise AllocationError(
+                        f"world rank {r} assigned to executables {exe_of_rank[r]} and {exe}"
+                    )
+                exe_of_rank[r] = exe
+        if any(e == -1 for e in exe_of_rank):
+            missing = [r for r, e in enumerate(exe_of_rank) if e == -1]
+            raise AllocationError(f"world ranks {missing} assigned to no executable")
+        placement = Placement(task_cpus=slots[:total], exe_of_rank=exe_of_rank)
+        placement.validate_exclusive()
+        return placement

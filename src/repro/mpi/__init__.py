@@ -1,0 +1,85 @@
+"""Simulated MPI substrate: threads as processes, mpi4py-style API.
+
+This package provides everything MPH needs from an MPI library —
+``COMM_WORLD``, tagged point-to-point messaging with wildcards, the full
+collective suite, groups, and above all ``Comm.split`` — implemented over
+per-process mailboxes with MPI matching semantics.  See
+:mod:`repro.mpi.world` for the safety nets (abort propagation and deadlock
+detection) and :mod:`repro.mpi.collectives` for the algorithm menu.
+
+Typical SPMD use::
+
+    from repro import mpi
+
+    def main(comm):
+        data = comm.allgather(comm.rank ** 2)
+        return data
+
+    results = mpi.run_spmd(4, main)
+"""
+
+from repro.mpi.cartesian import CartComm, create_cart, dims_create
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, UNDEFINED
+from repro.mpi.group import Group
+from repro.mpi.intercomm import InterComm, create_intercomm
+from repro.mpi.comm import Comm, make_world_comm
+from repro.mpi.executor import ProcResult, run_spmd, run_world
+from repro.mpi.reduce_ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    Op,
+)
+from repro.mpi.persistent import PersistentRecv, PersistentSend, Prequest
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.mpi.world import TrafficStats, World, WorldConfig
+
+__all__ = [
+    "CartComm",
+    "create_cart",
+    "dims_create",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "TAG_UB",
+    "UNDEFINED",
+    "Group",
+    "InterComm",
+    "create_intercomm",
+    "Comm",
+    "make_world_comm",
+    "ProcResult",
+    "run_spmd",
+    "run_world",
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "Prequest",
+    "PersistentSend",
+    "PersistentRecv",
+    "Request",
+    "Status",
+    "TrafficStats",
+    "World",
+    "WorldConfig",
+]

@@ -1,0 +1,290 @@
+"""Buffer-mode collectives: the numpy fast path (uppercase verbs).
+
+Same algorithms as :mod:`repro.mpi.collectives` (selected by the same
+:class:`~repro.mpi.world.WorldConfig` switches), but payloads travel as
+private array copies instead of pickles — the throughput path for the
+large fields climate components exchange.  Semantics follow mpi4py's
+uppercase methods: callers pass numpy buffers, roots provide/receive
+stacked arrays with a leading rank axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CommError, TruncationError
+from repro.mpi.reduce_ops import Op
+
+
+def _like(arr: np.ndarray) -> np.ndarray:
+    return np.empty_like(np.asarray(arr))
+
+
+def _check_shape(got: np.ndarray, want_shape: tuple, what: str) -> None:
+    if got.shape != want_shape:
+        raise TruncationError(f"{what}: buffer shape {got.shape} != expected {want_shape}")
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+
+def Bcast(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
+    """In-place broadcast of *buf* from *root* (every rank passes a buffer
+    of identical shape/dtype)."""
+    buf = np.asarray(buf)
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return buf
+    algo = comm._world.config.bcast_algorithm
+    if algo == "linear":
+        if rank == root:
+            for dest in range(size):
+                if dest != root:
+                    comm._coll_send_buffer(dest, tag, buf, "Bcast")
+        else:
+            _recv_into(comm, buf, root, tag, "Bcast")
+        return buf
+    # binomial
+    relative = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            _recv_into(comm, buf, (rank - mask) % size, tag, "Bcast")
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            comm._coll_send_buffer((rank + mask) % size, tag, buf, "Bcast")
+        mask >>= 1
+    return buf
+
+
+def _recv_into(comm, buf: np.ndarray, source: int, tag: int, opname: str) -> None:
+    arr = comm._coll_recv_buffer(source, tag, opname)
+    _check_shape(arr, buf.shape, opname)
+    np.copyto(buf, arr)
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter / allgather
+# ---------------------------------------------------------------------------
+
+
+def Gather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], root: int, tag: int) -> Optional[np.ndarray]:
+    """Gather equal-shaped blocks to *root*; returns the stacked array
+    (leading rank axis) at the root, ``None`` elsewhere."""
+    sendbuf = np.asarray(sendbuf)
+    if comm.rank == root:
+        if recvbuf is None:
+            recvbuf = np.empty((comm.size,) + sendbuf.shape, dtype=sendbuf.dtype)
+        _check_shape(recvbuf, (comm.size,) + sendbuf.shape, "Gather recvbuf")
+        recvbuf[root] = sendbuf
+        for src in range(comm.size):
+            if src != root:
+                arr = comm._coll_recv_buffer(src, tag, "Gather")
+                _check_shape(arr, sendbuf.shape, "Gather")
+                recvbuf[src] = arr
+        return recvbuf
+    comm._coll_send_buffer(root, tag, sendbuf, "Gather")
+    return None
+
+
+def Scatter(comm, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int, tag: int) -> np.ndarray:
+    """Scatter the root's stacked array (leading rank axis) into each
+    rank's *recvbuf*."""
+    recvbuf = np.asarray(recvbuf)
+    if comm.rank == root:
+        if sendbuf is None:
+            raise CommError("Scatter: root must supply sendbuf")
+        sendbuf = np.asarray(sendbuf)
+        _check_shape(sendbuf, (comm.size,) + recvbuf.shape, "Scatter sendbuf")
+        for dest in range(comm.size):
+            if dest != root:
+                comm._coll_send_buffer(dest, tag, sendbuf[dest], "Scatter")
+        np.copyto(recvbuf, sendbuf[root])
+        return recvbuf
+    _recv_into(comm, recvbuf, root, tag, "Scatter")
+    return recvbuf
+
+
+def Allgather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], tag: int) -> np.ndarray:
+    """Gather equal-shaped blocks onto every rank (leading rank axis)."""
+    sendbuf = np.asarray(sendbuf)
+    size, rank = comm.size, comm.rank
+    if recvbuf is None:
+        recvbuf = np.empty((size,) + sendbuf.shape, dtype=sendbuf.dtype)
+    _check_shape(recvbuf, (size,) + sendbuf.shape, "Allgather recvbuf")
+    recvbuf[rank] = sendbuf
+    if size == 1:
+        return recvbuf
+    algo = comm._world.config.allgather_algorithm
+    if algo == "gather_bcast":
+        Gather(comm, sendbuf, recvbuf if rank == 0 else None, 0, tag)
+        Bcast(comm, recvbuf, 0, tag + 1)
+        return recvbuf
+    # ring: forward the piece received last step; slot by source rank.
+    right, left = (rank + 1) % size, (rank - 1) % size
+    piece_src = rank
+    for _ in range(size - 1):
+        comm._coll_send_buffer(right, tag, recvbuf[piece_src], f"Allgather:{piece_src}")
+        piece_src = (piece_src - 1) % size
+        arr = comm._coll_recv_buffer(left, tag, f"Allgather:{piece_src}")
+        _check_shape(arr, sendbuf.shape, "Allgather")
+        recvbuf[piece_src] = arr
+    return recvbuf
+
+
+def Gatherv(comm, sendbuf: np.ndarray, root: int, tag: int) -> Optional[tuple[np.ndarray, list[int]]]:
+    """Variable-size gather: blocks (differing along axis 0) concatenate
+    at *root*; returns ``(full, counts)`` there, ``None`` elsewhere.
+
+    Unlike MPI's ``Gatherv``, counts need not be pre-agreed — each block
+    carries its own shape, and the per-rank counts come back alongside the
+    assembled array (the pythonic contract).
+    """
+    sendbuf = np.asarray(sendbuf)
+    if comm.rank == root:
+        blocks: list[np.ndarray] = [None] * comm.size  # type: ignore[list-item]
+        blocks[root] = sendbuf
+        for src in range(comm.size):
+            if src != root:
+                blocks[src] = comm._coll_recv_buffer(src, tag, "Gatherv")
+        counts = [b.shape[0] for b in blocks]
+        return np.concatenate(blocks, axis=0), counts
+    comm._coll_send_buffer(root, tag, sendbuf, "Gatherv")
+    return None
+
+
+def Scatterv(
+    comm,
+    sendbuf: Optional[np.ndarray],
+    counts: Optional[list[int]],
+    root: int,
+    tag: int,
+) -> np.ndarray:
+    """Variable-size scatter: the root splits *sendbuf* along axis 0 into
+    ``counts[r]``-row blocks; every rank returns its block."""
+    if comm.rank == root:
+        if sendbuf is None or counts is None:
+            raise CommError("Scatterv: root must supply sendbuf and counts")
+        sendbuf = np.asarray(sendbuf)
+        if len(counts) != comm.size:
+            raise CommError(f"Scatterv needs {comm.size} counts, got {len(counts)}")
+        if sum(counts) != sendbuf.shape[0]:
+            raise CommError(
+                f"Scatterv counts sum to {sum(counts)} but sendbuf has "
+                f"{sendbuf.shape[0]} rows"
+            )
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        mine: Optional[np.ndarray] = None
+        for dest in range(comm.size):
+            block = sendbuf[offsets[dest] : offsets[dest + 1]]
+            if dest == root:
+                mine = np.array(block, copy=True)
+            else:
+                comm._coll_send_buffer(dest, tag, block, "Scatterv")
+        assert mine is not None
+        return mine
+    return comm._coll_recv_buffer(root, tag, "Scatterv")
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def Reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, root: int, tag: int) -> Optional[np.ndarray]:
+    """Elementwise reduction to *root* (rank-ordered combination)."""
+    sendbuf = np.asarray(sendbuf)
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if recvbuf is None:
+            recvbuf = np.array(sendbuf, copy=True)
+        else:
+            _check_shape(np.asarray(recvbuf), sendbuf.shape, "Reduce recvbuf")
+            np.copyto(recvbuf, sendbuf)
+    if size == 1:
+        return recvbuf if rank == root else None
+
+    algo = comm._world.config.reduce_algorithm
+    if algo == "linear" or not op.commutative:
+        stacked = Gather(comm, sendbuf, None, root, tag)
+        if rank != root:
+            return None
+        acc = np.array(stacked[0], copy=True)
+        for i in range(1, size):
+            acc = op(acc, stacked[i])
+        np.copyto(recvbuf, acc)
+        return recvbuf
+    # binomial
+    relative = (rank - root) % size
+    acc = np.array(sendbuf, copy=True)
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            comm._coll_send_buffer((rank - mask) % size, tag, acc, "Reduce")
+            return None
+        src_rel = relative | mask
+        if src_rel < size:
+            partial = comm._coll_recv_buffer((src_rel + root) % size, tag, "Reduce")
+            acc = op(acc, partial)
+        mask <<= 1
+    np.copyto(recvbuf, acc)
+    return recvbuf
+
+
+def Allreduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, tag: int) -> np.ndarray:
+    """Elementwise reduction delivered to every rank."""
+    sendbuf = np.asarray(sendbuf)
+    if recvbuf is None:
+        recvbuf = np.array(sendbuf, copy=True)
+    else:
+        recvbuf = np.asarray(recvbuf)
+        _check_shape(recvbuf, sendbuf.shape, "Allreduce recvbuf")
+        np.copyto(recvbuf, sendbuf)
+    if comm.size == 1:
+        return recvbuf
+    algo = comm._world.config.allreduce_algorithm
+    if algo == "reduce_bcast" or not op.commutative:
+        Reduce(comm, sendbuf, recvbuf if comm.rank == 0 else None, op, 0, tag)
+        Bcast(comm, recvbuf, 0, tag + 1)
+        return recvbuf
+    # recursive doubling with non-power-of-two fold-in (see the object-mode
+    # twin for the derivation).
+    size, rank = comm.size, comm.rank
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    acc = np.array(sendbuf, copy=True)
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            comm._coll_send_buffer(rank + 1, tag, acc, "Allreduce")
+            newrank = -1
+        else:
+            partial = comm._coll_recv_buffer(rank - 1, tag, "Allreduce")
+            acc = op(partial, acc)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            comm._coll_send_buffer(partner, tag, acc, "Allreduce")
+            other = comm._coll_recv_buffer(partner, tag, "Allreduce")
+            acc = op(acc, other) if partner_new > newrank else op(other, acc)
+            mask <<= 1
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            comm._coll_send_buffer(rank - 1, tag, acc, "Allreduce")
+        else:
+            acc = comm._coll_recv_buffer(rank + 1, tag, "Allreduce")
+    np.copyto(recvbuf, acc)
+    return recvbuf

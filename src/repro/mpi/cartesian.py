@@ -1,0 +1,180 @@
+"""Cartesian process topologies (``MPI_Cart_create`` family).
+
+Component models with 2-D domain decompositions (the production version
+of the 1-D latitude bands the toy CCSM uses) address neighbours through a
+Cartesian topology.  :meth:`CartComm.shift` returns ``PROC_NULL`` across
+non-periodic edges, so stencil code stays branch-free at domain
+boundaries — the same idiom the halo exchange in
+:mod:`repro.climate.fields` uses.
+
+Rank-to-coordinate mapping is row-major (C order), matching MPI.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from typing import Optional, Sequence
+
+from repro.errors import CommError
+from repro.mpi.comm import Comm
+from repro.mpi.constants import PROC_NULL, UNDEFINED
+from repro.mpi.group import Group
+
+
+def dims_create(nnodes: int, ndims: int, dims: Optional[Sequence[int]] = None) -> list[int]:
+    """``MPI_Dims_create``: balanced factorisation of *nnodes* over
+    *ndims* dimensions; non-zero entries of *dims* are constraints.
+
+    >>> dims_create(12, 2)
+    [4, 3]
+    >>> dims_create(12, 2, [3, 0])
+    [3, 4]
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise CommError(f"dims has {len(out)} entries for ndims={ndims}")
+    fixed = prod(d for d in out if d > 0)
+    free = [i for i, d in enumerate(out) if d == 0]
+    if fixed <= 0 or nnodes % fixed != 0:
+        raise CommError(f"cannot factor {nnodes} nodes with constraints {dims}")
+    remaining = nnodes // fixed
+    # Greedy balanced factorisation: repeatedly give the largest prime
+    # factor to the currently-smallest free dimension.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    sizes = {i: 1 for i in free}
+    for factor in sorted(factors, reverse=True):
+        smallest = min(free, key=lambda i: sizes[i]) if free else None
+        if smallest is None:
+            break
+        sizes[smallest] *= factor
+    for i in free:
+        out[i] = sizes[i]
+    if prod(out) != nnodes:
+        raise CommError(f"cannot factor {nnodes} nodes over {ndims} dims with {dims}")
+    # MPI convention: dimensions in non-increasing order when unconstrained.
+    if dims is None or all(d == 0 for d in dims):
+        out.sort(reverse=True)
+    return out
+
+
+class CartComm(Comm):
+    """A communicator with Cartesian topology attached."""
+
+    def __init__(self, base: Comm, dims: Sequence[int], periods: Sequence[bool], name: str):
+        super().__init__(base.world, base.group, base._my_world_id, (base._p2p_ctx, base._coll_ctx), name)
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+
+    @property
+    def ndims(self) -> int:
+        """Number of topology dimensions."""
+        return len(self.dims)
+
+    # -- coordinate algebra ------------------------------------------------
+
+    def coords_of(self, rank: int) -> tuple[int, ...]:
+        """Coordinates of *rank* (``MPI_Cart_coords``, row-major)."""
+        self._check_rank(rank, "rank")
+        coords = []
+        for extent in reversed(self.dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(coords))
+
+    @property
+    def coords(self) -> tuple[int, ...]:
+        """This process's coordinates."""
+        return self.coords_of(self.rank)
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Rank at *coords* (``MPI_Cart_rank``); periodic dimensions wrap,
+        out-of-range coordinates on non-periodic dimensions raise."""
+        if len(coords) != self.ndims:
+            raise CommError(f"need {self.ndims} coordinates, got {len(coords)}")
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                raise CommError(
+                    f"coordinate {c} outside non-periodic dimension of extent {extent}"
+                )
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """``MPI_Cart_shift``: ``(source, dest)`` ranks for a shift of
+        *disp* along *direction*; ``PROC_NULL`` across open edges."""
+        if not 0 <= direction < self.ndims:
+            raise CommError(f"direction {direction} out of range for {self.ndims}-d topology")
+
+        def neighbour(offset: int) -> int:
+            coords = list(self.coords)
+            coords[direction] += offset
+            extent, periodic = self.dims[direction], self.periods[direction]
+            if not periodic and not 0 <= coords[direction] < extent:
+                return PROC_NULL
+            return self.rank_of(coords)
+
+        return neighbour(-disp), neighbour(+disp)
+
+    def sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """``MPI_Cart_sub``: split into lower-dimensional slices keeping
+        the dimensions flagged in *remain_dims* (collective)."""
+        if len(remain_dims) != self.ndims:
+            raise CommError(f"remain_dims needs {self.ndims} entries")
+        keep = [i for i, k in enumerate(remain_dims) if k]
+        drop = [i for i, k in enumerate(remain_dims) if not k]
+        my = self.coords
+        # Color: the dropped coordinates identify the slice.
+        color = 0
+        for i in drop:
+            color = color * self.dims[i] + my[i]
+        key = 0
+        for i in keep:
+            key = key * self.dims[i] + my[i]
+        flat = self.split(color, key)
+        assert flat is not None
+        return CartComm(
+            flat,
+            [self.dims[i] for i in keep],
+            [self.periods[i] for i in keep],
+            name=f"{self.name}.sub",
+        )
+
+
+def create_cart(
+    comm: Comm,
+    dims: Sequence[int],
+    periods: Optional[Sequence[bool]] = None,
+    reorder: bool = False,
+) -> Optional[CartComm]:
+    """``MPI_Cart_create``: attach a Cartesian topology to *comm*.
+
+    Collective.  Processes beyond ``prod(dims)`` get ``None`` (as MPI
+    returns ``MPI_COMM_NULL``).  *reorder* is accepted for signature
+    parity; this substrate never renumbers.
+    """
+    dims = [int(d) for d in dims]
+    if any(d < 1 for d in dims):
+        raise CommError(f"every dimension must be >= 1, got {dims}")
+    size = prod(dims)
+    if size > comm.size:
+        raise CommError(f"topology {dims} needs {size} processes; have {comm.size}")
+    periods = [False] * len(dims) if periods is None else [bool(p) for p in periods]
+    if len(periods) != len(dims):
+        raise CommError("periods must match dims in length")
+    color = 0 if comm.rank < size else UNDEFINED
+    flat = comm.split(color, key=comm.rank)
+    if flat is None:
+        return None
+    return CartComm(flat, dims, periods, name=f"{comm.name}.cart{tuple(dims)}")

@@ -1,0 +1,346 @@
+"""Collective-communication algorithms over the point-to-point layer.
+
+Every algorithm here is the textbook version used by production MPI
+libraries (MPICH nomenclature):
+
+* broadcast — ``linear`` (root sends to every rank) or ``binomial`` tree
+  (O(log P) rounds);
+* reduce — ``linear`` (gather-and-fold at root, exact rank order, required
+  for non-commutative operators) or ``binomial`` tree;
+* allreduce — ``reduce_bcast`` composition or ``recursive_doubling`` with
+  the non-power-of-two fold-in pre/post phases;
+* allgather — ``gather_bcast`` composition or ``ring`` (P-1 neighbour
+  steps);
+* barrier — ``linear`` (gather + release through rank 0) or
+  ``dissemination`` (O(log P) rounds).
+
+The choice is taken from :class:`repro.mpi.world.WorldConfig`, which the
+benchmark suite ablates (experiment E9 companion: substrate ablation).
+
+All functions receive the calling process's communicator handle and use its
+private collective context and per-call tag, so user point-to-point traffic
+can never interfere.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import CollectiveMismatchError
+from repro.mpi.reduce_ops import Op
+
+
+# ---------------------------------------------------------------------------
+# broadcast
+# ---------------------------------------------------------------------------
+
+
+def bcast(comm, obj: Any, root: int, tag: int) -> Any:
+    """Broadcast *obj* from *root* to every rank of *comm*."""
+    algo = comm._world.config.bcast_algorithm
+    if comm.size == 1:
+        return obj
+    if algo == "linear":
+        return _bcast_linear(comm, obj, root, tag)
+    if algo == "binomial":
+        return _bcast_binomial(comm, obj, root, tag)
+    raise ValueError(f"unknown bcast algorithm {algo!r}")
+
+
+def _bcast_linear(comm, obj: Any, root: int, tag: int) -> Any:
+    if comm.rank == root:
+        for dest in range(comm.size):
+            if dest != root:
+                comm._coll_send(dest, tag, obj, "bcast")
+        return obj
+    return comm._coll_recv(root, tag, "bcast")
+
+
+def _bcast_binomial(comm, obj: Any, root: int, tag: int) -> Any:
+    size, rank = comm.size, comm.rank
+    relative = (rank - root) % size
+    # Receive phase: wait for the parent one tree level up.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (rank - mask) % size
+            obj = comm._coll_recv(src, tag, "bcast")
+            break
+        mask <<= 1
+    # Send phase: forward to children at successively lower levels.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            dst = (rank + mask) % size
+            comm._coll_send(dst, tag, obj, "bcast")
+        mask >>= 1
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter (linear; object mode makes the "v" variants identical)
+# ---------------------------------------------------------------------------
+
+
+def gather(comm, obj: Any, root: int, tag: int) -> Optional[list]:
+    """Gather one object per rank into a rank-ordered list at *root*."""
+    if comm.size == 1:
+        return [obj]
+    if comm.rank == root:
+        out: list[Any] = [None] * comm.size
+        out[root] = obj
+        for src in range(comm.size):
+            if src != root:
+                out[src] = comm._coll_recv(src, tag, "gather")
+        return out
+    comm._coll_send(root, tag, obj, "gather")
+    return None
+
+
+def scatter(comm, objs: Optional[Sequence[Any]], root: int, tag: int) -> Any:
+    """Scatter one object per rank from *root*'s sequence."""
+    if comm.size == 1:
+        assert objs is not None
+        return objs[0]
+    if comm.rank == root:
+        if objs is None or len(objs) != comm.size:
+            got = "None" if objs is None else str(len(objs))
+            raise CollectiveMismatchError(
+                f"scatter at root needs exactly {comm.size} items, got {got}"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm._coll_send(dest, tag, objs[dest], "scatter")
+        return objs[root]
+    return comm._coll_recv(root, tag, "scatter")
+
+
+# ---------------------------------------------------------------------------
+# allgather
+# ---------------------------------------------------------------------------
+
+
+def allgather(comm, obj: Any, tag: int) -> list:
+    """Gather one object per rank into a rank-ordered list on every rank."""
+    if comm.size == 1:
+        return [obj]
+    algo = comm._world.config.allgather_algorithm
+    if algo == "gather_bcast":
+        gathered = gather(comm, obj, 0, tag)
+        return bcast(comm, gathered, 0, tag + 1)
+    if algo == "ring":
+        return _allgather_ring(comm, obj, tag)
+    raise ValueError(f"unknown allgather algorithm {algo!r}")
+
+
+def _allgather_ring(comm, obj: Any, tag: int) -> list:
+    size, rank = comm.size, comm.rank
+    out: list[Any] = [None] * size
+    out[rank] = obj
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    # At step s we forward the piece originating from rank (rank - s).
+    piece_src = rank
+    piece = obj
+    for _ in range(size - 1):
+        comm._coll_send(right, tag, (piece_src, piece), "allgather")
+        piece_src, piece = comm._coll_recv(left, tag, "allgather")
+        out[piece_src] = piece
+    return out
+
+
+# ---------------------------------------------------------------------------
+# alltoall
+# ---------------------------------------------------------------------------
+
+
+def alltoall(comm, objs: Sequence[Any], tag: int) -> list:
+    """Personalised exchange: rank *i* receives ``objs[i]`` from every rank.
+
+    Eager sends make the send-all-then-receive-all schedule deadlock-free.
+    """
+    if len(objs) != comm.size:
+        raise CollectiveMismatchError(
+            f"alltoall needs exactly {comm.size} items, got {len(objs)}"
+        )
+    if comm.size == 1:
+        return [objs[0]]
+    out: list[Any] = [None] * comm.size
+    out[comm.rank] = objs[comm.rank]
+    for dest in range(comm.size):
+        if dest != comm.rank:
+            comm._coll_send(dest, tag, objs[dest], "alltoall")
+    for src in range(comm.size):
+        if src != comm.rank:
+            out[src] = comm._coll_recv(src, tag, "alltoall")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# reduce / allreduce / scan
+# ---------------------------------------------------------------------------
+
+
+def reduce(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
+    """Reduce contributions in rank order to *root* (None elsewhere)."""
+    if comm.size == 1:
+        return obj
+    algo = comm._world.config.reduce_algorithm
+    # Binomial combination reorders only across aligned contiguous blocks,
+    # which is safe for associative operators; strict rank order for
+    # non-commutative user operators additionally requires root rotation to
+    # be avoided, so fall back to the linear algorithm for those.
+    if algo == "linear" or not op.commutative:
+        return _reduce_linear(comm, obj, op, root, tag)
+    if algo == "binomial":
+        return _reduce_binomial(comm, obj, op, root, tag)
+    raise ValueError(f"unknown reduce algorithm {algo!r}")
+
+
+def _reduce_linear(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
+    gathered = gather(comm, obj, root, tag)
+    if comm.rank != root:
+        return None
+    assert gathered is not None
+    return op.reduce(gathered)
+
+
+def _reduce_binomial(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
+    size, rank = comm.size, comm.rank
+    relative = (rank - root) % size
+    acc = obj
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            dst = (rank - mask) % size
+            comm._coll_send(dst, tag, acc, "reduce")
+            return None
+        src_rel = relative | mask
+        if src_rel < size:
+            src = (src_rel + root) % size
+            partial = comm._coll_recv(src, tag, "reduce")
+            # acc covers relative block [relative, relative+mask); partial
+            # covers the adjacent higher block — combine in that order.
+            acc = op(acc, partial)
+        mask <<= 1
+    return acc
+
+
+def allreduce(comm, obj: Any, op: Op, tag: int) -> Any:
+    """Reduce contributions and deliver the result to every rank."""
+    if comm.size == 1:
+        return obj
+    algo = comm._world.config.allreduce_algorithm
+    if algo == "reduce_bcast" or not op.commutative:
+        result = reduce(comm, obj, op, 0, tag)
+        return bcast(comm, result, 0, tag + 1)
+    if algo == "recursive_doubling":
+        return _allreduce_recursive_doubling(comm, obj, op, tag)
+    raise ValueError(f"unknown allreduce algorithm {algo!r}")
+
+
+def _allreduce_recursive_doubling(comm, obj: Any, op: Op, tag: int) -> Any:
+    size, rank = comm.size, comm.rank
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    acc = obj
+    # Fold the surplus ranks into their even neighbours so a power-of-two
+    # set remains (MPICH pre-phase).
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            comm._coll_send(rank + 1, tag, acc, "allreduce")
+            newrank = -1
+        else:
+            partial = comm._coll_recv(rank - 1, tag, "allreduce")
+            acc = op(partial, acc)  # lower rank's contribution on the left
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            comm._coll_send(partner, tag, acc, "allreduce")
+            other = comm._coll_recv(partner, tag, "allreduce")
+            acc = op(acc, other) if partner_new > newrank else op(other, acc)
+            mask <<= 1
+    # Post-phase: hand results back to the folded-out even ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            comm._coll_send(rank - 1, tag, acc, "allreduce")
+        else:
+            acc = comm._coll_recv(rank + 1, tag, "allreduce")
+    return acc
+
+
+def scan(comm, obj: Any, op: Op, tag: int) -> Any:
+    """Inclusive prefix reduction: rank *r* gets the fold of ranks 0..r."""
+    if comm.size == 1:
+        return obj
+    acc = obj
+    if comm.rank > 0:
+        partial = comm._coll_recv(comm.rank - 1, tag, "scan")
+        acc = op(partial, acc)
+    if comm.rank < comm.size - 1:
+        comm._coll_send(comm.rank + 1, tag, acc, "scan")
+    return acc
+
+
+def exscan(comm, obj: Any, op: Op, tag: int) -> Any:
+    """Exclusive prefix reduction: rank *r* gets the fold of ranks 0..r-1
+    (``None`` on rank 0, matching MPI's undefined value there)."""
+    if comm.rank == 0:
+        if comm.size > 1:
+            comm._coll_send(1, tag, obj, "exscan")
+        return None
+    below = comm._coll_recv(comm.rank - 1, tag, "exscan")
+    if comm.rank < comm.size - 1:
+        comm._coll_send(comm.rank + 1, tag, op(below, obj), "exscan")
+    return below
+
+
+def reduce_scatter(comm, objs: Sequence[Any], op: Op, tag: int) -> Any:
+    """Reduce per-slot across ranks, then deliver slot *r* to rank *r*.
+
+    Each rank contributes a sequence of ``comm.size`` items.
+    """
+    if len(objs) != comm.size:
+        raise CollectiveMismatchError(
+            f"reduce_scatter needs exactly {comm.size} items, got {len(objs)}"
+        )
+    if comm.size == 1:
+        return objs[0]
+    gathered = gather(comm, list(objs), 0, tag)
+    slots = None
+    if comm.rank == 0:
+        assert gathered is not None
+        slots = [op.reduce([contrib[slot] for contrib in gathered]) for slot in range(comm.size)]
+    return scatter(comm, slots, 0, tag + 1)
+
+
+# ---------------------------------------------------------------------------
+# barrier
+# ---------------------------------------------------------------------------
+
+
+def barrier(comm, tag: int) -> None:
+    """Block until every rank of *comm* has entered the barrier."""
+    if comm.size == 1:
+        return
+    algo = comm._world.config.barrier_algorithm
+    if algo == "linear":
+        gather(comm, None, 0, tag)
+        bcast(comm, None, 0, tag + 1)
+        return
+    if algo == "dissemination":
+        size, rank = comm.size, comm.rank
+        step = 1
+        while step < size:
+            comm._coll_send((rank + step) % size, tag, None, "barrier")
+            comm._coll_recv((rank - step) % size, tag, "barrier")
+            step <<= 1
+        return
+    raise ValueError(f"unknown barrier algorithm {algo!r}")

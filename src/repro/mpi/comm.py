@@ -1,0 +1,606 @@
+"""Communicators: the user-facing API of the simulated MPI substrate.
+
+A :class:`Comm` is a *per-process handle*: every simulated process holds its
+own ``Comm`` object for each communicator it belongs to, carrying its rank
+within that communicator and the communicator's context ids.  The API
+follows the mpi4py conventions taught by the hpc-parallel guides:
+
+* **lowercase methods** (``send`` / ``recv`` / ``bcast`` / ...) communicate
+  arbitrary Python objects through pickling — which, as a pleasant side
+  effect, enforces the value semantics of distributed memory: no mutable
+  state is ever shared between "processes";
+* **uppercase methods** (``Send`` / ``Recv``) communicate numpy arrays
+  through explicit buffer copies, the fast path for numerical data.
+
+Communicator-creating operations (``split``, ``dup``, ``create``) are
+collective and implemented with the same agreement protocol a real MPI uses:
+the root gathers the inputs, computes the new groups, allocates fresh
+context ids, and scatters each member its assignment.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AbortError, CollectiveMismatchError, CommError, TruncationError
+from repro.mpi import buffer_collectives, collectives
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    UNDEFINED,
+    is_valid_recv_tag,
+    is_valid_tag,
+)
+from repro.mpi.group import Group
+from repro.mpi.mailbox import Envelope
+from repro.mpi.reduce_ops import SUM, Op
+from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.status import Status
+from repro.mpi.world import World
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+class Comm:
+    """A per-process handle on one communicator.
+
+    Construct communicators through :func:`make_world_comm` (for
+    ``COMM_WORLD``) and the collective methods ``split`` / ``dup`` /
+    ``create`` — never directly.
+    """
+
+    def __init__(self, world: World, group: Group, my_world_id: int, ctx_pair: tuple[int, int], name: str = "comm"):
+        rank = group.rank_of(my_world_id)
+        if rank == UNDEFINED:
+            raise CommError(f"process {my_world_id} is not a member of {group}")
+        self._world = world
+        self._group = group
+        self._my_world_id = my_world_id
+        self._rank = rank
+        self._p2p_ctx, self._coll_ctx = ctx_pair
+        self._coll_seq = 0
+        self._freed = False
+        #: Human-readable communicator name (diagnostics only).
+        self.name = name
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return self._group.size
+
+    @property
+    def group(self) -> Group:
+        """The communicator's process group."""
+        return self._group
+
+    @property
+    def world(self) -> World:
+        """The world this communicator lives in."""
+        return self._world
+
+    def Get_rank(self) -> int:
+        """mpi4py-style alias of :attr:`rank`."""
+        return self._rank
+
+    def Get_size(self) -> int:
+        """mpi4py-style alias of :attr:`size`."""
+        return self._group.size
+
+    def Get_group(self) -> Group:
+        """mpi4py-style alias of :attr:`group`."""
+        return self._group
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Comm {self.name!r} rank {self._rank}/{self.size}>"
+
+    # -- internal helpers ------------------------------------------------------
+
+    @property
+    def _mailbox(self):
+        return self._world.mailboxes[self._my_world_id]
+
+    def _check(self) -> None:
+        if self._freed:
+            raise CommError(f"communicator {self.name!r} has been freed")
+        self._world.check_abort()
+
+    def _check_rank(self, rank: int, role: str) -> None:
+        if not 0 <= rank < self.size:
+            raise CommError(f"{role} {rank} out of range for {self.name!r} of size {self.size}")
+
+    def _deliver(self, dest: int, env: Envelope) -> None:
+        self._world.mailboxes[self._group.world_id(dest)].deliver(env)
+
+    # -- point-to-point: object mode ------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a pickled copy of *obj* to rank *dest* (eager: returns as
+        soon as the message is buffered at the destination)."""
+        self._isend_common(obj, dest, tag, sync=False)
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Synchronous send: blocks until the matching receive is posted."""
+        self._isend_common(obj, dest, tag, sync=True)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; the returned request is already complete."""
+        self._isend_common(obj, dest, tag, sync=False)
+        return SendRequest()
+
+    def _isend_common(self, obj: Any, dest: int, tag: int, sync: bool) -> None:
+        self._check()
+        if dest == PROC_NULL:
+            return
+        self._check_rank(dest, "destination rank")
+        if not is_valid_tag(tag):
+            raise CommError(f"invalid send tag {tag}")
+        payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        event = threading.Event() if sync else None
+        env = Envelope(self._p2p_ctx, self._rank, tag, payload, "object", len(payload), sync_event=event)
+        self._deliver(dest, env)
+        if event is not None:
+            self._world.wait_event(
+                event, self._my_world_id, f"ssend(dest={dest}, tag={tag}) on {self.name}"
+            )
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking receive; returns the sent object (a private copy)."""
+        req = self.irecv(source, tag)
+        return req.wait(status)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; posted immediately (MPI matching order)."""
+        self._check()
+        if source == PROC_NULL:
+            return _ProcNullRecvRequest()
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source rank")
+        if not is_valid_recv_tag(tag):
+            raise CommError(f"invalid receive tag {tag}")
+        posted = self._mailbox.post_recv(self._p2p_ctx, source, tag)
+        what = f"recv(source={source}, tag={tag}) on {self.name}"
+        return RecvRequest(self._mailbox, posted, _decode_object, what)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Combined send and receive (deadlock-free under eager sends)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag, status)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Block until a matching message is available; return its status
+        without receiving it."""
+        self._check()
+        what = f"probe(source={source}, tag={tag}) on {self.name}"
+        env = self._mailbox.probe(self._p2p_ctx, source, tag, block=True, what=what)
+        assert env is not None
+        return Status(source=env.source, tag=env.tag, count=env.count)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe: status of a matching pending message, else
+        ``None``."""
+        self._check()
+        env = self._mailbox.probe(self._p2p_ctx, source, tag, block=False, what="iprobe")
+        if env is None:
+            return None
+        return Status(source=env.source, tag=env.tag, count=env.count)
+
+    # -- point-to-point: buffer mode --------------------------------------------
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer-mode send of a numpy array (a private copy is taken, so
+        the caller may immediately reuse the array)."""
+        self._check()
+        if dest == PROC_NULL:
+            return
+        self._check_rank(dest, "destination rank")
+        if not is_valid_tag(tag):
+            raise CommError(f"invalid send tag {tag}")
+        arr = np.array(array, copy=True)
+        env = Envelope(self._p2p_ctx, self._rank, tag, arr, "buffer", arr.size)
+        self._deliver(dest, env)
+
+    def Recv(
+        self,
+        buf: np.ndarray,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> np.ndarray:
+        """Buffer-mode receive into *buf* (which must be large enough);
+        returns *buf* for convenience."""
+        self._check()
+        if source == PROC_NULL:
+            if status is not None:
+                status.source, status.tag, status.count = PROC_NULL, ANY_TAG, 0
+            return buf
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source rank")
+        if not is_valid_recv_tag(tag):
+            raise CommError(f"invalid receive tag {tag}")
+        posted = self._mailbox.post_recv(self._p2p_ctx, source, tag)
+        what = f"Recv(source={source}, tag={tag}) on {self.name}"
+        env = self._mailbox.wait(posted, what)
+        arr = _decode_buffer(env)
+        if arr.size > buf.size:
+            raise TruncationError(
+                f"message of {arr.size} elements truncates receive buffer of {buf.size}"
+            )
+        flat = buf.reshape(-1)
+        flat[: arr.size] = arr.reshape(-1)
+        if status is not None:
+            status.source, status.tag, status.count = env.source, env.tag, arr.size
+        return buf
+
+    def Isend(self, array: np.ndarray, dest: int, tag: int = 0) -> Request:
+        """Nonblocking buffer-mode send (eager, already complete)."""
+        self.Send(array, dest, tag)
+        return SendRequest()
+
+    def Send_init(self, buf: np.ndarray, dest: int, tag: int = 0):
+        """Bind a persistent send to ``(buf, dest, tag)``; each ``start``
+        snapshots the buffer's current contents (``MPI_Send_init``)."""
+        from repro.mpi.persistent import PersistentSend
+
+        self._check()
+        if dest != PROC_NULL:
+            self._check_rank(dest, "destination rank")
+        return PersistentSend(self, buf, dest, tag)
+
+    def Recv_init(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Bind a persistent receive into *buf* (``MPI_Recv_init``)."""
+        from repro.mpi.persistent import PersistentRecv
+
+        self._check()
+        return PersistentRecv(self, buf, source, tag)
+
+    # -- collectives -------------------------------------------------------------
+
+    def _next_coll_tag(self) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return (seq % (1 << 24)) * 64
+
+    def _coll_send(self, dest: int, tag: int, value: Any, opname: str) -> None:
+        payload = pickle.dumps((opname, value), protocol=_PICKLE_PROTOCOL)
+        env = Envelope(self._coll_ctx, self._rank, tag, payload, "object", len(payload))
+        self._deliver(dest, env)
+
+    def _coll_recv(self, source: int, tag: int, opname: str) -> Any:
+        posted = self._mailbox.post_recv(self._coll_ctx, source, tag)
+        env = self._mailbox.wait(posted, f"{opname}(source={source}) on {self.name}")
+        got_op, value = pickle.loads(env.payload)
+        if self._world.config.validate_collectives and got_op != opname:
+            exc = CollectiveMismatchError(
+                f"rank {self._rank} of {self.name!r} executing {opname!r} received a "
+                f"message belonging to {got_op!r}: ranks called mismatched collectives"
+            )
+            self._world.abort(AbortError(str(exc), origin_rank=self._my_world_id))
+            raise exc
+        return value
+
+    def _coll_send_buffer(self, dest: int, tag: int, arr: np.ndarray, opname: str) -> None:
+        payload = (opname, np.array(arr, copy=True))
+        env = Envelope(self._coll_ctx, self._rank, tag, payload, "bufcoll", payload[1].size)
+        self._deliver(dest, env)
+
+    def _coll_recv_buffer(self, source: int, tag: int, opname: str) -> np.ndarray:
+        posted = self._mailbox.post_recv(self._coll_ctx, source, tag)
+        env = self._mailbox.wait(posted, f"{opname}(source={source}) on {self.name}")
+        if env.kind != "bufcoll":
+            got_op = pickle.loads(env.payload)[0] if env.kind == "object" else "?"
+        else:
+            got_op, arr = env.payload
+            if not self._world.config.validate_collectives or got_op == opname:
+                return arr
+        exc = CollectiveMismatchError(
+            f"rank {self._rank} of {self.name!r} executing {opname!r} received a "
+            f"message belonging to {got_op!r}: ranks called mismatched collectives"
+        )
+        self._world.abort(AbortError(str(exc), origin_rank=self._my_world_id))
+        raise exc
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+        self._check()
+        collectives.barrier(self, self._next_coll_tag())
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast *obj* from *root*; every rank returns the object."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return collectives.bcast(self, obj, root, self._next_coll_tag())
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        """Gather one object per rank to *root* (list in rank order there,
+        ``None`` elsewhere)."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return collectives.gather(self, obj, root, self._next_coll_tag())
+
+    def scatter(self, objs: Optional[Sequence[Any]] = None, root: int = 0) -> Any:
+        """Scatter one object per rank from *root*'s sequence."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return collectives.scatter(self, objs, root, self._next_coll_tag())
+
+    def allgather(self, obj: Any) -> list:
+        """Gather one object per rank onto every rank."""
+        self._check()
+        return collectives.allgather(self, obj, self._next_coll_tag())
+
+    def alltoall(self, objs: Sequence[Any]) -> list:
+        """Personalised all-to-all exchange."""
+        self._check()
+        return collectives.alltoall(self, objs, self._next_coll_tag())
+
+    def reduce(self, obj: Any, op: Op = SUM, root: int = 0) -> Any:
+        """Reduce contributions in rank order to *root* (``None`` elsewhere)."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return collectives.reduce(self, obj, op, root, self._next_coll_tag())
+
+    def allreduce(self, obj: Any, op: Op = SUM) -> Any:
+        """Reduce contributions; every rank gets the result."""
+        self._check()
+        return collectives.allreduce(self, obj, op, self._next_coll_tag())
+
+    def scan(self, obj: Any, op: Op = SUM) -> Any:
+        """Inclusive prefix reduction."""
+        self._check()
+        return collectives.scan(self, obj, op, self._next_coll_tag())
+
+    def exscan(self, obj: Any, op: Op = SUM) -> Any:
+        """Exclusive prefix reduction (``None`` on rank 0)."""
+        self._check()
+        return collectives.exscan(self, obj, op, self._next_coll_tag())
+
+    def reduce_scatter(self, objs: Sequence[Any], op: Op = SUM) -> Any:
+        """Per-slot reduction followed by a scatter of the slots."""
+        self._check()
+        return collectives.reduce_scatter(self, objs, op, self._next_coll_tag())
+
+    # -- buffer-mode collectives (numpy fast path, mpi4py uppercase) ---------------
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> np.ndarray:
+        """In-place buffer broadcast from *root* (every rank passes an
+        identically-shaped array)."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return buffer_collectives.Bcast(self, buf, root, self._next_coll_tag())
+
+    def Gather(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None, root: int = 0
+    ) -> Optional[np.ndarray]:
+        """Buffer gather: root receives the blocks stacked along a leading
+        rank axis (allocated when *recvbuf* is None)."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return buffer_collectives.Gather(self, sendbuf, recvbuf, root, self._next_coll_tag())
+
+    def Scatter(
+        self, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray, root: int = 0
+    ) -> np.ndarray:
+        """Buffer scatter from the root's stacked array into *recvbuf*."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return buffer_collectives.Scatter(self, sendbuf, recvbuf, root, self._next_coll_tag())
+
+    def Allgather(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Buffer allgather (leading rank axis on every rank)."""
+        self._check()
+        return buffer_collectives.Allgather(self, sendbuf, recvbuf, self._next_coll_tag())
+
+    def Gatherv(self, sendbuf: np.ndarray, root: int = 0):
+        """Variable-size buffer gather: root gets ``(concatenated array,
+        per-rank counts)``, others ``None`` — counts are discovered, not
+        pre-agreed."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return buffer_collectives.Gatherv(self, sendbuf, root, self._next_coll_tag())
+
+    def Scatterv(
+        self,
+        sendbuf: Optional[np.ndarray] = None,
+        counts: Optional[Sequence[int]] = None,
+        root: int = 0,
+    ) -> np.ndarray:
+        """Variable-size buffer scatter: the root splits *sendbuf* along
+        axis 0 by *counts*; every rank returns its block."""
+        self._check()
+        self._check_rank(root, "root rank")
+        counts_list = list(counts) if counts is not None else None
+        return buffer_collectives.Scatterv(self, sendbuf, counts_list, root, self._next_coll_tag())
+
+    def Reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: Optional[np.ndarray] = None,
+        op: Op = SUM,
+        root: int = 0,
+    ) -> Optional[np.ndarray]:
+        """Elementwise buffer reduction to *root* (result there, None
+        elsewhere)."""
+        self._check()
+        self._check_rank(root, "root rank")
+        return buffer_collectives.Reduce(self, sendbuf, recvbuf, op, root, self._next_coll_tag())
+
+    def Allreduce(
+        self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray] = None, op: Op = SUM
+    ) -> np.ndarray:
+        """Elementwise buffer reduction delivered to every rank."""
+        self._check()
+        return buffer_collectives.Allreduce(self, sendbuf, recvbuf, op, self._next_coll_tag())
+
+    # -- communicator management ---------------------------------------------------
+
+    def split(self, color: int, key: int = 0) -> Optional["Comm"]:
+        """Collectively split into one new communicator per *color*.
+
+        Ranks passing the same color form a new communicator, ordered by
+        ``(key, old rank)``.  Passing ``UNDEFINED`` opts out (returns
+        ``None``).  This is the workhorse of MPH's handshake (paper §6).
+        """
+        self._check()
+        if color != UNDEFINED and color < 0:
+            raise CommError(f"split color must be non-negative or UNDEFINED, got {color}")
+        data = self.gather((color, key))
+        assignments: Optional[list] = None
+        if self._rank == 0:
+            assert data is not None
+            by_color: dict[int, list[tuple[int, int]]] = {}
+            for old_rank, (c, k) in enumerate(data):
+                if c != UNDEFINED:
+                    by_color.setdefault(c, []).append((k, old_rank))
+            assignments = [None] * self.size
+            for c in sorted(by_color):
+                members = sorted(by_color[c])
+                ctxs = self._world.alloc_context_pair()
+                world_ids = tuple(self._group.world_id(r) for _, r in members)
+                for _, old_rank in members:
+                    assignments[old_rank] = (ctxs, world_ids, c)
+        mine = self.scatter(assignments)
+        if mine is None:
+            return None
+        ctxs, world_ids, my_color = mine
+        return Comm(
+            self._world,
+            Group(world_ids),
+            self._my_world_id,
+            ctxs,
+            name=f"{self.name}.split({my_color})",
+        )
+
+    def dup(self, name: Optional[str] = None) -> "Comm":
+        """Collective duplicate: same group, fresh contexts (isolated
+        traffic)."""
+        self._check()
+        ctxs = self.bcast(self._world.alloc_context_pair() if self._rank == 0 else None)
+        return Comm(
+            self._world, self._group, self._my_world_id, ctxs, name=name or f"{self.name}.dup"
+        )
+
+    def create(self, group: Group) -> Optional["Comm"]:
+        """Collective creation of a communicator over a subgroup.
+
+        Every rank of this communicator must call it with the same *group*;
+        non-members receive ``None``.
+        """
+        self._check()
+        for wid in group.members:
+            if self._group.rank_of(wid) == UNDEFINED:
+                raise CommError(f"group member {wid} is not part of {self.name!r}")
+        ctxs = self.bcast(self._world.alloc_context_pair() if self._rank == 0 else None)
+        if self._my_world_id not in group:
+            return None
+        return Comm(self._world, group, self._my_world_id, ctxs, name=f"{self.name}.create")
+
+    def free(self) -> None:
+        """Mark the handle freed; subsequent use raises ``CommError``."""
+        self._freed = True
+
+    def abort(self, reason: str = "Comm.Abort called") -> None:
+        """Abort the whole world (``MPI_Abort``): wake and fail every
+        process."""
+        exc = AbortError(
+            f"abort from world rank {self._my_world_id} on {self.name!r}: {reason}",
+            origin_rank=self._my_world_id,
+        )
+        self._world.abort(exc)
+        raise exc
+
+    # mpi4py-style aliases for the collective/management verbs ---------------
+
+    def Barrier(self) -> None:
+        """Alias of :meth:`barrier`."""
+        self.barrier()
+
+    def Split(self, color: int, key: int = 0) -> Optional["Comm"]:
+        """Alias of :meth:`split`."""
+        return self.split(color, key)
+
+    def Dup(self) -> "Comm":
+        """Alias of :meth:`dup`."""
+        return self.dup()
+
+    def Create(self, group: Group) -> Optional["Comm"]:
+        """Alias of :meth:`create`."""
+        return self.create(group)
+
+    def Free(self) -> None:
+        """Alias of :meth:`free`."""
+        self.free()
+
+    def Abort(self, errorcode: int = 1) -> None:
+        """Alias of :meth:`abort`."""
+        self.abort(f"errorcode {errorcode}")
+
+
+class _ProcNullRecvRequest(Request):
+    """Receive from ``PROC_NULL``: completes immediately with no data."""
+
+    def wait(self, status: Optional[Status] = None) -> None:
+        if status is not None:
+            status.source, status.tag, status.count = PROC_NULL, ANY_TAG, 0
+        return None
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        return True, self.wait(status)
+
+
+def _decode_object(env: Envelope) -> Any:
+    """Decode an envelope for an object-mode receive."""
+    if env.kind == "buffer":
+        # A buffer-mode message received by an object-mode receive: the
+        # payload is already a private array copy, hand it over directly.
+        return env.payload
+    return pickle.loads(env.payload)
+
+
+def _decode_buffer(env: Envelope) -> np.ndarray:
+    """Decode an envelope for a buffer-mode receive."""
+    if env.kind == "buffer":
+        return env.payload
+    obj = pickle.loads(env.payload)
+    if not isinstance(obj, np.ndarray):
+        raise TruncationError(
+            f"buffer-mode receive matched an object-mode message of type {type(obj).__name__}"
+        )
+    return obj
+
+
+def make_world_comm(world: World, global_rank: int) -> Comm:
+    """Build the ``COMM_WORLD`` handle for one process of *world*."""
+    return Comm(
+        world,
+        Group(range(world.nprocs)),
+        global_rank,
+        (0, 1),
+        name="COMM_WORLD",
+    )

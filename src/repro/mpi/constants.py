@@ -1,0 +1,39 @@
+"""Wildcards and sentinel constants of the simulated MPI substrate.
+
+Values are chosen to be distinctive negative integers so accidental use as a
+real rank or tag fails fast in validation rather than silently aliasing.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+#: Wildcard source rank for receives and probes (``MPI_ANY_SOURCE``).
+ANY_SOURCE: Final[int] = -101
+
+#: Wildcard message tag for receives and probes (``MPI_ANY_TAG``).
+ANY_TAG: Final[int] = -102
+
+#: Null process: sends to it vanish, receives from it complete immediately
+#: with no data (``MPI_PROC_NULL``).  Handy at decomposition boundaries.
+PROC_NULL: Final[int] = -103
+
+#: Returned by group/rank translations for "not a member", and accepted as a
+#: ``Split`` color meaning "I do not participate" (``MPI_UNDEFINED``).
+UNDEFINED: Final[int] = -104
+
+#: Root sentinel used internally by collectives that have no root.
+NO_ROOT: Final[int] = -105
+
+#: Inclusive upper bound on user tags (``MPI_TAG_UB`` on most platforms).
+TAG_UB: Final[int] = 2**31 - 1
+
+
+def is_valid_tag(tag: int) -> bool:
+    """Whether *tag* is a legal tag for a send (wildcards are receive-only)."""
+    return 0 <= tag <= TAG_UB
+
+
+def is_valid_recv_tag(tag: int) -> bool:
+    """Whether *tag* is legal for a receive or probe (user tag or wildcard)."""
+    return tag == ANY_TAG or is_valid_tag(tag)

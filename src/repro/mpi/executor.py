@@ -1,0 +1,156 @@
+"""The process engine: runs simulated MPI processes as OS threads.
+
+One thread per MPI process.  The engine collects per-rank return values and
+exceptions, propagates the *root-cause* failure (a user exception or a
+detected deadlock, in preference to the secondary ``AbortError`` storms that
+follow one), and enforces a wall-clock budget so a wedged job can never hang
+the caller.
+
+Because processes communicate only through pickled messages and explicit
+buffer copies, running them as threads of one interpreter does not weaken
+the distributed-memory discipline the paper's platforms enforce.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import AbortError, DeadlockError, TimeoutError_
+from repro.mpi.comm import Comm, make_world_comm
+from repro.mpi.world import World, WorldConfig
+
+#: Per-rank entry point: receives the process's ``COMM_WORLD`` handle.
+RankFn = Callable[..., Any]
+
+
+@dataclass
+class ProcResult:
+    """Outcome of one simulated process."""
+
+    rank: int
+    value: Any = None
+    exception: Optional[BaseException] = None
+
+
+def run_world(
+    world: World,
+    rank_fns: Sequence[RankFn],
+    *,
+    fn_args: Sequence[Any] = (),
+    fn_kwargs: Optional[dict] = None,
+    timeout: float = 120.0,
+) -> list[ProcResult]:
+    """Run one callable per world rank to completion; return all outcomes.
+
+    Parameters
+    ----------
+    world :
+        The world to run in; ``len(rank_fns)`` must equal ``world.nprocs``.
+    rank_fns :
+        ``rank_fns[r]`` is invoked as ``fn(comm_world, *fn_args,
+        **fn_kwargs)`` on rank *r*.
+    timeout :
+        Wall-clock budget in seconds.  On expiry the world is aborted and
+        :class:`~repro.errors.TimeoutError_` is raised.
+
+    Raises
+    ------
+    Exception
+        The root-cause failure of the job, if any rank failed: a user
+        exception is preferred over :class:`DeadlockError`, which is
+        preferred over secondary :class:`AbortError` unwinds.
+    """
+    if len(rank_fns) != world.nprocs:
+        raise ValueError(f"need {world.nprocs} rank functions, got {len(rank_fns)}")
+    fn_kwargs = fn_kwargs or {}
+    results = [ProcResult(rank=r) for r in range(world.nprocs)]
+
+    def runner(rank: int) -> None:
+        comm = make_world_comm(world, rank)
+        try:
+            results[rank].value = rank_fns[rank](comm, *fn_args, **fn_kwargs)
+        except BaseException as exc:  # noqa: BLE001 - report all failures
+            results[rank].exception = exc
+            if not isinstance(exc, AbortError):
+                world.abort(
+                    AbortError(
+                        f"world rank {rank} raised {type(exc).__name__}: {exc}",
+                        origin_rank=rank,
+                    )
+                )
+        finally:
+            world.proc_done(rank)
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"mpi-rank-{r}", daemon=True)
+        for r in range(world.nprocs)
+    ]
+    for t in threads:
+        t.start()
+
+    deadline = time.monotonic() + timeout
+    timed_out = False
+    for t in threads:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            timed_out = True
+            break
+        t.join(timeout=remaining)
+        if t.is_alive():
+            timed_out = True
+            break
+    if timed_out:
+        world.abort(AbortError(f"job exceeded wall-clock budget of {timeout}s"))
+        for t in threads:
+            t.join(timeout=2.0)
+        still = [t.name for t in threads if t.is_alive()]
+        raise TimeoutError_(
+            f"job exceeded {timeout}s"
+            + (f"; threads still running: {still}" if still else "")
+        )
+
+    _raise_root_cause(results)
+    return results
+
+
+def _raise_root_cause(results: Sequence[ProcResult]) -> None:
+    """Re-raise the most informative failure among per-rank exceptions."""
+    failures = [r for r in results if r.exception is not None]
+    if not failures:
+        return
+    for bucket in (
+        lambda e: not isinstance(e, (AbortError, DeadlockError)),
+        lambda e: isinstance(e, DeadlockError),
+        lambda e: True,
+    ):
+        chosen = next((r for r in failures if bucket(r.exception)), None)
+        if chosen is not None:
+            raise chosen.exception
+    raise AssertionError("unreachable")
+
+
+def run_spmd(
+    nprocs: int,
+    fn: RankFn,
+    *,
+    fn_args: Sequence[Any] = (),
+    fn_kwargs: Optional[dict] = None,
+    config: Optional[WorldConfig] = None,
+    timeout: float = 120.0,
+) -> list[Any]:
+    """Run *fn* on every rank of a fresh *nprocs*-process world (SPMD).
+
+    Returns the per-rank return values in rank order.
+
+    >>> from repro.mpi import run_spmd
+    >>> run_spmd(4, lambda comm: comm.allreduce(comm.rank))
+    [6, 6, 6, 6]
+    """
+    world = World(nprocs, config)
+    results = run_world(
+        world, [fn] * nprocs, fn_args=fn_args, fn_kwargs=fn_kwargs, timeout=timeout
+    )
+    return [r.value for r in results]

@@ -1,0 +1,118 @@
+"""Process groups: ordered sets of world process ids (``MPI_Group``).
+
+A :class:`Group` is an immutable value object.  Rank *r* of the group is the
+process whose world id is ``group.members[r]``.  The set algebra follows the
+MPI semantics exactly:
+
+* ``union(a, b)`` — all of *a* in order, then members of *b* not in *a*;
+* ``intersection(a, b)`` — members of *a* also in *b*, in *a*'s order;
+* ``difference(a, b)`` — members of *a* not in *b*, in *a*'s order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.mpi.constants import UNDEFINED
+
+
+class Group:
+    """An immutable ordered group of world process ids."""
+
+    __slots__ = ("_members", "_index")
+
+    def __init__(self, members: Iterable[int]):
+        members = tuple(int(m) for m in members)
+        if len(set(members)) != len(members):
+            raise ValueError(f"group members must be distinct, got {members}")
+        if any(m < 0 for m in members):
+            raise ValueError(f"group members must be non-negative, got {members}")
+        self._members = members
+        self._index = {m: r for r, m in enumerate(members)}
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """World ids of the members, in rank order."""
+        return self._members
+
+    @property
+    def size(self) -> int:
+        """Number of members (``MPI_Group_size``)."""
+        return len(self._members)
+
+    def rank_of(self, world_id: int) -> int:
+        """Rank of *world_id* in this group, or ``UNDEFINED`` if absent."""
+        return self._index.get(world_id, UNDEFINED)
+
+    def world_id(self, rank: int) -> int:
+        """World id of group rank *rank*."""
+        if not 0 <= rank < self.size:
+            raise IndexError(f"rank {rank} out of range for group of size {self.size}")
+        return self._members[rank]
+
+    def __contains__(self, world_id: int) -> bool:
+        return world_id in self._index
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group{self._members}"
+
+    # -- derivation ------------------------------------------------------------
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """New group containing the given ranks of this group, in the given
+        order (``MPI_Group_incl``)."""
+        return Group(self.world_id(r) for r in ranks)
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """New group with the given ranks of this group removed
+        (``MPI_Group_excl``)."""
+        drop = set(ranks)
+        for r in drop:
+            if not 0 <= r < self.size:
+                raise IndexError(f"rank {r} out of range for group of size {self.size}")
+        return Group(m for r, m in enumerate(self._members) if r not in drop)
+
+    def range_incl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """New group from ``(first, last, stride)`` triples
+        (``MPI_Group_range_incl``; *last* is inclusive, as in MPI)."""
+        ranks: list[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise ValueError("stride must be nonzero")
+            stop = last + (1 if stride > 0 else -1)
+            ranks.extend(range(first, stop, stride))
+        return self.incl(ranks)
+
+    # -- set algebra -------------------------------------------------------------
+
+    def union(self, other: "Group") -> "Group":
+        """MPI union: this group's members in order, then *other*'s members
+        not already present, in *other*'s order."""
+        extra = [m for m in other._members if m not in self._index]
+        return Group(self._members + tuple(extra))
+
+    def intersection(self, other: "Group") -> "Group":
+        """MPI intersection: members of this group also in *other*, in this
+        group's order."""
+        return Group(m for m in self._members if m in other._index)
+
+    def difference(self, other: "Group") -> "Group":
+        """MPI difference: members of this group not in *other*, in this
+        group's order."""
+        return Group(m for m in self._members if m not in other._index)
+
+    def translate_ranks(self, ranks: Sequence[int], other: "Group") -> list[int]:
+        """For each of this group's *ranks*, the corresponding rank in
+        *other* (``UNDEFINED`` where the process is not a member)."""
+        return [other.rank_of(self.world_id(r)) for r in ranks]

@@ -1,0 +1,254 @@
+"""Per-process message queues with MPI matching semantics.
+
+Each simulated process owns one :class:`Mailbox`.  A mailbox holds two
+queues:
+
+* ``pending`` — envelopes that have arrived but matched no receive yet;
+* ``posted`` — receives that have been posted but matched no envelope yet.
+
+Matching follows the MPI rules: a receive selects the *earliest-arrived*
+pending envelope whose ``(context, source, tag)`` it accepts (wildcards
+``ANY_SOURCE`` / ``ANY_TAG`` allowed on the receive side only), and an
+arriving envelope is handed to the *earliest-posted* receive that accepts
+it.  Because arrival order is preserved per source, the MPI non-overtaking
+guarantee holds.
+
+The context id — one per communicator per traffic class (point-to-point vs
+collective) — isolates communicators from each other exactly as real MPI
+contexts do, so a stray ``tag=0`` user message can never be swallowed by a
+collective in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import AbortError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import World
+
+
+class Envelope:
+    """A message in flight: routing metadata plus an opaque payload.
+
+    ``payload`` is either pickled bytes (object mode) or a private numpy
+    array copy (buffer mode); the :class:`~repro.mpi.comm.Comm` layer decides
+    which and how to decode.  ``count`` is the payload size for ``Status``.
+    """
+
+    __slots__ = ("context", "source", "tag", "payload", "kind", "count", "sync_event")
+
+    def __init__(
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        payload,
+        kind: str,
+        count: int,
+        sync_event: Optional[threading.Event] = None,
+    ):
+        self.context = context
+        self.source = source
+        self.tag = tag
+        self.payload = payload
+        self.kind = kind
+        self.count = count
+        #: Set when a matching receive claims this envelope; used by
+        #: synchronous sends (``ssend``) to block until matched.
+        self.sync_event = sync_event
+
+    def matches(self, context: int, source: int, tag: int) -> bool:
+        """Whether this envelope satisfies a receive pattern."""
+        return (
+            self.context == context
+            and (source == ANY_SOURCE or source == self.source)
+            and (tag == ANY_TAG or tag == self.tag)
+        )
+
+
+class PostedRecv:
+    """A posted receive awaiting a matching envelope."""
+
+    __slots__ = ("context", "source", "tag", "envelope")
+
+    def __init__(self, context: int, source: int, tag: int):
+        self.context = context
+        self.source = source
+        self.tag = tag
+        #: Filled in (under the mailbox lock) when a match is made.
+        self.envelope: Optional[Envelope] = None
+
+    def accepts(self, env: Envelope) -> bool:
+        """Whether this posted receive accepts *env*."""
+        return env.matches(self.context, self.source, self.tag)
+
+    @property
+    def done(self) -> bool:
+        """Whether a matching envelope has been attached."""
+        return self.envelope is not None
+
+
+#: How often (seconds) blocked waiters wake to re-check for aborts.  Short
+#: enough that deadlock aborts propagate promptly, long enough to stay cheap.
+_WAIT_SLICE = 0.05
+
+
+def _payload_bytes(env: Envelope) -> int:
+    """Approximate wire size of an envelope's payload."""
+    payload = env.payload
+    if env.kind == "object":
+        return len(payload)
+    if env.kind == "buffer":
+        return payload.nbytes
+    if env.kind == "bufcoll":
+        return payload[1].nbytes
+    return 0  # pragma: no cover - no other kinds exist
+
+
+class Mailbox:
+    """The incoming-message endpoint of one simulated process."""
+
+    def __init__(self, world: "World", owner_rank: int):
+        self._world = world
+        #: World rank of the owning process.
+        self.owner = owner_rank
+        self._cond = threading.Condition()
+        self._pending: deque[Envelope] = deque()
+        self._posted: deque[PostedRecv] = deque()
+
+    # -- delivery (called from the *sender's* thread) ----------------------
+
+    def deliver(self, env: Envelope) -> None:
+        """Hand an envelope to this mailbox, matching a posted receive if
+        one accepts it, else queueing it as pending."""
+        self._world.record_traffic(env.kind, _payload_bytes(env))
+        matched = False
+        with self._cond:
+            for pr in self._posted:
+                if pr.accepts(env):
+                    self._posted.remove(pr)
+                    pr.envelope = env
+                    matched = True
+                    break
+            else:
+                self._pending.append(env)
+            self._cond.notify_all()
+        self._world.note_activity()
+        if matched and env.sync_event is not None:
+            # Matched immediately by a posted receive: release a blocked
+            # synchronous sender.
+            env.sync_event.set()
+
+    # -- receiving (called from the *owner's* thread) ----------------------
+
+    def post_recv(self, context: int, source: int, tag: int) -> PostedRecv:
+        """Post a receive; match immediately against pending envelopes."""
+        pr = PostedRecv(context, source, tag)
+        claimed: Optional[Envelope] = None
+        with self._cond:
+            for env in self._pending:
+                if pr.accepts(env):
+                    self._pending.remove(env)
+                    pr.envelope = env
+                    claimed = env
+                    break
+            else:
+                self._posted.append(pr)
+        if claimed is not None:
+            self._world.note_activity()
+            if claimed.sync_event is not None:
+                claimed.sync_event.set()
+        return pr
+
+    def cancel(self, pr: PostedRecv) -> bool:
+        """Remove a not-yet-matched posted receive.  Returns True if it was
+        still unmatched (and is now cancelled)."""
+        with self._cond:
+            if pr in self._posted:
+                self._posted.remove(pr)
+                return True
+            return False
+
+    def wait(self, pr: PostedRecv, what: str) -> Envelope:
+        """Block until *pr* is matched; abort-aware and deadlock-detecting.
+
+        Parameters
+        ----------
+        pr :
+            The posted receive to wait on.
+        what :
+            Human-readable description of the blocking call, shown in
+            deadlock diagnostics (e.g. ``"recv(source=2, tag=7)"``).
+        """
+        if pr.envelope is not None:
+            return pr.envelope
+        world = self._world
+        world.block_enter(self.owner, what)
+        try:
+            while True:
+                with self._cond:
+                    if pr.envelope is not None:
+                        return pr.envelope
+                    world.check_abort()
+                    self._cond.wait(timeout=_WAIT_SLICE)
+                # The deadlock check may abort the world and wake every
+                # mailbox; it must run with no mailbox lock held to keep a
+                # global lock order (see World.abort).
+                world.maybe_detect_deadlock()
+        finally:
+            world.block_exit(self.owner)
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self, context: int, source: int, tag: int, block: bool, what: str) -> Optional[Envelope]:
+        """Peek at the earliest pending envelope matching the pattern.
+
+        With ``block=True``, waits (abort-aware) until one arrives.  The
+        envelope is *not* removed.  Returns ``None`` only when non-blocking
+        and nothing matches.
+        """
+        world = self._world
+
+        def scan() -> Optional[Envelope]:
+            for env in self._pending:
+                if env.matches(context, source, tag):
+                    return env
+            return None
+
+        with self._cond:
+            env = scan()
+            if env is not None or not block:
+                return env
+        world.block_enter(self.owner, what)
+        try:
+            while True:
+                with self._cond:
+                    env = scan()
+                    if env is not None:
+                        return env
+                    world.check_abort()
+                    self._cond.wait(timeout=_WAIT_SLICE)
+                world.maybe_detect_deadlock()
+        finally:
+            world.block_exit(self.owner)
+
+    # -- maintenance --------------------------------------------------------
+
+    def wake(self) -> None:
+        """Wake all waiters (used by :meth:`World.abort`)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def stats(self) -> tuple[int, int]:
+        """Return ``(pending, posted)`` queue depths (diagnostics only)."""
+        with self._cond:
+            return len(self._pending), len(self._posted)
+
+    def check_abort(self) -> None:
+        """Raise :class:`AbortError` if the world has aborted."""
+        self._world.check_abort()

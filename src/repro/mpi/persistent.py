@@ -1,0 +1,138 @@
+"""Persistent communication requests (``MPI_Send_init`` family).
+
+Fixed communication patterns — above all the per-step halo exchange —
+re-specify the same (buffer, peer, tag) triple every iteration.  MPI's
+persistent requests bind the triple once; each iteration then only
+``start``s and ``wait``s.  Semantics follow MPI: a request cycles
+*inactive → active → complete*; ``start`` on an active receive is an
+error; buffers are read (sends) or written (receives) at the
+``start``/``wait`` boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import CommError, TruncationError
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, is_valid_recv_tag, is_valid_tag
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.comm import Comm
+
+
+class Prequest(Request):
+    """Base persistent request: the start/wait cycle machinery."""
+
+    def __init__(self, comm: "Comm", what: str):
+        self._comm = comm
+        self._what = what
+        self._active = False
+
+    @property
+    def active(self) -> bool:
+        """Whether a started operation is still outstanding."""
+        return self._active
+
+    def start(self) -> "Prequest":
+        """Begin one cycle of the bound operation; returns self."""
+        if self._active:
+            raise CommError(f"persistent request already active: {self._what}")
+        self._start()
+        self._active = True
+        return self
+
+    def _start(self) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def startall(requests: Sequence["Prequest"]) -> None:
+        """Start every request (``MPI_Startall``)."""
+        for req in requests:
+            req.start()
+
+
+class PersistentSend(Prequest):
+    """A persistent buffer-mode send: the buffer's *current* contents are
+    snapshotted at each ``start`` (eager delivery, so the cycle completes
+    immediately)."""
+
+    def __init__(self, comm: "Comm", buf: np.ndarray, dest: int, tag: int):
+        # Destination validation (including PROC_NULL) happens in
+        # Comm.Send_init before construction.
+        if not is_valid_tag(tag):
+            raise CommError(f"invalid send tag {tag}")
+        super().__init__(comm, f"Send_init(dest={dest}, tag={tag})")
+        self._buf = np.asarray(buf)
+        self._dest = dest
+        self._tag = tag
+
+    def _start(self) -> None:
+        self._comm.Send(self._buf, self._dest, self._tag)
+
+    def wait(self, status: Optional[Status] = None):
+        """Complete the cycle (sends are eager, so this only resets)."""
+        if not self._active:
+            raise CommError(f"wait on inactive persistent request: {self._what}")
+        self._active = False
+        return None
+
+    def test(self, status: Optional[Status] = None):
+        """Persistent sends complete at start (eager delivery)."""
+        if not self._active:
+            return True, None
+        self._active = False
+        return True, None
+
+
+class PersistentRecv(Prequest):
+    """A persistent buffer-mode receive into a bound buffer."""
+
+    def __init__(self, comm: "Comm", buf: np.ndarray, source: int, tag: int):
+        if source != ANY_SOURCE and not 0 <= source < comm.size:
+            raise CommError(f"source rank {source} out of range")
+        if not is_valid_recv_tag(tag):
+            raise CommError(f"invalid receive tag {tag}")
+        super().__init__(comm, f"Recv_init(source={source}, tag={tag})")
+        self._buf = np.asarray(buf)
+        self._source = source
+        self._tag = tag
+        self._posted = None
+
+    def _start(self) -> None:
+        self._posted = self._comm._mailbox.post_recv(
+            self._comm._p2p_ctx, self._source, self._tag
+        )
+
+    def wait(self, status: Optional[Status] = None):
+        """Block for the matching message and copy it into the bound
+        buffer; returns the buffer."""
+        if not self._active or self._posted is None:
+            raise CommError(f"wait on inactive persistent request: {self._what}")
+        env = self._comm._mailbox.wait(self._posted, self._what)
+        from repro.mpi.comm import _decode_buffer
+
+        arr = _decode_buffer(env)
+        if arr.size > self._buf.size:
+            raise TruncationError(
+                f"message of {arr.size} elements truncates persistent buffer of "
+                f"{self._buf.size}"
+            )
+        flat = self._buf.reshape(-1)
+        flat[: arr.size] = arr.reshape(-1)
+        if status is not None:
+            status.source, status.tag, status.count = env.source, env.tag, arr.size
+        self._active = False
+        self._posted = None
+        return self._buf
+
+    def test(self, status: Optional[Status] = None):
+        """Nonblocking completion check; copies on success."""
+        if not self._active or self._posted is None:
+            return True, self._buf
+        if self._posted.envelope is None:
+            return False, None
+        return True, self.wait(status)

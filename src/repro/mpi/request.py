@@ -1,0 +1,153 @@
+"""Nonblocking communication requests (the ``MPI_Request`` analogue).
+
+``isend`` in this substrate is *eager*: the message is delivered into the
+destination mailbox before the call returns, so send requests are born
+complete (real MPI behaves this way for small messages).  ``irecv`` posts a
+receive immediately — matching order is the MPI posted-receive order — and
+the request completes when a matching envelope arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mpi.mailbox import Envelope, Mailbox, PostedRecv
+from repro.mpi.status import Status
+
+
+class Request:
+    """Base class for nonblocking-operation handles."""
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        """Block until the operation completes; return its value (the
+        received object for receives, ``None`` for sends)."""
+        raise NotImplementedError
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        """Nonblocking completion check: ``(done, value)``.  ``value`` is
+        meaningful only when ``done`` is true."""
+        raise NotImplementedError
+
+    def cancel(self) -> bool:
+        """Attempt to cancel; returns True on success.  Only unmatched
+        receives can be cancelled."""
+        return False
+
+    # mpi4py-style aliases -------------------------------------------------
+
+    def Wait(self, status: Optional[Status] = None) -> Any:
+        """Alias of :meth:`wait` (mpi4py naming)."""
+        return self.wait(status)
+
+    def Test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        """Alias of :meth:`test` (mpi4py naming)."""
+        return self.test(status)
+
+    @staticmethod
+    def waitall(requests: Sequence["Request"]) -> list[Any]:
+        """Wait for every request; return their values in order."""
+        return [req.wait() for req in requests]
+
+    @staticmethod
+    def testall(requests: Sequence["Request"]) -> tuple[bool, list[Any]]:
+        """Test all requests; ``(all_done, values)`` with values meaningful
+        only when ``all_done``.  Does not consume incomplete requests."""
+        results = [req.test() for req in requests]
+        done = all(flag for flag, _ in results)
+        return done, ([value for _, value in results] if done else [])
+
+    @staticmethod
+    def waitany(requests: Sequence["Request"]) -> tuple[int, Any]:
+        """Block until any request completes; ``(index, value)``
+        (``MPI_Waitany``).  Polls with a short back-off, abort-aware
+        through the underlying receives."""
+        import time as _time
+
+        if not requests:
+            raise ValueError("waitany needs at least one request")
+        while True:
+            for i, req in enumerate(requests):
+                done, value = req.test()
+                if done:
+                    return i, value
+            _time.sleep(0.0005)
+
+    @staticmethod
+    def waitsome(requests: Sequence["Request"]) -> list[tuple[int, Any]]:
+        """Block until at least one request completes; return every
+        completed ``(index, value)`` (``MPI_Waitsome``)."""
+        import time as _time
+
+        if not requests:
+            raise ValueError("waitsome needs at least one request")
+        while True:
+            done = [
+                (i, value)
+                for i, (flag, value) in enumerate(req.test() for req in requests)
+                if flag
+            ]
+            if done:
+                return done
+            _time.sleep(0.0005)
+
+
+class SendRequest(Request):
+    """A completed (eager) send."""
+
+    __slots__ = ()
+
+    def wait(self, status: Optional[Status] = None) -> None:
+        return None
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        return True, None
+
+
+class RecvRequest(Request):
+    """A posted receive awaiting its match."""
+
+    __slots__ = ("_mailbox", "_posted", "_finish", "_what", "_value", "_done")
+
+    def __init__(
+        self,
+        mailbox: Mailbox,
+        posted: PostedRecv,
+        finish: Callable[[Envelope], Any],
+        what: str,
+    ):
+        self._mailbox = mailbox
+        self._posted = posted
+        #: Decodes the envelope into the user-visible value (unpickle for
+        #: object mode, buffer copy for buffer mode).
+        self._finish = finish
+        self._what = what
+        self._value: Any = None
+        self._done = False
+
+    def _complete(self, env: Envelope, status: Optional[Status]) -> Any:
+        if not self._done:
+            self._value = self._finish(env)
+            self._done = True
+        if status is not None:
+            status.source = env.source
+            status.tag = env.tag
+            status.count = env.count
+        return self._value
+
+    def wait(self, status: Optional[Status] = None) -> Any:
+        if self._done:
+            env = self._posted.envelope
+            assert env is not None
+            return self._complete(env, status)
+        env = self._mailbox.wait(self._posted, self._what)
+        return self._complete(env, status)
+
+    def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
+        self._mailbox.check_abort()
+        env = self._posted.envelope
+        if env is None:
+            return False, None
+        return True, self._complete(env, status)
+
+    def cancel(self) -> bool:
+        return self._mailbox.cancel(self._posted)

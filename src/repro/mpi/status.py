@@ -1,0 +1,41 @@
+"""Receive status objects (the ``MPI_Status`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Status:
+    """Metadata about a received (or probed) message.
+
+    Attributes
+    ----------
+    source :
+        Rank of the sender *within the communicator the receive used*.
+    tag :
+        Tag the message was sent with.
+    count :
+        Payload size: element count for buffer-mode messages, pickled byte
+        length for object-mode messages.  ``0`` for empty messages.
+    cancelled :
+        Whether the underlying request was cancelled (always False here —
+        kept for API parity).
+    """
+
+    source: int = -1
+    tag: int = -1
+    count: int = 0
+    cancelled: bool = False
+
+    def Get_source(self) -> int:
+        """mpi4py-style accessor for :attr:`source`."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """mpi4py-style accessor for :attr:`tag`."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """mpi4py-style accessor for :attr:`count`."""
+        return self.count

@@ -1,0 +1,262 @@
+"""The shared state of one simulated MPI job: the *world*.
+
+A :class:`World` owns the mailboxes of all processes, allocates communicator
+context ids, records per-process liveness and blocking state, and implements
+the two safety nets real MPI lacks:
+
+* **abort propagation** — when any process raises, every blocked sibling is
+  woken with :class:`~repro.errors.AbortError` instead of hanging the job;
+* **deadlock detection** — when every live process is blocked and no message
+  has moved for a grace period, the world declares deadlock and reports what
+  each rank was blocked on.
+
+Algorithm selection for the collectives lives in :class:`WorldConfig` so
+benchmarks can ablate (e.g. linear vs binomial-tree broadcast).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import AbortError, DeadlockError
+from repro.mpi.mailbox import Mailbox
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate message-traffic counters of one world.
+
+    ``messages``/``payload_bytes`` count every delivered envelope;
+    ``by_kind`` splits by transport ("object" = pickled, "buffer" =
+    point-to-point numpy, "bufcoll" = buffer-mode collective).  The
+    counters make algorithmic message complexity *testable* — e.g. a
+    linear broadcast on P ranks must deliver exactly P-1 messages.
+    """
+
+    messages: int = 0
+    payload_bytes: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def snapshot(self) -> "TrafficStats":
+        """A copy safe to compare against later counts."""
+        return TrafficStats(self.messages, self.payload_bytes, dict(self.by_kind))
+
+    def since(self, earlier: "TrafficStats") -> "TrafficStats":
+        """Traffic recorded after *earlier* was snapshotted."""
+        kinds = {
+            k: self.by_kind.get(k, 0) - earlier.by_kind.get(k, 0)
+            for k in set(self.by_kind) | set(earlier.by_kind)
+        }
+        return TrafficStats(
+            self.messages - earlier.messages,
+            self.payload_bytes - earlier.payload_bytes,
+            {k: v for k, v in kinds.items() if v},
+        )
+
+
+@dataclass
+class WorldConfig:
+    """Tunable behaviour of a simulated world.
+
+    Attributes
+    ----------
+    bcast_algorithm :
+        ``"binomial"`` (tree, O(log P) rounds) or ``"linear"`` (root sends
+        to every rank).  Ablation target for the substrate benchmarks.
+    reduce_algorithm :
+        ``"binomial"`` or ``"linear"``.
+    allreduce_algorithm :
+        ``"recursive_doubling"`` or ``"reduce_bcast"``.
+    allgather_algorithm :
+        ``"ring"`` or ``"gather_bcast"``.
+    barrier_algorithm :
+        ``"dissemination"`` or ``"linear"``.
+    validate_collectives :
+        When true, every collective message carries an operation header that
+        is checked on receipt; mismatched collective calls across ranks then
+        raise :class:`~repro.errors.CollectiveMismatchError` instead of
+        producing garbage.
+    deadlock_detection :
+        Enable the all-blocked watchdog.
+    deadlock_grace :
+        Seconds of global inactivity with every process blocked before
+        deadlock is declared.
+    max_components_per_executable :
+        The paper's Section 4.3 limit ("Each executable could contain up to
+        10 components") — consulted by MPH, carried here so one config object
+        travels with the job.
+    """
+
+    bcast_algorithm: str = "binomial"
+    reduce_algorithm: str = "binomial"
+    allreduce_algorithm: str = "recursive_doubling"
+    allgather_algorithm: str = "ring"
+    barrier_algorithm: str = "dissemination"
+    validate_collectives: bool = True
+    deadlock_detection: bool = True
+    deadlock_grace: float = 1.0
+    max_components_per_executable: int = 10
+
+
+class World:
+    """Shared infrastructure for ``nprocs`` simulated MPI processes."""
+
+    def __init__(self, nprocs: int, config: WorldConfig | None = None):
+        if nprocs < 1:
+            raise ValueError(f"world size must be >= 1, got {nprocs}")
+        #: Number of processes in the world (never changes).
+        self.nprocs = nprocs
+        #: Behaviour knobs shared by every communicator of this world.
+        self.config = config or WorldConfig()
+        #: One mailbox per process, indexed by world rank.
+        self.mailboxes = [Mailbox(self, r) for r in range(nprocs)]
+
+        # Context ids: 0/1 are reserved for COMM_WORLD's p2p/collective
+        # traffic; communicator-creating operations allocate pairs above.
+        self._ctx_lock = threading.Lock()
+        self._next_ctx = 2
+
+        self._state_lock = threading.Lock()
+        self._alive: set[int] = set(range(nprocs))
+        self._blocked: dict[int, str] = {}
+        self._activity = 0
+        self._last_activity = time.monotonic()
+
+        self._abort_lock = threading.Lock()
+        self._abort_exc: AbortError | None = None
+
+        self._traffic_lock = threading.Lock()
+        #: Aggregate traffic counters (read via :meth:`traffic_snapshot`).
+        self.traffic = TrafficStats()
+
+    # -- context ids --------------------------------------------------------
+
+    def alloc_context_pair(self) -> tuple[int, int]:
+        """Allocate a fresh ``(p2p, collective)`` context-id pair.
+
+        Allocation is done by a single agreeing process (e.g. the root of a
+        ``Split``) and distributed to the members, so ids are consistent
+        across a new communicator by construction.
+        """
+        with self._ctx_lock:
+            pair = (self._next_ctx, self._next_ctx + 1)
+            self._next_ctx += 2
+            return pair
+
+    # -- traffic accounting ---------------------------------------------------
+
+    def record_traffic(self, kind: str, nbytes: int) -> None:
+        """Count one delivered envelope (called by the mailboxes)."""
+        with self._traffic_lock:
+            self.traffic.messages += 1
+            self.traffic.payload_bytes += nbytes
+            self.traffic.by_kind[kind] = self.traffic.by_kind.get(kind, 0) + 1
+
+    def traffic_snapshot(self) -> TrafficStats:
+        """A consistent copy of the traffic counters."""
+        with self._traffic_lock:
+            return self.traffic.snapshot()
+
+    # -- activity / liveness tracking ----------------------------------------
+
+    def note_activity(self) -> None:
+        """Record message movement (delivery or match) for the watchdog."""
+        with self._state_lock:
+            self._activity += 1
+            self._last_activity = time.monotonic()
+
+    def block_enter(self, rank: int, what: str) -> None:
+        """Mark *rank* as blocked in the call described by *what*."""
+        with self._state_lock:
+            self._blocked[rank] = what
+
+    def block_exit(self, rank: int) -> None:
+        """Mark *rank* as running again."""
+        with self._state_lock:
+            self._blocked.pop(rank, None)
+
+    def proc_done(self, rank: int) -> None:
+        """Mark *rank* as finished (returned or raised)."""
+        with self._state_lock:
+            self._alive.discard(rank)
+            self._blocked.pop(rank, None)
+
+    # -- abort handling -------------------------------------------------------
+
+    def abort(self, exc: AbortError) -> None:
+        """Abort the world: record *exc* (first abort wins) and wake every
+        blocked process so it can observe the abort and unwind."""
+        with self._abort_lock:
+            if self._abort_exc is None:
+                self._abort_exc = exc
+        for mb in self.mailboxes:
+            mb.wake()
+
+    @property
+    def aborted(self) -> bool:
+        """Whether the world has been aborted."""
+        return self._abort_exc is not None
+
+    def check_abort(self) -> None:
+        """Raise the recorded :class:`AbortError` if the world aborted."""
+        exc = self._abort_exc
+        if exc is not None:
+            raise AbortError(str(exc), origin_rank=exc.origin_rank)
+
+    def wait_event(self, event: threading.Event, rank: int, what: str) -> None:
+        """Abort-aware, deadlock-detecting wait on a plain event (used by
+        synchronous sends, which block until their message is matched)."""
+        self.block_enter(rank, what)
+        try:
+            while not event.wait(timeout=0.05):
+                self.check_abort()
+                self.maybe_detect_deadlock()
+        finally:
+            self.block_exit(rank)
+
+    # -- deadlock detection ----------------------------------------------------
+
+    def maybe_detect_deadlock(self) -> None:
+        """Declare deadlock if every live process is blocked and nothing has
+        moved for the configured grace period.
+
+        Called by blocked waiters on each wait-slice wakeup.  Safe against
+        false positives: a waiter whose wake condition became true exits its
+        wait (and the blocked set) within one slice, and any message movement
+        refreshes the activity clock.
+        """
+        if not self.config.deadlock_detection:
+            return
+        if self.aborted:
+            # Another process already declared the failure; let the caller's
+            # next check_abort unwind this one quietly.
+            self.check_abort()
+        with self._state_lock:
+            alive = len(self._alive)
+            if alive == 0 or len(self._blocked) < alive:
+                return
+            if time.monotonic() - self._last_activity < self.config.deadlock_grace:
+                return
+            blocked = dict(self._blocked)
+        detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        err = DeadlockError(
+            f"deadlock detected: all {alive} live processes blocked ({detail})",
+            blocked_on=blocked,
+        )
+        self.abort(AbortError(str(err)))
+        raise err
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A diagnostic snapshot of liveness, blocking and queue depths."""
+        with self._state_lock:
+            alive = sorted(self._alive)
+            blocked = dict(self._blocked)
+        return {
+            "alive": alive,
+            "blocked": blocked,
+            "queues": {r: mb.stats() for r, mb in enumerate(self.mailboxes)},
+        }

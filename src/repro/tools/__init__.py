@@ -1,0 +1,12 @@
+"""Command-line tools.
+
+* :mod:`repro.tools.mphrun` — the ``mphrun`` MPMD launcher front-end;
+* :mod:`repro.tools.registry_lint` — ``mph-registry``, offline
+  registration-file validation and layout preview;
+* :mod:`repro.tools.apidoc` — the API-reference generator.
+
+Modules are not imported here so ``python -m repro.tools.<tool>`` runs
+without double-import warnings; import the tool module you need.
+"""
+
+__all__: list[str] = []

@@ -1,0 +1,119 @@
+"""API-reference generator: ``python -m repro.tools.apidoc > docs/api.md``.
+
+Walks the public surface (everything exported through each subpackage's
+``__all__``) and emits a markdown reference from the docstrings' first
+paragraphs — kept in-repo so the reference regenerates from the code and
+can never drift silently.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from typing import Iterable
+
+#: Subpackages documented, in reading order.
+PACKAGES = [
+    "repro",
+    "repro.mpi",
+    "repro.launcher",
+    "repro.core",
+    "repro.grid",
+    "repro.climate",
+    "repro.baselines",
+    "repro.tools",
+]
+
+
+def first_paragraph(obj) -> str:
+    """The first docstring paragraph, flattened to one line."""
+    doc = inspect.getdoc(obj) or ""
+    para = doc.split("\n\n", 1)[0]
+    return " ".join(para.split())
+
+
+def signature_of(obj) -> str:
+    """A display signature for callables (empty for classes that hide
+    their constructor and for non-callables)."""
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return ""
+
+
+def public_members(module) -> Iterable[tuple[str, object]]:
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        yield name, getattr(module, name)
+
+
+def render_module(name: str) -> str:
+    module = importlib.import_module(name)
+    lines = [f"## `{name}`", "", first_paragraph(module), ""]
+    classes, functions, constants = [], [], []
+    for member_name, obj in public_members(module):
+        if inspect.isclass(obj):
+            classes.append((member_name, obj))
+        elif inspect.isroutine(obj):
+            functions.append((member_name, obj))
+        elif not inspect.ismodule(obj):
+            constants.append((member_name, obj))
+
+    if classes:
+        lines.append("### Classes")
+        lines.append("")
+        for member_name, obj in classes:
+            lines.append(f"* **`{member_name}`** — {first_paragraph(obj)}")
+            methods = [
+                (m_name, m)
+                for m_name, m in inspect.getmembers(obj, inspect.isfunction)
+                if not m_name.startswith("_") and m.__qualname__.startswith(obj.__name__)
+            ]
+            for m_name, m in methods:
+                summary = first_paragraph(m)
+                if summary:
+                    lines.append(f"    * `.{m_name}{signature_of(m)}` — {summary}")
+        lines.append("")
+    if functions:
+        lines.append("### Functions")
+        lines.append("")
+        for member_name, obj in functions:
+            lines.append(f"* **`{member_name}{signature_of(obj)}`** — {first_paragraph(obj)}")
+        lines.append("")
+    if constants:
+        lines.append("### Constants")
+        lines.append("")
+        for member_name, obj in constants:
+            rep = repr(obj)
+            if len(rep) > 60:
+                rep = type(obj).__name__
+            lines.append(f"* **`{member_name}`** = `{rep}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render() -> str:
+    """The full API reference as markdown."""
+    parts = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `python -m repro.tools.apidoc`;",
+        "regenerate after changing any public surface.",
+        "",
+    ]
+    for name in PACKAGES:
+        parts.append(render_module(name))
+    return "\n".join(parts) + "\n"
+
+
+def main() -> int:
+    """Entry point: write the reference to stdout."""
+    sys.stdout.write(render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Fortran-flavoured text parsing helpers for MPH input files.
+
+The MPH registration file (``processors_map.in``) and the MPMD command file
+use a simple line-oriented format with ``!`` comments (the Fortran comment
+character, as seen in the paper's Section 4.3 example) and whitespace-
+separated fields.  These helpers centralise the lexing rules so the registry
+parser and the command-file parser share one set of conventions.
+"""
+
+from __future__ import annotations
+
+#: Characters that begin a to-end-of-line comment.  ``!`` is what the paper's
+#: examples use; ``#`` is accepted as a convenience for Python users.
+COMMENT_CHARS = ("!", "#")
+
+
+def strip_comment(line: str) -> str:
+    """Return *line* with any trailing ``!`` or ``#`` comment removed.
+
+    >>> strip_comment("atmosphere 0 15   ! overlap with atm")
+    'atmosphere 0 15'
+    """
+    cut = len(line)
+    for ch in COMMENT_CHARS:
+        pos = line.find(ch)
+        if pos != -1:
+            cut = min(cut, pos)
+    return line[:cut].rstrip()
+
+
+def tokenize_line(line: str) -> list[str]:
+    """Split *line* into whitespace-separated tokens after comment removal.
+
+    Blank and comment-only lines yield an empty list.
+    """
+    return strip_comment(line).split()
+
+
+def parse_scalar(text: str) -> int | float | str:
+    """Parse *text* as an int if possible, else a float, else leave a string.
+
+    This mirrors the behaviour of MPH's Fortran ``MPH_get_argument`` family,
+    where the type of the output variable selects the conversion; in Python
+    we infer the natural type and let callers request a specific one.
+
+    >>> parse_scalar("3")
+    3
+    >>> parse_scalar("4.5")
+    4.5
+    >>> parse_scalar("finite_volume")
+    'finite_volume'
+    """
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_proc_range(tokens: list[str]) -> tuple[int, int]:
+    """Parse a ``low high`` processor range from the first two tokens.
+
+    Raises ``ValueError`` if the tokens are not integers or the range is
+    inverted or negative, with a message suitable for wrapping in a
+    :class:`repro.errors.RegistryError`.
+    """
+    if len(tokens) < 2:
+        raise ValueError("expected 'low high' processor range")
+    try:
+        low, high = int(tokens[0]), int(tokens[1])
+    except ValueError as exc:
+        raise ValueError(f"processor range must be integers, got {tokens[:2]!r}") from exc
+    if low < 0 or high < low:
+        raise ValueError(f"invalid processor range {low}..{high}")
+    return low, high

@@ -1,0 +1,63 @@
+"""Timing primitives used by the benchmark harness and diagnostics.
+
+Following the hpc-parallel optimisation workflow (measure first, then
+optimise), these helpers provide cheap wall-clock measurement with proper
+use of the monotonic high-resolution clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """A context-manager stopwatch around ``time.perf_counter``.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        #: Elapsed seconds of the most recent timed region.
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class CountingTimer:
+    """Accumulates total time and call count across many timed regions.
+
+    Useful for instrumenting repeated operations (e.g. per-step coupling
+    exchanges) where a single elapsed figure hides the per-call cost.
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "CountingTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed region (0.0 before the first region)."""
+        return self.total / self.count if self.count else 0.0

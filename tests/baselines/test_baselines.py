@@ -1,0 +1,117 @@
+"""Baselines: the pre-MPH approaches, and the comparisons the paper draws
+(experiments E10 and E12)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.file_coupling import run_file_coupled
+from repro.baselines.independent_jobs import (
+    perturbed_params,
+    postprocess,
+    run_independent_ensemble,
+    run_one_member,
+)
+from repro.baselines.pcm_monolithic import StaticAllocation, hardwired_ranges, run_pcm_monolithic
+from repro.climate.ccsm import MODEL_KINDS, CCSMConfig, run_ccsm
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+
+FAST_CFG = CCSMConfig(nsteps=2)
+
+
+class TestPcmMonolithic:
+    @pytest.fixture(scope="class")
+    def mono(self):
+        return run_pcm_monolithic(FAST_CFG)
+
+    def test_same_physics_as_mph(self, mono):
+        """E12 control: the hardwired build and MPH MCSE agree bitwise —
+        MPH adds flexibility, not different numbers."""
+        mph = run_ccsm("mcse", FAST_CFG)
+        for kind in MODEL_KINDS:
+            np.testing.assert_array_equal(mono[kind]["final_field"], mph[kind]["final_field"])
+
+    def test_static_allocation_waste(self, mono):
+        """E12: every process of the monolithic build carries every
+        module's statics."""
+        mem: StaticAllocation = mono["memory"]
+        assert mem.all_modules_bytes > mem.own_component_bytes
+        assert mem.waste_factor > 2.0
+
+    def test_hardwired_ranges_are_contiguous(self):
+        ranges = hardwired_ranges(CCSMConfig())
+        bounds = sorted(ranges.values())
+        for (lo1, hi1), (lo2, _) in zip(bounds, bounds[1:]):
+            assert lo2 == hi1 + 1
+
+    def test_exchange_residual_roundoff(self, mono):
+        assert mono["coupler"]["max_exchange_residual"] < 1e-10
+
+
+class TestIndependentJobs:
+    GRID = LatLonGrid(4, 8)
+
+    def test_members_perturbed_distinctly(self):
+        p0, p1 = perturbed_params(0), perturbed_params(1)
+        assert p0.albedo != p1.albedo
+
+    def test_campaign_writes_files(self, tmp_path):
+        report = run_independent_ensemble(3, self.GRID, 4, 3600.0, tmp_path)
+        assert report.files_written == 12
+        assert report.bytes_written > 0
+        assert len(list(tmp_path.glob("*.npy"))) == 12
+
+    def test_postprocess_statistics(self, tmp_path):
+        report = run_independent_ensemble(3, self.GRID, 3, 3600.0, tmp_path)
+        assert len(report.mean_series) == 3
+        assert np.all(report.spread_series >= 0)
+        # median lies within the spread envelope
+        assert np.all(report.median_series <= report.mean_series + report.spread_series)
+
+    def test_postprocess_fails_on_missing_file(self, tmp_path):
+        run_independent_ensemble(2, self.GRID, 2, 3600.0, tmp_path)
+        victim = next(iter(tmp_path.glob("*.npy")))
+        victim.unlink()
+        with pytest.raises(ReproError, match="missing sample"):
+            postprocess(tmp_path, 2, 2)
+
+    def test_member_without_outdir_writes_nothing(self):
+        files, nbytes, means = run_one_member(0, self.GRID, 3, 3600.0, outdir=None)
+        assert files == 0 and nbytes == 0 and len(means) == 3
+
+    def test_sampling_interval(self, tmp_path):
+        report = run_independent_ensemble(2, self.GRID, 6, 3600.0, tmp_path, sample_every=3)
+        assert report.files_written == 4  # steps 0 and 3, two members
+
+    def test_zero_members_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            run_independent_ensemble(0, self.GRID, 2, 3600.0, tmp_path)
+
+    def test_e10_mime_needs_zero_files(self, tmp_path):
+        """The MIME approach computes the same statistics with no
+        intermediate storage — the E10 contrast."""
+        report = run_independent_ensemble(3, self.GRID, 3, 3600.0, tmp_path)
+        assert report.files_written > 0  # the baseline's cost
+        # (The MIME side of the comparison lives in benchmarks/bench_ensemble.py
+        # and examples/ensemble_simulation.py, which write nothing.)
+
+
+class TestFileCoupling:
+    def test_coupled_run_completes(self, tmp_path):
+        report = run_file_coupled(LatLonGrid(4, 8), 3, 3600.0, tmp_path)
+        assert report.nsteps == 3
+        assert report.files_written == 6
+        assert len(report.atm_mean_T) == 3
+
+    def test_exchange_cost_measured(self, tmp_path):
+        report = run_file_coupled(LatLonGrid(4, 8), 2, 3600.0, tmp_path)
+        assert report.atm_exchange_seconds > 0
+        assert report.ocn_exchange_seconds > 0
+
+    def test_fluxes_antisymmetric(self, tmp_path):
+        """With equal grids and the same coefficient the two sides drift
+        toward each other."""
+        report = run_file_coupled(LatLonGrid(4, 8), 8, 3600.0, tmp_path, coupling_coeff=50.0)
+        gap_first = abs(report.atm_mean_T[0] - report.ocn_mean_T[0])
+        gap_last = abs(report.atm_mean_T[-1] - report.ocn_mean_T[-1])
+        assert gap_last <= gap_first + 1.0  # no runaway divergence

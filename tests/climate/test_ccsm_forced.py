@@ -1,0 +1,66 @@
+"""The coupled system under seasonal and greenhouse forcing."""
+
+import numpy as np
+import pytest
+
+from repro.climate.ccsm import MODEL_KINDS, CCSMConfig, run_ccsm
+from repro.climate.diagnostics import energy_report
+from repro.climate.forcing import YEAR_SECONDS, CO2Scenario, SeasonalForcing
+
+
+class TestSeasonallyForcedCoupledRun:
+    def test_runs_and_books_close(self):
+        cfg = CCSMConfig(nsteps=4, forcing=SeasonalForcing())
+        diags = run_ccsm("scme", cfg)
+        report = energy_report(diags)
+        assert report.relative_unexplained() < 1e-10
+        assert diags["coupler"]["max_exchange_residual"] < 1e-10
+
+    def test_forced_differs_from_unforced(self):
+        base = run_ccsm("scme", CCSMConfig(nsteps=4))
+        # Start a quarter-year in so the declination is at solstice.
+        forced_cfg = CCSMConfig(nsteps=4, forcing=SeasonalForcing())
+        forced = run_ccsm("scme", forced_cfg)
+        assert not np.array_equal(
+            base["ocean"]["final_field"], forced["ocean"]["final_field"]
+        )
+
+    def test_forced_modes_still_identical(self):
+        cfg = CCSMConfig(nsteps=3, forcing=SeasonalForcing(), co2=CO2Scenario(rate_per_year=0.01))
+        a = run_ccsm("scme", cfg)
+        b = run_ccsm("mcme", cfg)
+        for kind in MODEL_KINDS:
+            np.testing.assert_array_equal(a[kind]["final_field"], b[kind]["final_field"])
+
+    def test_co2_warms_the_coupled_system(self):
+        """A strong CO2 ramp warms the atmosphere relative to the control
+        over the same window (the coupled analogue of the E4 scenarios)."""
+        steps = 30
+        dt = 86400.0  # daily steps keep the explicit schemes stable
+        base = run_ccsm("scme", CCSMConfig(nsteps=steps, dt=dt))
+        ramped = run_ccsm(
+            "scme",
+            CCSMConfig(nsteps=steps, dt=dt, co2=CO2Scenario(rate_per_year=1.0)),
+        )
+        base_T = base["atmosphere"]["mean_T"][-1]
+        ramp_T = ramped["atmosphere"]["mean_T"][-1]
+        assert ramp_T > base_T
+
+    def test_forced_restart_is_exact(self, tmp_path):
+        """Checkpoint/restart preserves model time, so the seasonal phase
+        continues exactly."""
+        forcing = SeasonalForcing()
+        dt = YEAR_SECONDS / 73
+        straight = run_ccsm("scme", CCSMConfig(nsteps=6, dt=dt, forcing=forcing))
+        run_ccsm(
+            "scme",
+            CCSMConfig(nsteps=3, dt=dt, forcing=forcing, checkpoint_dir=str(tmp_path)),
+        )
+        chained = run_ccsm(
+            "scme",
+            CCSMConfig(nsteps=3, dt=dt, forcing=forcing, restart_dir=str(tmp_path)),
+        )
+        for kind in MODEL_KINDS:
+            np.testing.assert_array_equal(
+                chained[kind]["final_field"], straight[kind]["final_field"]
+            )

@@ -1,0 +1,210 @@
+"""Component models: physics sanity and decomposition independence
+(repro.climate.components)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.climate.components import (
+    AtmosphereModel,
+    LandModel,
+    OceanModel,
+    PhysicsParams,
+    SeaIceModel,
+    insolation,
+)
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+
+GRID = LatLonGrid(8, 12)
+
+
+class TestPhysicsParams:
+    def test_defaults_valid(self):
+        for cls in (AtmosphereModel, OceanModel, LandModel, SeaIceModel):
+            cls.default_params().validate()
+
+    def test_negative_heat_capacity_rejected(self):
+        with pytest.raises(ReproError, match="heat_capacity"):
+            PhysicsParams(heat_capacity=-1.0).validate()
+
+    def test_albedo_range(self):
+        with pytest.raises(ReproError, match="albedo"):
+            PhysicsParams(albedo=1.5).validate()
+
+    def test_negative_diffusivity_rejected(self):
+        with pytest.raises(ReproError, match="diffusivity"):
+            PhysicsParams(diffusivity=-1e-6).validate()
+
+
+class TestInsolation:
+    def test_equator_exceeds_poles(self):
+        lat = np.array([-90.0, 0.0, 90.0])
+        q = insolation(lat, 1361.0)
+        assert q[1] > q[0] and q[1] > q[2]
+
+    def test_hemispheric_symmetry(self):
+        q = insolation(np.array([-45.0, 45.0]), 1361.0)
+        assert q[0] == pytest.approx(q[1])
+
+    def test_global_mean_is_quarter_solar_constant(self):
+        g = LatLonGrid(64, 2)
+        q = insolation(g.lat_centers, 1361.0)
+        mean = float((q[:, None] * g.area_weights * g.nlon).sum()) / g.nlon * g.nlon
+        mean = float((np.repeat(q[:, None], g.nlon, axis=1) * g.area_weights).sum())
+        assert mean == pytest.approx(1361.0 / 4.0, rel=1e-3)
+
+
+class TestStepping:
+    def test_radiative_cooling_without_sun(self, spmd):
+        params = replace(
+            AtmosphereModel.default_params(), diffusivity=0.0, olr_a=200.0, olr_b=0.0
+        )
+
+        def main(comm):
+            m = AtmosphereModel(comm, GRID, params)
+            before = m.mean_temperature()
+            m.step(3600.0)
+            return m.mean_temperature() - before
+
+        delta = spmd(2, main)[0]
+        assert delta == pytest.approx(-200.0 * 3600.0 / params.heat_capacity)
+
+    def test_solar_heating_raises_temperature(self, spmd):
+        params = replace(
+            OceanModel.default_params(), diffusivity=0.0, olr_a=0.0, olr_b=0.0
+        )
+
+        def main(comm):
+            m = OceanModel(comm, GRID, params)
+            before = m.mean_temperature()
+            m.step(3600.0)
+            return m.mean_temperature() - before
+
+        assert spmd(2, main)[0] > 0.0
+
+    def test_coupling_flux_applied(self, spmd):
+        params = replace(
+            LandModel.default_params(), solar_constant=0.0, olr_a=0.0, olr_b=0.0
+        )
+
+        def main(comm):
+            m = LandModel(comm, GRID, params)
+            before = m.mean_temperature()
+            flux = np.full(m.temperature.data.shape, 100.0)  # uniform warming
+            m.step(1000.0, flux)
+            return m.mean_temperature() - before
+
+        expected = 100.0 * 1000.0 / params.heat_capacity
+        assert spmd(2, main)[0] == pytest.approx(expected)
+
+    def test_flux_shape_validated(self, spmd):
+        def main(comm):
+            m = LandModel(comm, GRID, LandModel.default_params())
+            m.step(10.0, np.zeros((1, 1)))
+
+        with pytest.raises(ReproError, match="flux shape"):
+            spmd(2, main)
+
+    def test_diffusion_smooths_checkerboard(self, spmd):
+        params = replace(
+            AtmosphereModel.default_params(), diffusivity=2e-6, olr_a=0.0, olr_b=0.0
+        )
+
+        def main(comm):
+            def checkerboard(lat, lon):
+                return 280.0 + 10.0 * np.sign(np.sin(np.deg2rad(lon * 6)))
+
+            m = AtmosphereModel(comm, GRID, params, t_init=checkerboard)
+            before = m.temperature.gather_global()  # collective: all ranks call
+            for _ in range(50):
+                m.step(3600.0)
+            after = m.temperature.gather_global()
+            if comm.rank == 0:
+                return (float(np.var(before)), float(np.var(after)))
+            return None
+
+        before, after = spmd(2, main)[0]
+        assert after < before
+
+    def test_budget_accumulates(self, spmd):
+        def main(comm):
+            m = OceanModel(comm, GRID, OceanModel.default_params())
+            for _ in range(3):
+                m.step(3600.0)
+            return (m.steps_taken, m.budget.solar_in > 0)
+
+        assert spmd(2, main)[0] == (3, True)
+
+    def test_energy_budget_closes_per_component(self, spmd):
+        """dE == solar - olr + coupling + diffusion_residual, to round-off."""
+        params = replace(OceanModel.default_params(), diffusivity=5e-7, olr_a=5.0, olr_b=1.0)
+
+        def main(comm):
+            m = OceanModel(comm, GRID, params)
+            e0 = m.energy()
+            rng_flux = np.full(m.temperature.data.shape, 12.5)
+            for _ in range(10):
+                m.step(3600.0, rng_flux)
+            drift = m.energy() - e0
+            explained = (
+                m.budget.solar_in
+                - m.budget.olr_out
+                + m.budget.coupling_in
+                + m.budget.diffusion_residual
+            )
+            return abs(drift - explained) / max(abs(drift), 1.0)
+
+        assert spmd(4, main)[0] < 1e-9
+
+
+class TestDecompositionIndependence:
+    @pytest.mark.parametrize("cls", [AtmosphereModel, OceanModel, LandModel, SeaIceModel])
+    def test_bitwise_same_across_proc_counts(self, spmd, cls):
+        def main(comm):
+            m = cls(comm, GRID, cls.default_params())
+            for _ in range(5):
+                m.step(3600.0)
+            return m.temperature.gather_global()
+
+        serial = spmd(1, main)[0]
+        for n in (2, 4):
+            parallel = spmd(n, main)[0]
+            np.testing.assert_array_equal(serial, parallel)
+
+
+class TestSeaIce:
+    def test_thickness_grows_when_cold(self, spmd):
+        params = replace(
+            SeaIceModel.default_params(), solar_constant=0.0, olr_a=0.0, olr_b=0.0
+        )
+
+        def main(comm):
+            m = SeaIceModel(
+                comm, GRID, params, t_init=lambda la, lo: 0 * la + 250.0
+            )  # well below freezing
+            h0 = m.mean_thickness()
+            for _ in range(5):
+                m.step(3600.0)
+            return m.mean_thickness() - h0
+
+        assert spmd(2, main)[0] > 0.0
+
+    def test_thickness_never_negative(self, spmd):
+        def main(comm):
+            m = SeaIceModel(
+                comm, GRID, SeaIceModel.default_params(), t_init=lambda la, lo: 0 * la + 400.0
+            )
+            m.thickness[:] = 1e-9
+            for _ in range(10):
+                m.step(3600.0)
+            return float(m.thickness.min())
+
+        assert spmd(2, main)[0] >= 0.0
+
+    def test_atmosphere_absorbs_no_solar(self, spmd):
+        def main(comm):
+            m = AtmosphereModel(comm, GRID, AtmosphereModel.default_params())
+            return float(np.abs(m.absorbed_solar()).max())
+
+        assert spmd(1, main) == [0.0]

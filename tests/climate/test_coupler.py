@@ -1,0 +1,123 @@
+"""The flux coupler's numerics: fractions, fluxes, conservation
+(repro.climate.coupler)."""
+
+import numpy as np
+import pytest
+
+from repro.climate.coupler import FluxCoupler, SurfaceFractions
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+
+ATM = LatLonGrid(10, 20, "atm")
+OCN = LatLonGrid(8, 16, "ocn")
+LND = LatLonGrid(5, 10, "lnd")
+
+
+class TestSurfaceFractions:
+    def test_fractions_sum_to_one(self):
+        f = SurfaceFractions.build(ATM)
+        np.testing.assert_allclose(f.ocean + f.land + f.ice, 1.0, atol=1e-12)
+
+    def test_fractions_in_unit_interval(self):
+        f = SurfaceFractions.build(ATM)
+        for field in (f.ocean, f.land, f.ice):
+            assert field.min() >= 0.0 and field.max() <= 1.0
+
+    def test_ice_concentrated_at_poles(self):
+        f = SurfaceFractions.build(LatLonGrid(19, 4))
+        assert f.ice[0].mean() > 0.8  # south pole band
+        assert f.ice[9].mean() < 0.05  # equator band
+
+    def test_deterministic(self):
+        a, b = SurfaceFractions.build(ATM), SurfaceFractions.build(ATM)
+        np.testing.assert_array_equal(a.land, b.land)
+
+    def test_of_accessor(self):
+        f = SurfaceFractions.build(ATM)
+        assert f.of("ocean") is f.ocean
+        with pytest.raises(ReproError, match="unknown surface"):
+            f.of("swamp")
+
+
+def make_coupler(**kw):
+    return FluxCoupler(
+        ATM,
+        {"ocean": OCN, "land": LND},
+        {"ocean": 15.0, "land": 10.0},
+        **kw,
+    )
+
+
+class TestFluxComputation:
+    def test_equilibrium_no_flux(self):
+        """Identical temperatures everywhere -> zero exchange."""
+        cpl = make_coupler()
+        atm_flux, sfc = cpl.compute_fluxes(
+            np.full(ATM.shape, 288.0),
+            {"ocean": np.full(OCN.shape, 288.0), "land": np.full(LND.shape, 288.0)},
+        )
+        np.testing.assert_allclose(atm_flux, 0.0, atol=1e-10)
+        np.testing.assert_allclose(sfc["ocean"], 0.0, atol=1e-10)
+
+    def test_warm_surface_heats_atmosphere(self):
+        cpl = make_coupler()
+        atm_flux, sfc = cpl.compute_fluxes(
+            np.full(ATM.shape, 280.0),
+            {"ocean": np.full(OCN.shape, 290.0), "land": np.full(LND.shape, 290.0)},
+        )
+        assert ATM.area_integral(atm_flux) > 0.0
+        assert OCN.area_integral(sfc["ocean"]) < 0.0
+
+    def test_energy_balance_exact(self):
+        """What the atmosphere gains the surfaces lose (E11 heart)."""
+        rng = np.random.default_rng(4)
+        cpl = make_coupler()
+        atm_flux, sfc = cpl.compute_fluxes(
+            rng.normal(285, 5, ATM.shape),
+            {"ocean": rng.normal(288, 3, OCN.shape), "land": rng.normal(282, 8, LND.shape)},
+        )
+        total = (
+            ATM.area_integral(atm_flux)
+            + OCN.area_integral(sfc["ocean"])
+            + LND.area_integral(sfc["land"])
+        )
+        assert abs(total) < 1e-10
+
+    def test_residual_tracked_per_step(self):
+        cpl = make_coupler()
+        for _ in range(3):
+            cpl.compute_fluxes(
+                np.full(ATM.shape, 280.0), {"ocean": np.full(OCN.shape, 285.0), "land": np.full(LND.shape, 281.0)}
+            )
+        assert len(cpl.exchange_residual) == 3
+        assert cpl.max_residual() < 1e-10
+
+    def test_coefficient_scales_flux(self):
+        strong = FluxCoupler(ATM, {"ocean": OCN}, {"ocean": 30.0})
+        weak = FluxCoupler(ATM, {"ocean": OCN}, {"ocean": 15.0})
+        atm_t = np.full(ATM.shape, 280.0)
+        ocn_t = {"ocean": np.full(OCN.shape, 290.0)}
+        f_strong, _ = strong.compute_fluxes(atm_t, ocn_t)
+        f_weak, _ = weak.compute_fluxes(atm_t, ocn_t)
+        np.testing.assert_allclose(f_strong, 2.0 * f_weak, atol=1e-10)
+
+    def test_missing_coefficient_rejected(self):
+        with pytest.raises(ReproError, match="coefficient"):
+            FluxCoupler(ATM, {"ocean": OCN}, {})
+
+    def test_bad_atm_shape_rejected(self):
+        cpl = make_coupler()
+        with pytest.raises(ReproError, match="shape"):
+            cpl.compute_fluxes(np.zeros((2, 2)), {"ocean": np.zeros(OCN.shape), "land": np.zeros(LND.shape)})
+
+    def test_fraction_weighting(self):
+        """A surface's flux reaching the atmosphere is weighted by its
+        area fraction: an all-ice-free equator band cares little about
+        ice temperature anomalies."""
+        cpl = FluxCoupler(ATM, {"ice": OCN}, {"ice": 10.0})
+        atm_t = np.full(ATM.shape, 280.0)
+        _, _ = 0, 0
+        atm_flux, _ = cpl.compute_fluxes(atm_t, {"ice": np.full(OCN.shape, 300.0)})
+        equator_row = ATM.nlat // 2
+        pole_row = 0
+        assert abs(atm_flux[equator_row].mean()) < abs(atm_flux[pole_row].mean())

@@ -1,0 +1,92 @@
+"""Energy-report arithmetic (repro.climate.diagnostics) as a unit."""
+
+import numpy as np
+import pytest
+
+from repro.climate.diagnostics import EnergyReport, energy_report
+from repro.errors import ReproError
+
+
+def make_report(**overrides):
+    defaults = dict(
+        total_energy=np.array([100.0, 102.0, 104.0]),
+        net_coupling=0.0,
+        coupler_residual=0.0,
+        solar_in=10.0,
+        olr_out=6.0,
+        diffusion_residual=0.0,
+    )
+    defaults.update(overrides)
+    return EnergyReport(**defaults)
+
+
+class TestEnergyReport:
+    def test_drift(self):
+        assert make_report().drift == pytest.approx(4.0)
+
+    def test_unexplained_zero_when_books_balance(self):
+        assert make_report().unexplained == pytest.approx(0.0)
+
+    def test_unexplained_flags_leak(self):
+        r = make_report(total_energy=np.array([100.0, 105.0]))
+        assert r.unexplained == pytest.approx(1.0)
+
+    def test_relative_unexplained_scales_by_throughput(self):
+        r = make_report(total_energy=np.array([100.0, 105.0]))
+        assert r.relative_unexplained() == pytest.approx(1.0 / 16.0)
+
+    def test_coupling_counts_toward_explained(self):
+        r = make_report(
+            total_energy=np.array([100.0, 107.0]), net_coupling=3.0
+        )
+        assert r.unexplained == pytest.approx(0.0)
+
+    def test_diffusion_residual_counts(self):
+        r = make_report(
+            total_energy=np.array([100.0, 104.5]), diffusion_residual=0.5
+        )
+        assert r.unexplained == pytest.approx(0.0)
+
+
+class TestEnergyReportAssembly:
+    def make_diags(self):
+        def comp(solar, olr, coupling, energy):
+            return {
+                "budget": {
+                    "solar_in": solar,
+                    "olr_out": olr,
+                    "coupling_in": coupling,
+                    "diffusion_residual": 0.0,
+                },
+                "energy": energy,
+            }
+
+        return {
+            "atmosphere": comp(0.0, 5.0, 2.0, [50.0, 49.0]),
+            "ocean": comp(8.0, 0.0, -2.0, [70.0, 74.0]),
+            "coupler": {"exchange_residual": [1e-13, -2e-13]},
+        }
+
+    def test_terms_summed_over_models(self):
+        report = energy_report(self.make_diags())
+        assert report.solar_in == 8.0
+        assert report.olr_out == 5.0
+        assert report.net_coupling == 0.0
+        np.testing.assert_array_equal(report.total_energy, [120.0, 123.0])
+
+    def test_coupler_residual_absolute_sum(self):
+        report = energy_report(self.make_diags())
+        assert report.coupler_residual == pytest.approx(3e-13)
+
+    def test_books_close_for_consistent_diags(self):
+        report = energy_report(self.make_diags())
+        assert report.unexplained == pytest.approx(0.0)
+
+    def test_requires_model_components(self):
+        with pytest.raises(ReproError, match="no model components"):
+            energy_report({"coupler": {"exchange_residual": []}})
+
+    def test_works_without_coupler_entry(self):
+        diags = self.make_diags()
+        del diags["coupler"]
+        assert energy_report(diags).coupler_residual == 0.0

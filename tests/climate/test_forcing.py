@@ -1,0 +1,177 @@
+"""Seasonal insolation and CO2 scenarios (repro.climate.forcing)."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.climate.components import LandModel, insolation
+from repro.climate.forcing import YEAR_SECONDS, CO2Scenario, SeasonalForcing
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+
+
+class TestDeclination:
+    def test_zero_at_equinoxes(self):
+        f = SeasonalForcing()
+        assert f.declination(0.0) == pytest.approx(0.0)
+        assert f.declination(YEAR_SECONDS / 2) == pytest.approx(0.0, abs=1e-12)
+
+    def test_extremes_at_solstices(self):
+        f = SeasonalForcing(obliquity_deg=23.44)
+        north_summer = f.declination(YEAR_SECONDS / 4)
+        assert north_summer == pytest.approx(np.deg2rad(23.44))
+        assert f.declination(3 * YEAR_SECONDS / 4) == pytest.approx(-north_summer)
+
+    def test_zero_obliquity_no_seasons(self):
+        f = SeasonalForcing(obliquity_deg=0.0)
+        for frac in (0.1, 0.3, 0.7):
+            assert f.declination(frac * YEAR_SECONDS) == 0.0
+
+
+class TestDailyInsolation:
+    def test_equinox_hemispheric_symmetry(self):
+        f = SeasonalForcing()
+        q = f.daily_insolation(np.array([-45.0, 45.0]), t=0.0)
+        assert q[0] == pytest.approx(q[1])
+
+    def test_polar_night_is_dark(self):
+        f = SeasonalForcing()
+        # Southern winter solstice: south pole dark.
+        q = f.daily_insolation(np.array([-89.0]), t=YEAR_SECONDS / 4)
+        assert q[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_polar_day_beats_equator(self):
+        """At summer solstice the pole's 24h sun out-insolates the equator
+        (the classic counterintuitive result)."""
+        f = SeasonalForcing()
+        q = f.daily_insolation(np.array([89.0, 0.0]), t=YEAR_SECONDS / 4)
+        assert q[0] > q[1]
+
+    def test_never_negative(self):
+        f = SeasonalForcing()
+        lats = np.linspace(-90, 90, 37)
+        for frac in np.linspace(0, 1, 13):
+            assert np.all(f.daily_insolation(lats, frac * YEAR_SECONDS) >= 0.0)
+
+    def test_annual_mean_matches_ebm_profile_shape(self):
+        """The annual mean of the seasonal formula tracks the static P2
+        profile: warm equator, cold poles, hemispherically symmetric."""
+        f = SeasonalForcing()
+        lats = np.array([-80.0, -40.0, 0.0, 40.0, 80.0])
+        mean = f.annual_mean(lats, samples=146)
+        assert mean[2] == max(mean)
+        np.testing.assert_allclose(mean[0], mean[4], rtol=1e-6)
+        static = insolation(lats, 1361.0)
+        # Same ordering equator->pole as the static profile.
+        assert np.all(np.argsort(mean) == np.argsort(static))
+
+    def test_global_annual_mean_is_quarter_s0(self):
+        f = SeasonalForcing()
+        grid = LatLonGrid(48, 2)
+        mean_profile = f.annual_mean(grid.lat_centers, samples=146)
+        weights = grid.area_weights[:, 0] * grid.nlon
+        global_mean = float((mean_profile * weights).sum())
+        assert global_mean == pytest.approx(1361.0 / 4.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SeasonalForcing(obliquity_deg=95.0)
+        with pytest.raises(ReproError):
+            SeasonalForcing(year_seconds=0.0)
+
+
+class TestCO2Scenario:
+    def test_flat_path_no_forcing(self):
+        s = CO2Scenario()
+        assert s.forcing(5 * YEAR_SECONDS) == 0.0
+        assert s.years_to_doubling() == float("inf")
+
+    def test_one_percent_doubling_time(self):
+        s = CO2Scenario(rate_per_year=0.01)
+        assert s.years_to_doubling() == pytest.approx(69.66, abs=0.1)
+
+    def test_forcing_at_doubling(self):
+        s = CO2Scenario(rate_per_year=0.01, forcing_per_doubling=4.0)
+        t_double = s.years_to_doubling() * YEAR_SECONDS
+        assert s.forcing(t_double) == pytest.approx(4.0, rel=1e-6)
+
+    def test_concentration_grows(self):
+        s = CO2Scenario(rate_per_year=0.01)
+        assert s.concentration(YEAR_SECONDS) == pytest.approx(380.0 * 1.01)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CO2Scenario(initial_ppm=-1.0)
+
+
+class TestForcedComponents:
+    GRID = LatLonGrid(8, 8)
+
+    def test_seasonal_cycle_amplitude_grows_poleward(self, spmd):
+        """A fast-responding land surface shows a larger seasonal
+        temperature swing at high latitude than at the equator."""
+        forcing = SeasonalForcing()
+        # ~40-day response timescale (C/B), well inside the explicit
+        # stability limit B*dt/C << 1 at 5-day steps.
+        params = replace(
+            LandModel.default_params(), heat_capacity=1e7, olr_a=0.0, olr_b=3.0
+        )
+        dt = YEAR_SECONDS / 73  # 5-day steps
+
+        def main(comm):
+            m = LandModel(comm, self.GRID, params, forcing=forcing)
+            highs, equats = [], []
+            for step in range(3 * 73):  # three model years
+                m.step(dt)
+                if step < 2 * 73:
+                    continue  # spin-up: measure the final year only
+                full = m.temperature.gather_global(root=0)
+                if comm.rank == 0:
+                    highs.append(full[-1].mean())  # northernmost band
+                    equats.append(full[4].mean())
+            if comm.rank == 0:
+                return (max(highs) - min(highs), max(equats) - min(equats))
+            return None
+
+        high_amp, eq_amp = spmd(2, main)[0]
+        assert high_amp > 2.0 * eq_amp
+
+    def test_co2_scenario_warms(self, spmd):
+        params = replace(
+            LandModel.default_params(), heat_capacity=2e8, olr_a=240.0, olr_b=3.0
+        )
+        scenario = CO2Scenario(rate_per_year=0.05)
+        dt = YEAR_SECONDS / 12
+
+        def main(comm):
+            base = LandModel(comm, self.GRID, params)
+            warm = LandModel(comm, self.GRID, params, co2=scenario)
+            for _ in range(36):  # three years
+                base.step(dt)
+                warm.step(dt)
+            return warm.mean_temperature() - base.mean_temperature()
+
+        assert spmd(1, main)[0] > 0.1
+
+    def test_unforced_path_unchanged(self, spmd):
+        """forcing=None keeps the original static-insolation behaviour
+        bitwise (regression guard for the refactor)."""
+
+        def main(comm):
+            m = LandModel(comm, self.GRID, LandModel.default_params())
+            for _ in range(3):
+                m.step(3600.0)
+            return m.temperature.gather_global(root=0)
+
+        a = spmd(1, main)[0]
+        b = spmd(2, main)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_current_time_advances(self, spmd):
+        def main(comm):
+            m = LandModel(comm, self.GRID, LandModel.default_params())
+            m.step(100.0)
+            m.step(150.0)
+            return m.current_time
+
+        assert spmd(1, main) == [250.0]

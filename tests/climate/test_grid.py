@@ -1,0 +1,97 @@
+"""Grids and decomposition (repro.climate.grid)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.climate.grid import Decomposition, LatLonGrid
+from repro.errors import ReproError
+
+
+class TestLatLonGrid:
+    def test_shape_and_cells(self):
+        g = LatLonGrid(8, 16)
+        assert g.shape == (8, 16)
+        assert g.ncells == 128
+
+    def test_lat_edges_span_poles(self):
+        g = LatLonGrid(4, 8)
+        assert g.lat_edges[0] == -90.0 and g.lat_edges[-1] == 90.0
+        assert len(g.lat_edges) == 5
+
+    def test_centers_between_edges(self):
+        g = LatLonGrid(6, 12)
+        assert np.all(g.lat_centers > g.lat_edges[:-1])
+        assert np.all(g.lat_centers < g.lat_edges[1:])
+        assert len(g.lon_centers) == 12
+
+    def test_area_weights_sum_to_one(self):
+        for nlat, nlon in [(1, 1), (4, 8), (17, 5)]:
+            g = LatLonGrid(nlat, nlon)
+            assert g.area_weights.sum() == pytest.approx(1.0)
+
+    def test_area_weights_peak_at_equator(self):
+        g = LatLonGrid(9, 4)
+        band = g.area_weights[:, 0]
+        assert band[4] == max(band)  # middle band is equatorial
+        assert band[0] == pytest.approx(band[-1])  # symmetric poles
+
+    def test_area_mean_constant_field(self):
+        g = LatLonGrid(7, 9)
+        assert g.area_mean(np.full(g.shape, 3.5)) == pytest.approx(3.5)
+
+    def test_area_mean_shape_checked(self):
+        g = LatLonGrid(4, 4)
+        with pytest.raises(ReproError, match="shape"):
+            g.area_mean(np.zeros((3, 4)))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ReproError):
+            LatLonGrid(0, 8)
+
+    def test_equality_by_value(self):
+        assert LatLonGrid(4, 8, "a") == LatLonGrid(4, 8, "a")
+        assert LatLonGrid(4, 8, "a") != LatLonGrid(4, 8, "b")
+
+
+class TestDecomposition:
+    def test_even_rows(self):
+        d = Decomposition(LatLonGrid(8, 4), 4)
+        assert [d.rows(r) for r in range(4)] == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_rows_lead(self):
+        d = Decomposition(LatLonGrid(10, 4), 3)
+        assert [d.nrows(r) for r in range(3)] == [4, 3, 3]
+
+    def test_owner_of_row(self):
+        d = Decomposition(LatLonGrid(10, 4), 3)
+        assert d.owner_of_row(0) == 0
+        assert d.owner_of_row(4) == 1
+        assert d.owner_of_row(9) == 2
+
+    def test_local_shape(self):
+        d = Decomposition(LatLonGrid(10, 6), 3)
+        assert d.local_shape(0) == (4, 6)
+
+    def test_too_many_procs_rejected(self):
+        with pytest.raises(ReproError, match="at least one row"):
+            Decomposition(LatLonGrid(2, 4), 3)
+
+    def test_rank_bounds(self):
+        d = Decomposition(LatLonGrid(4, 4), 2)
+        with pytest.raises(ReproError):
+            d.rows(2)
+
+    @given(
+        nlat=st.integers(1, 40),
+        size_frac=st.integers(1, 40),
+    )
+    def test_partition_property(self, nlat, size_frac):
+        size = min(size_frac, nlat)
+        d = Decomposition(LatLonGrid(nlat, 3), size)
+        spans = [d.rows(r) for r in range(size)]
+        assert spans[0][0] == 0 and spans[-1][1] == nlat
+        for (a, b), (c, e) in zip(spans, spans[1:]):
+            assert b == c
+        assert all(b > a for a, b in spans)

@@ -1,0 +1,101 @@
+"""The distributed coupler: band-parallel flux computation."""
+
+import numpy as np
+import pytest
+
+from repro.climate.ccsm import MODEL_KINDS, CCSMConfig, run_ccsm
+from repro.climate.coupler import FluxCoupler
+from repro.climate.diagnostics import energy_report
+from repro.climate.grid import LatLonGrid
+from repro.errors import ReproError
+
+ATM = LatLonGrid(10, 20, "atm")
+OCN = LatLonGrid(8, 16, "ocn")
+LND = LatLonGrid(5, 10, "lnd")
+
+
+class TestBandKernel:
+    def make(self):
+        return FluxCoupler(ATM, {"ocean": OCN, "land": LND}, {"ocean": 15.0, "land": 10.0})
+
+    def fields(self, seed=3):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(285, 5, ATM.shape),
+            {"ocean": rng.normal(288, 3, OCN.shape), "land": rng.normal(282, 8, LND.shape)},
+        )
+
+    @pytest.mark.parametrize("nbands", [1, 2, 3, 5])
+    def test_band_partials_sum_to_serial(self, nbands):
+        """Any banding of the kernel reassembles to the serial answer."""
+        atm_t, sfc_t = self.fields()
+        serial = self.make()
+        atm_flux, sfc_fluxes = serial.compute_fluxes(atm_t, sfc_t)
+
+        banded = self.make()
+        bounds = np.linspace(0, ATM.nlat, nbands + 1).astype(int)
+        atm_parts, sfc_parts = [], {k: np.zeros_like(v) for k, v in sfc_fluxes.items()}
+        for b in range(nbands):
+            band, partials = banded.compute_fluxes_band(
+                atm_t, sfc_t, bounds[b], bounds[b + 1]
+            )
+            atm_parts.append(band)
+            for k, v in partials.items():
+                sfc_parts[k] += v
+        np.testing.assert_allclose(np.concatenate(atm_parts), atm_flux, atol=1e-10)
+        for k in sfc_fluxes:
+            np.testing.assert_allclose(sfc_parts[k], sfc_fluxes[k], atol=1e-10)
+
+    def test_record_residual(self):
+        atm_t, sfc_t = self.fields()
+        engine = self.make()
+        atm_flux, sfc_fluxes = engine.compute_fluxes(atm_t, sfc_t)
+        engine.record_residual(atm_flux, sfc_fluxes)
+        assert len(engine.exchange_residual) == 2
+        assert abs(engine.exchange_residual[1]) < 1e-10
+
+
+class TestParallelCoupledRun:
+    def parallel_cfg(self, ncpl, nsteps=3):
+        base = CCSMConfig()
+        return CCSMConfig(
+            nsteps=nsteps,
+            procs=dict(base.procs, coupler=ncpl),
+            coupler_mode="parallel",
+        )
+
+    @pytest.mark.parametrize("ncpl", [2, 3])
+    def test_matches_serial_coupler(self, ncpl):
+        serial = run_ccsm("scme", CCSMConfig(nsteps=3))
+        parallel = run_ccsm("scme", self.parallel_cfg(ncpl))
+        for kind in MODEL_KINDS:
+            np.testing.assert_allclose(
+                parallel[kind]["final_field"],
+                serial[kind]["final_field"],
+                rtol=0,
+                atol=1e-9,
+            )
+
+    def test_energy_books_still_close(self):
+        diags = run_ccsm("scme", self.parallel_cfg(3, nsteps=4))
+        assert diags["coupler"]["max_exchange_residual"] < 1e-10
+        report = energy_report(diags)
+        assert report.relative_unexplained() < 1e-10
+
+    def test_serial_mode_on_multiproc_coupler_unchanged(self):
+        """coupler_mode='serial' with a multi-process coupler keeps the
+        rank-0-only behaviour (bitwise vs a 1-process coupler)."""
+        base = CCSMConfig(nsteps=2)
+        multi = CCSMConfig(nsteps=2, procs=dict(base.procs, coupler=3))
+        a = run_ccsm("scme", base)
+        b = run_ccsm("scme", multi)
+        for kind in MODEL_KINDS:
+            np.testing.assert_array_equal(a[kind]["final_field"], b[kind]["final_field"])
+
+    def test_parallel_with_join_rejected(self):
+        with pytest.raises(ReproError, match="parallel coupler"):
+            CCSMConfig(coupler_mode="parallel", exchange="join")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ReproError, match="coupler_mode"):
+            CCSMConfig(coupler_mode="vectorised")

@@ -1,0 +1,126 @@
+"""Conservative regridding (repro.climate.regrid): the coupler's core
+numerical guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.climate.grid import LatLonGrid
+from repro.climate.regrid import ConservativeRegridder, overlap_matrix, regrid
+from repro.errors import ReproError
+
+
+class TestOverlapMatrix:
+    def test_identity_on_same_edges(self):
+        edges = np.linspace(0, 1, 5)
+        np.testing.assert_allclose(overlap_matrix(edges, edges), np.eye(4), atol=1e-15)
+
+    def test_rows_sum_to_one(self):
+        m = overlap_matrix(np.linspace(0, 1, 7), np.linspace(0, 1, 4))
+        np.testing.assert_allclose(m.sum(axis=1), 1.0)
+
+    def test_coarsen_averages(self):
+        m = overlap_matrix(np.linspace(0, 1, 5), np.linspace(0, 1, 3))
+        dst = m @ np.array([1.0, 3.0, 5.0, 7.0])
+        np.testing.assert_allclose(dst, [2.0, 6.0])
+
+    def test_refine_is_injection(self):
+        m = overlap_matrix(np.linspace(0, 1, 3), np.linspace(0, 1, 5))
+        dst = m @ np.array([2.0, 8.0])
+        np.testing.assert_allclose(dst, [2.0, 2.0, 8.0, 8.0][:4])
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ReproError, match="increasing"):
+            overlap_matrix(np.array([0.0, 2.0, 1.0]), np.linspace(0, 2, 3))
+
+    def test_mismatched_span_rejected(self):
+        with pytest.raises(ReproError, match="span"):
+            overlap_matrix(np.linspace(0, 1, 3), np.linspace(0, 2, 3))
+
+
+class TestConservativeRegridder:
+    def test_constant_field_preserved(self):
+        r = ConservativeRegridder(LatLonGrid(8, 16), LatLonGrid(5, 7))
+        out = r(np.full((8, 16), 4.2))
+        np.testing.assert_allclose(out, 4.2)
+
+    def test_shape_checked(self):
+        r = ConservativeRegridder(LatLonGrid(8, 16), LatLonGrid(4, 8))
+        with pytest.raises(ReproError, match="shape"):
+            r(np.zeros((4, 8)))
+
+    def test_roundtrip_coarsen_refine_smooths(self):
+        """Coarsen-then-refine is a projection: applying it twice equals
+        applying it once."""
+        fine, coarse = LatLonGrid(12, 24), LatLonGrid(4, 8)
+        down = ConservativeRegridder(fine, coarse)
+        up = ConservativeRegridder(coarse, fine)
+        rng = np.random.default_rng(3)
+        f = rng.normal(size=fine.shape)
+        once = up(down(f))
+        twice = up(down(once))
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "src_shape,dst_shape",
+        [((8, 16), (4, 8)), ((4, 8), (8, 16)), ((6, 12), (9, 7)), ((16, 32), (12, 24))],
+    )
+    def test_conservation(self, src_shape, dst_shape):
+        """The headline property: area integrals are preserved exactly."""
+        src, dst = LatLonGrid(*src_shape), LatLonGrid(*dst_shape)
+        r = ConservativeRegridder(src, dst)
+        rng = np.random.default_rng(11)
+        f = rng.normal(loc=280.0, scale=30.0, size=src.shape)
+        assert r.conservation_error(f) < 1e-12
+
+    @given(
+        nlat_s=st.integers(2, 10),
+        nlon_s=st.integers(2, 10),
+        nlat_d=st.integers(2, 10),
+        nlon_d=st.integers(2, 10),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, nlat_s, nlon_s, nlat_d, nlon_d, seed):
+        src, dst = LatLonGrid(nlat_s, nlon_s), LatLonGrid(nlat_d, nlon_d)
+        rng = np.random.default_rng(seed)
+        f = rng.uniform(-50, 50, size=src.shape)
+        r = ConservativeRegridder(src, dst)
+        assert r.conservation_error(f) < 1e-10
+
+    @given(
+        nlat=st.integers(2, 8),
+        nlon=st.integers(2, 8),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_linearity_property(self, nlat, nlon, seed):
+        src, dst = LatLonGrid(nlat, nlon), LatLonGrid(5, 5)
+        rng = np.random.default_rng(seed)
+        f, g = rng.normal(size=(2, *src.shape))
+        r = ConservativeRegridder(src, dst)
+        np.testing.assert_allclose(r(f + 2.0 * g), r(f) + 2.0 * r(g), atol=1e-10)
+
+    def test_bounds_preserved(self):
+        """Conservative piecewise-constant remap cannot overshoot."""
+        src, dst = LatLonGrid(10, 10), LatLonGrid(7, 3)
+        rng = np.random.default_rng(5)
+        f = rng.uniform(250.0, 300.0, size=src.shape)
+        out = ConservativeRegridder(src, dst)(f)
+        assert out.min() >= f.min() - 1e-9
+        assert out.max() <= f.max() + 1e-9
+
+
+class TestRegridHelper:
+    def test_identity_for_equal_grids(self):
+        g = LatLonGrid(4, 8, "same")
+        f = np.arange(32, dtype=float).reshape(4, 8)
+        np.testing.assert_array_equal(regrid(f, g, g), f)
+
+    def test_cached_regridders_reused(self):
+        a, b = LatLonGrid(6, 6, "a"), LatLonGrid(3, 3, "b")
+        f = np.ones(a.shape)
+        first = regrid(f, a, b)
+        second = regrid(f, a, b)
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,143 @@
+"""MPH_get_argument and the argument-field machinery (§4.4)."""
+
+import pytest
+
+from repro import components_setup, mph_run
+from repro.core.arguments import ArgumentFields, convert
+from repro.errors import ArgumentError
+
+
+class TestArgumentFields:
+    FIELDS = ArgumentFields(("infl", "outfl", "alpha=3", "beta=4.5", "debug=on"), "Ocean1")
+
+    def test_key_lookup_int(self):
+        assert self.FIELDS.get("alpha", int) == 3
+
+    def test_key_lookup_float(self):
+        assert self.FIELDS.get("beta", float) == 4.5
+
+    def test_key_lookup_bool(self):
+        assert self.FIELDS.get("debug", bool) is True
+
+    def test_field_num_positional(self):
+        assert self.FIELDS.get(field_num=1) == "infl"
+        assert self.FIELDS.get(field_num=2) == "outfl"
+
+    def test_natural_type_inference(self):
+        assert self.FIELDS.get("alpha") == 3
+        assert self.FIELDS.get("beta") == 4.5
+
+    def test_typed_convenience_accessors(self):
+        assert self.FIELDS.get_int("alpha") == 3
+        assert self.FIELDS.get_real("beta") == 4.5
+        assert self.FIELDS.get_string("alpha") == "3"
+        assert self.FIELDS.get_bool("debug") is True
+
+    def test_missing_key_raises_with_component_name(self):
+        with pytest.raises(ArgumentError, match="Ocean1"):
+            self.FIELDS.get("gamma", int)
+
+    def test_missing_key_with_default(self):
+        assert self.FIELDS.get("gamma", int, default=-1) == -1
+        assert self.FIELDS.get("gamma", default=None) is None
+
+    def test_field_num_out_of_range(self):
+        with pytest.raises(ArgumentError, match="out of range"):
+            self.FIELDS.get(field_num=9)
+
+    def test_field_num_with_default(self):
+        assert self.FIELDS.get(field_num=9, default="none") == "none"
+
+    def test_both_key_and_field_num_rejected(self):
+        with pytest.raises(ArgumentError, match="exactly one"):
+            self.FIELDS.get("alpha", field_num=1)
+
+    def test_neither_key_nor_field_num_rejected(self):
+        with pytest.raises(ArgumentError, match="exactly one"):
+            self.FIELDS.get()
+
+    def test_has(self):
+        assert self.FIELDS.has("alpha") and not self.FIELDS.has("alph")
+
+    def test_first_match_wins(self):
+        dup = ArgumentFields(("x=1", "x=2"))
+        assert dup.get("x", int) == 1
+
+    def test_value_containing_equals(self):
+        f = ArgumentFields(("path=/a=b/c",))
+        assert f.get("path", str) == "/a=b/c"
+
+
+class TestConvert:
+    def test_int_conversion_failure(self):
+        with pytest.raises(ArgumentError, match="integer"):
+            convert("4.5", int)
+
+    def test_float_conversion_failure(self):
+        with pytest.raises(ArgumentError, match="real"):
+            convert("abc", float)
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("on", True), ("off", False), ("true", True), ("False", False),
+        ("YES", True), ("no", False), ("1", True), ("0", False),
+        (".true.", True), (".false.", False),
+    ])
+    def test_bool_spellings(self, raw, expected):
+        assert convert(raw, bool) is expected
+
+    def test_bool_failure(self):
+        with pytest.raises(ArgumentError, match="flag"):
+            convert("maybe", bool)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ArgumentError, match="unsupported"):
+            convert("x", list)
+
+    def test_natural_inference(self):
+        assert convert("7", None) == 7
+        assert convert("7.5", None) == 7.5
+        assert convert("finite_volume", None) == "finite_volume"
+
+
+class TestArgumentsThroughMph:
+    """'this parameter passing feature also works for the components of
+    multi-component executables' (§4.4)."""
+
+    REG = """
+BEGIN
+Multi_Component_Begin
+atm 0 0 res=T42 dt=1800
+ocn 1 1 res=1deg
+Multi_Component_End
+END
+"""
+
+    def test_component_line_arguments(self):
+        def program(world, env):
+            mph = components_setup(world, "atm", "ocn", env=env)
+            name = mph.comp_name()
+            return (name, mph.get_argument("res"), mph.get_argument("dt", int, default=0))
+
+        result = mph_run([(program, 2)], registry=self.REG)
+        assert result.values() == [("atm", "T42", 1800), ("ocn", "1deg", 0)]
+
+    def test_single_component_line_arguments(self):
+        reg = "BEGIN\nviewer movie.mp4 fps=24\nEND"
+
+        def program(world, env):
+            mph = components_setup(world, "viewer", env=env)
+            return (mph.get_argument(field_num=1), mph.get_argument("fps", int))
+
+        result = mph_run([(program, 1)], registry=reg)
+        assert result.values() == [("movie.mp4", 24)]
+
+    def test_cross_component_argument_access(self):
+        """The fields live in the shared layout: any process can read any
+        component's registration arguments."""
+
+        def program(world, env):
+            mph = components_setup(world, "atm", "ocn", env=env)
+            return mph.get_argument("res", component="ocn")
+
+        result = mph_run([(program, 2)], registry=self.REG)
+        assert set(result.values()) == {"1deg"}

@@ -1,0 +1,74 @@
+"""Layout.describe(): the human-readable layout report."""
+
+from repro import components_setup, mph_run
+
+REG = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 3
+land       0 3
+chemistry  4 5
+Multi_Component_End
+coupler
+END
+"""
+
+
+def describe_job():
+    def multi(world, env):
+        mph = components_setup(world, "atmosphere", "land", "chemistry", env=env)
+        return mph.layout.describe()
+
+    def coupler(world, env):
+        mph = components_setup(world, "coupler", env=env)
+        return mph.layout.describe()
+
+    return mph_run([(multi, 6), (coupler, 2)], registry=REG)
+
+
+class TestDescribe:
+    def test_identical_on_every_process(self):
+        result = describe_job()
+        assert len(set(result.values())) == 1
+
+    def test_lists_every_component_with_size(self):
+        text = describe_job().values()[0]
+        assert "atmosphere" in text and "4 procs" in text
+        assert "chemistry" in text and "2 procs" in text
+        assert "coupler" in text
+
+    def test_marks_overlap(self):
+        text = describe_job().values()[0]
+        assert "(overlapping)" in text
+
+    def test_contiguous_rank_spans_compacted(self):
+        text = describe_job().values()[0]
+        assert "world ranks 0-3" in text
+
+    def test_executable_section(self):
+        text = describe_job().values()[0]
+        assert "exe 0  multi_component" in text
+        assert "exe 1  single" in text
+
+    def test_fields_shown(self):
+        reg = "BEGIN\nviewer movie.mp4 fps=24\nEND"
+
+        def viewer(world, env):
+            mph = components_setup(world, "viewer", env=env)
+            return mph.layout.describe()
+
+        result = mph_run([(viewer, 1)], registry=reg)
+        assert "fields: movie.mp4 fps=24" in result.values()[0]
+
+    def test_noncontiguous_ranks_listed(self):
+        def a(world, env):
+            return components_setup(world, "a", env=env).layout.describe()
+
+        def b(world, env):
+            return components_setup(world, "b", env=env).layout.describe()
+
+        result = mph_run(
+            [(a, 2), (b, 2)], registry="BEGIN\na\nb\nEND", rank_policy="round_robin"
+        )
+        text = result.values()[0]
+        assert "0,2" in text and "1,3" in text

@@ -1,0 +1,198 @@
+"""Ensemble support: online moments, collection protocol, dynamic control
+(paper §2.5 / §4.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import components_setup, mph_run, multi_instance
+from repro.core.ensemble import (
+    EnsembleCollector,
+    EnsembleMember,
+    EnsembleStats,
+    OnlineMoments,
+)
+from repro.errors import MPHError
+
+
+class TestOnlineMoments:
+    def test_mean_of_two_samples(self):
+        om = OnlineMoments()
+        om.push(np.array([1.0, 2.0]))
+        om.push(np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(om.mean, [2.0, 3.0])
+
+    def test_variance_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=(40, 6))
+        om = OnlineMoments()
+        for s in samples:
+            om.push(s)
+        np.testing.assert_allclose(om.mean, samples.mean(axis=0), atol=1e-12)
+        np.testing.assert_allclose(om.variance, samples.var(axis=0), atol=1e-12)
+        np.testing.assert_allclose(om.std, samples.std(axis=0), atol=1e-12)
+
+    def test_single_sample_zero_variance(self):
+        om = OnlineMoments()
+        om.push(np.array([5.0]))
+        np.testing.assert_array_equal(om.variance, [0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MPHError, match="no samples"):
+            OnlineMoments().mean
+
+    def test_shape_mismatch_rejected(self):
+        om = OnlineMoments()
+        om.push(np.zeros(3))
+        with pytest.raises(MPHError, match="shape"):
+            om.push(np.zeros(4))
+
+    @given(st.lists(st.lists(st.floats(-100, 100), min_size=3, max_size=3), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_batch(self, rows):
+        samples = np.array(rows)
+        om = OnlineMoments()
+        for s in samples:
+            om.push(s)
+        np.testing.assert_allclose(om.mean, samples.mean(axis=0), atol=1e-9)
+        np.testing.assert_allclose(om.variance, samples.var(axis=0), atol=1e-9)
+
+
+class TestEnsembleStats:
+    STATS = EnsembleStats(
+        step=0,
+        fields={
+            "A": np.array([1.0, 5.0]),
+            "B": np.array([3.0, 1.0]),
+            "C": np.array([2.0, 9.0]),
+        },
+    )
+
+    def test_mean(self):
+        np.testing.assert_array_equal(self.STATS.mean, [2.0, 5.0])
+
+    def test_median_is_pointwise(self):
+        np.testing.assert_array_equal(self.STATS.median, [2.0, 5.0])
+
+    def test_min_max(self):
+        np.testing.assert_array_equal(self.STATS.minimum, [1.0, 1.0])
+        np.testing.assert_array_equal(self.STATS.maximum, [3.0, 9.0])
+
+    def test_percentile(self):
+        np.testing.assert_array_equal(self.STATS.percentile(0), self.STATS.minimum)
+        np.testing.assert_array_equal(self.STATS.percentile(100), self.STATS.maximum)
+
+    def test_spread(self):
+        assert self.STATS.spread() == pytest.approx((2.0 + 8.0) / 2)
+
+    def test_std(self):
+        np.testing.assert_allclose(
+            self.STATS.std, np.stack(list(self.STATS.fields.values())).std(axis=0)
+        )
+
+
+REG = """
+BEGIN
+Multi_Instance_Begin
+Run1 0 1
+Run2 2 3
+Run3 4 5
+Multi_Instance_End
+stats
+END
+"""
+
+
+def ensemble_job(member_steps=3, **kw):
+    def run(world, env):
+        mph = multi_instance(world, "Run", env=env)
+        member = EnsembleMember(mph, "stats")
+        scale = float(mph.comp_name()[-1])
+        controls = []
+        for step in range(member_steps):
+            member.report(step, np.full(4, scale * (step + 1)))
+            controls.append(member.receive_control())
+        return controls
+
+    def stats(world, env):
+        mph = components_setup(world, "stats", env=env)
+        collector = EnsembleCollector.for_prefix(mph, "Run")
+        out = []
+        for step in range(member_steps):
+            s = collector.collect(step)
+            out.append(s)
+            collector.send_control(
+                {name: {"gain": i} for i, name in enumerate(collector.instance_names)}
+            )
+        return (out, collector.time_moments.mean if mph.component_comm().rank == 0 else None)
+
+    return mph_run([(run, 6), (stats, 1)], registry=REG, **kw)
+
+
+class TestEnsembleProtocol:
+    def test_collect_gathers_all_instances(self):
+        result = ensemble_job()
+        stats_out, _ = result.by_executable(1)[0]
+        first = stats_out[0]
+        assert sorted(first.fields) == ["Run1", "Run2", "Run3"]
+        np.testing.assert_array_equal(first.fields["Run2"], np.full(4, 2.0))
+
+    def test_nonlinear_statistics_per_step(self):
+        result = ensemble_job()
+        stats_out, _ = result.by_executable(1)[0]
+        step2 = stats_out[2]  # fields are 3, 6, 9
+        assert float(step2.median[0]) == 6.0
+        assert step2.spread() == pytest.approx(6.0)
+
+    def test_per_instance_control_delivered_to_all_ranks(self):
+        result = ensemble_job()
+        run_values = result.by_executable(0)
+        # Run1 procs (local 0 and 1) both see gain=0; Run3 procs gain=2.
+        assert run_values[0] == [{"gain": 0}] * 3
+        assert run_values[1] == [{"gain": 0}] * 3
+        assert run_values[4] == [{"gain": 2}] * 3
+
+    def test_time_moments_accumulate(self):
+        result = ensemble_job()
+        _, time_mean = result.by_executable(1)[0]
+        # ensemble means per step: 2, 4, 6 -> time mean 4
+        np.testing.assert_allclose(time_mean, np.full(4, 4.0))
+
+    def test_out_of_step_detected(self):
+        def run(world, env):
+            mph = multi_instance(world, "Run", env=env)
+            member = EnsembleMember(mph, "stats")
+            member.report(99, np.zeros(2))  # wrong step on purpose
+            return None
+
+        def stats(world, env):
+            mph = components_setup(world, "stats", env=env)
+            collector = EnsembleCollector.for_prefix(mph, "Run")
+            collector.collect(0)
+
+        with pytest.raises(MPHError, match="out of step"):
+            mph_run([(run, 6), (stats, 1)], registry=REG)
+
+    def test_for_prefix_discovers_instances(self):
+        def run(world, env):
+            mph = multi_instance(world, "Run", env=env)
+            member = EnsembleMember(mph, "stats")
+            member.report(0, np.zeros(1))
+            member.receive_control()
+            return None
+
+        def stats(world, env):
+            mph = components_setup(world, "stats", env=env)
+            collector = EnsembleCollector.for_prefix(mph, "Run")
+            names = list(collector.instance_names)
+            collector.collect(0)
+            collector.broadcast_same_control({})
+            return names
+
+        result = mph_run([(run, 6), (stats, 1)], registry=REG)
+        assert result.by_executable(1)[0] == ["Run1", "Run2", "Run3"]
+
+    def test_empty_collector_rejected(self):
+        with pytest.raises(MPHError, match="at least one"):
+            EnsembleCollector(None, [])

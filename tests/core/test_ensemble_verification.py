@@ -1,0 +1,130 @@
+"""Ensemble verification metrics: rank histogram and CRPS."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import EnsembleStats
+from repro.errors import MPHError
+
+
+def make_stats(members: dict[str, np.ndarray]) -> EnsembleStats:
+    return EnsembleStats(step=0, fields=members)
+
+
+class TestRankHistogram:
+    def test_observation_below_all_members(self):
+        stats = make_stats({"a": np.array([2.0]), "b": np.array([3.0])})
+        hist = stats.rank_histogram(np.array([1.0]))
+        np.testing.assert_array_equal(hist, [1, 0, 0])
+
+    def test_observation_above_all_members(self):
+        stats = make_stats({"a": np.array([2.0]), "b": np.array([3.0])})
+        hist = stats.rank_histogram(np.array([9.0]))
+        np.testing.assert_array_equal(hist, [0, 0, 1])
+
+    def test_observation_between(self):
+        stats = make_stats({"a": np.array([2.0]), "b": np.array([4.0])})
+        hist = stats.rank_histogram(np.array([3.0]))
+        np.testing.assert_array_equal(hist, [0, 1, 0])
+
+    def test_counts_sum_to_field_size(self):
+        rng = np.random.default_rng(0)
+        stats = make_stats({f"m{i}": rng.normal(size=(4, 5)) for i in range(3)})
+        hist = stats.rank_histogram(rng.normal(size=(4, 5)))
+        assert hist.sum() == 20
+        assert len(hist) == 4  # K+1 slots
+
+    def test_calibrated_ensemble_is_flat_on_average(self):
+        """Observation drawn from the same distribution as the members →
+        near-uniform histogram over many points (the Talagrand check)."""
+        rng = np.random.default_rng(42)
+        k, n = 4, 20_000
+        stats = make_stats({f"m{i}": rng.normal(size=n) for i in range(k)})
+        hist = stats.rank_histogram(rng.normal(size=n))
+        expected = n / (k + 1)
+        assert np.all(np.abs(hist - expected) < 0.1 * expected)
+
+    def test_shape_mismatch(self):
+        stats = make_stats({"a": np.zeros(3)})
+        with pytest.raises(MPHError, match="observation shape"):
+            stats.rank_histogram(np.zeros(4))
+
+
+class TestCrps:
+    def test_single_member_equals_mae(self):
+        stats = make_stats({"only": np.array([1.0, 3.0])})
+        obs = np.array([2.0, 2.0])
+        assert stats.crps(obs) == pytest.approx(1.0)
+
+    def test_perfect_collapsed_ensemble(self):
+        obs = np.array([5.0, 5.0])
+        stats = make_stats({"a": obs.copy(), "b": obs.copy()})
+        assert stats.crps(obs) == pytest.approx(0.0)
+
+    def test_sharper_calibrated_ensemble_scores_better(self):
+        rng = np.random.default_rng(7)
+        obs = np.zeros(5000)
+        tight = make_stats({f"m{i}": rng.normal(0, 0.5, 5000) for i in range(6)})
+        wide = make_stats({f"m{i}": rng.normal(0, 3.0, 5000) for i in range(6)})
+        assert tight.crps(obs) < wide.crps(obs)
+
+    def test_biased_ensemble_scores_worse(self):
+        rng = np.random.default_rng(8)
+        obs = np.zeros(5000)
+        unbiased = make_stats({f"m{i}": rng.normal(0, 1, 5000) for i in range(6)})
+        biased = make_stats({f"m{i}": rng.normal(4, 1, 5000) for i in range(6)})
+        assert unbiased.crps(obs) < biased.crps(obs)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(9)
+        stats = make_stats({f"m{i}": rng.normal(size=100) for i in range(4)})
+        assert stats.crps(rng.normal(size=100)) >= 0.0
+
+    def test_shape_mismatch(self):
+        stats = make_stats({"a": np.zeros(3)})
+        with pytest.raises(MPHError, match="observation shape"):
+            stats.crps(np.zeros(2))
+
+
+class TestWaitanyWaitsome:
+    def test_waitany_returns_first_ready(self, spmd):
+        from repro.mpi import Request
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("fast", 1, tag=2)
+                comm.barrier()
+                comm.send("slow", 1, tag=1)
+                return None
+            reqs = [comm.irecv(source=0, tag=1), comm.irecv(source=0, tag=2)]
+            idx, value = Request.waitany(reqs)
+            comm.barrier()
+            rest = reqs[1 - idx].wait()
+            return (idx, value, rest)
+
+        assert spmd(2, main)[1] == (1, "fast", "slow")
+
+    def test_waitsome_returns_all_ready(self, spmd):
+        from repro.mpi import Request
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+                comm.barrier()
+                return None
+            comm.barrier()  # both messages now pending
+            reqs = [comm.irecv(source=0, tag=t) for t in (1, 2, 3)]
+            done = Request.waitsome(reqs)
+            reqs[2].cancel()
+            return sorted(done)
+
+        assert spmd(2, main)[1] == [(0, "a"), (1, "b")]
+
+    def test_empty_sequences_rejected(self):
+        from repro.mpi import Request
+
+        with pytest.raises(ValueError):
+            Request.waitany([])
+        with pytest.raises(ValueError):
+            Request.waitsome([])

@@ -1,0 +1,168 @@
+"""The Fortran-flavoured API (repro.core.fortran_api): the paper's call
+signatures, line for line."""
+
+import pytest
+
+from repro import mph_run
+from repro.core import fortran_api as F
+from repro.errors import MPHError
+
+MCME_REG = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 1
+land       0 1
+Multi_Component_End
+coupler
+END
+"""
+
+
+class TestSetupBinding:
+    def test_setup_returns_exe_world(self):
+        def atm_land(world, env):
+            mpi_exec_world = F.MPH_components_setup(
+                world, name1="atmosphere", name2="land", env=env
+            )
+            return mpi_exec_world.size
+
+        def coupler(world, env):
+            coupler_world = F.MPH_components_setup(world, name1="coupler", env=env)
+            return coupler_world.size
+
+        result = mph_run([(atm_land, 2), (coupler, 1)], registry=MCME_REG)
+        assert result.by_executable(0) == [2, 2]
+        assert result.by_executable(1) == [1]
+
+    def test_handle_is_per_process(self):
+        """Two executables use the module concurrently without clashing."""
+
+        def atm_land(world, env):
+            F.MPH_components_setup(world, name1="atmosphere", name2="land", env=env)
+            return sorted(n for n in ("atmosphere", "land") if F.PROC_in_component(n))
+
+        def coupler(world, env):
+            F.MPH_components_setup(world, name1="coupler", env=env)
+            return F.MPH_comp_name()
+
+        result = mph_run([(atm_land, 2), (coupler, 1)], registry=MCME_REG)
+        assert result.by_executable(0)[0] == ["atmosphere", "land"]
+        assert result.by_executable(1)[0] == "coupler"
+
+    def test_unbound_handle_raises(self):
+        with pytest.raises(MPHError, match="no MPH handle"):
+            F.MPH_comp_name()
+
+    def test_sparse_name_arguments(self):
+        """Names may use any keyword slots, as in Fortran optional args."""
+        reg = """
+BEGIN
+Multi_Component_Begin
+a 0 0
+b 1 1
+c 2 2
+Multi_Component_End
+END
+"""
+
+        def program(world, env):
+            F.MPH_components_setup(world, name1="a", name3="c", name2="b", env=env)
+            return F.MPH_total_components()
+
+        result = mph_run([(program, 3)], registry=reg)
+        assert set(result.values()) == {3}
+
+
+class TestPaperListings:
+    REG = "BEGIN\natmosphere\nocean\nEND"
+
+    def test_section_4_1_listing(self):
+        def atmosphere(world, env):
+            atmosphere_world = F.MPH_components_setup(world, name1="atmosphere", env=env)
+            return (atmosphere_world.rank, F.MPH_comp_name(), F.MPH_global_proc_id())
+
+        def ocean(world, env):
+            F.MPH_components_setup(world, name1="ocean", env=env)
+            return F.MPH_local_proc_id()
+
+        result = mph_run([(atmosphere, 2), (ocean, 2)], registry=self.REG)
+        assert result.by_executable(0)[1] == (1, "atmosphere", 1)
+        assert result.by_executable(1) == [0, 1]
+
+    def test_section_5_listings(self):
+        def atmosphere(world, env):
+            F.MPH_components_setup(world, name1="atmosphere", env=env)
+            joined = F.MPH_comm_join("atmosphere", "ocean")
+            if F.MPH_local_proc_id() == 0:
+                F.MPH_send("field", "ocean", 1, tag=9)
+            return (
+                joined.rank,
+                F.MPH_exe_low_proc_limit(),
+                F.MPH_exe_up_proc_limit(),
+                F.MPH_Global_World().size,
+                F.MPH_global_id("ocean", 1),
+            )
+
+        def ocean(world, env):
+            F.MPH_components_setup(world, name1="ocean", env=env)
+            F.MPH_comm_join("atmosphere", "ocean")
+            if F.MPH_local_proc_id() == 1:
+                return F.MPH_recv("atmosphere", 0, tag=9)
+            return None
+
+        result = mph_run([(atmosphere, 2), (ocean, 2)], registry=self.REG)
+        assert result.by_executable(0)[0] == (0, 0, 1, 4, 3)
+        assert result.by_executable(1)[1] == "field"
+
+    def test_multi_instance_and_arguments(self):
+        reg = """
+BEGIN
+Multi_Instance_Begin
+Ocean1 0 0 infile1 alpha=3
+Ocean2 1 1 infile2 beta=4.5
+Multi_Instance_End
+statistics
+END
+"""
+
+        def ocean(world, env):
+            ocean_world = F.MPH_multi_instance(world, "Ocean", env=env)
+            return (
+                F.MPH_comp_name(),
+                F.MPH_get_argument("alpha", int, default=-1),
+                F.MPH_get_argument(field_num=1),
+                ocean_world.size,
+            )
+
+        def statistics(world, env):
+            F.MPH_components_setup(world, name1="statistics", env=env)
+            return F.MPH_total_components()
+
+        result = mph_run([(ocean, 2), (statistics, 1)], registry=reg)
+        assert result.by_executable(0) == [
+            ("Ocean1", 3, "infile1", 2),
+            ("Ocean2", -1, "infile2", 2),
+        ]
+        assert result.by_executable(1) == [3]
+
+    def test_redirect_output_listing(self, tmp_path):
+        def atmosphere(world, env):
+            F.MPH_components_setup(world, name1="atmosphere", env=env)
+            path = F.MPH_redirect_output("atmosphere")
+            print("fortran-style hello")
+            return path.name if path else None
+
+        def ocean(world, env):
+            F.MPH_components_setup(world, name1="ocean", env=env)
+            return None
+
+        result = mph_run(
+            [(atmosphere, 1), (ocean, 1)], registry=self.REG, workdir=tmp_path
+        )
+        assert result.by_executable(0)[0] == "atmosphere.log"
+        assert "fortran-style hello" in (tmp_path / "atmosphere.log").read_text()
+
+    def test_help_lists_entry_points(self):
+        text = F.MPH_help()
+        for name in ("MPH_components_setup", "MPH_comm_join", "PROC_in_component"):
+            assert name in text

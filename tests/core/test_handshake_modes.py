@@ -1,0 +1,261 @@
+"""The handshake across all five execution modes and its failure paths."""
+
+import pytest
+
+from repro import components_setup, mph_run, multi_instance
+from repro.errors import HandshakeError
+from repro.mpi.world import WorldConfig
+
+
+def reporter(*names):
+    """An executable that handshakes and reports its view."""
+
+    def program(world, env):
+        mph = components_setup(world, *names, env=env)
+        return {
+            "names": mph.comp_names(),
+            "strategy": mph.strategy,
+            "exe_id": mph.exe_id(),
+            "total": mph.total_components(),
+            "locals": {n: mph.local_proc_id(n) for n in mph.comp_names()},
+            "comp_sizes": {n: mph.component_size(n) for n in mph.comp_names()},
+        }
+
+    program.__name__ = "_".join(n[:4] for n in names)
+    return program
+
+
+class TestScseMode:
+    def test_single_component_single_executable(self):
+        result = mph_run([(reporter("solo"), 3)], registry="BEGIN\nsolo\nEND")
+        view = result.values()[0]
+        assert view["names"] == ("solo",)
+        assert view["total"] == 1
+        assert view["strategy"] == "world_split"
+
+
+class TestScmeMode:
+    REG = "BEGIN\natm\nocn\ncpl\nEND"
+
+    def test_three_executables(self):
+        result = mph_run(
+            [(reporter("atm"), 2), (reporter("ocn"), 3), (reporter("cpl"), 1)],
+            registry=self.REG,
+        )
+        assert result.by_executable(0)[0]["comp_sizes"] == {"atm": 2}
+        assert result.by_executable(1)[2]["locals"] == {"ocn": 2}
+        assert result.by_executable(2)[0]["total"] == 3
+
+    def test_registry_order_irrelevant(self):
+        """Paper §4.1: 'The order of file names are irrelevant.'"""
+        reordered = "BEGIN\ncpl\natm\nocn\nEND"
+        result = mph_run(
+            [(reporter("atm"), 2), (reporter("ocn"), 1), (reporter("cpl"), 1)],
+            registry=reordered,
+        )
+        assert result.by_executable(0)[0]["comp_sizes"] == {"atm": 2}
+
+    def test_world_split_strategy_selected(self):
+        result = mph_run(
+            [(reporter("atm"), 2), (reporter("ocn"), 2)], registry="BEGIN\natm\nocn\nEND"
+        )
+        assert all(v["strategy"] == "world_split" for v in result.values())
+
+    def test_arbitrary_names(self):
+        """Paper §4.1: 'One may use NCAR_atm, or UCLA_atm, or any other
+        names.'"""
+        result = mph_run(
+            [(reporter("NCAR_atm"), 1), (reporter("UCLA_ocn"), 1)],
+            registry="BEGIN\nNCAR_atm\nUCLA_ocn\nEND",
+        )
+        assert result.values()[0]["names"] == ("NCAR_atm",)
+
+
+class TestMcseMode:
+    REG = (
+        "BEGIN\nMulti_Component_Begin\natm 0 1\nocn 2 4\ncpl 5 5\nMulti_Component_End\nEND"
+    )
+
+    def test_master_program_dispatch(self):
+        master = reporter("atm", "ocn", "cpl")
+        result = mph_run([(master, 6)], registry=self.REG)
+        values = result.values()
+        assert values[0]["names"] == ("atm",)
+        assert values[2]["names"] == ("ocn",)
+        assert values[5]["names"] == ("cpl",)
+        assert all(v["strategy"] == "exe_then_comp" for v in values)
+
+    def test_local_ids_follow_ranges(self):
+        master = reporter("atm", "ocn", "cpl")
+        values = mph_run([(master, 6)], registry=self.REG).values()
+        assert values[3]["locals"] == {"ocn": 1}
+
+    def test_size_mismatch_detected(self):
+        master = reporter("atm", "ocn", "cpl")
+        with pytest.raises(HandshakeError, match="disagree"):
+            mph_run([(master, 8)], registry=self.REG)
+
+
+class TestMcmeMode:
+    REG = """
+BEGIN
+Multi_Component_Begin
+atm 0 3
+lnd 0 3
+chm 4 5
+Multi_Component_End
+Multi_Component_Begin
+ocn 0 1
+ice 2 3
+Multi_Component_End
+cpl
+END
+"""
+
+    def exes(self):
+        return [
+            (reporter("atm", "lnd", "chm"), 6),
+            (reporter("ocn", "ice"), 4),
+            (reporter("cpl"), 1),
+        ]
+
+    def test_overlapping_components_on_one_rank(self):
+        result = mph_run(self.exes(), registry=self.REG)
+        rank0 = result.values()[0]
+        assert rank0["names"] == ("atm", "lnd")
+        assert rank0["locals"] == {"atm": 0, "lnd": 0}
+
+    def test_chemistry_exclusive(self):
+        result = mph_run(self.exes(), registry=self.REG)
+        assert result.values()[4]["names"] == ("chm",)
+
+    def test_six_components_total(self):
+        result = mph_run(self.exes(), registry=self.REG)
+        assert result.values()[0]["total"] == 6
+
+    def test_setup_name_order_irrelevant(self):
+        """The keyword names in the setup call may come in any order."""
+        result = mph_run(
+            [
+                (reporter("chm", "atm", "lnd"), 6),
+                (reporter("ice", "ocn"), 4),
+                (reporter("cpl"), 1),
+            ],
+            registry=self.REG,
+        )
+        assert result.values()[0]["names"] == ("atm", "lnd")
+
+    def test_rank_policy_invariance(self):
+        """E13: the handshake result must not depend on how the launcher
+        dealt global ranks to executables."""
+        block = mph_run(self.exes(), registry=self.REG, rank_policy="block")
+        cyclic = mph_run(self.exes(), registry=self.REG, rank_policy="round_robin")
+        for exe in range(3):
+            assert [v["names"] for v in block.by_executable(exe)] == [
+                v["names"] for v in cyclic.by_executable(exe)
+            ]
+            assert [v["locals"] for v in block.by_executable(exe)] == [
+                v["locals"] for v in cyclic.by_executable(exe)
+            ]
+
+
+class TestMimeMode:
+    REG = """
+BEGIN
+Multi_Instance_Begin
+Ocean1 0 1
+Ocean2 2 3
+Multi_Instance_End
+stats
+END
+"""
+
+    def test_instances_get_expanded_names(self):
+        def ocean(world, env):
+            mph = multi_instance(world, "Ocean", env=env)
+            return (mph.comp_name(), mph.local_proc_id())
+
+        result = mph_run([(ocean, 4), (reporter("stats"), 1)], registry=self.REG)
+        assert result.by_executable(0) == [
+            ("Ocean1", 0),
+            ("Ocean1", 1),
+            ("Ocean2", 0),
+            ("Ocean2", 1),
+        ]
+
+    def test_prefix_must_match_block(self):
+        def ocean(world, env):
+            multi_instance(world, "Atlantic", env=env)
+
+        with pytest.raises(HandshakeError, match="prefix"):
+            mph_run([(ocean, 4), (reporter("stats"), 1)], registry=self.REG)
+
+    def test_instance_size_mismatch(self):
+        def ocean(world, env):
+            multi_instance(world, "Ocean", env=env)
+
+        with pytest.raises(HandshakeError, match="disagree"):
+            mph_run([(ocean, 6), (reporter("stats"), 1)], registry=self.REG)
+
+
+class TestHandshakeFailures:
+    def test_unregistered_name(self):
+        with pytest.raises(HandshakeError, match="do not appear"):
+            mph_run([(reporter("ghost"), 1)], registry="BEGIN\nocean\nEND")
+
+    def test_wrong_grouping(self):
+        """Names registered, but in different executables than declared."""
+        reg = "BEGIN\natm\nocn\nEND"
+        with pytest.raises(HandshakeError, match="not together"):
+            mph_run([(reporter("atm", "ocn"), 2)], registry=reg)
+
+    def test_missing_executable(self):
+        reg = "BEGIN\natm\nocn\nEND"
+        with pytest.raises(HandshakeError, match="no executable declared"):
+            mph_run([(reporter("atm"), 2)], registry=reg)
+
+    def test_component_limit_enforced(self):
+        names = tuple(f"c{i}" for i in range(11))
+        reg = "BEGIN\n" + "\n".join(
+            ["Multi_Component_Begin"] + [f"c{i} {i} {i}" for i in range(11)] + ["Multi_Component_End"]
+        ) + "\nEND"
+        with pytest.raises(Exception, match="limit"):
+            mph_run([(reporter(*names), 11)], registry=reg)
+
+    def test_no_registry_at_all(self):
+        from repro.errors import MPHError
+
+        with pytest.raises(MPHError, match="no registration file"):
+            mph_run([(reporter("atm"), 1)])
+
+    def test_malformed_registry_fails_whole_job(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            mph_run(
+                [(reporter("atm"), 2), (reporter("ocn"), 2)],
+                registry="BEGIN\natm\nocn\n",  # missing END
+            )
+
+    def test_duplicate_setup_names_rejected(self):
+        def program(world, env):
+            components_setup(world, "a", "a", env=env)
+
+        with pytest.raises(HandshakeError, match="duplicate"):
+            mph_run([(program, 1)], registry="BEGIN\na\nEND")
+
+    def test_executable_that_never_calls_mph_detected_as_deadlock(self):
+        """An executable missing its MPH call hangs the allgather; the
+        substrate's deadlock detector reports it instead of hanging."""
+        from repro.errors import DeadlockError
+
+        def silent(world, env):
+            world.recv(source=world.rank)  # never handshakes
+
+        with pytest.raises(DeadlockError):
+            mph_run(
+                [(reporter("atm"), 1), (silent, 1)],
+                registry="BEGIN\natm\nsilent\nEND",
+                config=WorldConfig(deadlock_grace=0.3),
+                timeout=20,
+            )

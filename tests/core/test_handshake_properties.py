@@ -1,0 +1,165 @@
+"""Property-based handshake tests: random registries, derived launches,
+layout invariants.
+
+Strategy: generate a random valid registration file (a mix of single-
+component, multi-component — possibly overlapping — and multi-instance
+entries), derive the matching launch command from it, run the job, and
+assert the invariants the handshake must always deliver.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import components_setup, mph_run, multi_instance
+from repro.core.registry import (
+    ComponentSpec,
+    MultiComponentEntry,
+    MultiInstanceEntry,
+    Registry,
+    SingleComponentEntry,
+)
+
+# -- registry generation -------------------------------------------------------
+
+@st.composite
+def _entry(draw, names, kind):
+    if kind == "single":
+        return SingleComponentEntry(ComponentSpec(names[0])), draw(st.integers(1, 3))
+    if kind == "multi":
+        specs = []
+        cursor = 0
+        for name in names:
+            overlap = cursor > 0 and draw(st.booleans())
+            low = 0 if overlap else cursor
+            width = draw(st.integers(1, 2))
+            specs.append(ComponentSpec(name, low, low + width - 1))
+            cursor = max(cursor, low + width)
+        return MultiComponentEntry(tuple(specs)), cursor
+    # instance block: names share a prefix by construction
+    specs = []
+    cursor = 0
+    for name in names:
+        width = draw(st.integers(1, 2))
+        specs.append(ComponentSpec(name, cursor, cursor + width - 1))
+        cursor += width
+    return MultiInstanceEntry(tuple(specs)), cursor
+
+
+@st.composite
+def _scenario(draw):
+    """A (registry, executables) pair derived together."""
+    n_entries = draw(st.integers(1, 3))
+    entries = []
+    launch = []  # (kind, decl, nprocs)
+    used = 0
+    for i in range(n_entries):
+        kind = draw(st.sampled_from(["single", "multi", "instance"]))
+        count = 1 if kind == "single" else draw(st.integers(1, 3))
+        names = [f"e{i}n{j}" for j in range(count)]
+        if kind == "instance":
+            prefix = f"e{i}n"
+            names = [f"{prefix}{j}" for j in range(count)]
+        entry, nprocs = draw(_entry(names, kind))
+        entries.append(entry)
+        if kind == "instance":
+            launch.append(("instance", f"e{i}n", nprocs))
+        else:
+            launch.append(("components", tuple(names), nprocs))
+        used += nprocs
+    return Registry(entries), launch
+
+
+def _reporter_for(kind, decl):
+    if kind == "instance":
+
+        def program(world, env):
+            mph = multi_instance(world, decl, env=env)
+            return _snapshot(mph)
+
+        program.__name__ = f"inst_{decl}"
+        return program
+
+    def program(world, env):
+        mph = components_setup(world, *decl, env=env)
+        return _snapshot(mph)
+
+    program.__name__ = "c_" + "_".join(decl)
+    return program
+
+
+def _snapshot(mph):
+    return {
+        "names": mph.comp_names(),
+        "world_rank": mph.global_proc_id(),
+        "exe_id": mph.exe_id(),
+        "exe_limits": (mph.exe_low_proc_limit(), mph.exe_up_proc_limit()),
+        "total": mph.total_components(),
+        "locals": {n: mph.local_proc_id(n) for n in mph.comp_names()},
+        "layout": tuple(
+            (c.name, c.comp_id, c.exe_id, c.world_ranks) for c in mph.layout.components
+        ),
+        "comm_sizes": {n: mph.component_comm(n).size for n in mph.comp_names()},
+    }
+
+
+class TestHandshakeInvariants:
+    @given(_scenario())
+    @settings(max_examples=20, deadline=None)
+    def test_invariants(self, scenario):
+        registry, launch = scenario
+        executables = [
+            (_reporter_for(kind, decl), nprocs) for kind, decl, nprocs in launch
+        ]
+        result = mph_run(executables, registry=registry)
+        views = result.values()
+
+        # 1. Every process computed the identical layout and total count.
+        layouts = {v["layout"] for v in views}
+        assert len(layouts) == 1
+        assert {v["total"] for v in views} == {registry.total_components}
+
+        layout = views[0]["layout"]
+        by_name = {name: (comp_id, exe_id, ranks) for name, comp_id, exe_id, ranks in layout}
+
+        # 2. Component ids are dense and follow registry order.
+        assert [cid for _, cid, _, _ in layout] == list(range(len(layout)))
+        assert [n for n, _, _, _ in layout] == list(registry.component_names)
+
+        # 3. Communicator size equals the layout size for every membership,
+        #    and local ranks are consistent with the world-rank order.
+        for v in views:
+            for name in v["names"]:
+                _, _, ranks = by_name[name]
+                assert v["comm_sizes"][name] == len(ranks)
+                assert ranks[v["locals"][name]] == v["world_rank"]
+
+        # 4. Executable limits bound each member's world rank.
+        for v in views:
+            low, up = v["exe_limits"]
+            assert low <= v["world_rank"] <= up
+
+        # 5. Every world rank of every component actually reported being in
+        #    that component.
+        member_of = {}
+        for v in views:
+            for name in v["names"]:
+                member_of.setdefault(name, set()).add(v["world_rank"])
+        for name, comp_id, exe_id, ranks in layout:
+            assert member_of.get(name, set()) == set(ranks)
+
+    @given(_scenario())
+    @settings(max_examples=10, deadline=None)
+    def test_rank_policy_invariance(self, scenario):
+        """The resolved layout (names, sizes, local ids) is invariant to
+        the launcher's rank-assignment policy — world ranks differ, the
+        component structure does not."""
+        registry, launch = scenario
+        executables = [
+            (_reporter_for(kind, decl), nprocs) for kind, decl, nprocs in launch
+        ]
+        block = mph_run(executables, registry=registry, rank_policy="block")
+        cyclic = mph_run(executables, registry=registry, rank_policy="round_robin")
+        for exe in range(len(launch)):
+            b = [(v["names"], v["locals"]) for v in block.by_executable(exe)]
+            c = [(v["names"], v["locals"]) for v in cyclic.by_executable(exe)]
+            assert b == c

@@ -1,0 +1,158 @@
+"""E7: the inquiry functions of paper §5.3."""
+
+import pytest
+
+from repro import components_setup, mph_run
+from repro.errors import HandshakeError, MPHError
+
+REG = """
+BEGIN
+Multi_Component_Begin
+alpha 0 1
+beta  2 3
+Multi_Component_End
+gamma
+END
+"""
+
+
+def run_job(fn_multi, fn_single, n_multi=4, n_single=2, **kw):
+    def multi(world, env):
+        mph = components_setup(world, "alpha", "beta", env=env)
+        return fn_multi(mph)
+
+    def single(world, env):
+        mph = components_setup(world, "gamma", env=env)
+        return fn_single(mph)
+
+    return mph_run([(multi, n_multi), (single, n_single)], registry=REG, **kw)
+
+
+class TestIdentity:
+    def test_comp_name(self):
+        result = run_job(lambda m: m.comp_name(), lambda m: m.comp_name())
+        assert result.values() == ["alpha", "alpha", "beta", "beta", "gamma", "gamma"]
+
+    def test_local_proc_id(self):
+        result = run_job(lambda m: m.local_proc_id(), lambda m: m.local_proc_id())
+        assert result.values() == [0, 1, 0, 1, 0, 1]
+
+    def test_global_proc_id(self):
+        result = run_job(lambda m: m.global_proc_id(), lambda m: m.global_proc_id())
+        assert result.values() == list(range(6))
+
+    def test_total_components(self):
+        result = run_job(lambda m: m.total_components(), lambda m: m.total_components())
+        assert set(result.values()) == {3}
+
+    def test_num_executables(self):
+        result = run_job(lambda m: m.num_executables(), lambda m: m.num_executables())
+        assert set(result.values()) == {2}
+
+
+class TestExecutableLimits:
+    def test_exe_proc_limits(self):
+        result = run_job(
+            lambda m: (m.exe_low_proc_limit(), m.exe_up_proc_limit()),
+            lambda m: (m.exe_low_proc_limit(), m.exe_up_proc_limit()),
+        )
+        assert result.by_executable(0) == [(0, 3)] * 4
+        assert result.by_executable(1) == [(4, 5)] * 2
+
+    def test_exe_id(self):
+        result = run_job(lambda m: m.exe_id(), lambda m: m.exe_id())
+        assert result.values() == [0, 0, 0, 0, 1, 1]
+
+
+class TestComponentQueries:
+    def test_component_size_anywhere(self):
+        """Any process may ask about any component's size."""
+        result = run_job(
+            lambda m: m.component_size("gamma"), lambda m: m.component_size("alpha")
+        )
+        assert result.by_executable(0) == [2] * 4
+        assert result.by_executable(1) == [2] * 2
+
+    def test_global_id_translation(self):
+        result = run_job(
+            lambda m: m.global_id("beta", 1), lambda m: m.global_id("alpha", 0)
+        )
+        assert result.by_executable(0) == [3] * 4
+        assert result.by_executable(1) == [0] * 2
+
+    def test_global_id_out_of_range(self):
+        with pytest.raises(HandshakeError, match="out of range"):
+            run_job(lambda m: m.global_id("beta", 9), lambda m: None)
+
+    def test_unknown_component_in_inquiry(self):
+        with pytest.raises(HandshakeError, match="unknown component"):
+            run_job(lambda m: m.component_size("delta"), lambda m: None)
+
+    def test_layout_components_on(self):
+        result = run_job(
+            lambda m: [c.name for c in m.layout.components_on(2)],
+            lambda m: [c.name for c in m.layout.components_on(4)],
+        )
+        assert result.values()[0] == ["beta"]
+        assert result.values()[4] == ["gamma"]
+
+    def test_layout_overlap_query(self):
+        result = run_job(
+            lambda m: m.layout.overlap("alpha", "beta"), lambda m: None
+        )
+        assert result.values()[0] is False
+
+
+class TestAmbiguity:
+    OVERLAP_REG = """
+BEGIN
+Multi_Component_Begin
+alpha 0 1
+beta  0 1
+Multi_Component_End
+END
+"""
+
+    def test_comp_name_ambiguous_on_overlap(self):
+        def program(world, env):
+            mph = components_setup(world, "alpha", "beta", env=env)
+            try:
+                mph.comp_name()
+                return "no error"
+            except MPHError as exc:
+                return "ambiguous" if "several components" in str(exc) else "wrong msg"
+
+        result = mph_run([(program, 2)], registry=self.OVERLAP_REG)
+        assert set(result.values()) == {"ambiguous"}
+
+    def test_local_proc_id_with_explicit_name(self):
+        def program(world, env):
+            mph = components_setup(world, "alpha", "beta", env=env)
+            return (mph.local_proc_id("alpha"), mph.local_proc_id("beta"))
+
+        result = mph_run([(program, 2)], registry=self.OVERLAP_REG)
+        assert result.values() == [(0, 0), (1, 1)]
+
+    def test_not_in_component_error(self):
+        def program(world, env):
+            mph = components_setup(world, "alpha", "beta", env=env)
+            mph.component_comm("alpha")  # every rank is in alpha here — ok
+            return True
+
+        reg = """
+BEGIN
+Multi_Component_Begin
+alpha 0 0
+beta  1 1
+Multi_Component_End
+END
+"""
+
+        def program2(world, env):
+            mph = components_setup(world, "alpha", "beta", env=env)
+            if world.rank == 1:
+                mph.component_comm("alpha")  # rank 1 is only in beta
+            return True
+
+        with pytest.raises(HandshakeError, match="not in component"):
+            mph_run([(program2, 2)], registry=reg)

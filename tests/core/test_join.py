@@ -1,0 +1,154 @@
+"""E5: MPH_comm_join semantics beyond the paper-example contract tests."""
+
+import pytest
+
+from repro import components_setup, mph_run
+from repro.errors import JoinError
+
+REG3 = "BEGIN\na\nb\nc\nEND"
+
+
+def join_job(join_args_by_name, sizes=(2, 2, 2), registry=REG3, **kw):
+    """Run a/b/c executables; each calls the joins listed for its name."""
+
+    def make(name):
+        def program(world, env):
+            mph = components_setup(world, name, env=env)
+            out = []
+            for first, second in join_args_by_name.get(name, []):
+                joined = mph.comm_join(first, second)
+                out.append(None if joined is None else (joined.rank, joined.size))
+            return out
+
+        program.__name__ = name
+        return program
+
+    return mph_run(
+        [(make("a"), sizes[0]), (make("b"), sizes[1]), (make("c"), sizes[2])],
+        registry=registry,
+        **kw,
+    )
+
+
+class TestJoinBasics:
+    def test_member_ranks_and_size(self):
+        result = join_job({"a": [("a", "b")], "b": [("a", "b")]})
+        assert result.by_executable(0) == [[(0, 4)], [(1, 4)]]
+        assert result.by_executable(1) == [[(2, 4)], [(3, 4)]]
+
+    def test_nonmember_gets_none_without_participating(self):
+        result = join_job({"a": [("a", "b")], "b": [("a", "b")], "c": [("a", "b")]})
+        assert result.by_executable(2) == [[None], [None]]
+
+    def test_multiple_joins_in_sequence(self):
+        joins = [("a", "b"), ("a", "c")]
+        result = join_job({"a": joins, "b": [("a", "b")], "c": [("a", "c")]})
+        assert result.by_executable(0)[0] == [(0, 4), (0, 4)]
+
+    def test_repeated_join_of_same_pair(self):
+        joins = [("a", "b"), ("a", "b"), ("a", "b")]
+        result = join_job({"a": joins, "b": joins})
+        assert result.by_executable(1)[1] == [(3, 4)] * 3
+
+    def test_join_comm_supports_p2p(self):
+        def a(world, env):
+            mph = components_setup(world, "a", env=env)
+            joined = mph.comm_join("a", "b")
+            if joined.rank == 0:
+                joined.send("across", joined.size - 1, tag=4)
+            return None
+
+        def b(world, env):
+            mph = components_setup(world, "b", env=env)
+            joined = mph.comm_join("a", "b")
+            if joined.rank == joined.size - 1:
+                return joined.recv(source=0, tag=4)
+            return None
+
+        def c(world, env):
+            components_setup(world, "c", env=env)
+            return None
+
+        result = mph_run([(a, 2), (b, 2), (c, 1)], registry=REG3)
+        assert result.by_executable(1)[-1] == "across"
+
+
+class TestJoinErrors:
+    def test_self_join_rejected(self):
+        with pytest.raises(JoinError, match="itself"):
+            join_job({"a": [("a", "a")]})
+
+    def test_unknown_component(self):
+        from repro.errors import HandshakeError
+
+        with pytest.raises(HandshakeError, match="unknown component"):
+            join_job({"a": [("a", "zz")]})
+
+    def test_overlapping_components_rejected(self):
+        reg = """
+BEGIN
+Multi_Component_Begin
+x 0 1
+y 0 1
+Multi_Component_End
+END
+"""
+
+        def program(world, env):
+            mph = components_setup(world, "x", "y", env=env)
+            mph.comm_join("x", "y")
+
+        with pytest.raises(JoinError, match="overlap"):
+            mph_run([(program, 2)], registry=reg)
+
+
+class TestJoinAcrossModes:
+    def test_join_between_components_of_one_executable(self):
+        """Joining two components of one multi-component executable."""
+        reg = """
+BEGIN
+Multi_Component_Begin
+x 0 1
+y 2 3
+Multi_Component_End
+END
+"""
+
+        def program(world, env):
+            mph = components_setup(world, "x", "y", env=env)
+            joined = mph.comm_join("x", "y")
+            return (joined.rank, joined.size)
+
+        result = mph_run([(program, 4)], registry=reg)
+        assert result.values() == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+    def test_join_with_instance(self):
+        """Joining a multi-instance component with a plain one."""
+        from repro import multi_instance
+
+        reg = """
+BEGIN
+Multi_Instance_Begin
+Run1 0 0
+Run2 1 1
+Multi_Instance_End
+stats
+END
+"""
+
+        def runs(world, env):
+            mph = multi_instance(world, "Run", env=env)
+            joined = mph.comm_join(mph.comp_name(), "stats")
+            return (mph.comp_name(), joined.rank, joined.size)
+
+        def stats(world, env):
+            mph = components_setup(world, "stats", env=env)
+            out = []
+            for name in ("Run1", "Run2"):
+                joined = mph.comm_join(name, "stats")
+                out.append((name, joined.rank, joined.size))
+            return out
+
+        result = mph_run([(runs, 2), (stats, 1)], registry=reg)
+        assert result.by_executable(0) == [("Run1", 0, 2), ("Run2", 0, 2)]
+        assert result.by_executable(1)[0] == [("Run1", 1, 2), ("Run2", 1, 2)]

@@ -1,0 +1,118 @@
+"""Layout resolution: components/executables -> world ranks
+(repro.core.layout), tested without communicators."""
+
+import pytest
+
+from repro.core.layout import ComponentInfo, ExecutableInfo, Layout
+from repro.core.registry import Registry
+from repro.errors import HandshakeError
+from repro.mpi.constants import UNDEFINED
+
+REG = Registry.from_text(
+    """
+BEGIN
+Multi_Component_Begin
+atm 0 3
+lnd 0 3
+chm 4 5
+Multi_Component_End
+cpl
+END
+"""
+)
+
+
+def make_layout(chm_world=(14, 15), cpl_world=(20,)):
+    exe0 = ExecutableInfo(
+        exe_id=0,
+        entry_index=0,
+        kind="multi_component",
+        world_ranks=(10, 11, 12, 13) + tuple(chm_world),
+        component_names=("atm", "lnd", "chm"),
+        has_overlap=True,
+    )
+    exe1 = ExecutableInfo(
+        exe_id=1,
+        entry_index=1,
+        kind="single",
+        world_ranks=tuple(cpl_world),
+        component_names=("cpl",),
+    )
+    return Layout(REG, [exe0, exe1])
+
+
+class TestLayoutResolution:
+    def test_component_world_ranks(self):
+        layout = make_layout()
+        assert layout.component("atm").world_ranks == (10, 11, 12, 13)
+        assert layout.component("chm").world_ranks == (14, 15)
+        assert layout.component("cpl").world_ranks == (20,)
+
+    def test_comp_ids_follow_registry_order(self):
+        layout = make_layout()
+        assert [c.name for c in layout.components] == ["atm", "lnd", "chm", "cpl"]
+        assert [c.comp_id for c in layout.components] == [0, 1, 2, 3]
+
+    def test_global_rank_translation(self):
+        layout = make_layout()
+        assert layout.global_rank("chm", 1) == 15
+        assert layout.global_rank("cpl", 0) == 20
+
+    def test_global_rank_out_of_range(self):
+        with pytest.raises(HandshakeError, match="out of range"):
+            make_layout().global_rank("chm", 2)
+
+    def test_components_on_overlapping_rank(self):
+        layout = make_layout()
+        assert [c.name for c in layout.components_on(12)] == ["atm", "lnd"]
+        assert [c.name for c in layout.components_on(14)] == ["chm"]
+
+    def test_executable_of(self):
+        layout = make_layout()
+        assert layout.executable_of(14).exe_id == 0
+        assert layout.executable_of(20).exe_id == 1
+        with pytest.raises(HandshakeError):
+            layout.executable_of(99)
+
+    def test_overlap_query(self):
+        layout = make_layout()
+        assert layout.overlap("atm", "lnd")
+        assert not layout.overlap("atm", "chm")
+
+    def test_exe_limits(self):
+        layout = make_layout()
+        exe = layout.executables[0]
+        assert (exe.low_proc_limit, exe.up_proc_limit) == (10, 15)
+
+    def test_local_rank_of(self):
+        info = make_layout().component("atm")
+        assert info.local_rank_of(12) == 2
+        assert info.local_rank_of(99) == UNDEFINED
+
+    def test_unknown_component(self):
+        with pytest.raises(HandshakeError, match="active components"):
+            make_layout().component("nope")
+
+    def test_has_component(self):
+        layout = make_layout()
+        assert layout.has_component("lnd") and not layout.has_component("xyz")
+
+    def test_counts(self):
+        layout = make_layout()
+        assert layout.total_components == 4
+        assert layout.num_executables == 2
+        assert layout.world_size() == 7
+
+    def test_range_exceeding_executable_size_rejected(self):
+        exe = ExecutableInfo(
+            exe_id=0,
+            entry_index=0,
+            kind="multi_component",
+            world_ranks=(0, 1, 2),  # but chm registers locals 4..5
+            component_names=("atm", "lnd", "chm"),
+        )
+        cpl = ExecutableInfo(
+            exe_id=1, entry_index=1, kind="single", world_ranks=(3,), component_names=("cpl",)
+        )
+        with pytest.raises(HandshakeError, match="only 3 processes"):
+            Layout(REG, [exe, cpl])

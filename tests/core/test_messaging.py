@@ -1,0 +1,165 @@
+"""E6: inter-component communication addressed by component name (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro import components_setup, mph_run
+
+REG = "BEGIN\natmosphere\nocean\nEND"
+
+
+def two_component_job(atm_fn, ocn_fn, n_atm=4, n_ocn=4, registry=REG, **kw):
+    def atmosphere(world, env):
+        return atm_fn(components_setup(world, "atmosphere", env=env))
+
+    def ocean(world, env):
+        return ocn_fn(components_setup(world, "ocean", env=env))
+
+    return mph_run([(atmosphere, n_atm), (ocean, n_ocn)], registry=registry, **kw)
+
+
+class TestNameAddressedSend:
+    def test_paper_example_send_to_ocean_local_3(self):
+        """'if a processor on atmosphere wants to send Process 3 on
+        ocean' — address (ocean, 3), whatever ocean's global ranks are."""
+
+        def atm(mph):
+            if mph.local_proc_id() == 0:
+                mph.send("payload", "ocean", 3, tag=100)
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 3:
+                return mph.recv("atmosphere", 0, tag=100)
+            return None
+
+        result = two_component_job(atm, ocn)
+        assert result.by_executable(1)[3] == "payload"
+
+    def test_addressing_invariant_under_rank_policy(self):
+        """Name addressing hides the launcher's global-rank layout (E13)."""
+
+        def atm(mph):
+            if mph.local_proc_id() == 1:
+                mph.send(("x", 42), "ocean", 2, tag=7)
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 2:
+                return mph.recv("atmosphere", 1, tag=7)
+            return None
+
+        for policy in ("block", "round_robin"):
+            result = two_component_job(atm, ocn, rank_policy=policy)
+            assert result.by_executable(1)[2] == ("x", 42)
+
+    def test_bidirectional_conversation(self):
+        def atm(mph):
+            if mph.local_proc_id() == 0:
+                mph.send("ping", "ocean", 0, tag=1)
+                return mph.recv("ocean", 0, tag=2)
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 0:
+                got = mph.recv("atmosphere", 0, tag=1)
+                mph.send(got + "-pong", "atmosphere", 0, tag=2)
+            return None
+
+        result = two_component_job(atm, ocn)
+        assert result.by_executable(0)[0] == "ping-pong"
+
+    def test_isend_irecv(self):
+        def atm(mph):
+            if mph.local_proc_id() == 0:
+                req = mph.isend([1, 2], "ocean", 1, tag=3)
+                req.wait()
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 1:
+                return mph.irecv("atmosphere", 0, tag=3).wait()
+            return None
+
+        result = two_component_job(atm, ocn)
+        assert result.by_executable(1)[1] == [1, 2]
+
+    def test_recv_any_identifies_sender_component(self):
+        def atm(mph):
+            if mph.local_proc_id() == 2:
+                mph.send("hi", "ocean", 0, tag=9)
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 0:
+                return mph.recv_any(tag=9)
+            return None
+
+        result = two_component_job(atm, ocn)
+        assert result.by_executable(1)[0] == ("hi", "atmosphere", 2)
+
+
+class TestBufferMessaging:
+    def test_numpy_send_recv(self):
+        def atm(mph):
+            if mph.local_proc_id() == 0:
+                mph.Send(np.linspace(0, 1, 8), "ocean", 0, tag=5)
+            return None
+
+        def ocn(mph):
+            if mph.local_proc_id() == 0:
+                buf = np.zeros(8)
+                mph.Recv(buf, "atmosphere", 0, tag=5)
+                return float(buf.sum())
+            return None
+
+        result = two_component_job(atm, ocn)
+        assert result.by_executable(1)[0] == pytest.approx(4.0)
+
+
+class TestOverlapDisambiguation:
+    REG = """
+BEGIN
+Multi_Component_Begin
+hot  0 1
+cold 0 1
+Multi_Component_End
+reader
+END
+"""
+
+    def test_tags_distinguish_overlapping_senders(self):
+        """Paper §4.2: 'When sending data to components on the overlapped
+        processors, we recommend to use message tags to distinguish
+        different components.'"""
+
+        def dual(world, env):
+            mph = components_setup(world, "hot", "cold", env=env)
+            if mph.local_proc_id("hot") == 0:
+                mph.send("from-hot", "reader", 0, tag=1)
+                mph.send("from-cold", "reader", 0, tag=2)
+            return None
+
+        def reader(world, env):
+            mph = components_setup(world, "reader", env=env)
+            cold = mph.recv("cold", 0, tag=2)
+            hot = mph.recv("hot", 0, tag=1)
+            return (hot, cold)
+
+        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG)
+        assert result.by_executable(1)[0] == ("from-hot", "from-cold")
+
+    def test_recv_any_reports_lowest_comp_id_on_overlap(self):
+        def dual(world, env):
+            mph = components_setup(world, "hot", "cold", env=env)
+            if mph.local_proc_id("hot") == 1:
+                mph.send("ambiguous", "reader", 0, tag=3)
+            return None
+
+        def reader(world, env):
+            mph = components_setup(world, "reader", env=env)
+            return mph.recv_any(tag=3)
+
+        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG)
+        # "hot" is registered before "cold" -> reported on ties.
+        assert result.by_executable(1)[0] == ("ambiguous", "hot", 1)

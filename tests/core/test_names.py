@@ -1,0 +1,48 @@
+"""Component-name rules (repro.core.names)."""
+
+import pytest
+
+from repro.core.names import KEYWORDS, check_unique, matches_prefix, validate_name
+from repro.errors import RegistryError
+
+
+class TestValidateName:
+    @pytest.mark.parametrize(
+        "name",
+        ["atmosphere", "NCAR_atm", "UCLA_atm", "Ocean1", "ccsm-3.0", "a", "land_surface"],
+    )
+    def test_valid_names(self, name):
+        assert validate_name(name) == name
+
+    @pytest.mark.parametrize("name", sorted(KEYWORDS))
+    def test_keywords_rejected(self, name):
+        with pytest.raises(RegistryError, match="keyword"):
+            validate_name(name)
+
+    @pytest.mark.parametrize(
+        "name", ["", "1ocean", "has space", "semi;colon", "a=b", "_lead", "bang!"]
+    )
+    def test_malformed_rejected(self, name):
+        with pytest.raises(RegistryError, match="invalid component name|keyword"):
+            validate_name(name)
+
+
+class TestPrefix:
+    def test_strict_prefix_matches(self):
+        assert matches_prefix("Ocean1", "Ocean")
+        assert matches_prefix("Ocean_b", "Ocean")
+
+    def test_exact_name_is_not_an_instance(self):
+        assert not matches_prefix("Ocean", "Ocean")
+
+    def test_different_prefix(self):
+        assert not matches_prefix("Atm1", "Ocean")
+
+
+class TestUnique:
+    def test_unique_passes(self):
+        check_unique(["a", "b", "c"])
+
+    def test_duplicates_named_in_error(self):
+        with pytest.raises(RegistryError, match="ocean"):
+            check_unique(["ocean", "atm", "ocean"])

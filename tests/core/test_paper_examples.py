@@ -1,0 +1,286 @@
+"""E1–E4: the paper's four worked examples (§4.1–§4.4), reproduced verbatim.
+
+Each test runs the exact registration file printed in the paper (processor
+counts scaled only where noted) with executables making exactly the calls
+the paper's code listings make, and asserts the behaviour the prose
+promises.
+"""
+
+import numpy as np
+import pytest
+
+from repro import components_setup, mph_run, multi_instance
+
+
+class TestE1ScmeClimate:
+    """§4.1: the five-component climate system, names only."""
+
+    REGISTRY = """
+BEGIN
+atmosphere
+ocean
+land
+ice
+coupler
+END
+"""
+
+    def test_components_setup_returns_component_world(self):
+        def atmosphere(world, env):
+            # atmosphere_World = MPH_components_setup(name1="atmosphere")
+            mph = components_setup(world, "atmosphere", env=env)
+            atmosphere_world = mph.exe_world
+            return (atmosphere_world.size, mph.comp_name())
+
+        def other(name):
+            def program(world, env):
+                components_setup(world, name, env=env)
+                return name
+
+            program.__name__ = name
+            return program
+
+        result = mph_run(
+            [
+                (atmosphere, 4),
+                (other("ocean"), 2),
+                (other("land"), 2),
+                (other("ice"), 1),
+                (other("coupler"), 1),
+            ],
+            registry=self.REGISTRY,
+        )
+        assert result.by_executable(0)[0] == (4, "atmosphere")
+
+    def test_insertable_visualization_component(self):
+        """'one can simply add the name-tag of the graphics into the
+        registration file' — inserting a component requires no code change
+        anywhere else."""
+        registry = self.REGISTRY.replace("coupler\n", "coupler\ngraphics\n")
+
+        def make(name):
+            def program(world, env):
+                mph = components_setup(world, name, env=env)
+                return mph.total_components()
+
+            program.__name__ = name
+            return program
+
+        result = mph_run(
+            [
+                (make("atmosphere"), 2),
+                (make("ocean"), 1),
+                (make("land"), 1),
+                (make("ice"), 1),
+                (make("coupler"), 1),
+                (make("graphics"), 1),
+            ],
+            registry=registry,
+        )
+        assert set(result.values()) == {6}
+
+
+class TestE2McseMaster:
+    """§4.2: 3 components on 36 processors, master-program dispatch."""
+
+    REGISTRY = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 15
+ocean 16 31
+coupler 32 35
+Multi_Component_End
+END
+"""
+
+    def test_dispatch_on_36_processors(self):
+        def master(world, env):
+            mph = components_setup(world, "atmosphere", "ocean", "coupler", env=env)
+            comm = mph.proc_in_component("ocean")
+            if comm is not None:
+                return ("ocean_xyz", comm.rank, comm.size)
+            comm = mph.proc_in_component("atmosphere")
+            if comm is not None:
+                return ("atmosphere", comm.rank, comm.size)
+            comm = mph.proc_in_component("coupler")
+            if comm is not None:
+                return ("coupler_abc", comm.rank, comm.size)
+            return None
+
+        values = mph_run([(master, 36)], registry=self.REGISTRY).values()
+        assert values[0] == ("atmosphere", 0, 16)
+        assert values[16] == ("ocean_xyz", 0, 16)
+        assert values[31] == ("ocean_xyz", 15, 16)
+        assert values[32] == ("coupler_abc", 0, 4)
+        assert values[35] == ("coupler_abc", 3, 4)
+
+
+class TestE3McmeThreeExecutables:
+    """§4.3: atm/land/chemistry + ocean/ice + coupler, with full overlap."""
+
+    REGISTRY = """
+BEGIN
+Multi_Component_Begin ! 1st multi-comp exec
+atmosphere 0 15
+land       0 15      ! overlap with atm
+chemistry  16 19
+Multi_Component_End
+Multi_Component_Begin ! 2nd multi-comp exec
+ocean 0 15
+ice   16 31
+Multi_Component_End
+coupler              ! a single-comp exec
+END
+"""
+
+    def exes(self):
+        def atm_land_chem(world, env):
+            mph = components_setup(
+                world, "atmosphere", "land", "chemistry", env=env
+            )  # name1..name3
+            return {n: mph.local_proc_id(n) for n in mph.comp_names()}
+
+        def ocean_ice(world, env):
+            mph = components_setup(world, "ocean", "ice", env=env)  # name1, name2
+            return {n: mph.local_proc_id(n) for n in mph.comp_names()}
+
+        def coupler(world, env):
+            mph = components_setup(world, "coupler", env=env)  # name1
+            return {n: mph.local_proc_id(n) for n in mph.comp_names()}
+
+        return [(atm_land_chem, 20), (ocean_ice, 32), (coupler, 2)]
+
+    def test_overlap_gives_two_communicators(self):
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        # First executable, local processor 5: in both atmosphere and land.
+        assert result.by_executable(0)[5] == {"atmosphere": 5, "land": 5}
+        # Local processor 17: chemistry only.
+        assert result.by_executable(0)[17] == {"chemistry": 1}
+
+    def test_second_executable_partition(self):
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        assert result.by_executable(1)[0] == {"ocean": 0}
+        assert result.by_executable(1)[16] == {"ice": 0}
+        assert result.by_executable(1)[31] == {"ice": 15}
+
+    def test_coupler_size_from_launcher(self):
+        """The single-component coupler takes whatever the launch command
+        gave it (here 2, not fixed by the file)."""
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        assert result.by_executable(2) == [{"coupler": 0}, {"coupler": 1}]
+
+
+class TestE4MimeEnsemble:
+    """§4.4: the 3-instance Ocean ensemble with argument fields."""
+
+    REGISTRY = """
+BEGIN
+Multi_Instance_Begin ! a multi-instance exec
+Ocean1 0 15  infl outfl logf alpha=3 debug=on
+Ocean2 16 31 inf2 outf2 beta=4.5 debug=off
+Ocean3 32 47 inf3 dynamics=finite_volume
+Multi_Instance_End
+statistics           ! a single-component exec
+END
+"""
+
+    def exes(self):
+        def ocean(world, env):
+            # Ocean_world = MPH_multi_instance("Ocean")
+            mph = multi_instance(world, "Ocean", env=env)
+            out = {"name": mph.comp_name(), "local": mph.local_proc_id()}
+            # call MPH_get_argument("alpha", alpha2) -> integer 3
+            out["alpha"] = mph.get_argument("alpha", int, default=None)
+            # call MPH_get_argument("beta", beta) -> real 4.5
+            out["beta"] = mph.get_argument("beta", float, default=None)
+            # call MPH_get_argument(field_num=1, field_val=fname)
+            out["field1"] = mph.get_argument(field_num=1)
+            return out
+
+        def statistics(world, env):
+            mph = components_setup(world, "statistics", env=env)
+            return mph.total_components()
+
+        return [(ocean, 48), (statistics, 1)]
+
+    def test_three_instances_on_48_processors(self):
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        values = result.by_executable(0)
+        assert values[0]["name"] == "Ocean1"
+        assert values[16]["name"] == "Ocean2"
+        assert values[47] == {
+            "name": "Ocean3",
+            "local": 15,
+            "alpha": None,
+            "beta": None,
+            "field1": "inf3",
+        }
+
+    def test_paper_argument_values(self):
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        values = result.by_executable(0)
+        assert values[0]["alpha"] == 3 and isinstance(values[0]["alpha"], int)
+        assert values[16]["beta"] == 4.5 and isinstance(values[16]["beta"], float)
+        assert values[0]["field1"] == "infl"
+
+    def test_statistics_sees_four_components(self):
+        """Instances expand: Ocean1..3 + statistics = 4 components."""
+        result = mph_run(self.exes(), registry=self.REGISTRY)
+        assert result.by_executable(1) == [4]
+
+
+class TestE5CommJoinContract:
+    """§5.1: the comm_join rank-ordering contract, with the paper's sizes
+    (atmosphere 16, ocean 8)."""
+
+    REGISTRY = "BEGIN\natmosphere\nocean\nEND"
+
+    def run_join(self, first, second):
+        def make(name, n_expected):
+            def program(world, env):
+                mph = components_setup(world, name, env=env)
+                joined = mph.comm_join(first, second)
+                return (joined.rank, joined.size)
+
+            program.__name__ = name
+            return program
+
+        return mph_run(
+            [(make("atmosphere", 16), 16), (make("ocean", 8), 8)], registry=self.REGISTRY
+        )
+
+    def test_atmosphere_first(self):
+        result = self.run_join("atmosphere", "ocean")
+        atm = result.by_executable(0)
+        ocn = result.by_executable(1)
+        # "processors in atmosphere ranked first (rank 0-15) and ocean
+        # second (rank 16-23)"
+        assert [r for r, _ in atm] == list(range(16))
+        assert [r for r, _ in ocn] == list(range(16, 24))
+        assert all(s == 24 for _, s in atm + ocn)
+
+    def test_reversed_order(self):
+        result = self.run_join("ocean", "atmosphere")
+        atm = result.by_executable(0)
+        ocn = result.by_executable(1)
+        # "then ocean processors will rank 0-7 and atmosphere 8-23"
+        assert [r for r, _ in ocn] == list(range(8))
+        assert [r for r, _ in atm] == list(range(8, 24))
+
+    def test_collective_data_redistribution_over_join(self):
+        """'With this joint communicator, collective operations such as
+        data redistribution could easily be performed.'"""
+
+        def atm(world, env):
+            mph = components_setup(world, "atmosphere", env=env)
+            joined = mph.comm_join("atmosphere", "ocean")
+            return joined.allgather(("atm", mph.local_proc_id()))
+
+        def ocn(world, env):
+            mph = components_setup(world, "ocean", env=env)
+            joined = mph.comm_join("atmosphere", "ocean")
+            return joined.allgather(("ocn", mph.local_proc_id()))
+
+        result = mph_run([(atm, 3), (ocn, 2)], registry=self.REGISTRY)
+        expected = [("atm", 0), ("atm", 1), ("atm", 2), ("ocn", 0), ("ocn", 1)]
+        assert all(v == expected for v in result.values())

@@ -1,0 +1,124 @@
+"""Coupling-communication profiling (repro.core.profiling)."""
+
+import numpy as np
+import pytest
+
+from repro import components_setup, mph_run
+from repro.core.profiling import CommProfile, gather_profiles
+
+REG = "BEGIN\natm\nocn\ncpl\nEND"
+
+
+class TestCommProfile:
+    def test_counters(self):
+        p = CommProfile()
+        p.record_send("ocn")
+        p.record_send("ocn")
+        p.record_recv("atm")
+        assert p.sent == {"ocn": 2}
+        assert p.received == {"atm": 1}
+        assert (p.total_sent, p.total_received) == (2, 1)
+
+    def test_merge(self):
+        a = CommProfile({"x": 1}, {"y": 2})
+        b = CommProfile({"x": 3, "z": 1}, {})
+        m = a.merge(b)
+        assert m.sent == {"x": 4, "z": 1}
+        assert m.received == {"y": 2}
+        # inputs untouched
+        assert a.sent == {"x": 1}
+
+    def test_describe(self):
+        p = CommProfile({"ocn": 5}, {"ocn": 3, "atm": 1})
+        text = p.describe()
+        assert "sent 5 / received 4" in text
+        assert "ocn" in text and "atm" in text
+
+
+class TestProfiledMessaging:
+    def job(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            if mph.local_proc_id() == 0:
+                mph.send("a", "cpl", 0, tag=1)
+                mph.Send(np.zeros(4), "cpl", 0, tag=2)
+                mph.isend("b", "ocn", 0, tag=3).wait()
+            return (dict(mph.profile.sent), dict(mph.profile.received))
+
+        def ocn(world, env):
+            mph = components_setup(world, "ocn", env=env)
+            if mph.local_proc_id() == 0:
+                mph.recv("atm", 0, tag=3)
+            return (dict(mph.profile.sent), dict(mph.profile.received))
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            mph.recv("atm", 0, tag=1)
+            buf = np.zeros(4)
+            mph.Recv(buf, "atm", 0, tag=2)
+            return (dict(mph.profile.sent), dict(mph.profile.received))
+
+        return mph_run([(atm, 2), (ocn, 1), (cpl, 1)], registry=REG)
+
+    def test_sends_counted_by_destination(self):
+        result = self.job()
+        sent, received = result.by_executable(0)[0]
+        assert sent == {"cpl": 2, "ocn": 1}
+        assert received == {}
+
+    def test_receives_counted_by_source(self):
+        result = self.job()
+        sent, received = result.by_executable(2)[0]
+        assert received == {"atm": 2}
+
+    def test_idle_rank_empty_profile(self):
+        result = self.job()
+        sent, received = result.by_executable(0)[1]
+        assert sent == {} and received == {}
+
+    def test_recv_any_resolves_component(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            if mph.local_proc_id() == 0:
+                mph.send("x", "cpl", 0, tag=9)
+            return None
+
+        def ocn(world, env):
+            components_setup(world, "ocn", env=env)
+            return None
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            mph.recv_any(tag=9)
+            return dict(mph.profile.received)
+
+        result = mph_run([(atm, 2), (ocn, 1), (cpl, 1)], registry=REG)
+        assert result.by_executable(2)[0] == {"atm": 1}
+
+
+class TestGatherProfiles:
+    def test_application_wide_matrix(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            mph.send(mph.local_proc_id(), "cpl", 0, tag=1)
+            matrix = gather_profiles(mph, "cpl")
+            assert matrix is None  # only the root processor holds it
+            return None
+
+        def ocn(world, env):
+            mph = components_setup(world, "ocn", env=env)
+            gather_profiles(mph, "cpl")
+            return None
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            for _ in range(2):
+                mph.recv_any(tag=1)
+            matrix = gather_profiles(mph, "cpl")
+            return {name: (p.total_sent, p.total_received) for name, p in matrix.items()}
+
+        result = mph_run([(atm, 2), (ocn, 1), (cpl, 1)], registry=REG)
+        matrix = result.by_executable(2)[0]
+        assert matrix["atm"] == (2, 0)
+        assert matrix["cpl"] == (0, 2)
+        assert matrix["ocn"] == (0, 0)

@@ -1,0 +1,110 @@
+"""E8: multi-channel output redirection (§5.4)."""
+
+import sys
+
+import pytest
+
+from repro import components_setup, mph_run
+from repro.core.redirect import MultiChannelOutput
+
+REG = "BEGIN\natm\nocn\nEND"
+
+
+def logging_job(tmp_path, env_vars=None, n_atm=2, n_ocn=2):
+    def make(name):
+        def program(world, env):
+            mph = components_setup(world, name, env=env)
+            path = mph.redirect_output()
+            print(f"{name} rank {mph.local_proc_id()} line one")
+            print(f"{name} rank {mph.local_proc_id()} line two")
+            return None if path is None else path.name
+
+        program.__name__ = name
+        return program
+
+    return mph_run(
+        [(make("atm"), n_atm), (make("ocn"), n_ocn)],
+        registry=REG,
+        workdir=tmp_path,
+        env_vars=env_vars or {},
+    )
+
+
+class TestRedirection:
+    def test_rank0_writes_to_component_log(self, tmp_path):
+        logging_job(tmp_path)
+        atm_log = (tmp_path / "atm.log").read_text()
+        assert "atm rank 0 line one" in atm_log
+        assert "ocn" not in atm_log
+        assert "rank 1" not in atm_log
+
+    def test_other_ranks_share_combined_log(self, tmp_path):
+        logging_job(tmp_path)
+        combined = (tmp_path / "mph_combined.log").read_text()
+        assert "atm rank 1 line one" in combined
+        assert "ocn rank 1 line two" in combined
+        assert "rank 0" not in combined
+
+    def test_env_var_overrides_log_name(self, tmp_path):
+        custom = tmp_path / "my_ocean_run.txt"
+        logging_job(tmp_path, env_vars={"MPH_LOG_OCN": str(custom)})
+        assert "ocn rank 0 line one" in custom.read_text()
+        assert not (tmp_path / "ocn.log").exists()
+
+    def test_combined_log_env_override(self, tmp_path):
+        custom = tmp_path / "rest.txt"
+        logging_job(tmp_path, env_vars={"MPH_COMBINED_LOG": str(custom)})
+        assert "atm rank 1 line one" in custom.read_text()
+
+    def test_returned_paths(self, tmp_path):
+        result = logging_job(tmp_path)
+        assert result.by_executable(0) == ["atm.log", "mph_combined.log"]
+
+    def test_stdout_restored_after_job(self, tmp_path):
+        before = sys.stdout
+        logging_job(tmp_path)
+        assert sys.stdout is before
+
+    def test_ordinary_prints_unaffected_outside_components(self, tmp_path, capsys):
+        logging_job(tmp_path)
+        print("back to normal")
+        assert "back to normal" in capsys.readouterr().out
+
+
+class TestManagerMechanics:
+    def test_noop_when_not_installed(self):
+        manager = MultiChannelOutput()
+        assert manager.redirect("x", is_channel_owner=True) is None
+        manager.restore()  # must not raise
+
+    def test_reentrant_install(self, capsys):
+        manager = MultiChannelOutput()
+        with manager:
+            with manager:
+                assert manager.installed
+            assert manager.installed  # inner exit must not tear down
+        assert not manager.installed
+
+    def test_unregistered_thread_passes_through(self, capsys, tmp_path):
+        manager = MultiChannelOutput()
+        with manager:
+            print("passthrough")
+        assert "passthrough" in capsys.readouterr().out
+
+    def test_channels_closed_on_uninstall(self, tmp_path):
+        manager = MultiChannelOutput()
+        manager.install()
+        manager.redirect("comp", is_channel_owner=True, workdir=tmp_path)
+        print("to file")
+        manager.uninstall()
+        assert "to file" in (tmp_path / "comp.log").read_text()
+
+    def test_append_mode_across_installs(self, tmp_path):
+        for word in ("first", "second"):
+            manager = MultiChannelOutput()
+            with manager:
+                manager.redirect("c", is_channel_owner=True, workdir=tmp_path)
+                print(word)
+                manager.restore()
+        text = (tmp_path / "c.log").read_text()
+        assert "first" in text and "second" in text

@@ -1,0 +1,337 @@
+"""The registration file: parsing, validation, round-trips
+(repro.core.registry)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.registry import (
+    MAX_COMPONENTS_PER_EXECUTABLE,
+    MAX_FIELDS,
+    ComponentSpec,
+    MultiComponentEntry,
+    MultiInstanceEntry,
+    Registry,
+    SingleComponentEntry,
+)
+from repro.errors import RegistryError
+
+SCME_TEXT = """
+BEGIN
+atmosphere
+ocean
+land
+ice
+coupler
+END
+"""
+
+MCSE_TEXT = """
+BEGIN
+Multi_Component_Begin
+atmosphere 0 15
+ocean 16 31
+coupler 32 35
+Multi_Component_End
+END
+"""
+
+MCME_TEXT = """
+BEGIN
+Multi_Component_Begin ! 1st multi-comp exec
+atmosphere 0 15
+land       0 15      ! overlap with atm
+chemistry  16 19
+Multi_Component_End
+Multi_Component_Begin ! 2nd multi-comp exec
+ocean 0 15
+ice   16 31
+Multi_Component_End
+coupler              ! a single-comp exec
+END
+"""
+
+MIME_TEXT = """
+BEGIN
+Multi_Instance_Begin ! a multi-instance exec
+Ocean1 0 15  infl outfl logf alpha=3 debug=on
+Ocean2 16 31 inf2 outf2 beta=4.5 debug=off
+Ocean3 32 47 inf3 dynamics=finite_volume
+Multi_Instance_End
+statistics           ! a single-component exec
+END
+"""
+
+
+class TestPaperRegistries:
+    """The four registration files printed in the paper parse exactly."""
+
+    def test_scme_example(self):
+        reg = Registry.from_text(SCME_TEXT)
+        assert reg.component_names == ("atmosphere", "ocean", "land", "ice", "coupler")
+        assert all(isinstance(e, SingleComponentEntry) for e in reg.entries)
+
+    def test_mcse_example(self):
+        reg = Registry.from_text(MCSE_TEXT)
+        (entry,) = reg.entries
+        assert isinstance(entry, MultiComponentEntry)
+        assert entry.nprocs == 36
+        assert not entry.has_overlap
+        assert reg.spec("ocean").local_indices() == range(16, 32)
+
+    def test_mcme_example(self):
+        reg = Registry.from_text(MCME_TEXT)
+        assert len(reg.entries) == 3
+        first = reg.entries[0]
+        assert isinstance(first, MultiComponentEntry)
+        assert first.has_overlap
+        assert ("atmosphere", "land") in first.overlapping_pairs()
+        assert reg.component_names == (
+            "atmosphere",
+            "land",
+            "chemistry",
+            "ocean",
+            "ice",
+            "coupler",
+        )
+
+    def test_mime_example(self):
+        reg = Registry.from_text(MIME_TEXT)
+        inst = reg.entries[0]
+        assert isinstance(inst, MultiInstanceEntry)
+        assert inst.component_names == ("Ocean1", "Ocean2", "Ocean3")
+        assert inst.nprocs == 48
+        assert reg.spec("Ocean1").fields == ("infl", "outfl", "logf", "alpha=3", "debug=on")
+        assert reg.spec("Ocean3").fields == ("inf3", "dynamics=finite_volume")
+
+
+class TestQueries:
+    def test_component_id_is_file_order(self):
+        reg = Registry.from_text(SCME_TEXT)
+        assert reg.component_id("atmosphere") == 0
+        assert reg.component_id("coupler") == 4
+
+    def test_unknown_name_helpful_error(self):
+        reg = Registry.from_text(SCME_TEXT)
+        with pytest.raises(RegistryError, match="registered names"):
+            reg.component_id("visualization")
+
+    def test_total_components_expands_instances(self):
+        assert Registry.from_text(MIME_TEXT).total_components == 4
+
+    def test_entry_of(self):
+        reg = Registry.from_text(MCME_TEXT)
+        idx, entry = reg.entry_of("ice")
+        assert idx == 1 and "ocean" in entry.component_names
+
+    def test_load_passthrough_and_text(self):
+        reg = Registry.from_text(SCME_TEXT)
+        assert Registry.load(reg) is reg
+        assert Registry.load(SCME_TEXT) == reg
+
+    def test_load_from_path(self, tmp_path):
+        path = tmp_path / "processors_map.in"
+        path.write_text(SCME_TEXT)
+        assert Registry.load(path) == Registry.from_text(SCME_TEXT)
+        assert Registry.load(str(path)) == Registry.from_text(SCME_TEXT)
+
+
+class TestGrammarErrors:
+    def test_missing_begin(self):
+        with pytest.raises(RegistryError, match="expected 'BEGIN'"):
+            Registry.from_text("atmosphere\nEND\n")
+
+    def test_missing_end(self):
+        with pytest.raises(RegistryError, match="no 'END'"):
+            Registry.from_text("BEGIN\natmosphere\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(RegistryError, match="after 'END'"):
+            Registry.from_text("BEGIN\nocean\nEND\nstray\n")
+
+    def test_end_inside_block_rejected(self):
+        with pytest.raises(RegistryError, match="END inside"):
+            Registry.from_text("BEGIN\nMulti_Component_Begin\nocean 0 3\nEND\n")
+
+    def test_unterminated_block(self):
+        with pytest.raises(RegistryError, match="unterminated"):
+            Registry.from_text("BEGIN\nMulti_Component_Begin\nocean 0 3\n")
+
+    def test_mismatched_block_end(self):
+        with pytest.raises(RegistryError, match="closes a"):
+            Registry.from_text(
+                "BEGIN\nMulti_Component_Begin\nocean 0 3\nMulti_Instance_End\nEND\n"
+            )
+
+    def test_nested_blocks_rejected(self):
+        with pytest.raises(RegistryError, match="nested"):
+            Registry.from_text(
+                "BEGIN\nMulti_Component_Begin\nMulti_Component_Begin\nEND\n"
+            )
+
+    def test_end_without_begin_block(self):
+        with pytest.raises(RegistryError, match="without a matching Begin"):
+            Registry.from_text("BEGIN\nMulti_Component_End\nEND\n")
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(RegistryError, match="empty"):
+            Registry.from_text("BEGIN\nMulti_Component_Begin\nMulti_Component_End\nEND\n")
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(RegistryError, match="no components"):
+            Registry.from_text("BEGIN\nEND\n")
+
+    def test_missing_range_in_block(self):
+        with pytest.raises(RegistryError, match="processor range"):
+            Registry.from_text("BEGIN\nMulti_Component_Begin\nocean\nMulti_Component_End\nEND\n")
+
+    def test_inverted_range(self):
+        with pytest.raises(RegistryError, match="invalid processor range"):
+            Registry.from_text(
+                "BEGIN\nMulti_Component_Begin\nocean 5 2\nMulti_Component_End\nEND\n"
+            )
+
+    def test_error_messages_carry_line_numbers(self):
+        with pytest.raises(RegistryError, match=":3"):
+            Registry.from_text("BEGIN\nocean\nocean 5 2 extra stuff beyond limit x y\nEND\n")
+
+
+class TestSemanticValidation:
+    def test_duplicate_names_across_entries(self):
+        with pytest.raises(RegistryError, match="duplicate"):
+            Registry.from_text("BEGIN\nocean\nocean\nEND\n")
+
+    def test_too_many_fields(self):
+        with pytest.raises(RegistryError, match="exceed"):
+            Registry.from_text("BEGIN\nocean a b c d e f\nEND\n")
+
+    def test_max_fields_allowed(self):
+        reg = Registry.from_text("BEGIN\nocean a b c d e\nEND\n")
+        assert len(reg.spec("ocean").fields) == MAX_FIELDS
+
+    def test_component_limit_per_executable(self):
+        lines = "\n".join(f"c{i} {i} {i}" for i in range(MAX_COMPONENTS_PER_EXECUTABLE + 1))
+        with pytest.raises(RegistryError, match="limit is 10"):
+            Registry.from_text(f"BEGIN\nMulti_Component_Begin\n{lines}\nMulti_Component_End\nEND\n")
+
+    def test_overlapping_instances_rejected(self):
+        text = (
+            "BEGIN\nMulti_Instance_Begin\nOcean1 0 3\nOcean2 2 5\nMulti_Instance_End\nEND\n"
+        )
+        with pytest.raises(RegistryError, match="overlaps"):
+            Registry.from_text(text)
+
+    def test_overlapping_components_allowed(self):
+        reg = Registry.from_text(
+            "BEGIN\nMulti_Component_Begin\na 0 3\nb 0 3\nMulti_Component_End\nEND\n"
+        )
+        assert reg.entries[0].has_overlap
+
+    def test_uncovered_indices_reported(self):
+        reg = Registry.from_text(
+            "BEGIN\nMulti_Component_Begin\na 0 1\nb 4 5\nMulti_Component_End\nEND\n"
+        )
+        assert reg.entries[0].uncovered_indices() == [2, 3]
+
+
+class TestComponentSpec:
+    def test_range_requires_both_bounds(self):
+        with pytest.raises(RegistryError, match="together"):
+            ComponentSpec("ocean", low=0)
+
+    def test_nprocs(self):
+        assert ComponentSpec("ocean", 4, 7).nprocs == 4
+        assert ComponentSpec("ocean").nprocs is None
+
+    def test_local_indices_without_range(self):
+        with pytest.raises(RegistryError, match="no registered range"):
+            ComponentSpec("ocean").local_indices()
+
+    def test_single_entry_refuses_range(self):
+        with pytest.raises(RegistryError, match="launcher"):
+            SingleComponentEntry(ComponentSpec("ocean", 0, 3))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [SCME_TEXT, MCSE_TEXT, MCME_TEXT, MIME_TEXT])
+    def test_paper_examples_roundtrip(self, text):
+        reg = Registry.from_text(text)
+        assert Registry.from_text(reg.to_text()) == reg
+
+    def test_to_file_from_file(self, tmp_path):
+        reg = Registry.from_text(MCME_TEXT)
+        path = tmp_path / "map.in"
+        reg.to_file(path)
+        assert Registry.from_file(path) == reg
+
+
+# -- property-based round-trip over generated registries ----------------------
+
+_names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in ("BEGIN", "END")
+)
+_fields = st.lists(
+    st.from_regex(r"[A-Za-z0-9_.=\-]{1,8}", fullmatch=True).filter(
+        lambda s: not s.startswith(("!", "#"))
+    ),
+    max_size=5,
+)
+
+
+@st.composite
+def _single_entry(draw):
+    return SingleComponentEntry(ComponentSpec(draw(_names), fields=tuple(draw(_fields))))
+
+
+@st.composite
+def _multi_component_entry(draw):
+    k = draw(st.integers(1, 4))
+    specs = []
+    cursor = 0
+    for _ in range(k):
+        overlap = draw(st.booleans()) and cursor > 0
+        low = draw(st.integers(0, max(cursor - 1, 0))) if overlap else cursor
+        width = draw(st.integers(1, 4))
+        high = low + width - 1
+        specs.append(ComponentSpec(draw(_names), low, high, tuple(draw(_fields))))
+        cursor = max(cursor, high + 1)
+    return MultiComponentEntry(tuple(specs))
+
+
+@st.composite
+def _multi_instance_entry(draw):
+    k = draw(st.integers(1, 4))
+    specs = []
+    cursor = 0
+    for _ in range(k):
+        width = draw(st.integers(1, 4))
+        specs.append(ComponentSpec(draw(_names), cursor, cursor + width - 1, tuple(draw(_fields))))
+        cursor += width
+    return MultiInstanceEntry(tuple(specs))
+
+
+_registries = st.lists(
+    st.one_of(_single_entry(), _multi_component_entry(), _multi_instance_entry()),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestRegistryProperties:
+    @given(entries=_registries)
+    def test_render_parse_roundtrip(self, entries):
+        names = [n for e in entries for n in e.component_names]
+        if len(set(names)) != len(names):
+            return  # duplicate names are invalid by construction; skip
+        reg = Registry(entries)
+        assert Registry.from_text(reg.to_text()) == reg
+
+    @given(entries=_registries)
+    def test_component_ids_dense_and_ordered(self, entries):
+        names = [n for e in entries for n in e.component_names]
+        if len(set(names)) != len(names):
+            return
+        reg = Registry(entries)
+        assert [reg.component_id(n) for n in reg.component_names] == list(
+            range(reg.total_components)
+        )

@@ -1,0 +1,92 @@
+"""MPMD launch-spec parsing (repro.launcher.cmdfile)."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.launcher.cmdfile import (
+    ExecutableSpec,
+    parse_mpirun_spec,
+    parse_poe_cmdfile,
+    resolve_programs,
+)
+
+
+class TestPoeCmdfile:
+    def test_one_line_per_task_grouped(self):
+        specs = parse_poe_cmdfile("atm\natm\natm\nocn\n")
+        assert [(s.program, s.nprocs) for s in specs] == [("atm", 3), ("ocn", 1)]
+
+    def test_interleaved_programs_not_merged(self):
+        specs = parse_poe_cmdfile("atm\nocn\natm\n")
+        assert [(s.program, s.nprocs) for s in specs] == [("atm", 1), ("ocn", 1), ("atm", 1)]
+
+    def test_arguments_preserved(self):
+        specs = parse_poe_cmdfile("ocn -fast -v\nocn -fast -v\n")
+        assert specs == [ExecutableSpec("ocn", 2, ("-fast", "-v"))]
+
+    def test_different_args_split_groups(self):
+        specs = parse_poe_cmdfile("ocn -a\nocn -b\n")
+        assert [(s.program, s.nprocs, s.argv) for s in specs] == [
+            ("ocn", 1, ("-a",)),
+            ("ocn", 1, ("-b",)),
+        ]
+
+    def test_comments_and_blank_lines_ignored(self):
+        specs = parse_poe_cmdfile("! the job\natm\n\n# trailing comment\natm  ! inline\n")
+        assert specs == [ExecutableSpec("atm", 2)]
+
+    def test_empty_cmdfile_rejected(self):
+        with pytest.raises(LaunchError, match="no tasks"):
+            parse_poe_cmdfile("! nothing here\n")
+
+
+class TestMpirunSpec:
+    def test_colon_segments(self):
+        specs = parse_mpirun_spec("-np 16 atm : -np 8 ocn")
+        assert [(s.program, s.nprocs) for s in specs] == [("atm", 16), ("ocn", 8)]
+
+    def test_args_after_program(self):
+        specs = parse_mpirun_spec("-np 2 cpl --log debug")
+        assert specs[0].argv == ("--log", "debug")
+
+    def test_dash_n_alias(self):
+        assert parse_mpirun_spec("-n 4 atm")[0].nprocs == 4
+
+    def test_missing_np_rejected(self):
+        with pytest.raises(LaunchError, match="-np"):
+            parse_mpirun_spec("atm : -np 2 ocn")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(LaunchError, match="bad process count"):
+            parse_mpirun_spec("-np four atm")
+
+    def test_incomplete_segment_rejected(self):
+        with pytest.raises(LaunchError, match="needs"):
+            parse_mpirun_spec("-np 4")
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(LaunchError, match="empty segment"):
+            parse_mpirun_spec("-np 2 atm : ")
+
+
+class TestExecutableSpec:
+    def test_zero_procs_rejected(self):
+        with pytest.raises(LaunchError, match=">= 1"):
+            ExecutableSpec("atm", 0)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(LaunchError, match="program name"):
+            ExecutableSpec("", 2)
+
+
+class TestResolvePrograms:
+    def test_binding(self):
+        def atm(world, env):
+            return None
+
+        fns = resolve_programs([ExecutableSpec("atm", 2)], {"atm": atm})
+        assert fns == [atm]
+
+    def test_missing_program_names_alternatives(self):
+        with pytest.raises(LaunchError, match="'ocn' not found.*atm"):
+            resolve_programs([ExecutableSpec("ocn", 1)], {"atm": lambda w, e: None})

@@ -1,0 +1,166 @@
+"""MPMD job execution (repro.launcher.job)."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.launcher.cmdfile import ExecutableSpec
+from repro.launcher.job import JobEnv, MpmdJob, mph_run
+from repro.launcher.smp import Machine
+
+
+def identity_program(world, env):
+    return (env.program, env.exe_index, env.local_index, world.rank, world.size)
+
+
+class TestJobBasics:
+    def test_shared_comm_world(self):
+        """All executables share one COMM_WORLD — the §6 startup condition."""
+        job = MpmdJob([(identity_program, 2), (identity_program, 3)])
+        result = job.run()
+        sizes = {v[4] for v in result.values()}
+        assert sizes == {5}
+
+    def test_block_rank_assignment(self):
+        job = MpmdJob([(identity_program, 2), (identity_program, 2)])
+        result = job.run()
+        assert result.assignment == [[0, 1], [2, 3]]
+        # exe_index / local_index visible to each process
+        assert result.values()[2][1:3] == (1, 0)
+
+    def test_round_robin_assignment(self):
+        job = MpmdJob([(identity_program, 2), (identity_program, 2)], rank_policy="round_robin")
+        result = job.run()
+        assert result.assignment == [[0, 2], [1, 3]]
+        # local index still counts in ascending world-rank order
+        assert result.values()[2][1:3] == (0, 1)
+
+    def test_by_executable_name_and_index(self):
+        def alpha(world, env):
+            return "A"
+
+        def beta(world, env):
+            return "B"
+
+        result = MpmdJob([(alpha, 1), (beta, 2)]).run()
+        assert result.by_executable("beta") == ["B", "B"]
+        assert result.by_executable(0) == ["A"]
+
+    def test_by_executable_unknown_name(self):
+        result = MpmdJob([(identity_program, 1)]).run()
+        with pytest.raises(LaunchError, match="no executable named"):
+            result.by_executable("ghost")
+
+    def test_argv_passed_through(self):
+        def reads_argv(world, env):
+            return env.argv
+
+        result = MpmdJob([(reads_argv, 1, ("-v", "--fast"))]).run()
+        assert result.values() == [("-v", "--fast")]
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(LaunchError, match="at least one executable"):
+            MpmdJob([])
+
+    def test_bad_executable_item_rejected(self):
+        with pytest.raises(LaunchError, match="cannot interpret"):
+            MpmdJob(["not-an-exe"])
+
+
+class TestSpecsAndPrograms:
+    def test_specs_resolved_through_registry(self):
+        programs = {"atm": identity_program, "ocn": identity_program}
+        job = MpmdJob(
+            [ExecutableSpec("atm", 2), ExecutableSpec("ocn", 1)], programs=programs
+        )
+        result = job.run()
+        assert result.by_executable("ocn")[0][0] == "ocn"
+
+    def test_specs_without_registry_rejected(self):
+        with pytest.raises(LaunchError, match="programs"):
+            MpmdJob([ExecutableSpec("atm", 2)])
+
+    def test_mixed_specs_and_tuples(self):
+        programs = {"atm": identity_program}
+        job = MpmdJob(
+            [ExecutableSpec("atm", 1), (identity_program, 1)], programs=programs
+        )
+        assert job.world_size == 2
+        job.run()
+
+
+class TestEnvironment:
+    def test_env_vars_shared(self):
+        def reads_env(world, env):
+            return env.vars.get("MPH_LOG_OCEAN")
+
+        result = MpmdJob([(reads_env, 2)], env_vars={"MPH_LOG_OCEAN": "/tmp/o.log"}).run()
+        assert result.values() == ["/tmp/o.log"] * 2
+
+    def test_registry_propagated(self):
+        def reads_registry(world, env):
+            return env.registry
+
+        result = MpmdJob([(reads_registry, 1)], registry="BEGIN\nocean\nEND").run()
+        assert result.values() == ["BEGIN\nocean\nEND"]
+
+    def test_workdir_propagated(self, tmp_path):
+        def reads_workdir(world, env):
+            return str(env.workdir)
+
+        result = MpmdJob([(reads_workdir, 1)], workdir=tmp_path).run()
+        assert result.values() == [str(tmp_path)]
+
+    def test_output_manager_shared(self):
+        managers = []
+
+        def grabs_output(world, env):
+            managers.append(env.output)
+            return None
+
+        MpmdJob([(grabs_output, 2), (grabs_output, 1)]).run()
+        assert len({id(m) for m in managers}) == 1
+
+
+class TestMachinePlacement:
+    def test_placement_validated_and_returned(self):
+        machine = Machine.homogeneous(2, 2)
+        job = MpmdJob([(identity_program, 2), (identity_program, 2)], machine=machine)
+        result = job.run()
+        assert result.placement is not None
+        result.placement.validate_exclusive()
+
+    def test_oversubscribed_job_refused_before_running(self):
+        from repro.errors import AllocationError
+
+        machine = Machine.homogeneous(1, 2)
+        job = MpmdJob([(identity_program, 4)], machine=machine)
+        with pytest.raises(AllocationError):
+            job.run()
+
+
+class TestFailurePropagation:
+    def test_exception_in_one_executable_fails_job(self):
+        def bad(world, env):
+            raise RuntimeError("component crashed")
+
+        def good(world, env):
+            world.barrier()
+
+        with pytest.raises(RuntimeError, match="component crashed"):
+            mph_run([(bad, 1), (good, 2)])
+
+
+class TestMphRunHelper:
+    def test_returns_job_result(self):
+        result = mph_run([(identity_program, 2)])
+        assert result.values()[0][0] == "identity_program"
+
+    def test_timeout_kwarg_accepted(self):
+        result = mph_run([(identity_program, 1)], timeout=10.0)
+        assert len(result.values()) == 1
+
+
+class TestJobEnvDefaults:
+    def test_dataclass_defaults(self):
+        env = JobEnv(program="x", exe_index=0, local_index=0)
+        assert env.argv == () and env.vars == {} and env.registry is None

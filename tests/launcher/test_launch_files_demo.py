@@ -1,0 +1,64 @@
+"""The file-driven launch demo (examples/launch_files) end to end via the
+CLI — the original MPH distribution's 'testing codes and run scripts'."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tools.mphrun import main as mphrun_main
+from repro.tools.registry_lint import main as lint_main
+
+DEMO = Path(__file__).resolve().parent.parent.parent / "examples" / "launch_files"
+
+
+@pytest.fixture
+def demo_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(DEMO))
+    sys.modules.pop("models", None)
+    yield
+    sys.modules.pop("models", None)
+
+
+class TestLaunchFilesDemo:
+    def test_files_present(self):
+        for name in ("models.py", "processors_map.in", "job.cmd", "README.md"):
+            assert (DEMO / name).exists()
+
+    def test_cmdfile_run(self, demo_on_path, capsys):
+        code = mphrun_main(
+            [
+                "--cmdfile",
+                str(DEMO / "job.cmd"),
+                "--programs",
+                "models",
+                "--registry",
+                str(DEMO / "processors_map.in"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "8 processes, 4 executables" in out
+        assert "coupler saw ['atmosphere', 'land', 'ocean']" in out
+
+    def test_round_robin_gives_same_component_results(self, demo_on_path, capsys):
+        code = mphrun_main(
+            [
+                "--cmdfile",
+                str(DEMO / "job.cmd"),
+                "--programs",
+                "models",
+                "--registry",
+                str(DEMO / "processors_map.in"),
+                "--rank-policy",
+                "round_robin",
+            ]
+        )
+        assert code == 0
+        assert "'ack ocean'" in capsys.readouterr().out
+
+    def test_registry_lint_preview(self, capsys):
+        code = lint_main([str(DEMO / "processors_map.in"), "--sizes", "4,2,1,1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "id 3  coupler" in out

@@ -1,0 +1,87 @@
+"""Rank-assignment policies (repro.launcher.rankmap)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.launcher.rankmap import POLICIES, assign_ranks, executable_of_rank
+
+
+class TestBlockPolicy:
+    def test_contiguous_blocks(self):
+        assert assign_ranks([4, 2, 3], "block") == [[0, 1, 2, 3], [4, 5], [6, 7, 8]]
+
+    def test_single_executable(self):
+        assert assign_ranks([5], "block") == [[0, 1, 2, 3, 4]]
+
+    def test_size_one_executables(self):
+        assert assign_ranks([1, 1, 1], "block") == [[0], [1], [2]]
+
+
+class TestRoundRobinPolicy:
+    def test_cyclic_dealing(self):
+        # ranks dealt 0->exe0, 1->exe1, 2->exe0, 3->exe1, ...
+        assert assign_ranks([2, 2], "round_robin") == [[0, 2], [1, 3]]
+
+    def test_uneven_sizes_skip_full(self):
+        out = assign_ranks([3, 1], "round_robin")
+        assert out == [[0, 2, 3], [1]]
+
+    def test_each_rank_exactly_once(self):
+        out = assign_ranks([3, 5, 2], "round_robin")
+        all_ranks = sorted(r for ranks in out for r in ranks)
+        assert all_ranks == list(range(10))
+
+    def test_local_indices_ascend_with_world_rank(self):
+        for ranks in assign_ranks([4, 3, 5], "round_robin"):
+            assert ranks == sorted(ranks)
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(LaunchError, match="unknown rank-assignment policy"):
+            assign_ranks([2], "fancy")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(LaunchError, match=">= 1"):
+            assign_ranks([2, 0], "block")
+
+    def test_policies_constant(self):
+        assert set(POLICIES) == {"block", "round_robin"}
+
+
+class TestInversion:
+    def test_executable_of_rank(self):
+        assignment = assign_ranks([2, 3], "block")
+        assert executable_of_rank(assignment, 0) == (0, 0)
+        assert executable_of_rank(assignment, 3) == (1, 1)
+
+    def test_unassigned_rank_rejected(self):
+        with pytest.raises(LaunchError):
+            executable_of_rank([[0, 1]], 5)
+
+
+sizes_strategy = st.lists(st.integers(1, 6), min_size=1, max_size=5)
+
+
+class TestPolicyProperties:
+    @given(sizes=sizes_strategy, policy=st.sampled_from(POLICIES))
+    def test_partition_property(self, sizes, policy):
+        """Every assignment is a partition of 0..N-1 with correct sizes."""
+        out = assign_ranks(sizes, policy)
+        assert [len(ranks) for ranks in out] == sizes
+        flat = sorted(r for ranks in out for r in ranks)
+        assert flat == list(range(sum(sizes)))
+
+    @given(sizes=sizes_strategy, policy=st.sampled_from(POLICIES))
+    def test_local_order_is_world_order(self, sizes, policy):
+        for ranks in assign_ranks(sizes, policy):
+            assert list(ranks) == sorted(ranks)
+
+    @given(sizes=sizes_strategy, policy=st.sampled_from(POLICIES))
+    def test_inversion_consistent(self, sizes, policy):
+        assignment = assign_ranks(sizes, policy)
+        for exe, ranks in enumerate(assignment):
+            for local, world in enumerate(ranks):
+                assert executable_of_rank(assignment, world) == (exe, local)

@@ -1,0 +1,122 @@
+"""SMP topology and the paper's allocation policy (repro.launcher.smp)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.launcher.rankmap import assign_ranks
+from repro.launcher.smp import CpuSlot, Machine, Placement, SmpNode
+
+
+class TestSmpNode:
+    def test_default_one_task_per_cpu(self):
+        node = SmpNode(0, 16)
+        assert node.tasks == 16
+        assert node.cpus_per_task == 1
+
+    def test_carved_node(self):
+        node = SmpNode(0, 16, tasks=4)
+        slots = node.task_slots()
+        assert len(slots) == 4
+        assert all(len(s) == 4 for s in slots)
+
+    def test_uneven_carving_gives_remainder_to_last(self):
+        node = SmpNode(0, 10, tasks=3)
+        widths = [len(s) for s in node.task_slots()]
+        assert widths == [3, 3, 4]
+        assert sum(widths) == 10
+
+    def test_invalid_carving_rejected(self):
+        with pytest.raises(AllocationError):
+            SmpNode(0, 4, tasks=5)
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(AllocationError):
+            SmpNode(0, 0)
+
+
+class TestMachine:
+    def test_homogeneous_constructor(self):
+        m = Machine.homogeneous(3, 8)
+        assert m.total_tasks == 24
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(AllocationError, match="duplicate"):
+            Machine([SmpNode(0, 4), SmpNode(0, 4)])
+
+    def test_empty_machine_rejected(self):
+        with pytest.raises(AllocationError):
+            Machine([])
+
+    def test_carve_changes_task_count(self):
+        """Future-work (a): a 16-cpu node carved into 4 MPI tasks."""
+        m = Machine.homogeneous(2, 16)
+        assert m.total_tasks == 32
+        m.carve(0, 4)
+        assert m.total_tasks == 20
+        assert m.nodes[0].cpus_per_task == 4
+
+    def test_carve_unknown_node(self):
+        m = Machine.homogeneous(1, 4)
+        with pytest.raises(AllocationError, match="no node"):
+            m.carve(7, 2)
+
+
+class TestPlacement:
+    def test_job_fits(self):
+        m = Machine.homogeneous(2, 4)
+        sizes = [4, 4]
+        placement = m.place(sizes, assign_ranks(sizes, "block"))
+        assert len(placement.task_cpus) == 8
+        placement.validate_exclusive()
+
+    def test_oversubscription_rejected(self):
+        m = Machine.homogeneous(1, 4)
+        sizes = [3, 3]
+        with pytest.raises(AllocationError, match="offers"):
+            m.place(sizes, assign_ranks(sizes, "block"))
+
+    def test_executables_may_share_a_node(self):
+        """The paper's policy: two executables on one SMP node, different
+        CPUs — allowed."""
+        m = Machine.homogeneous(1, 8)
+        sizes = [3, 5]
+        placement = m.place(sizes, assign_ranks(sizes, "block"))
+        assert placement.executables_on_node(0) == {0, 1}
+        placement.validate_exclusive()  # but never the same CPU
+
+    def test_no_cpu_shared_between_executables(self):
+        m = Machine.homogeneous(2, 4)
+        sizes = [4, 4]
+        placement = m.place(sizes, assign_ranks(sizes, "round_robin"))
+        placement.validate_exclusive()
+
+    def test_node_of_rank(self):
+        m = Machine.homogeneous(2, 4)
+        sizes = [6]
+        placement = m.place(sizes, assign_ranks(sizes, "block"))
+        assert placement.node_of_rank(0) == 0
+        assert placement.node_of_rank(5) == 1
+
+    def test_carved_tasks_own_multiple_cpus(self):
+        m = Machine.homogeneous(1, 16, tasks_per_node=4)
+        sizes = [4]
+        placement = m.place(sizes, assign_ranks(sizes, "block"))
+        assert all(len(cpus) == 4 for cpus in placement.task_cpus)
+
+    def test_validate_detects_double_ownership(self):
+        bad = Placement(
+            task_cpus=[(CpuSlot(0, 0),), (CpuSlot(0, 0),)],
+            exe_of_rank=[0, 1],
+        )
+        with pytest.raises(AllocationError, match="owned by both"):
+            bad.validate_exclusive()
+
+    def test_rank_in_two_executables_rejected(self):
+        m = Machine.homogeneous(1, 4)
+        with pytest.raises(AllocationError, match="assigned to executables"):
+            m.place([2, 2], [[0, 1], [1, 2]])
+
+    def test_unassigned_rank_rejected(self):
+        m = Machine.homogeneous(1, 4)
+        with pytest.raises(AllocationError, match="no executable"):
+            m.place([2, 2], [[0, 1], [3]])

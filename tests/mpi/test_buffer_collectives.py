@@ -1,0 +1,183 @@
+"""Buffer-mode (numpy) collectives across both algorithm families."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError, TruncationError
+from repro.mpi import MAX, SUM, Op, WorldConfig
+
+ALGO_CONFIGS = [
+    WorldConfig(
+        bcast_algorithm="linear",
+        reduce_algorithm="linear",
+        allreduce_algorithm="reduce_bcast",
+        allgather_algorithm="gather_bcast",
+    ),
+    WorldConfig(
+        bcast_algorithm="binomial",
+        reduce_algorithm="binomial",
+        allreduce_algorithm="recursive_doubling",
+        allgather_algorithm="ring",
+    ),
+]
+ALGO_IDS = ["linear-family", "tree-family"]
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("config", ALGO_CONFIGS, ids=ALGO_IDS)
+class TestBcastBuffer:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_in_place_broadcast(self, spmd, config, n):
+        def main(comm):
+            buf = np.arange(6, dtype=float) if comm.rank == 0 else np.zeros(6)
+            comm.Bcast(buf, root=0)
+            return buf.tolist()
+
+        assert spmd(n, main, config=config) == [list(map(float, range(6)))] * n
+
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_nonzero_root(self, spmd, config, n):
+        def main(comm):
+            buf = np.full(4, 7.0) if comm.rank == n - 1 else np.zeros(4)
+            comm.Bcast(buf, root=n - 1)
+            return float(buf.sum())
+
+        assert spmd(n, main, config=config) == [28.0] * n
+
+    def test_2d_buffers(self, spmd, config):
+        def main(comm):
+            buf = np.eye(3) if comm.rank == 0 else np.zeros((3, 3))
+            comm.Bcast(buf)
+            return float(buf.trace())
+
+        assert spmd(4, main, config=config) == [3.0] * 4
+
+    def test_shape_mismatch_detected(self, spmd, config):
+        def main(comm):
+            buf = np.zeros(4) if comm.rank == 0 else np.zeros(2)
+            comm.Bcast(buf)
+
+        with pytest.raises(TruncationError):
+            spmd(2, main, config=config)
+
+
+@pytest.mark.parametrize("config", ALGO_CONFIGS, ids=ALGO_IDS)
+class TestGatherScatterBuffer:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_gather_stacks_blocks(self, spmd, config, n):
+        def main(comm):
+            block = np.full(3, float(comm.rank))
+            out = comm.Gather(block)
+            return None if out is None else out[:, 0].tolist()
+
+        values = spmd(n, main, config=config)
+        assert values[0] == [float(r) for r in range(n)]
+        assert all(v is None for v in values[1:])
+
+    def test_gather_into_supplied_recvbuf(self, spmd, config):
+        def main(comm):
+            block = np.array([comm.rank], dtype=float)
+            recv = np.zeros((comm.size, 1)) if comm.rank == 0 else None
+            out = comm.Gather(block, recv)
+            return None if out is None else (out is recv, out.ravel().tolist())
+
+        assert spmd(3, main, config=config)[0] == (True, [0.0, 1.0, 2.0])
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_scatter(self, spmd, config, n):
+        def main(comm):
+            send = None
+            if comm.rank == 0:
+                send = np.arange(comm.size * 2, dtype=float).reshape(comm.size, 2)
+            recv = np.zeros(2)
+            comm.Scatter(send, recv)
+            return recv.tolist()
+
+        values = spmd(n, main, config=config)
+        assert values == [[2.0 * r, 2.0 * r + 1] for r in range(n)]
+
+    def test_scatter_requires_sendbuf_at_root(self, spmd, config):
+        def main(comm):
+            comm.Scatter(None, np.zeros(2))
+
+        with pytest.raises(CommError, match="sendbuf"):
+            spmd(2, main, config=config)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allgather(self, spmd, config, n):
+        def main(comm):
+            out = comm.Allgather(np.full(2, float(comm.rank + 1)))
+            return out[:, 0].tolist()
+
+        expected = [float(r + 1) for r in range(n)]
+        assert spmd(n, main, config=config) == [expected] * n
+
+    def test_gather_scatter_roundtrip(self, spmd, config):
+        def main(comm):
+            block = np.array([float(comm.rank) * 10.0])
+            stacked = comm.Gather(block)
+            back = np.zeros(1)
+            comm.Scatter(stacked, back)
+            return back[0]
+
+        assert spmd(4, main, config=config) == [0.0, 10.0, 20.0, 30.0]
+
+
+@pytest.mark.parametrize("config", ALGO_CONFIGS, ids=ALGO_IDS)
+class TestReductionBuffer:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_sum(self, spmd, config, n):
+        def main(comm):
+            out = comm.Reduce(np.full(3, float(comm.rank + 1)))
+            return None if out is None else out.tolist()
+
+        values = spmd(n, main, config=config)
+        total = float(n * (n + 1) // 2)
+        assert values[0] == [total] * 3
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 7, 8])
+    def test_allreduce_nonpoweroftwo(self, spmd, config, n):
+        def main(comm):
+            out = comm.Allreduce(np.array([2.0**comm.rank]))
+            return out[0]
+
+        assert spmd(n, main, config=config) == [float(2**n - 1)] * n
+
+    def test_allreduce_max(self, spmd, config):
+        def main(comm):
+            out = comm.Allreduce(np.array([float(comm.rank), -float(comm.rank)]), op=MAX)
+            return out.tolist()
+
+        assert spmd(5, main, config=config) == [[4.0, 0.0]] * 5
+
+    def test_reduce_into_supplied_recvbuf(self, spmd, config):
+        def main(comm):
+            recv = np.zeros(2) if comm.rank == 0 else None
+            out = comm.Reduce(np.ones(2), recv, op=SUM, root=0)
+            if comm.rank == 0:
+                return (out is recv, recv.tolist())
+            return out
+
+        values = spmd(3, main, config=config)
+        assert values[0] == (True, [3.0, 3.0])
+        assert values[1] is None
+
+    def test_matches_object_mode(self, spmd, config):
+        """Buffer and object allreduce agree bitwise on float data."""
+
+        def main(comm):
+            data = np.linspace(0, 1, 16) * (comm.rank + 1)
+            obj = comm.allreduce(data)
+            buf = comm.Allreduce(data)
+            return np.array_equal(obj, buf)
+
+        assert all(spmd(4, main, config=config))
+
+    def test_sendbuf_unchanged(self, spmd, config):
+        def main(comm):
+            send = np.full(4, float(comm.rank))
+            comm.Allreduce(send)
+            return send.tolist()
+
+        values = spmd(3, main, config=config)
+        assert values == [[float(r)] * 4 for r in range(3)]

@@ -1,0 +1,180 @@
+"""Cartesian topologies (repro.mpi.cartesian)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import PROC_NULL
+from repro.mpi.cartesian import CartComm, create_cart, dims_create
+
+
+class TestDimsCreate:
+    def test_balanced_2d(self):
+        assert dims_create(12, 2) == [4, 3]
+        assert dims_create(16, 2) == [4, 4]
+
+    def test_1d(self):
+        assert dims_create(7, 1) == [7]
+
+    def test_3d(self):
+        out = dims_create(24, 3)
+        assert sorted(out, reverse=True) == out
+        assert np.prod(out) == 24
+
+    def test_constrained(self):
+        assert dims_create(12, 2, [3, 0]) == [3, 4]
+        assert dims_create(12, 2, [0, 6]) == [2, 6]
+
+    def test_impossible_constraint(self):
+        with pytest.raises(CommError):
+            dims_create(12, 2, [5, 0])
+
+    def test_wrong_length(self):
+        with pytest.raises(CommError):
+            dims_create(4, 2, [4])
+
+
+class TestCoordinates:
+    def test_row_major_mapping(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3])
+            return cart.coords
+
+        values = spmd(6, main)
+        assert values == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_rank_coords_roundtrip(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 2, 2])
+            return all(cart.rank_of(cart.coords_of(r)) == r for r in range(8))
+
+        assert all(spmd(8, main))
+
+    def test_periodic_wrap(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [4], periods=[True])
+            return cart.rank_of([-1])
+
+        assert spmd(4, main)[0] == 3
+
+    def test_nonperiodic_out_of_range(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [4], periods=[False])
+            try:
+                cart.rank_of([4])
+                return "no error"
+            except CommError:
+                return "raised"
+
+        assert spmd(4, main)[0] == "raised"
+
+
+class TestShift:
+    def test_interior_neighbours(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3])
+            return cart.shift(1)  # along the fast (column) dimension
+
+        values = spmd(6, main)
+        assert values[1] == (0, 2)  # middle of row 0
+        assert values[4] == (3, 5)
+
+    def test_open_edges_give_proc_null(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3], periods=[False, False])
+            return cart.shift(0)
+
+        values = spmd(6, main)
+        assert values[0] == (PROC_NULL, 3)
+        assert values[3] == (0, PROC_NULL)
+
+    def test_periodic_edges_wrap(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3], periods=[False, True])
+            return cart.shift(1)
+
+        values = spmd(6, main)
+        assert values[0] == (2, 1)
+        assert values[2] == (1, 0)
+
+    def test_bad_direction(self, spmd):
+        def main(comm):
+            create_cart(comm, [2]).shift(3)
+
+        with pytest.raises(CommError, match="direction"):
+            spmd(2, main)
+
+
+class TestCreateCart:
+    def test_surplus_ranks_get_none(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 2])
+            return None if cart is None else cart.rank
+
+        assert spmd(6, main) == [0, 1, 2, 3, None, None]
+
+    def test_too_large_topology_rejected(self, spmd):
+        def main(comm):
+            create_cart(comm, [4, 4])
+
+        with pytest.raises(CommError, match="needs 16 processes"):
+            spmd(4, main)
+
+    def test_cart_is_a_full_communicator(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 2])
+            return cart.allreduce(cart.rank)
+
+        assert spmd(4, main) == [6] * 4
+
+
+class TestCartSub:
+    def test_row_slices(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3])
+            rows = cart.sub([False, True])  # keep columns -> row comms
+            return (rows.size, rows.rank, rows.dims)
+
+        values = spmd(6, main)
+        assert values[0] == (3, 0, (3,))
+        assert values[4] == (3, 1, (3,))
+
+    def test_column_slices_communicate(self, spmd):
+        def main(comm):
+            cart = create_cart(comm, [2, 3])
+            cols = cart.sub([True, False])  # 3 column comms of 2 ranks
+            return cols.allreduce(comm.rank)
+
+        values = spmd(6, main)
+        assert values == [3, 5, 7, 3, 5, 7]
+
+
+class TestHaloExchange2D:
+    def test_five_point_stencil_pattern(self, spmd):
+        """The canonical 2-D halo exchange: each process swaps edges with
+        its four neighbours, PROC_NULL silencing open boundaries."""
+
+        def main(comm):
+            cart = create_cart(comm, [2, 2], periods=[False, False])
+            value = np.array([float(cart.rank)])
+            out = {}
+            for direction in (0, 1):
+                lo, hi = cart.shift(direction)
+                cart.Send(value, hi, tag=direction)
+                cart.Send(value, lo, tag=10 + direction)
+                got_lo = np.full(1, np.nan)
+                got_hi = np.full(1, np.nan)
+                if lo != PROC_NULL:
+                    cart.Recv(got_lo, lo, tag=direction)
+                if hi != PROC_NULL:
+                    cart.Recv(got_hi, hi, tag=10 + direction)
+                out[direction] = (got_lo[0], got_hi[0])
+            return out
+
+        values = spmd(4, main)
+        # rank 0 at (0,0): lower neighbours absent, upper are ranks 2 and 1
+        assert np.isnan(values[0][0][0]) and values[0][0][1] == 2.0
+        assert np.isnan(values[0][1][0]) and values[0][1][1] == 1.0
+        # rank 3 at (1,1): upper neighbours absent, lower are ranks 1 and 2
+        assert values[3][0][0] == 1.0 and np.isnan(values[3][0][1])
+        assert values[3][1][0] == 2.0 and np.isnan(values[3][1][1])

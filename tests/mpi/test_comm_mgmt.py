@@ -1,0 +1,219 @@
+"""Communicator management: split, dup, create, free — the machinery MPH's
+handshake is built on."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import UNDEFINED, Group
+
+
+class TestSplit:
+    def test_even_odd(self, spmd):
+        def main(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            return (sub.rank, sub.size)
+
+        values = spmd(6, main)
+        assert values == [(0, 3), (0, 3), (1, 3), (1, 3), (2, 3), (2, 3)]
+
+    def test_undefined_opts_out(self, spmd):
+        def main(comm):
+            sub = comm.split(0 if comm.rank < 2 else UNDEFINED)
+            return None if sub is None else (sub.rank, sub.size)
+
+        values = spmd(4, main)
+        assert values == [(0, 2), (1, 2), None, None]
+
+    def test_key_controls_rank_order(self, spmd):
+        def main(comm):
+            # reverse ordering by key
+            sub = comm.split(0, key=-comm.rank)
+            return sub.rank
+
+        assert spmd(4, main) == [3, 2, 1, 0]
+
+    def test_key_ties_break_by_old_rank(self, spmd):
+        def main(comm):
+            sub = comm.split(0, key=0)
+            return sub.rank
+
+        assert spmd(5, main) == [0, 1, 2, 3, 4]
+
+    def test_colors_need_not_be_dense(self, spmd):
+        def main(comm):
+            sub = comm.split(comm.rank * 100)
+            return (sub.rank, sub.size)
+
+        assert spmd(3, main) == [(0, 1)] * 3
+
+    def test_negative_color_rejected(self, spmd):
+        def main(comm):
+            comm.split(-5)
+
+        with pytest.raises(CommError, match="color"):
+            spmd(2, main)
+
+    def test_split_isolates_traffic(self, spmd):
+        """Messages in a sub-communicator never leak into the parent."""
+
+        def main(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            if sub.rank == 0:
+                sub.send("sub-msg", 1, tag=0)
+            if sub.rank == 1:
+                got = sub.recv(source=0, tag=0)
+                # parent sees nothing pending despite identical (source, tag)
+                assert comm.iprobe() is None
+                return got
+            return None
+
+        values = spmd(4, main)
+        assert values[2] == "sub-msg" and values[3] == "sub-msg"
+
+    def test_nested_splits(self, spmd):
+        def main(comm):
+            half = comm.split(comm.rank // 4, key=comm.rank)
+            quarter = half.split(half.rank // 2, key=half.rank)
+            return (half.size, quarter.size, quarter.rank)
+
+        values = spmd(8, main)
+        assert all(v == (4, 2, r % 2) for r, v in enumerate(values))
+
+    def test_collectives_inside_split(self, spmd):
+        def main(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            return sub.allreduce(comm.rank)
+
+        # evens: 0+2+4 = 6, odds: 1+3+5 = 9
+        assert spmd(6, main) == [6, 9, 6, 9, 6, 9]
+
+
+class TestDup:
+    def test_same_shape(self, spmd):
+        def main(comm):
+            dup = comm.dup()
+            return (dup.rank, dup.size)
+
+        assert spmd(3, main) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_dup_traffic_isolated_from_parent(self, spmd):
+        def main(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                comm.send("parent", 1, tag=5)
+                dup.send("dup", 1, tag=5)
+                return None
+            got_dup = dup.recv(source=0, tag=5)
+            got_parent = comm.recv(source=0, tag=5)
+            return (got_parent, got_dup)
+
+        assert spmd(2, main)[1] == ("parent", "dup")
+
+
+class TestCreate:
+    def test_subgroup_comm(self, spmd):
+        def main(comm):
+            group = comm.group.incl([0, 2])
+            sub = comm.create(group)
+            if sub is None:
+                return None
+            return (sub.rank, sub.size)
+
+        assert spmd(4, main) == [(0, 2), None, (1, 2), None]
+
+    def test_create_reordered_group(self, spmd):
+        def main(comm):
+            group = comm.group.incl([2, 0])
+            sub = comm.create(group)
+            return None if sub is None else sub.rank
+
+        assert spmd(3, main) == [1, None, 0]
+
+    def test_create_with_foreign_member_rejected(self, spmd):
+        def main(comm):
+            comm.create(Group([99]))
+
+        with pytest.raises(CommError, match="not part of"):
+            spmd(2, main)
+
+
+class TestFree:
+    def test_use_after_free_rejected(self, spmd):
+        def main(comm):
+            sub = comm.dup()
+            sub.free()
+            sub.send("x", 0)
+
+        with pytest.raises(CommError, match="freed"):
+            spmd(1, main)
+
+    def test_parent_survives_child_free(self, spmd):
+        def main(comm):
+            sub = comm.dup()
+            sub.free()
+            return comm.allreduce(1)
+
+        assert spmd(3, main) == [3, 3, 3]
+
+
+class TestGroupAccessors:
+    def test_world_group(self, spmd):
+        def main(comm):
+            return comm.group.members
+
+        assert spmd(3, main) == [(0, 1, 2)] * 3
+
+    def test_split_group_members_are_world_ids(self, spmd):
+        def main(comm):
+            sub = comm.split(comm.rank % 2, key=comm.rank)
+            return sub.group.members
+
+        values = spmd(4, main)
+        assert values[0] == (0, 2) and values[1] == (1, 3)
+
+    def test_mpi4py_style_aliases(self, spmd):
+        def main(comm):
+            assert comm.Get_rank() == comm.rank
+            assert comm.Get_size() == comm.size
+            assert comm.Get_group() == comm.group
+            sub = comm.Split(0, comm.rank)
+            dup = comm.Dup()
+            comm.Barrier()
+            dup.Free()
+            return sub.size
+
+        assert spmd(2, main) == [2, 2]
+
+
+class TestMphHandshakePattern:
+    """The exact split choreography MPH's Section 6 algorithm performs."""
+
+    def test_world_split_by_component_id(self, spmd):
+        """§6 case 1: one split of the world by component id."""
+        comp_of_rank = [0, 0, 1, 1, 1, 2]
+
+        def main(comm):
+            comp = comp_of_rank[comm.rank]
+            sub = comm.split(comp, key=comm.rank)
+            return (comp, sub.rank, sub.size)
+
+        values = spmd(6, main)
+        assert values == [(0, 0, 2), (0, 1, 2), (1, 0, 3), (1, 1, 3), (1, 2, 3), (2, 0, 1)]
+
+    def test_repeated_split_for_overlap(self, spmd):
+        """§6 case 2: one split per component when components overlap."""
+        comp_a = {0, 1, 2, 3}  # atmosphere on 0..3
+        comp_b = {0, 1, 2, 3}  # land fully overlapping
+        comp_c = {4, 5}  # chemistry
+
+        def main(comm):
+            comms = {}
+            for name, members in (("a", comp_a), ("b", comp_b), ("c", comp_c)):
+                sub = comm.split(0 if comm.rank in members else UNDEFINED, key=comm.rank)
+                if sub is not None:
+                    comms[name] = (sub.rank, sub.size)
+            return comms
+
+        values = spmd(6, main)
+        assert values[0] == {"a": (0, 4), "b": (0, 4)}
+        assert values[4] == {"c": (0, 2)}

@@ -1,0 +1,52 @@
+"""Constants, tag validation, and Status (repro.mpi.constants / status)."""
+
+import pytest
+
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    TAG_UB,
+    UNDEFINED,
+    is_valid_recv_tag,
+    is_valid_tag,
+)
+from repro.mpi.status import Status
+
+
+class TestConstants:
+    def test_sentinels_distinct_and_negative(self):
+        sentinels = {ANY_SOURCE, ANY_TAG, PROC_NULL, UNDEFINED}
+        assert len(sentinels) == 4
+        assert all(s < 0 for s in sentinels)
+
+    def test_tag_ub(self):
+        assert TAG_UB == 2**31 - 1
+
+
+class TestTagValidation:
+    @pytest.mark.parametrize("tag", [0, 1, 12345, TAG_UB])
+    def test_valid_send_tags(self, tag):
+        assert is_valid_tag(tag)
+
+    @pytest.mark.parametrize("tag", [-1, TAG_UB + 1, ANY_TAG])
+    def test_invalid_send_tags(self, tag):
+        assert not is_valid_tag(tag)
+
+    def test_recv_accepts_wildcard(self):
+        assert is_valid_recv_tag(ANY_TAG)
+        assert is_valid_recv_tag(0)
+        assert not is_valid_recv_tag(-7)
+
+
+class TestStatus:
+    def test_defaults(self):
+        st = Status()
+        assert st.source == -1 and st.tag == -1 and st.count == 0
+        assert st.cancelled is False
+
+    def test_mpi4py_accessors(self):
+        st = Status(source=3, tag=9, count=128)
+        assert st.Get_source() == 3
+        assert st.Get_tag() == 9
+        assert st.Get_count() == 128

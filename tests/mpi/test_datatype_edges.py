@@ -1,0 +1,104 @@
+"""Payload-type edge cases of the messaging layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HandshakeError, TruncationError
+
+
+class TestBufferDtypes:
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.float32, np.float64, np.complex128])
+    def test_dtype_preserved_matching_buffers(self, spmd, dtype):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6).astype(dtype), 1)
+                return None
+            buf = np.zeros(6, dtype=dtype)
+            comm.Recv(buf, source=0)
+            return (buf.dtype == dtype, buf.tolist())
+
+        ok, values = spmd(2, main)[1]
+        assert ok and values == list(range(6))
+
+    def test_recv_casts_into_differently_typed_buffer(self, spmd):
+        """Like MPI with mismatched datatypes, the receive copies with a
+        cast — numpy's assignment semantics, documented behaviour."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.array([1.9, 2.9]), 1)
+                return None
+            buf = np.zeros(2, dtype=np.int64)
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+
+        assert spmd(2, main)[1] == [1, 2]
+
+    def test_object_path_preserves_dtype_and_shape(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.ones((2, 3, 4), dtype=np.float32), 1)
+                return None
+            got = comm.recv(source=0)
+            return (got.dtype == np.float32, got.shape)
+
+        assert spmd(2, main)[1] == (True, (2, 3, 4))
+
+    def test_noncontiguous_view_sent_correctly(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                base = np.arange(12, dtype=float).reshape(3, 4)
+                comm.Send(base[:, ::2], 1)  # strided view
+                return None
+            buf = np.zeros((3, 2))
+            comm.Recv(buf, source=0)
+            return buf.tolist()
+
+        assert spmd(2, main)[1] == [[0.0, 2.0], [4.0, 6.0], [8.0, 10.0]]
+
+    def test_zero_length_array(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(0), 1)
+                return None
+            buf = np.zeros(0)
+            comm.Recv(buf, source=0)
+            return buf.size
+
+        assert spmd(2, main)[1] == 0
+
+    def test_object_message_into_buffer_recv_must_be_array(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"not": "an array"}, 1)
+                return None
+            comm.Recv(np.zeros(3), source=0)
+
+        with pytest.raises(TruncationError, match="object-mode message"):
+            spmd(2, main)
+
+
+class TestMimeAmbiguity:
+    def test_two_executables_same_prefix_rejected(self):
+        """Two multi-instance executables declaring the same prefix cannot
+        be told apart: the handshake merges them into one declaration
+        group and the size check rejects the launch (documented
+        limitation — use distinct prefixes)."""
+        from repro import mph_run, multi_instance
+
+        registry = """
+BEGIN
+Multi_Instance_Begin
+Run1 0 0
+Multi_Instance_End
+Multi_Instance_Begin
+Run2 0 0
+Multi_Instance_End
+END
+"""
+
+        def ocean(world, env):
+            multi_instance(world, "Run", env=env)
+
+        with pytest.raises(HandshakeError):
+            mph_run([(ocean, 1), (ocean, 1)], registry=registry)

@@ -1,0 +1,142 @@
+"""Unit tests for MPI process groups (repro.mpi.group)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.constants import UNDEFINED
+from repro.mpi.group import Group
+
+
+class TestConstruction:
+    def test_members_preserved_in_order(self):
+        g = Group([3, 1, 7])
+        assert g.members == (3, 1, 7)
+
+    def test_size(self):
+        assert Group(range(5)).size == 5
+
+    def test_len(self):
+        assert len(Group([2, 4])) == 2
+
+    def test_empty_group_allowed(self):
+        assert Group([]).size == 0
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Group([1, 2, 1])
+
+    def test_negative_members_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Group([0, -1])
+
+
+class TestRankMapping:
+    def test_rank_of_member(self):
+        g = Group([5, 2, 9])
+        assert g.rank_of(2) == 1
+
+    def test_rank_of_nonmember_is_undefined(self):
+        assert Group([5, 2]).rank_of(7) == UNDEFINED
+
+    def test_world_id_of_rank(self):
+        g = Group([5, 2, 9])
+        assert g.world_id(2) == 9
+
+    def test_world_id_out_of_range(self):
+        with pytest.raises(IndexError):
+            Group([1]).world_id(1)
+
+    def test_contains(self):
+        g = Group([4, 6])
+        assert 4 in g and 5 not in g
+
+
+class TestDerivation:
+    def test_incl_selects_and_reorders(self):
+        g = Group([10, 20, 30, 40])
+        assert g.incl([3, 0]).members == (40, 10)
+
+    def test_excl_removes(self):
+        g = Group([10, 20, 30])
+        assert g.excl([1]).members == (10, 30)
+
+    def test_excl_out_of_range(self):
+        with pytest.raises(IndexError):
+            Group([10]).excl([3])
+
+    def test_range_incl_forward(self):
+        g = Group(range(10))
+        # MPI semantics: last is inclusive.
+        assert g.range_incl([(0, 6, 2)]).members == (0, 2, 4, 6)
+
+    def test_range_incl_backward(self):
+        g = Group(range(10))
+        assert g.range_incl([(4, 0, -2)]).members == (4, 2, 0)
+
+    def test_range_incl_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            Group(range(4)).range_incl([(0, 3, 0)])
+
+
+class TestSetAlgebra:
+    def test_union_order(self):
+        a, b = Group([1, 2, 3]), Group([3, 4, 1])
+        # MPI: a's members first, then b's not already present, in b order.
+        assert a.union(b).members == (1, 2, 3, 4)
+
+    def test_intersection_keeps_first_order(self):
+        a, b = Group([5, 1, 3]), Group([3, 5])
+        assert a.intersection(b).members == (5, 3)
+
+    def test_difference(self):
+        a, b = Group([1, 2, 3, 4]), Group([2, 4])
+        assert a.difference(b).members == (1, 3)
+
+    def test_translate_ranks(self):
+        a, b = Group([10, 20, 30]), Group([30, 10])
+        assert a.translate_ranks([0, 1, 2], b) == [1, UNDEFINED, 0]
+
+    def test_equality_and_hash(self):
+        assert Group([1, 2]) == Group([1, 2])
+        assert Group([1, 2]) != Group([2, 1])
+        assert hash(Group([1, 2])) == hash(Group([1, 2]))
+
+
+# -- property-based: the MPI group algebra laws -----------------------------
+
+members = st.lists(st.integers(min_value=0, max_value=50), unique=True, max_size=12)
+
+
+class TestGroupProperties:
+    @given(members, members)
+    def test_union_contains_both(self, xs, ys):
+        u = Group(xs).union(Group(ys))
+        assert set(u.members) == set(xs) | set(ys)
+
+    @given(members, members)
+    def test_intersection_is_common_subset(self, xs, ys):
+        i = Group(xs).intersection(Group(ys))
+        assert set(i.members) == set(xs) & set(ys)
+        # order follows the first group
+        assert list(i.members) == [x for x in xs if x in set(ys)]
+
+    @given(members, members)
+    def test_difference_disjoint_from_second(self, xs, ys):
+        d = Group(xs).difference(Group(ys))
+        assert set(d.members) == set(xs) - set(ys)
+
+    @given(members)
+    def test_rank_world_id_roundtrip(self, xs):
+        g = Group(xs)
+        for r in range(g.size):
+            assert g.rank_of(g.world_id(r)) == r
+
+    @given(members, members)
+    def test_translate_roundtrip_on_intersection(self, xs, ys):
+        a, b = Group(xs), Group(ys)
+        ranks = list(range(a.size))
+        translated = a.translate_ranks(ranks, b)
+        for r, t in zip(ranks, translated):
+            if t != UNDEFINED:
+                assert b.world_id(t) == a.world_id(r)

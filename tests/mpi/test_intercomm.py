@@ -1,0 +1,176 @@
+"""Intercommunicators (repro.mpi.intercomm) — the §5.2 alternative."""
+
+import pytest
+
+from repro.errors import CommError
+from repro.mpi import Group
+from repro.mpi.intercomm import InterComm, create_intercomm
+
+
+def two_group_job(fn_a, fn_b, n_a=2, n_b=3):
+    """World split into groups A (ranks < n_a) and B; build the intercomm
+    and hand it to the side functions."""
+
+    def main(comm):
+        in_a = comm.rank < n_a
+        local = comm.split(0 if in_a else 1, key=comm.rank)
+        # leaders: local rank 0 of each side; bridge = the world.
+        remote_leader = n_a if in_a else 0
+        inter = create_intercomm(local, 0, comm, remote_leader, tag=99)
+        return (fn_a if in_a else fn_b)(inter, local)
+
+    return main, n_a + n_b
+
+
+class TestCreation:
+    def test_sizes_and_ranks(self, spmd):
+        def side_a(inter, local):
+            return ("A", inter.rank, inter.size, inter.remote_size)
+
+        def side_b(inter, local):
+            return ("B", inter.rank, inter.size, inter.remote_size)
+
+        main, n = two_group_job(side_a, side_b)
+        values = spmd(n, main)
+        assert values[0] == ("A", 0, 2, 3)
+        assert values[2] == ("B", 0, 3, 2)
+        assert values[4] == ("B", 2, 3, 2)
+
+    def test_remote_group_world_ids(self, spmd):
+        def side_a(inter, local):
+            return inter.remote_group.members
+
+        def side_b(inter, local):
+            return inter.remote_group.members
+
+        main, n = two_group_job(side_a, side_b)
+        values = spmd(n, main)
+        assert values[0] == (2, 3, 4)
+        assert values[2] == (0, 1)
+
+    def test_disjointness_enforced(self, spmd):
+        def main(comm):
+            # remote group containing our own world ids: illegal.
+            InterComm(comm, Group([0]), (100, 101))
+
+        with pytest.raises(CommError, match="disjoint"):
+            spmd(2, main)
+
+
+class TestCrossGroupMessaging:
+    def test_send_addresses_remote_ranks(self, spmd):
+        def side_a(inter, local):
+            # local rank i of A sends to remote rank i of B
+            inter.send(f"from-A{inter.rank}", inter.rank, tag=1)
+            return None
+
+        def side_b(inter, local):
+            if inter.rank < inter.remote_size:
+                return inter.recv(source=inter.rank, tag=1)
+            return None
+
+        main, n = two_group_job(side_a, side_b)
+        values = spmd(n, main)
+        assert values[2] == "from-A0"
+        assert values[3] == "from-A1"
+        assert values[4] is None
+
+    def test_pingpong(self, spmd):
+        def side_a(inter, local):
+            if inter.rank == 0:
+                inter.send("ping", 0, tag=5)
+                return inter.recv(0, tag=6)
+            return None
+
+        def side_b(inter, local):
+            if inter.rank == 0:
+                got = inter.recv(0, tag=5)
+                inter.send(got + "-pong", 0, tag=6)
+                return got
+            return None
+
+        main, n = two_group_job(side_a, side_b)
+        values = spmd(n, main)
+        assert values[0] == "ping-pong"
+
+    def test_remote_rank_validated(self, spmd):
+        def side_a(inter, local):
+            inter.send("x", 99, tag=1)
+
+        def side_b(inter, local):
+            return None
+
+        main, n = two_group_job(side_a, side_b)
+        with pytest.raises(CommError, match="remote rank"):
+            spmd(n, main)
+
+    def test_iprobe(self, spmd):
+        def side_a(inter, local):
+            inter.send("waiting", 0, tag=3)
+            local.barrier()
+            return None
+
+        def side_b(inter, local):
+            if inter.rank == 0:
+                st = None
+                while st is None:
+                    st = inter.iprobe(tag=3)
+                got = inter.recv(st.source, st.tag)
+                return (st.source, got)
+            return None
+
+        main, n = two_group_job(side_a, side_b, n_a=1)
+        values = spmd(n, main)
+        assert values[1] == (0, "waiting")
+
+
+class TestMerge:
+    def test_low_group_ranks_first(self, spmd):
+        def side_a(inter, local):
+            merged = inter.merge(high=False)
+            return (merged.rank, merged.size)
+
+        def side_b(inter, local):
+            merged = inter.merge(high=True)
+            return (merged.rank, merged.size)
+
+        main, n = two_group_job(side_a, side_b)
+        values = spmd(n, main)
+        assert [v[0] for v in values] == [0, 1, 2, 3, 4]
+        assert all(v[1] == 5 for v in values)
+
+    def test_merged_comm_works(self, spmd):
+        def side(high):
+            def fn(inter, local):
+                merged = inter.merge(high=high)
+                return merged.allreduce(1)
+
+            return fn
+
+        main, n = two_group_job(side(False), side(True))
+        assert spmd(n, main) == [5] * 5
+
+    def test_same_flags_rejected(self, spmd):
+        def side(inter, local):
+            inter.merge(high=False)
+
+        main, n = two_group_job(side, side, n_a=1, n_b=1)
+        with pytest.raises(CommError, match="opposite"):
+            spmd(n, main)
+
+    def test_mph_style_join_equivalence(self, spmd):
+        """The §5.2 comparison made concrete: an intercomm merge produces
+        the same union ordering MPH_comm_join guarantees (first group's
+        processors first) — MPH just gets there without intercommunicators."""
+
+        def side_a(inter, local):
+            merged = inter.merge(high=False)
+            return merged.group.members
+
+        def side_b(inter, local):
+            merged = inter.merge(high=True)
+            return merged.group.members
+
+        main, n = two_group_job(side_a, side_b, n_a=2, n_b=2)
+        values = spmd(n, main)
+        assert values[0] == (0, 1, 2, 3)

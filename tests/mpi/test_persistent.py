@@ -1,0 +1,133 @@
+"""Persistent communication requests (repro.mpi.persistent)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError, TruncationError
+from repro.mpi import PROC_NULL
+from repro.mpi.persistent import Prequest
+
+
+class TestCycle:
+    def test_repeated_start_wait(self, spmd):
+        """The canonical pattern: bind once, cycle many times."""
+
+        def main(comm):
+            out = []
+            if comm.rank == 0:
+                buf = np.zeros(3)
+                send = comm.Send_init(buf, dest=1, tag=4)
+                for i in range(5):
+                    buf[:] = i  # contents snapshotted at start
+                    send.start()
+                    send.wait()
+                return None
+            buf = np.zeros(3)
+            recv = comm.Recv_init(buf, source=0, tag=4)
+            for i in range(5):
+                recv.start()
+                recv.wait()
+                out.append(float(buf[0]))
+            return out
+
+        assert spmd(2, main)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_matches_plain_halo_exchange(self, spmd):
+        """A persistent-request halo exchange produces the same halos as
+        the plain Send/Recv version."""
+
+        def main(comm):
+            data = np.full(4, float(comm.rank))
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            halo = np.zeros(4)
+            send = comm.Send_init(data, right, tag=9)
+            recv = comm.Recv_init(halo, left, tag=9)
+            results = []
+            for step in range(3):
+                data[:] = comm.rank * 10 + step
+                Prequest.startall([send, recv])
+                send.wait()
+                recv.wait()
+                results.append(float(halo[0]))
+            expected = [((comm.rank - 1) % comm.size) * 10 + s for s in range(3)]
+            return results == [float(e) for e in expected]
+
+        assert all(spmd(4, main))
+
+    def test_status_filled(self, spmd):
+        from repro.mpi import Status
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.ones(2), 1, tag=7)
+                return None
+            buf = np.zeros(2)
+            recv = comm.Recv_init(buf, source=0, tag=7).start()
+            st = Status()
+            recv.wait(st)
+            return (st.source, st.tag, st.count)
+
+        assert spmd(2, main)[1] == (0, 7, 2)
+
+    def test_test_method(self, spmd):
+        def main(comm):
+            if comm.rank == 1:
+                buf = np.zeros(1)
+                recv = comm.Recv_init(buf, source=0, tag=2).start()
+                early, _ = recv.test()
+                comm.send(early, 0, tag=3)  # tell sender we probed too early
+                done = False
+                while not done:
+                    done, _ = recv.test()
+                return (early, float(buf[0]))
+            comm.recv(source=1, tag=3)
+            comm.Send(np.array([5.0]), 1, tag=2)
+            return None
+
+        early, value = spmd(2, main)[1]
+        assert early is False and value == 5.0
+
+
+class TestMisuse:
+    def test_double_start_rejected(self, spmd):
+        def main(comm):
+            recv = comm.Recv_init(np.zeros(1), source=0, tag=1).start()
+            recv.start()
+
+        with pytest.raises(CommError, match="already active"):
+            spmd(1, main)
+
+    def test_wait_before_start_rejected(self, spmd):
+        def main(comm):
+            comm.Recv_init(np.zeros(1), source=0, tag=1).wait()
+
+        with pytest.raises(CommError, match="inactive"):
+            spmd(1, main)
+
+    def test_truncation_checked(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(9), 1, tag=1)
+                return None
+            comm.Recv_init(np.zeros(2), source=0, tag=1).start().wait()
+
+        with pytest.raises(TruncationError):
+            spmd(2, main)
+
+    def test_send_to_proc_null_cycles(self, spmd):
+        def main(comm):
+            send = comm.Send_init(np.zeros(2), PROC_NULL, tag=1)
+            for _ in range(3):
+                send.start()
+                send.wait()
+            return True
+
+        assert spmd(1, main) == [True]
+
+    def test_bad_tag_rejected_at_init(self, spmd):
+        def main(comm):
+            comm.Recv_init(np.zeros(1), source=0, tag=-5)
+
+        with pytest.raises(CommError, match="invalid receive tag"):
+            spmd(1, main)

@@ -1,0 +1,132 @@
+"""Property-based tests: collective results must equal their sequential
+specification for arbitrary payloads, sizes, roots, and algorithm families."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, SUM, WorldConfig, run_spmd
+
+# Keep worlds small: each example spins up real threads.
+sizes = st.integers(min_value=1, max_value=6)
+payload_lists = st.lists(st.integers(-1_000_000, 1_000_000), min_size=6, max_size=6)
+
+tree_config = WorldConfig(
+    bcast_algorithm="binomial",
+    reduce_algorithm="binomial",
+    allreduce_algorithm="recursive_doubling",
+    allgather_algorithm="ring",
+    barrier_algorithm="dissemination",
+)
+linear_config = WorldConfig(
+    bcast_algorithm="linear",
+    reduce_algorithm="linear",
+    allreduce_algorithm="reduce_bcast",
+    allgather_algorithm="gather_bcast",
+    barrier_algorithm="linear",
+)
+
+PROP_SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestReductionProperties:
+    @given(n=sizes, contributions=payload_lists)
+    @settings(**PROP_SETTINGS)
+    def test_allreduce_sum_equals_python_sum(self, n, contributions):
+        def main(comm):
+            return comm.allreduce(contributions[comm.rank])
+
+        expected = sum(contributions[:n])
+        assert run_spmd(n, main, config=tree_config) == [expected] * n
+
+    @given(n=sizes, contributions=payload_lists)
+    @settings(**PROP_SETTINGS)
+    def test_tree_and_linear_allreduce_agree(self, n, contributions):
+        def main(comm):
+            return comm.allreduce(contributions[comm.rank])
+
+        tree = run_spmd(n, main, config=tree_config)
+        linear = run_spmd(n, main, config=linear_config)
+        assert tree == linear
+
+    @given(n=sizes, contributions=payload_lists, root_seed=st.integers(0, 100))
+    @settings(**PROP_SETTINGS)
+    def test_reduce_max_min_any_root(self, n, contributions, root_seed):
+        root = root_seed % n
+
+        def main(comm):
+            return (
+                comm.reduce(contributions[comm.rank], op=MAX, root=root),
+                comm.reduce(contributions[comm.rank], op=MIN, root=root),
+            )
+
+        values = run_spmd(n, main, config=tree_config)
+        assert values[root] == (max(contributions[:n]), min(contributions[:n]))
+
+    @given(n=sizes, contributions=payload_lists)
+    @settings(**PROP_SETTINGS)
+    def test_scan_prefix_property(self, n, contributions):
+        def main(comm):
+            return comm.scan(contributions[comm.rank], op=SUM)
+
+        values = run_spmd(n, main, config=tree_config)
+        for r in range(n):
+            assert values[r] == sum(contributions[: r + 1])
+
+
+class TestDataMovementProperties:
+    @given(n=sizes, contributions=payload_lists, root_seed=st.integers(0, 100))
+    @settings(**PROP_SETTINGS)
+    def test_bcast_delivers_root_value(self, n, contributions, root_seed):
+        root = root_seed % n
+
+        def main(comm):
+            return comm.bcast(contributions[comm.rank] if comm.rank == root else None, root=root)
+
+        assert run_spmd(n, main, config=tree_config) == [contributions[root]] * n
+
+    @given(n=sizes, contributions=payload_lists)
+    @settings(**PROP_SETTINGS)
+    def test_allgather_equals_contribution_list(self, n, contributions):
+        def main(comm):
+            return comm.allgather(contributions[comm.rank])
+
+        assert run_spmd(n, main, config=tree_config) == [contributions[:n]] * n
+
+    @given(n=sizes, contributions=payload_lists)
+    @settings(**PROP_SETTINGS)
+    def test_gather_scatter_roundtrip(self, n, contributions):
+        def main(comm):
+            gathered = comm.gather(contributions[comm.rank])
+            return comm.scatter(gathered)
+
+        assert run_spmd(n, main, config=tree_config) == contributions[:n]
+
+    @given(n=st.integers(1, 5))
+    @settings(**PROP_SETTINGS)
+    def test_alltoall_is_transpose(self, n):
+        def main(comm):
+            matrix_row = [(comm.rank, d) for d in range(comm.size)]
+            return comm.alltoall(matrix_row)
+
+        values = run_spmd(n, main, config=tree_config)
+        for r in range(n):
+            assert values[r] == [(s, r) for s in range(n)]
+
+
+class TestArrayReductionProperties:
+    @given(
+        n=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_array_allreduce_matches_numpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-100, 100, size=(n, 5))
+
+        def main(comm):
+            return comm.allreduce(data[comm.rank])
+
+        values = run_spmd(n, main, config=tree_config)
+        for got in values:
+            np.testing.assert_array_equal(got, data[:n].sum(axis=0))

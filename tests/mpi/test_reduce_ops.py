@@ -1,0 +1,121 @@
+"""Unit tests for reduction operators (repro.mpi.reduce_ops)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi.reduce_ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PREDEFINED,
+    PROD,
+    SUM,
+    Op,
+)
+
+
+class TestScalarOps:
+    def test_sum(self):
+        assert SUM.reduce([1, 2, 3]) == 6
+
+    def test_prod(self):
+        assert PROD.reduce([2, 3, 4]) == 24
+
+    def test_max_min(self):
+        assert MAX.reduce([3, 9, 1]) == 9
+        assert MIN.reduce([3, 9, 1]) == 1
+
+    def test_logical(self):
+        assert LAND.reduce([True, True, False]) is False
+        assert LOR.reduce([False, False, True]) is True
+        assert LXOR.reduce([True, True, True]) is True
+        assert LXOR.reduce([True, True]) is False
+
+    def test_bitwise(self):
+        assert BAND.reduce([0b1100, 0b1010]) == 0b1000
+        assert BOR.reduce([0b1100, 0b1010]) == 0b1110
+        assert BXOR.reduce([0b1100, 0b1010]) == 0b0110
+
+    def test_reduce_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SUM.reduce([])
+
+    def test_single_contribution_identity(self):
+        for op in (SUM, PROD, MAX, MIN):
+            assert op.reduce([7]) == 7
+
+
+class TestArrayOps:
+    def test_sum_elementwise(self):
+        out = SUM.reduce([np.array([1, 2]), np.array([3, 4])])
+        np.testing.assert_array_equal(out, [4, 6])
+
+    def test_max_elementwise(self):
+        out = MAX.reduce([np.array([1, 9]), np.array([5, 2])])
+        np.testing.assert_array_equal(out, [5, 9])
+
+    def test_min_elementwise(self):
+        out = MIN.reduce([np.array([1, 9]), np.array([5, 2])])
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_logical_elementwise(self):
+        out = LAND.reduce([np.array([True, True]), np.array([True, False])])
+        np.testing.assert_array_equal(out, [True, False])
+
+
+class TestLocOps:
+    def test_maxloc_picks_larger(self):
+        assert MAXLOC.reduce([(3.0, 0), (7.0, 1), (5.0, 2)]) == (7.0, 1)
+
+    def test_maxloc_tie_takes_smaller_location(self):
+        # MPI's documented tie-break.
+        assert MAXLOC.reduce([(7.0, 2), (7.0, 1)]) == (7.0, 1)
+
+    def test_minloc_picks_smaller(self):
+        assert MINLOC.reduce([(3.0, 0), (1.0, 1), (5.0, 2)]) == (1.0, 1)
+
+    def test_minloc_tie_takes_smaller_location(self):
+        assert MINLOC.reduce([(1.0, 5), (1.0, 3)]) == (1.0, 3)
+
+
+class TestUserOps:
+    def test_create_noncommutative(self):
+        concat = Op.create(lambda a, b: a + b, name="concat")
+        assert not concat.commutative
+        assert concat.reduce(["a", "b", "c"]) == "abc"
+
+    def test_rank_order_guaranteed(self):
+        # Contributions fold strictly left-to-right.
+        pairs = Op.create(lambda a, b: (a, b), name="pairs")
+        assert pairs.reduce([1, 2, 3]) == ((1, 2), 3)
+
+    def test_predefined_registry(self):
+        assert PREDEFINED["SUM"] is SUM
+        assert len(PREDEFINED) == 12
+
+
+class TestOpProperties:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_sum_matches_builtin(self, xs):
+        assert SUM.reduce(xs) == sum(xs)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_max_matches_builtin(self, xs):
+        assert MAX.reduce(xs) == max(xs)
+        assert MIN.reduce(xs) == min(xs)
+
+    @given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 31)), min_size=1, max_size=16))
+    def test_maxloc_invariants(self, pairs):
+        value, loc = MAXLOC.reduce(pairs)
+        best = max(v for v, _ in pairs)
+        assert value == best
+        assert loc == min(l for v, l in pairs if v == best)

@@ -1,0 +1,156 @@
+"""Nonblocking requests: isend/irecv, wait/test, cancellation, posting order."""
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Request, Status
+
+
+class TestIsend:
+    def test_isend_request_completes(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend("nb", 1, tag=2)
+                done, value = req.test()
+                assert done and value is None
+                req.wait()
+                return "sent"
+            return comm.recv(source=0, tag=2)
+
+        assert spmd(2, main) == ["sent", "nb"]
+
+    def test_many_outstanding_isends(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend(i, 1, tag=i) for i in range(20)]
+                Request.waitall(reqs)
+                return None
+            # receive in reverse tag order to prove buffering
+            return [comm.recv(source=0, tag=t) for t in reversed(range(20))]
+
+        assert spmd(2, main)[1] == list(reversed(range(20)))
+
+
+class TestIrecv:
+    def test_wait_returns_object(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send((1, 2), 1, tag=9)
+                return None
+            req = comm.irecv(source=0, tag=9)
+            return req.wait()
+
+        assert spmd(2, main)[1] == (1, 2)
+
+    def test_test_before_arrival(self, spmd):
+        def main(comm):
+            if comm.rank == 1:
+                req = comm.irecv(source=0, tag=1)
+                done, _ = req.test()
+                # tell rank 0 we've posted and tested
+                comm.send(done, 0, tag=2)
+                return req.wait()
+            early_done = comm.recv(source=1, tag=2)
+            comm.send("late", 1, tag=1)
+            return early_done
+
+        values = spmd(2, main)
+        assert values[0] is False  # nothing had arrived at test time
+        assert values[1] == "late"
+
+    def test_posted_receive_matching_order(self, spmd):
+        """Two posted irecvs must match arrivals in posting order even when
+        waited in reverse order (MPI posted-receive semantics)."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=7)
+                comm.send("second", 1, tag=7)
+                return None
+            req_a = comm.irecv(source=0, tag=7)
+            req_b = comm.irecv(source=0, tag=7)
+            b = req_b.wait()
+            a = req_a.wait()
+            return (a, b)
+
+        assert spmd(2, main)[1] == ("first", "second")
+
+    def test_wait_fills_status(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", 1, tag=31)
+                return None
+            st = Status()
+            req = comm.irecv(source=ANY_SOURCE, tag=ANY_TAG)
+            req.wait(st)
+            return (st.source, st.tag)
+
+        assert spmd(2, main)[1] == (0, 31)
+
+    def test_repeated_wait_idempotent(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send([9], 1)
+                return None
+            req = comm.irecv(source=0)
+            first = req.wait()
+            second = req.wait()
+            return first is second
+
+        assert spmd(2, main)[1] is True
+
+
+class TestCancel:
+    def test_cancel_unmatched_receive(self, spmd):
+        def main(comm):
+            req = comm.irecv(source=comm.rank, tag=99)
+            assert req.cancel() is True
+            # a later send must not be stolen by the cancelled receive
+            comm.send("kept", comm.rank, tag=99)
+            return comm.recv(source=comm.rank, tag=99)
+
+        assert spmd(1, main) == ["kept"]
+
+    def test_cancel_matched_receive_fails(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("gotcha", 1, tag=5)
+                comm.barrier()
+                return None
+            comm.barrier()  # message has arrived
+            req = comm.irecv(source=0, tag=5)
+            cancelled = req.cancel()
+            return (cancelled, req.wait())
+
+        assert spmd(2, main)[1] == (False, "gotcha")
+
+
+class TestWaitallTestall:
+    def test_waitall_returns_in_order(self, spmd):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i * i, 1, tag=i)
+                return None
+            reqs = [comm.irecv(source=0, tag=i) for i in range(5)]
+            return Request.waitall(reqs)
+
+        assert spmd(2, main)[1] == [0, 1, 4, 9, 16]
+
+    def test_testall_incomplete(self, spmd):
+        def main(comm):
+            req = comm.irecv(source=comm.rank, tag=1)
+            done, values = Request.testall([req])
+            req.cancel()
+            return (done, values)
+
+        assert spmd(1, main) == [(False, [])]
+
+    def test_testall_complete(self, spmd):
+        def main(comm):
+            comm.send("a", comm.rank, tag=1)
+            comm.send("b", comm.rank, tag=2)
+            reqs = [comm.irecv(source=comm.rank, tag=1), comm.irecv(source=comm.rank, tag=2)]
+            done, values = Request.testall(reqs)
+            return (done, values)
+
+        assert spmd(1, main) == [(True, ["a", "b"])]

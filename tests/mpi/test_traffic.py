@@ -1,0 +1,201 @@
+"""Traffic accounting: verifying each algorithm's exact message complexity.
+
+These tests pin the textbook message counts — the strongest possible
+check that the implemented algorithm is the claimed one (a linear bcast on
+P ranks delivers exactly P-1 messages; a ring allgather exactly P(P-1)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import World, WorldConfig
+from repro.mpi.executor import run_world
+from repro.mpi.world import TrafficStats
+
+
+def traffic_of(nprocs, fn, config=None):
+    """Run fn on a fresh world; return the traffic it generated."""
+    world = World(nprocs, config)
+    run_world(world, [fn] * nprocs)
+    return world.traffic_snapshot()
+
+
+def linear_family():
+    return WorldConfig(
+        bcast_algorithm="linear",
+        reduce_algorithm="linear",
+        allreduce_algorithm="reduce_bcast",
+        allgather_algorithm="gather_bcast",
+        barrier_algorithm="linear",
+    )
+
+
+def tree_family():
+    return WorldConfig(
+        bcast_algorithm="binomial",
+        reduce_algorithm="binomial",
+        allreduce_algorithm="recursive_doubling",
+        allgather_algorithm="ring",
+        barrier_algorithm="dissemination",
+    )
+
+
+class TestExactMessageCounts:
+    @pytest.mark.parametrize("n", [2, 4, 7, 8])
+    def test_linear_bcast_sends_p_minus_1(self, n):
+        stats = traffic_of(n, lambda c: c.bcast("x"), linear_family())
+        assert stats.messages == n - 1
+
+    @pytest.mark.parametrize("n", [2, 4, 7, 8])
+    def test_binomial_bcast_also_p_minus_1(self, n):
+        # A tree moves the same number of messages; it wins on rounds.
+        stats = traffic_of(n, lambda c: c.bcast("x"), tree_family())
+        assert stats.messages == n - 1
+
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_gather_sends_p_minus_1(self, n):
+        stats = traffic_of(n, lambda c: c.gather(c.rank), linear_family())
+        assert stats.messages == n - 1
+
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_ring_allgather_p_times_p_minus_1(self, n):
+        stats = traffic_of(n, lambda c: c.allgather(c.rank), tree_family())
+        assert stats.messages == n * (n - 1)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_dissemination_barrier_p_log_p(self, n):
+        import math
+
+        stats = traffic_of(n, lambda c: c.barrier(), tree_family())
+        assert stats.messages == n * math.ceil(math.log2(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_recursive_doubling_allreduce_power_of_two(self, n):
+        import math
+
+        stats = traffic_of(n, lambda c: c.allreduce(1), tree_family())
+        assert stats.messages == n * int(math.log2(n))
+
+    def test_alltoall_p_times_p_minus_1(self):
+        n = 4
+        stats = traffic_of(n, lambda c: c.alltoall(list(range(c.size))))
+        assert stats.messages == n * (n - 1)
+
+    def test_p2p_counts_each_send_once(self):
+        def main(comm):
+            if comm.rank == 0:
+                for _ in range(5):
+                    comm.send("x", 1)
+            else:
+                for _ in range(5):
+                    comm.recv(source=0)
+
+        stats = traffic_of(2, main)
+        assert stats.messages == 5
+        assert stats.by_kind == {"object": 5}
+
+
+class TestByteAccounting:
+    def test_buffer_bytes(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(100), 1)
+            else:
+                comm.Recv(np.zeros(100), source=0)
+
+        stats = traffic_of(2, main)
+        assert stats.payload_bytes == 800  # 100 float64
+        assert stats.by_kind == {"buffer": 1}
+
+    def test_bufcoll_kind_tracked(self):
+        def main(comm):
+            comm.Allreduce(np.ones(8))
+
+        stats = traffic_of(2, main)
+        assert stats.by_kind.get("bufcoll", 0) > 0
+
+    def test_object_bytes_are_pickle_sizes(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("payload", 1)
+            else:
+                comm.recv(source=0)
+
+        stats = traffic_of(2, main)
+        assert stats.payload_bytes > len("payload")  # pickle framing included
+
+
+class TestSnapshots:
+    def test_since_subtracts(self):
+        a = TrafficStats(10, 100, {"object": 10})
+        b = TrafficStats(15, 180, {"object": 12, "buffer": 3})
+        d = b.since(a)
+        assert (d.messages, d.payload_bytes) == (5, 80)
+        assert d.by_kind == {"object": 2, "buffer": 3}
+
+    def test_snapshot_is_independent_copy(self):
+        world = World(1)
+        snap = world.traffic_snapshot()
+        world.record_traffic("object", 4)
+        assert snap.messages == 0
+        assert world.traffic_snapshot().messages == 1
+
+
+class TestHandshakeComplexity:
+    """The handshake's communication volume vs world size — the cost model
+    behind experiment E9."""
+
+    def handshake_traffic(self, n_components, procs_each):
+        from repro import components_setup
+        from repro.launcher.job import MpmdJob
+
+        names = [f"c{i}" for i in range(n_components)]
+        registry = "BEGIN\n" + "\n".join(names) + "\nEND"
+
+        def make(name):
+            def program(world, env):
+                components_setup(world, name, env=env)
+                return None
+
+            program.__name__ = name
+            return program
+
+        job = MpmdJob([(make(n), procs_each) for n in names], registry=registry)
+        # Reach into the job to use a world we can inspect.
+        from repro.launcher.rankmap import assign_ranks
+        from repro.mpi.world import World as W
+
+        sizes = [s.nprocs for s in job.specs]
+        assignment = assign_ranks(sizes, "block")
+        world = W(job.world_size, job.config)
+        rank_fns = [None] * job.world_size
+        from repro.launcher.job import JobEnv, _bind
+
+        for exe_index, ranks in enumerate(assignment):
+            for local_index, world_rank in enumerate(ranks):
+                env = JobEnv(
+                    program=job.specs[exe_index].program,
+                    exe_index=exe_index,
+                    local_index=local_index,
+                    registry=registry,
+                )
+                rank_fns[world_rank] = _bind(job.fns[exe_index], env)
+        run_world(world, rank_fns)
+        return world.traffic_snapshot()
+
+    def test_traffic_grows_with_world_size(self):
+        small = self.handshake_traffic(2, 1).messages
+        large = self.handshake_traffic(2, 4).messages
+        assert large > small
+
+    def test_traffic_grows_with_components(self):
+        few = self.handshake_traffic(2, 2).messages
+        many = self.handshake_traffic(6, 2).messages
+        assert many > few
+
+    def test_superlinear_from_declaration_allgather(self):
+        """The declarations allgather is ring (O(P^2) messages), so the
+        handshake total grows faster than linearly in P."""
+        p4 = self.handshake_traffic(4, 1).messages
+        p8 = self.handshake_traffic(8, 1).messages
+        assert p8 > 2 * p4
