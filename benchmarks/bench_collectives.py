@@ -84,6 +84,31 @@ def test_barrier(benchmark, family, nprocs):
     benchmark.extra_info.update(nprocs=nprocs, repeats=REPEATS, family=family)
 
 
+@pytest.mark.parametrize("fastpath", [True, False], ids=["fastpath-on", "fastpath-off"])
+def test_bcast_fastpath_ablation(benchmark, fastpath):
+    """The headline fan-out: a 1 MiB field broadcast linearly from rank 0
+    to 16 ranks.  With the fast path the root encodes once and every
+    destination envelope shares the same immutable snapshot; with it off
+    the root pickles the payload once per destination."""
+    nprocs, repeats = 16, 5
+    payload = np.arange(131_072, dtype=np.float64)  # 1 MiB
+
+    def main(comm):
+        for _ in range(repeats):
+            comm.bcast(payload if comm.rank == 0 else None)
+        return True
+
+    config = WorldConfig(bcast_algorithm="linear", serialization_fastpath=fastpath)
+
+    def run():
+        return run_spmd(nprocs, main, config=config)
+
+    benchmark(run)
+    benchmark.extra_info.update(
+        nprocs=nprocs, repeats=repeats, nbytes=payload.nbytes, fastpath=fastpath
+    )
+
+
 @pytest.mark.parametrize("mode", ["object", "buffer"])
 @pytest.mark.parametrize("nelems", [1_000, 100_000])
 def test_allreduce_payload_modes(benchmark, mode, nelems):

@@ -19,12 +19,15 @@ import numpy as np
 import pytest
 
 from repro import components_setup, mph_run
+from repro.mpi import WorldConfig
 
 REG = "BEGIN\natm\nocn\nEND"
 ROUNDTRIPS = 50
 
 
-def run_pingpong(payload_factory, use_mph_addressing: bool, buffer_mode: bool = False):
+def run_pingpong(
+    payload_factory, use_mph_addressing: bool, buffer_mode: bool = False, config=None
+):
     def atm(world, env):
         mph = components_setup(world, "atm", env=env)
         payload = payload_factory()
@@ -57,7 +60,7 @@ def run_pingpong(payload_factory, use_mph_addressing: bool, buffer_mode: bool = 
                 world.send(got, src, tag=2)
         return True
 
-    return mph_run([(atm, 1), (ocn, 1)], registry=REG)
+    return mph_run([(atm, 1), (ocn, 1)], registry=REG, config=config)
 
 
 @pytest.mark.parametrize("addressing", ["mph-name", "raw-rank"])
@@ -85,6 +88,23 @@ def test_field_transfer(benchmark, nelems, mode):
 
     benchmark(run)
     benchmark.extra_info.update(nelems=nelems, mode=mode, roundtrips=ROUNDTRIPS)
+
+
+@pytest.mark.parametrize("fastpath", [True, False], ids=["fastpath-on", "fastpath-off"])
+@pytest.mark.parametrize("nelems", [1_000, 100_000])
+def test_field_transfer_fastpath_ablation(benchmark, nelems, fastpath):
+    """Zero-copy serialization fast path vs legacy pickling on the same
+    object-mode ``mph.send`` of a numpy field."""
+
+    def run():
+        return run_pingpong(
+            lambda: np.zeros(nelems),
+            use_mph_addressing=True,
+            config=WorldConfig(serialization_fastpath=fastpath),
+        )
+
+    benchmark(run)
+    benchmark.extra_info.update(nelems=nelems, fastpath=fastpath, roundtrips=ROUNDTRIPS)
 
 
 def test_recv_any_overhead(benchmark):

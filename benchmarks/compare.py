@@ -1,0 +1,121 @@
+"""Fastpath ablation driver: measure on-vs-off, write ``BENCH_fastpath.json``.
+
+Runs the three zero-copy fast-path kernels with the relevant
+``WorldConfig`` flags toggled and records median wall-clock times plus
+the on/off speedup:
+
+* ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
+  rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
+* ``rearranger_coupled_routing`` — 100 coupled routing steps of a
+  misaligned 512×8 field between a 4-process and a 3-process component
+  (buffer-mode persistent requests vs pickled tuples);
+* ``p2p_field_roundtrip`` — 50 object-mode ping-pong roundtrips of a
+  100k-element field (array snapshot vs pickle per hop).
+
+Everything runs in-process on the simulated substrate — no network, no
+external services.  Usage::
+
+    PYTHONPATH=src python benchmarks/compare.py [--reps N] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+import numpy as np
+
+from repro.mpi import WorldConfig, run_spmd
+
+
+def _bcast_kernel(fastpath: bool) -> None:
+    payload = np.arange(131_072, dtype=np.float64)  # 1 MiB
+
+    def main(comm):
+        for _ in range(5):
+            comm.bcast(payload if comm.rank == 0 else None)
+        return True
+
+    config = WorldConfig(bcast_algorithm="linear", serialization_fastpath=fastpath)
+    run_spmd(16, main, config=config)
+
+
+def _rearranger_kernel(fastpath: bool) -> None:
+    try:
+        from benchmarks.bench_rearranger import run_transfer
+    except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+        from bench_rearranger import run_transfer
+
+    config = WorldConfig(
+        rearranger_fastpath=fastpath, serialization_fastpath=fastpath
+    )
+    run_transfer(512, 8, 4, 3, "router", config=config, rounds=100)
+
+
+def _p2p_kernel(fastpath: bool) -> None:
+    try:
+        from benchmarks.bench_p2p import run_pingpong
+    except ImportError:
+        from bench_p2p import run_pingpong
+
+    run_pingpong(
+        lambda: np.zeros(100_000),
+        use_mph_addressing=True,
+        config=WorldConfig(serialization_fastpath=fastpath),
+    )
+
+
+KERNELS = {
+    "bcast_1mib_p16_linear": _bcast_kernel,
+    "rearranger_coupled_routing": _rearranger_kernel,
+    "p2p_field_roundtrip": _p2p_kernel,
+}
+
+
+def _median_seconds(kernel, fastpath: bool, reps: int) -> float:
+    kernel(fastpath)  # warm-up (imports, thread-pool priming)
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        kernel(fastpath)
+        samples.append(time.perf_counter() - t0)
+    return statistics.median(samples)
+
+
+def run_ablation(reps: int = 5) -> dict:
+    """Time every kernel with the fast path on and off; return the report."""
+    results = {}
+    for name, kernel in KERNELS.items():
+        on = _median_seconds(kernel, True, reps)
+        off = _median_seconds(kernel, False, reps)
+        results[name] = {
+            "fastpath_on_median_s": on,
+            "fastpath_off_median_s": off,
+            "speedup": off / on,
+            "reps": reps,
+        }
+        print(f"{name}: on={on * 1e3:.1f}ms off={off * 1e3:.1f}ms "
+              f"speedup={off / on:.2f}x")
+    return results
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timed repetitions per configuration (median taken)")
+    parser.add_argument("--out", default="BENCH_fastpath.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+    if args.reps < 1:
+        parser.error("--reps must be at least 1")
+    report = run_ablation(args.reps)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

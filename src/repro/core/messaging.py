@@ -58,14 +58,18 @@ def mph_irecv(mph: "MPH", component: str, local_rank: int, tag: int = ANY_TAG) -
     return mph.global_world.irecv(source, tag)
 
 
-def mph_recv_any(mph: "MPH", tag: int = ANY_TAG) -> tuple[Any, str, int]:
+def mph_recv_any(
+    mph: "MPH", tag: int = ANY_TAG, status: Optional[Status] = None
+) -> tuple[Any, str, int]:
     """Receive from any process; identify the sender in component terms.
 
     Returns ``(obj, component_name, local_rank)``.  When the sending world
     rank hosts several overlapping components, the lowest-``comp_id``
     component is reported (use tags to disambiguate, as the paper advises).
+    A caller-supplied *status* is filled in (source, tag, byte count).
     """
-    status = Status()
+    if status is None:
+        status = Status()
     obj = mph.global_world.recv(tag=tag, status=status)
     infos = mph.layout.components_on(status.source)
     if not infos:

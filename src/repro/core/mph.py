@@ -209,12 +209,12 @@ class MPH:
     def send(self, obj: Any, component: str, local_rank: int, tag: int = 0) -> None:
         """Send *obj* to processor *local_rank* of *component*."""
         messaging.mph_send(self, obj, component, local_rank, tag)
-        self.profile.record_send(component)
+        self.profile.record_send(component, self.global_world.last_payload_bytes)
 
     def isend(self, obj: Any, component: str, local_rank: int, tag: int = 0) -> Request:
         """Nonblocking :meth:`send`."""
         req = messaging.mph_isend(self, obj, component, local_rank, tag)
-        self.profile.record_send(component)
+        self.profile.record_send(component, self.global_world.last_payload_bytes)
         return req
 
     def recv(
@@ -225,8 +225,10 @@ class MPH:
         status: Optional[Status] = None,
     ) -> Any:
         """Receive from processor *local_rank* of *component*."""
+        if status is None:
+            status = Status()
         obj = messaging.mph_recv(self, component, local_rank, tag, status)
-        self.profile.record_recv(component)
+        self.profile.record_recv(component, status.count)
         return obj
 
     def irecv(self, component: str, local_rank: int, tag: int = ANY_TAG) -> Request:
@@ -235,14 +237,15 @@ class MPH:
 
     def recv_any(self, tag: int = ANY_TAG) -> tuple[Any, str, int]:
         """Receive from anyone; returns ``(obj, component, local_rank)``."""
-        obj, component, local_rank = messaging.mph_recv_any(self, tag)
-        self.profile.record_recv(component)
+        status = Status()
+        obj, component, local_rank = messaging.mph_recv_any(self, tag, status)
+        self.profile.record_recv(component, status.count)
         return obj, component, local_rank
 
     def Send(self, array: np.ndarray, component: str, local_rank: int, tag: int = 0) -> None:
         """Buffer-mode send of a numpy array."""
         messaging.mph_Send(self, array, component, local_rank, tag)
-        self.profile.record_send(component)
+        self.profile.record_send(component, self.global_world.last_payload_bytes)
 
     def Recv(
         self,
@@ -253,8 +256,11 @@ class MPH:
         status: Optional[Status] = None,
     ) -> np.ndarray:
         """Buffer-mode receive into *buf*."""
+        if status is None:
+            status = Status()
         out = messaging.mph_Recv(self, buf, component, local_rank, tag, status)
-        self.profile.record_recv(component)
+        # Buffer-mode counts are elements; convert to bytes for the ledger.
+        self.profile.record_recv(component, status.count * np.asarray(buf).itemsize)
         return out
 
     # -- arguments (paper §4.4) ---------------------------------------------------------

@@ -1,11 +1,12 @@
 """Per-process coupling-communication profile.
 
-Knowing *which component pairs* exchange how many messages is the first
-question when a coupled system underperforms (the hpc-parallel rule:
-measure before optimising).  Every name-addressed MPH send/receive is
-counted here, cheaply, per process; :meth:`CommProfile.describe` renders
-the local ledger and :func:`gather_profiles` assembles the application-wide
-component-to-component traffic matrix on a chosen processor.
+Knowing *which component pairs* exchange how many messages — and how many
+bytes — is the first question when a coupled system underperforms (the
+hpc-parallel rule: measure before optimising).  Every name-addressed MPH
+send/receive is counted here, cheaply, per process; :meth:`CommProfile.describe`
+renders the local ledger and :func:`gather_profiles` assembles the
+application-wide component-to-component traffic matrix on a chosen
+processor.
 """
 
 from __future__ import annotations
@@ -19,20 +20,26 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class CommProfile:
-    """Message counters of one process, keyed by peer component."""
+    """Message and byte counters of one process, keyed by peer component."""
 
     #: Messages this process sent, by destination component.
     sent: dict[str, int] = field(default_factory=dict)
     #: Messages this process received, by source component.
     received: dict[str, int] = field(default_factory=dict)
+    #: Payload bytes this process sent, by destination component.
+    bytes_sent: dict[str, int] = field(default_factory=dict)
+    #: Payload bytes this process received, by source component.
+    bytes_received: dict[str, int] = field(default_factory=dict)
 
-    def record_send(self, component: str) -> None:
-        """Count one send to *component*."""
+    def record_send(self, component: str, nbytes: int = 0) -> None:
+        """Count one send of *nbytes* payload bytes to *component*."""
         self.sent[component] = self.sent.get(component, 0) + 1
+        self.bytes_sent[component] = self.bytes_sent.get(component, 0) + nbytes
 
-    def record_recv(self, component: str) -> None:
-        """Count one receive from *component*."""
+    def record_recv(self, component: str, nbytes: int = 0) -> None:
+        """Count one receive of *nbytes* payload bytes from *component*."""
         self.received[component] = self.received.get(component, 0) + 1
+        self.bytes_received[component] = self.bytes_received.get(component, 0) + nbytes
 
     @property
     def total_sent(self) -> int:
@@ -44,22 +51,46 @@ class CommProfile:
         """All messages received by this process."""
         return sum(self.received.values())
 
+    @property
+    def total_bytes_sent(self) -> int:
+        """All payload bytes sent by this process."""
+        return sum(self.bytes_sent.values())
+
+    @property
+    def total_bytes_received(self) -> int:
+        """All payload bytes received by this process."""
+        return sum(self.bytes_received.values())
+
     def merge(self, other: "CommProfile") -> "CommProfile":
         """Elementwise sum with another profile (used by gathering)."""
-        out = CommProfile(dict(self.sent), dict(self.received))
+        out = CommProfile(
+            dict(self.sent),
+            dict(self.received),
+            dict(self.bytes_sent),
+            dict(self.bytes_received),
+        )
         for comp, n in other.sent.items():
             out.sent[comp] = out.sent.get(comp, 0) + n
         for comp, n in other.received.items():
             out.received[comp] = out.received.get(comp, 0) + n
+        for comp, n in other.bytes_sent.items():
+            out.bytes_sent[comp] = out.bytes_sent.get(comp, 0) + n
+        for comp, n in other.bytes_received.items():
+            out.bytes_received[comp] = out.bytes_received.get(comp, 0) + n
         return out
 
     def describe(self) -> str:
         """The local ledger as readable text."""
-        lines = [f"sent {self.total_sent} / received {self.total_received} messages"]
+        lines = [
+            f"sent {self.total_sent} / received {self.total_received} messages "
+            f"({self.total_bytes_sent} B out, {self.total_bytes_received} B in)"
+        ]
         for comp in sorted(set(self.sent) | set(self.received)):
             lines.append(
                 f"  {comp:<16s} -> {self.sent.get(comp, 0):>6d} sent, "
-                f"{self.received.get(comp, 0):>6d} received"
+                f"{self.received.get(comp, 0):>6d} received "
+                f"({self.bytes_sent.get(comp, 0)} B out, "
+                f"{self.bytes_received.get(comp, 0)} B in)"
             )
         return "\n".join(lines)
 
@@ -69,7 +100,8 @@ def gather_profiles(mph: "MPH", root_component: str) -> Optional[dict[str, CommP
     local processor 0.
 
     Collective over the global world.  Returns ``component name ->
-    merged profile`` on the root processor, ``None`` elsewhere.
+    merged profile`` on the root processor, ``None`` elsewhere.  Message
+    and byte counters are both merged.
     """
     world = mph.global_world
     root_rank = mph.global_id(root_component, 0)

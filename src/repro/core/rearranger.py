@@ -9,10 +9,25 @@ with no serial gather-at-rank-0 bottleneck.
 :class:`Rearranger` reproduces that for 1-D row (latitude-band)
 decompositions.  The communication schedule is computed locally from the
 shared layout — both sides derive identical block maps, so no negotiation
-traffic is needed — and executed with eager nonblocking sends over MPH's
-name-addressed messaging.  Message volume is Θ(overlapping pairs) instead
+traffic is needed — computed **once** at construction, and executed with
+eager nonblocking sends.  Message volume is Θ(overlapping pairs) instead
 of the Θ(P) serial funnel through a root processor; the comparison is
 measured in ``benchmarks/bench_rearranger.py``.
+
+Routing runs on one of two transports, selected by
+:attr:`repro.mpi.world.WorldConfig.rearranger_fastpath`:
+
+* **buffer fast path** (default) — per schedule entry, a preallocated
+  float64 staging buffer bound to persistent ``Send_init`` /
+  ``Recv_init`` requests, with the ``(lo, hi)`` row header packed as a
+  fixed-size two-element prefix.  Repeated couplings pay no pickling, no
+  per-call allocation, and no request re-setup;
+* **object mode** (flag off) — the legacy path shipping pickled
+  ``(lo, hi, piece)`` tuples over MPH's name-addressed messaging, kept
+  for ablation benchmarks.
+
+Both transports produce identical float64 output blocks (the header
+prefix is exact for row indices below 2**53).
 """
 
 from __future__ import annotations
@@ -90,15 +105,45 @@ class Rearranger:
         me = mph.global_proc_id()
         self._src_local = self.src.local_rank_of(me)
         self._dst_local = self.dst.local_rank_of(me)
-        schedule = overlap_schedule(self.nrows, self.src.size, self.dst.size)
+        #: The full exchange schedule, computed once and reused by every
+        #: routing call and by :meth:`message_count`.
+        self._schedule = overlap_schedule(self.nrows, self.src.size, self.dst.size)
         #: Intervals this process sends: ``(dst_local, start, stop)``.
         self.sends = [
-            (d, lo, hi) for s, d, lo, hi in schedule if s == self._src_local
+            (d, lo, hi) for s, d, lo, hi in self._schedule if s == self._src_local
         ] if self._src_local >= 0 else []
         #: Intervals this process receives: ``(src_local, start, stop)``.
         self.recvs = [
-            (s, lo, hi) for s, d, lo, hi in schedule if d == self._dst_local
+            (s, lo, hi) for s, d, lo, hi in self._schedule if d == self._dst_local
         ] if self._dst_local >= 0 else []
+        self._fastpath = bool(
+            getattr(mph.global_world.world.config, "rearranger_fastpath", True)
+        )
+        if self._fastpath:
+            self._init_fastpath()
+
+    def _init_fastpath(self) -> None:
+        """Preallocate staging buffers and bind persistent requests.
+
+        One float64 buffer of ``2 + rows*ncols`` elements per schedule
+        entry: elements 0/1 carry the ``(lo, hi)`` header, the rest the
+        row block.  Block decompositions yield at most one interval per
+        (source, destination) pair, so one tag serves every entry.
+        """
+        world = self.mph.global_world
+        #: ``(staging, request, lo, hi)`` per outgoing interval.
+        self._send_plan = []
+        for dst_local, lo, hi in self.sends:
+            staging = np.empty(2 + (hi - lo) * self.ncols)
+            staging[0], staging[1] = lo, hi
+            dest = self.mph.global_id(self.dst.name, dst_local)
+            self._send_plan.append((staging, world.Send_init(staging, dest, self.tag), lo, hi))
+        #: ``(rbuf, request, lo, hi)`` per incoming interval.
+        self._recv_plan = []
+        for src_local, lo, hi in self.recvs:
+            rbuf = np.empty(2 + (hi - lo) * self.ncols)
+            source = self.mph.global_id(self.src.name, src_local)
+            self._recv_plan.append((rbuf, world.Recv_init(rbuf, source, self.tag), lo, hi))
 
     # -- introspection -------------------------------------------------------
 
@@ -120,9 +165,24 @@ class Rearranger:
     def message_count(self) -> int:
         """Total messages one rearrangement moves (schedule size, minus
         self-sends which still count as one delivery each)."""
-        return len(overlap_schedule(self.nrows, self.src.size, self.dst.size))
+        return len(self._schedule)
 
     # -- execution ----------------------------------------------------------------
+
+    def _check_source_block(self, local_block: Optional[np.ndarray]) -> np.ndarray:
+        src_start, src_stop = self.src_rows
+        if local_block is None:
+            raise MPHError(
+                f"process is source-local rank {self._src_local} of "
+                f"{self.src.name!r} and must pass its block"
+            )
+        local_block = np.asarray(local_block)
+        expected = (src_stop - src_start, self.ncols)
+        if local_block.shape != expected:
+            raise MPHError(
+                f"source block shape {local_block.shape} != expected {expected}"
+            )
+        return local_block
 
     def __call__(self, local_block: Optional[np.ndarray]) -> Optional[np.ndarray]:
         """Route one field: source members pass their row block, others
@@ -133,19 +193,47 @@ class Rearranger:
         the send-all-then-receive-all order deadlock-free even when the
         two sides share processors.
         """
-        src_start, src_stop = self.src_rows
+        if self._fastpath:
+            return self._route_buffered(local_block)
+        return self._route_pickled(local_block)
+
+    def _route_buffered(self, local_block: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """The buffer-mode hot path: persistent requests over preallocated
+        staging buffers with a packed ``(lo, hi)`` header prefix."""
+        if self._dst_local >= 0:
+            for _, req, _, _ in self._recv_plan:
+                req.start()  # post receives before any traffic moves
         if self._src_local >= 0:
-            if local_block is None:
+            local_block = self._check_source_block(local_block)
+            src_start = self.src_rows[0]
+            for staging, req, lo, hi in self._send_plan:
+                staging[2:] = local_block[lo - src_start : hi - src_start].ravel()
+                req.start()
+                req.wait()  # eager: completes immediately
+                self.mph.profile.record_send(self.dst.name, staging.nbytes)
+        if self._dst_local < 0:
+            return None
+        dst_start, dst_stop = self.dst_rows
+        out = np.empty((dst_stop - dst_start, self.ncols))
+        for rbuf, req, lo, hi in self._recv_plan:
+            req.wait()
+            got_lo, got_hi = int(rbuf[0]), int(rbuf[1])
+            if (got_lo, got_hi) != (lo, hi):
                 raise MPHError(
-                    f"process is source-local rank {self._src_local} of "
-                    f"{self.src.name!r} and must pass its block"
+                    f"rearranger header mismatch: expected rows [{lo}, {hi}) from "
+                    f"{self.src.name!r}, got [{got_lo}, {got_hi})"
                 )
-            local_block = np.asarray(local_block)
-            expected = (src_stop - src_start, self.ncols)
-            if local_block.shape != expected:
-                raise MPHError(
-                    f"source block shape {local_block.shape} != expected {expected}"
-                )
+            rows = hi - lo
+            out[lo - dst_start : hi - dst_start] = rbuf[2:].reshape(rows, self.ncols)
+            self.mph.profile.record_recv(self.src.name, rbuf.nbytes)
+        return out
+
+    def _route_pickled(self, local_block: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """The legacy object-mode path (``rearranger_fastpath`` off):
+        pickled ``(lo, hi, piece)`` tuples over name-addressed messaging."""
+        src_start = self.src_rows[0]
+        if self._src_local >= 0:
+            local_block = self._check_source_block(local_block)
             reqs: list[Request] = []
             for dst_local, lo, hi in self.sends:
                 piece = local_block[lo - src_start : hi - src_start]

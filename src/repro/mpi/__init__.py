@@ -41,6 +41,7 @@ from repro.mpi.reduce_ops import (
 )
 from repro.mpi.persistent import PersistentRecv, PersistentSend, Prequest
 from repro.mpi.request import Request
+from repro.mpi.serialization import Blob, payload_nbytes
 from repro.mpi.status import Status
 from repro.mpi.world import TrafficStats, World, WorldConfig
 
@@ -77,6 +78,8 @@ __all__ = [
     "Prequest",
     "PersistentSend",
     "PersistentRecv",
+    "Blob",
+    "payload_nbytes",
     "Request",
     "Status",
     "TrafficStats",

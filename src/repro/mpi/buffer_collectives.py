@@ -42,13 +42,16 @@ def Bcast(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
     algo = comm._world.config.bcast_algorithm
     if algo == "linear":
         if rank == root:
-            for dest in range(size):
-                if dest != root:
-                    comm._coll_send_buffer(dest, tag, buf, "Bcast")
+            dests = [d for d in range(size) if d != root]
+            # Snapshot-once fan-out: one read-only copy shared by every
+            # destination on the fast path (receivers copy out of it).
+            comm._coll_fanout_buffer(dests, tag, buf, "Bcast")
         else:
             _recv_into(comm, buf, root, tag, "Bcast")
         return buf
-    # binomial
+    if comm._serialization_fastpath:
+        return _bcast_binomial_forward(comm, buf, root, tag)
+    # binomial (legacy: every hop re-copies the payload per child)
     relative = (rank - root) % size
     mask = 1
     while mask < size:
@@ -61,6 +64,37 @@ def Bcast(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
         if relative + mask < size:
             comm._coll_send_buffer((rank + mask) % size, tag, buf, "Bcast")
         mask >>= 1
+    return buf
+
+
+def _bcast_binomial_forward(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
+    """Binomial buffer bcast on the fast path: a relay forwards the array
+    it *received* verbatim to its children (the transport already owns a
+    private snapshot, so no per-child copy is needed) and copies into its
+    own buffer only for final delivery."""
+    size, rank = comm.size, comm.rank
+    relative = (rank - root) % size
+    inbound = None
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            inbound = comm._coll_recv_buffer((rank - mask) % size, tag, "Bcast")
+            _check_shape(inbound, buf.shape, "Bcast")
+            np.copyto(buf, inbound)
+            break
+        mask <<= 1
+    mask >>= 1
+    children = []
+    while mask > 0:
+        if relative + mask < size:
+            children.append((rank + mask) % size)
+        mask >>= 1
+    if children:
+        if inbound is not None:
+            for dst in children:
+                comm._coll_forward_buffer(dst, tag, inbound, "Bcast")
+        else:
+            comm._coll_fanout_buffer(children, tag, buf, "Bcast")
     return buf
 
 

@@ -29,6 +29,17 @@ from typing import Any, Optional, Sequence
 from repro.errors import CollectiveMismatchError
 from repro.mpi.reduce_ops import Op
 
+#: Largest sub-tag offset (``tag + k``) any composed collective in this
+#: module uses: the ``gather_bcast`` allgather, the ``reduce_bcast``
+#: allreduce, the linear barrier, and ``reduce_scatter`` all run their
+#: second phase on ``tag + 1``.  :meth:`repro.mpi.comm.Comm._next_coll_tag`
+#: advances base tags in strides of
+#: :data:`repro.mpi.comm._COLL_TAG_STRIDE`, so back-to-back collectives on
+#: one communicator cannot collide as long as ``MAX_TAG_OFFSET`` stays
+#: below the stride — a regression test pins both the inequality and the
+#: interleaving behaviour.
+MAX_TAG_OFFSET = 1
+
 
 # ---------------------------------------------------------------------------
 # broadcast
@@ -49,14 +60,17 @@ def bcast(comm, obj: Any, root: int, tag: int) -> Any:
 
 def _bcast_linear(comm, obj: Any, root: int, tag: int) -> Any:
     if comm.rank == root:
-        for dest in range(comm.size):
-            if dest != root:
-                comm._coll_send(dest, tag, obj, "bcast")
+        dests = [d for d in range(comm.size) if d != root]
+        # Pickle-once fan-out: one encoding shared by every destination
+        # (per-destination re-encode when the fast path is off).
+        comm._coll_fanout(dests, tag, obj, "bcast")
         return obj
     return comm._coll_recv(root, tag, "bcast")
 
 
 def _bcast_binomial(comm, obj: Any, root: int, tag: int) -> Any:
+    if comm._serialization_fastpath:
+        return _bcast_binomial_blob(comm, obj, root, tag)
     size, rank = comm.size, comm.rank
     relative = (rank - root) % size
     # Receive phase: wait for the parent one tree level up.
@@ -75,6 +89,34 @@ def _bcast_binomial(comm, obj: Any, root: int, tag: int) -> Any:
             comm._coll_send(dst, tag, obj, "bcast")
         mask >>= 1
     return obj
+
+
+def _bcast_binomial_blob(comm, obj: Any, root: int, tag: int) -> Any:
+    """Binomial bcast on the fast path: relays forward the *received*
+    blob verbatim to their children (no unpickle→repickle per hop) and
+    decode it lazily, only for their own final delivery."""
+    size, rank = comm.size, comm.rank
+    relative = (rank - root) % size
+    blob = None
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            src = (rank - mask) % size
+            blob = comm._coll_recv_blob(src, tag, "bcast")
+            break
+        mask <<= 1
+    received = blob is not None
+    if blob is None:
+        blob = comm._coll_encode(obj)  # root encodes exactly once
+    mask >>= 1
+    fresh = not received  # the root's first child send pays the encoding
+    while mask > 0:
+        if relative + mask < size:
+            dst = (rank + mask) % size
+            comm._coll_send_blob(dst, tag, blob, "bcast", reused=not fresh)
+            fresh = False
+        mask >>= 1
+    return blob.decode() if received else obj
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +181,18 @@ def _allgather_ring(comm, obj: Any, tag: int) -> list:
     out[rank] = obj
     right = (rank + 1) % size
     left = (rank - 1) % size
+    if comm._serialization_fastpath:
+        # Relay-without-reencode: each hop decodes the inbound piece for
+        # its own result but forwards the received blob verbatim.
+        piece_blob = comm._coll_encode((rank, obj))
+        fresh = True
+        for _ in range(size - 1):
+            comm._coll_send_blob(right, tag, piece_blob, "allgather", reused=not fresh)
+            fresh = False
+            piece_blob = comm._coll_recv_blob(left, tag, "allgather")
+            piece_src, piece = piece_blob.decode()
+            out[piece_src] = piece
+        return out
     # At step s we forward the piece originating from rank (rank - s).
     piece_src = rank
     piece = obj

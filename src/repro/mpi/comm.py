@@ -40,10 +40,17 @@ from repro.mpi.group import Group
 from repro.mpi.mailbox import Envelope
 from repro.mpi.reduce_ops import SUM, Op
 from repro.mpi.request import RecvRequest, Request, SendRequest
+from repro.mpi.serialization import Blob
 from repro.mpi.status import Status
 from repro.mpi.world import World
 
-_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+#: Collective tags advance in strides of this much per collective call
+#: (see :meth:`Comm._next_coll_tag`); composed collectives may use
+#: sub-tags ``tag + k`` for ``k < _COLL_TAG_STRIDE`` without colliding
+#: with the next collective on the same communicator.  The audit constant
+#: :data:`repro.mpi.collectives.MAX_TAG_OFFSET` records the largest ``k``
+#: actually used and a regression test pins ``MAX_TAG_OFFSET < stride``.
+_COLL_TAG_STRIDE = 64
 
 
 class Comm:
@@ -67,6 +74,9 @@ class Comm:
         self._freed = False
         #: Human-readable communicator name (diagnostics only).
         self.name = name
+        #: Encoded size (bytes) of the last payload this handle sent —
+        #: diagnostic, read by the MPH layer for byte-level profiling.
+        self.last_payload_bytes = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -123,6 +133,10 @@ class Comm:
     def _deliver(self, dest: int, env: Envelope) -> None:
         self._world.mailboxes[self._group.world_id(dest)].deliver(env)
 
+    @property
+    def _serialization_fastpath(self) -> bool:
+        return self._world.config.serialization_fastpath
+
     # -- point-to-point: object mode ------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -146,9 +160,10 @@ class Comm:
         self._check_rank(dest, "destination rank")
         if not is_valid_tag(tag):
             raise CommError(f"invalid send tag {tag}")
-        payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+        blob = Blob.encode(obj, allow_array=self._serialization_fastpath)
+        self.last_payload_bytes = blob.nbytes
         event = threading.Event() if sync else None
-        env = Envelope(self._p2p_ctx, self._rank, tag, payload, "object", len(payload), sync_event=event)
+        env = Envelope(self._p2p_ctx, self._rank, tag, blob, "object", blob.nbytes, sync_event=event)
         self._deliver(dest, env)
         if event is not None:
             self._world.wait_event(
@@ -221,6 +236,7 @@ class Comm:
         if not is_valid_tag(tag):
             raise CommError(f"invalid send tag {tag}")
         arr = np.array(array, copy=True)
+        self.last_payload_bytes = arr.nbytes
         env = Envelope(self._p2p_ctx, self._rank, tag, arr, "buffer", arr.size)
         self._deliver(dest, env)
 
@@ -283,46 +299,127 @@ class Comm:
     def _next_coll_tag(self) -> int:
         seq = self._coll_seq
         self._coll_seq += 1
-        return (seq % (1 << 24)) * 64
+        return (seq % (1 << 24)) * _COLL_TAG_STRIDE
 
-    def _coll_send(self, dest: int, tag: int, value: Any, opname: str) -> None:
-        payload = pickle.dumps((opname, value), protocol=_PICKLE_PROTOCOL)
-        env = Envelope(self._coll_ctx, self._rank, tag, payload, "object", len(payload))
+    # Collective messages carry their operation name in the envelope's
+    # ``op`` slot (not inside the pickled payload), so validation never
+    # forces a decode and relays can forward received blobs verbatim.
+
+    def _coll_encode(self, value: Any) -> Blob:
+        """Encode a collective payload once (shareable across envelopes)."""
+        return Blob.encode(value, allow_array=self._serialization_fastpath)
+
+    def _coll_send_blob(
+        self, dest: int, tag: int, blob: Blob, opname: str, reused: bool = False
+    ) -> None:
+        """Send an already-encoded blob.  *reused* marks envelopes whose
+        encoding was shared from an earlier send (fan-out siblings, relay
+        forwards) for the ``copy_avoided_bytes`` ledger."""
+        env = Envelope(
+            self._coll_ctx,
+            self._rank,
+            tag,
+            blob,
+            "object",
+            blob.nbytes,
+            op=opname,
+            copy_avoided=blob.nbytes if reused else 0,
+        )
         self._deliver(dest, env)
 
-    def _coll_recv(self, source: int, tag: int, opname: str) -> Any:
+    def _coll_send(self, dest: int, tag: int, value: Any, opname: str) -> None:
+        self._coll_send_blob(dest, tag, self._coll_encode(value), opname)
+
+    def _coll_fanout(self, dests: Sequence[int], tag: int, value: Any, opname: str) -> None:
+        """Send *value* to every rank in *dests*: encoded once and shared
+        when the fast path is on, re-encoded per destination when off
+        (the legacy cost model, kept for ablation)."""
+        if self._serialization_fastpath:
+            blob = self._coll_encode(value)
+            for i, dest in enumerate(dests):
+                self._coll_send_blob(dest, tag, blob, opname, reused=i > 0)
+        else:
+            for dest in dests:
+                self._coll_send(dest, tag, value, opname)
+
+    def _coll_recv_env(self, source: int, tag: int, opname: str) -> Envelope:
         posted = self._mailbox.post_recv(self._coll_ctx, source, tag)
         env = self._mailbox.wait(posted, f"{opname}(source={source}) on {self.name}")
-        got_op, value = pickle.loads(env.payload)
-        if self._world.config.validate_collectives and got_op != opname:
+        if self._world.config.validate_collectives and env.op != opname:
             exc = CollectiveMismatchError(
                 f"rank {self._rank} of {self.name!r} executing {opname!r} received a "
-                f"message belonging to {got_op!r}: ranks called mismatched collectives"
+                f"message belonging to {env.op!r}: ranks called mismatched collectives"
             )
             self._world.abort(AbortError(str(exc), origin_rank=self._my_world_id))
             raise exc
-        return value
+        return env
+
+    def _coll_recv(self, source: int, tag: int, opname: str) -> Any:
+        return self._coll_recv_env(source, tag, opname).payload.decode()
+
+    def _coll_recv_blob(self, source: int, tag: int, opname: str) -> Blob:
+        """Receive the still-encoded blob (tree relays forward it verbatim
+        and decode lazily, only if they need the value themselves)."""
+        return self._coll_recv_env(source, tag, opname).payload
 
     def _coll_send_buffer(self, dest: int, tag: int, arr: np.ndarray, opname: str) -> None:
-        payload = (opname, np.array(arr, copy=True))
-        env = Envelope(self._coll_ctx, self._rank, tag, payload, "bufcoll", payload[1].size)
+        snap = np.array(arr, copy=True)
+        env = Envelope(self._coll_ctx, self._rank, tag, snap, "bufcoll", snap.size, op=opname)
+        self._deliver(dest, env)
+
+    def _coll_fanout_buffer(
+        self, dests: Sequence[int], tag: int, arr: np.ndarray, opname: str
+    ) -> None:
+        """Buffer-mode fan-out: one read-only snapshot shared by every
+        destination when the fast path is on (receivers copy out of it),
+        one private copy per destination when off."""
+        if self._serialization_fastpath and len(dests) > 1:
+            snap = np.array(arr, copy=True)
+            snap.flags.writeable = False
+            for i, dest in enumerate(dests):
+                env = Envelope(
+                    self._coll_ctx,
+                    self._rank,
+                    tag,
+                    snap,
+                    "bufcoll",
+                    snap.size,
+                    op=opname,
+                    copy_avoided=snap.nbytes if i > 0 else 0,
+                )
+                self._deliver(dest, env)
+        else:
+            for dest in dests:
+                self._coll_send_buffer(dest, tag, arr, opname)
+
+    def _coll_forward_buffer(self, dest: int, tag: int, arr: np.ndarray, opname: str) -> None:
+        """Forward a received buffer-mode payload verbatim (tree relay):
+        the array is already a private snapshot owned by the transport, so
+        no further copy is needed."""
+        env = Envelope(
+            self._coll_ctx,
+            self._rank,
+            tag,
+            arr,
+            "bufcoll",
+            arr.size,
+            op=opname,
+            copy_avoided=arr.nbytes,
+        )
         self._deliver(dest, env)
 
     def _coll_recv_buffer(self, source: int, tag: int, opname: str) -> np.ndarray:
-        posted = self._mailbox.post_recv(self._coll_ctx, source, tag)
-        env = self._mailbox.wait(posted, f"{opname}(source={source}) on {self.name}")
-        if env.kind != "bufcoll":
-            got_op = pickle.loads(env.payload)[0] if env.kind == "object" else "?"
-        else:
-            got_op, arr = env.payload
-            if not self._world.config.validate_collectives or got_op == opname:
-                return arr
-        exc = CollectiveMismatchError(
-            f"rank {self._rank} of {self.name!r} executing {opname!r} received a "
-            f"message belonging to {got_op!r}: ranks called mismatched collectives"
-        )
-        self._world.abort(AbortError(str(exc), origin_rank=self._my_world_id))
-        raise exc
+        env = self._coll_recv_env(source, tag, opname)
+        payload = env.payload
+        if isinstance(payload, Blob):
+            value = payload.decode()
+            if not isinstance(value, np.ndarray):
+                raise TruncationError(
+                    f"buffer-mode collective {opname!r} received an object-mode "
+                    f"payload of type {type(value).__name__}"
+                )
+            return value
+        return payload
 
     def barrier(self) -> None:
         """Block until every rank has entered the barrier."""
@@ -580,6 +677,8 @@ def _decode_object(env: Envelope) -> Any:
         # A buffer-mode message received by an object-mode receive: the
         # payload is already a private array copy, hand it over directly.
         return env.payload
+    if isinstance(env.payload, Blob):
+        return env.payload.decode()
     return pickle.loads(env.payload)
 
 
@@ -587,7 +686,7 @@ def _decode_buffer(env: Envelope) -> np.ndarray:
     """Decode an envelope for a buffer-mode receive."""
     if env.kind == "buffer":
         return env.payload
-    obj = pickle.loads(env.payload)
+    obj = env.payload.decode() if isinstance(env.payload, Blob) else pickle.loads(env.payload)
     if not isinstance(obj, np.ndarray):
         raise TruncationError(
             f"buffer-mode receive matched an object-mode message of type {type(obj).__name__}"

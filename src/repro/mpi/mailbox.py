@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import AbortError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.serialization import payload_nbytes
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.world import World
@@ -35,12 +36,29 @@ if TYPE_CHECKING:  # pragma: no cover
 class Envelope:
     """A message in flight: routing metadata plus an opaque payload.
 
-    ``payload`` is either pickled bytes (object mode) or a private numpy
-    array copy (buffer mode); the :class:`~repro.mpi.comm.Comm` layer decides
-    which and how to decode.  ``count`` is the payload size for ``Status``.
+    ``payload`` is a :class:`~repro.mpi.serialization.Blob` (object mode)
+    or a private numpy array copy (buffer mode); the
+    :class:`~repro.mpi.comm.Comm` layer decides which and how to decode.
+    ``count`` is the payload size for ``Status``.  ``op`` carries the
+    collective operation name for collective-context messages (``None``
+    for point-to-point traffic), so mismatched collectives are detected
+    without decoding the payload.  ``copy_avoided`` is the number of
+    payload bytes this delivery *reused* from an existing encoding (the
+    zero-copy fast path's savings ledger; see
+    :mod:`repro.mpi.serialization`).
     """
 
-    __slots__ = ("context", "source", "tag", "payload", "kind", "count", "sync_event")
+    __slots__ = (
+        "context",
+        "source",
+        "tag",
+        "payload",
+        "kind",
+        "count",
+        "sync_event",
+        "op",
+        "copy_avoided",
+    )
 
     def __init__(
         self,
@@ -51,6 +69,8 @@ class Envelope:
         kind: str,
         count: int,
         sync_event: Optional[threading.Event] = None,
+        op: Optional[str] = None,
+        copy_avoided: int = 0,
     ):
         self.context = context
         self.source = source
@@ -61,6 +81,8 @@ class Envelope:
         #: Set when a matching receive claims this envelope; used by
         #: synchronous sends (``ssend``) to block until matched.
         self.sync_event = sync_event
+        self.op = op
+        self.copy_avoided = copy_avoided
 
     def matches(self, context: int, source: int, tag: int) -> bool:
         """Whether this envelope satisfies a receive pattern."""
@@ -93,21 +115,17 @@ class PostedRecv:
         return self.envelope is not None
 
 
-#: How often (seconds) blocked waiters wake to re-check for aborts.  Short
-#: enough that deadlock aborts propagate promptly, long enough to stay cheap.
+#: Default for how often (seconds) blocked waiters wake to re-check for
+#: aborts — short enough that deadlock aborts propagate promptly, long
+#: enough to stay cheap.  Tunable per world through
+#: :attr:`repro.mpi.world.WorldConfig.wait_slice` (benchmarks ablate
+#: abort-check latency vs wakeup overhead with it).
 _WAIT_SLICE = 0.05
 
 
 def _payload_bytes(env: Envelope) -> int:
     """Approximate wire size of an envelope's payload."""
-    payload = env.payload
-    if env.kind == "object":
-        return len(payload)
-    if env.kind == "buffer":
-        return payload.nbytes
-    if env.kind == "bufcoll":
-        return payload[1].nbytes
-    return 0  # pragma: no cover - no other kinds exist
+    return payload_nbytes(env.payload)
 
 
 class Mailbox:
@@ -121,12 +139,17 @@ class Mailbox:
         self._pending: deque[Envelope] = deque()
         self._posted: deque[PostedRecv] = deque()
 
+    @property
+    def _wait_slice(self) -> float:
+        """Poll interval for blocked waiters (see ``WorldConfig.wait_slice``)."""
+        return getattr(self._world.config, "wait_slice", _WAIT_SLICE)
+
     # -- delivery (called from the *sender's* thread) ----------------------
 
     def deliver(self, env: Envelope) -> None:
         """Hand an envelope to this mailbox, matching a posted receive if
         one accepts it, else queueing it as pending."""
-        self._world.record_traffic(env.kind, _payload_bytes(env))
+        self._world.record_traffic(env.kind, _payload_bytes(env), env.copy_avoided)
         matched = False
         with self._cond:
             for pr in self._posted:
@@ -195,7 +218,7 @@ class Mailbox:
                     if pr.envelope is not None:
                         return pr.envelope
                     world.check_abort()
-                    self._cond.wait(timeout=_WAIT_SLICE)
+                    self._cond.wait(timeout=self._wait_slice)
                 # The deadlock check may abort the world and wake every
                 # mailbox; it must run with no mailbox lock held to keep a
                 # global lock order (see World.abort).
@@ -232,7 +255,7 @@ class Mailbox:
                     if env is not None:
                         return env
                     world.check_abort()
-                    self._cond.wait(timeout=_WAIT_SLICE)
+                    self._cond.wait(timeout=self._wait_slice)
                 world.maybe_detect_deadlock()
         finally:
             world.block_exit(self.owner)

@@ -30,18 +30,25 @@ class TrafficStats:
 
     ``messages``/``payload_bytes`` count every delivered envelope;
     ``by_kind`` splits by transport ("object" = pickled, "buffer" =
-    point-to-point numpy, "bufcoll" = buffer-mode collective).  The
-    counters make algorithmic message complexity *testable* — e.g. a
+    point-to-point numpy, "bufcoll" = buffer-mode collective).
+    ``copy_avoided_bytes`` counts payload bytes delivered by *reusing* an
+    existing encoding instead of producing a fresh one — the savings of
+    the zero-copy serialization fast path (pickle-once fan-outs and
+    relay-without-reencode forwards; see :mod:`repro.mpi.serialization`).
+    The counters make algorithmic message complexity *testable* — e.g. a
     linear broadcast on P ranks must deliver exactly P-1 messages.
     """
 
     messages: int = 0
     payload_bytes: int = 0
     by_kind: dict = field(default_factory=dict)
+    copy_avoided_bytes: int = 0
 
     def snapshot(self) -> "TrafficStats":
         """A copy safe to compare against later counts."""
-        return TrafficStats(self.messages, self.payload_bytes, dict(self.by_kind))
+        return TrafficStats(
+            self.messages, self.payload_bytes, dict(self.by_kind), self.copy_avoided_bytes
+        )
 
     def since(self, earlier: "TrafficStats") -> "TrafficStats":
         """Traffic recorded after *earlier* was snapshotted."""
@@ -53,6 +60,7 @@ class TrafficStats:
             self.messages - earlier.messages,
             self.payload_bytes - earlier.payload_bytes,
             {k: v for k, v in kinds.items() if v},
+            self.copy_avoided_bytes - earlier.copy_avoided_bytes,
         )
 
 
@@ -78,11 +86,32 @@ class WorldConfig:
         is checked on receipt; mismatched collective calls across ranks then
         raise :class:`~repro.errors.CollectiveMismatchError` instead of
         producing garbage.
+    serialization_fastpath :
+        Enable the zero-copy serialization fast path
+        (:mod:`repro.mpi.serialization`): objects are encoded **once** per
+        collective fan-out and the bytes shared across all destination
+        envelopes, tree relays forward received bytes verbatim instead of
+        unpickling and re-pickling at every hop, and contiguous numpy
+        arrays travel as read-only snapshots with copy-on-final-delivery
+        instead of pickles.  Observable results are identical either way
+        (value semantics are preserved); the flag exists so benchmarks can
+        ablate the legacy pickle-per-destination cost model.
+    rearranger_fastpath :
+        Route :class:`repro.core.rearranger.Rearranger` traffic over the
+        buffer-mode hot path: persistent ``Send_init``/``Recv_init``
+        requests bound to preallocated staging buffers, with the
+        ``(lo, hi)`` row header packed as a fixed-size prefix instead of a
+        pickled tuple.  Off reproduces the object-mode pickled path.
     deadlock_detection :
         Enable the all-blocked watchdog.
     deadlock_grace :
         Seconds of global inactivity with every process blocked before
         deadlock is declared.
+    wait_slice :
+        Poll interval (seconds) of blocked waiters — how often a blocked
+        receive wakes to re-check for aborts and run the deadlock
+        watchdog.  Lower values propagate aborts faster at the cost of
+        more wakeups; benchmarks ablate the trade-off.
     max_components_per_executable :
         The paper's Section 4.3 limit ("Each executable could contain up to
         10 components") — consulted by MPH, carried here so one config object
@@ -95,8 +124,11 @@ class WorldConfig:
     allgather_algorithm: str = "ring"
     barrier_algorithm: str = "dissemination"
     validate_collectives: bool = True
+    serialization_fastpath: bool = True
+    rearranger_fastpath: bool = True
     deadlock_detection: bool = True
     deadlock_grace: float = 1.0
+    wait_slice: float = 0.05
     max_components_per_executable: int = 10
 
 
@@ -147,12 +179,17 @@ class World:
 
     # -- traffic accounting ---------------------------------------------------
 
-    def record_traffic(self, kind: str, nbytes: int) -> None:
-        """Count one delivered envelope (called by the mailboxes)."""
+    def record_traffic(self, kind: str, nbytes: int, copy_avoided: int = 0) -> None:
+        """Count one delivered envelope (called by the mailboxes).
+
+        *copy_avoided* is the number of payload bytes this delivery reused
+        from an already-existing encoding (zero-copy fast path).
+        """
         with self._traffic_lock:
             self.traffic.messages += 1
             self.traffic.payload_bytes += nbytes
             self.traffic.by_kind[kind] = self.traffic.by_kind.get(kind, 0) + 1
+            self.traffic.copy_avoided_bytes += copy_avoided
 
     def traffic_snapshot(self) -> TrafficStats:
         """A consistent copy of the traffic counters."""
@@ -210,7 +247,7 @@ class World:
         synchronous sends, which block until their message is matched)."""
         self.block_enter(rank, what)
         try:
-            while not event.wait(timeout=0.05):
+            while not event.wait(timeout=self.config.wait_slice):
                 self.check_abort()
                 self.maybe_detect_deadlock()
         finally:

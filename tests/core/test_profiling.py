@@ -122,3 +122,93 @@ class TestGatherProfiles:
         assert matrix["atm"] == (2, 0)
         assert matrix["cpl"] == (0, 2)
         assert matrix["ocn"] == (0, 0)
+
+
+class TestByteCounters:
+    def test_record_with_bytes(self):
+        p = CommProfile()
+        p.record_send("ocn", 100)
+        p.record_send("ocn", 50)
+        p.record_recv("atm", 8)
+        assert p.bytes_sent == {"ocn": 150}
+        assert p.bytes_received == {"atm": 8}
+        assert (p.total_bytes_sent, p.total_bytes_received) == (150, 8)
+
+    def test_legacy_calls_default_to_zero_bytes(self):
+        p = CommProfile()
+        p.record_send("ocn")
+        assert p.sent == {"ocn": 1}
+        assert p.bytes_sent == {"ocn": 0}
+
+    def test_merge_includes_bytes(self):
+        a = CommProfile({"x": 1}, {}, {"x": 10}, {})
+        b = CommProfile({"x": 2}, {"y": 1}, {"x": 5}, {"y": 7})
+        m = a.merge(b)
+        assert m.bytes_sent == {"x": 15}
+        assert m.bytes_received == {"y": 7}
+        assert a.bytes_sent == {"x": 10}  # inputs untouched
+
+    def test_describe_renders_bytes(self):
+        p = CommProfile({"ocn": 2}, {}, {"ocn": 123}, {})
+        text = p.describe()
+        assert "123 B out" in text
+
+    def test_messaging_records_payload_bytes(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            if mph.local_proc_id() == 0:
+                mph.send({"k": 1}, "cpl", 0, tag=1)
+                mph.Send(np.zeros(16), "cpl", 0, tag=2)
+            return dict(mph.profile.bytes_sent)
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            mph.recv("atm", 0, tag=1)
+            mph.Recv(np.zeros(16), "atm", 0, tag=2)
+            return dict(mph.profile.bytes_received)
+
+        result = mph_run([(atm, 1), (cpl, 1)], registry="BEGIN\natm\ncpl\nEND")
+        sent = result.by_executable(0)[0]
+        received = result.by_executable(1)[0]
+        # one pickled dict + one 128-byte float64 array each way
+        assert sent["cpl"] >= 128
+        assert received["atm"] == sent["cpl"]
+
+    def test_recv_any_records_bytes(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            mph.send("payload", "cpl", 0, tag=4)
+            return None
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            mph.recv_any(tag=4)
+            return dict(mph.profile.bytes_received)
+
+        result = mph_run([(atm, 1), (cpl, 1)], registry="BEGIN\natm\ncpl\nEND")
+        assert result.by_executable(1)[0]["atm"] > 0
+
+    def test_gather_profiles_merges_bytes(self):
+        def atm(world, env):
+            mph = components_setup(world, "atm", env=env)
+            mph.send(np.zeros(8), "cpl", 0, tag=1)
+            gather_profiles(mph, "cpl")
+            return None
+
+        def ocn(world, env):
+            mph = components_setup(world, "ocn", env=env)
+            gather_profiles(mph, "cpl")
+            return None
+
+        def cpl(world, env):
+            mph = components_setup(world, "cpl", env=env)
+            for _ in range(2):
+                mph.recv_any(tag=1)
+            matrix = gather_profiles(mph, "cpl")
+            return {n: (p.total_bytes_sent, p.total_bytes_received) for n, p in matrix.items()}
+
+        result = mph_run([(atm, 2), (ocn, 1), (cpl, 1)], registry=REG)
+        matrix = result.by_executable(2)[0]
+        assert matrix["atm"][0] >= 128  # two 64-byte arrays
+        assert matrix["cpl"][1] == matrix["atm"][0]
+        assert matrix["ocn"] == (0, 0)

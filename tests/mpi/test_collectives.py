@@ -306,3 +306,67 @@ class TestCollectiveSequencing:
 
         with pytest.raises((CollectiveMismatchError, DeadlockError)):
             spmd(2, main, config=WorldConfig(deadlock_grace=0.3))
+
+
+FASTPATH_CONFIGS = [
+    WorldConfig(bcast_algorithm="linear", serialization_fastpath=on)
+    for on in (True, False)
+] + [
+    WorldConfig(bcast_algorithm="binomial", serialization_fastpath=on)
+    for on in (True, False)
+]
+FASTPATH_IDS = ["linear-on", "linear-off", "binomial-on", "binomial-off"]
+
+
+@pytest.mark.parametrize("config", FASTPATH_CONFIGS, ids=FASTPATH_IDS)
+class TestBcastMutationIsolation:
+    """The pickle-once / relay-forward fast path must preserve the value
+    semantics of distributed memory: every rank owns a private result."""
+
+    def test_receiver_mutation_is_private(self, spmd, config):
+        def main(comm):
+            got = comm.bcast(np.zeros(16) if comm.rank == 0 else None)
+            got[:] = float(comm.rank)  # each rank scribbles on its copy
+            comm.barrier()
+            return got.tolist()
+
+        values = spmd(4, main, config=config)
+        for rank, got in enumerate(values):
+            assert got == [float(rank)] * 16
+
+    def test_root_mutation_after_bcast_invisible(self, spmd, config):
+        def main(comm):
+            arr = np.arange(6.0) if comm.rank == 0 else None
+            got = comm.bcast(arr)
+            if comm.rank == 0:
+                arr[:] = -5.0
+            comm.barrier()
+            return got.tolist() if comm.rank != 0 else None
+
+        values = spmd(4, main, config=config)
+        for got in values[1:]:
+            assert got == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_buffer_bcast_receivers_private(self, spmd, config):
+        def main(comm):
+            buf = np.full(8, float(comm.rank)) if comm.rank != 0 else np.arange(8.0)
+            comm.Bcast(buf, root=0)
+            buf += comm.rank  # mutate the received buffer
+            comm.barrier()
+            return buf.tolist()
+
+        values = spmd(4, main, config=config)
+        for rank, got in enumerate(values):
+            assert got == (np.arange(8.0) + rank).tolist()
+
+    def test_nested_objects_stay_private(self, spmd, config):
+        def main(comm):
+            payload = {"grid": [1, 2, 3]} if comm.rank == 0 else None
+            got = comm.bcast(payload)
+            got["grid"].append(comm.rank + 10)
+            comm.barrier()
+            return got["grid"]
+
+        values = spmd(3, main, config=config)
+        for rank, grid in enumerate(values):
+            assert grid == [1, 2, 3, rank + 10]

@@ -1,0 +1,159 @@
+"""The zero-copy serialization layer (repro.mpi.serialization)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.serialization import Blob, payload_nbytes
+from repro.mpi.world import WorldConfig
+
+
+class TaggedArray(np.ndarray):
+    """An ndarray subclass (module-level so pickle can find it)."""
+
+
+class TestBlobEncode:
+    def test_pickle_roundtrip(self):
+        blob = Blob.encode({"a": [1, 2], "b": "x"})
+        assert blob.kind == "pickle"
+        assert blob.nbytes == len(blob.data)
+        assert blob.decode() == {"a": [1, 2], "b": "x"}
+
+    def test_array_fast_path(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        blob = Blob.encode(arr)
+        assert blob.kind == "array"
+        assert blob.nbytes == arr.nbytes
+        np.testing.assert_array_equal(blob.decode(), arr)
+
+    def test_array_path_disabled(self):
+        arr = np.arange(4.0)
+        blob = Blob.encode(arr, allow_array=False)
+        assert blob.kind == "pickle"
+        np.testing.assert_array_equal(blob.decode(), arr)
+
+    def test_object_dtype_array_is_pickled(self):
+        arr = np.array([{"x": 1}, None], dtype=object)
+        blob = Blob.encode(arr)
+        assert blob.kind == "pickle"
+
+    def test_ndarray_subclass_is_pickled(self):
+        # Subclasses may carry extra state; only plain ndarrays take the
+        # snapshot path.
+        arr = np.arange(4.0).view(TaggedArray)
+        blob = Blob.encode(arr)
+        assert blob.kind == "pickle"
+        assert isinstance(blob.decode(), TaggedArray)
+
+    def test_snapshot_is_immutable_and_detached(self):
+        arr = np.zeros(5)
+        blob = Blob.encode(arr)
+        arr[:] = 99.0  # sender mutates after encode
+        np.testing.assert_array_equal(blob.decode(), np.zeros(5))
+        with pytest.raises((ValueError, RuntimeError)):
+            blob.data[0] = 1.0
+
+    def test_each_decode_is_private(self):
+        blob = Blob.encode(np.ones(3))
+        a, b = blob.decode(), blob.decode()
+        a[0] = -1.0
+        assert b[0] == 1.0
+        assert a.flags.writeable and b.flags.writeable
+
+
+class TestPayloadNbytes:
+    def test_blob(self):
+        assert payload_nbytes(Blob.encode(np.zeros(4))) == 32
+
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros((2, 2))) == 32
+
+    def test_raw_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes(bytearray(3)) == 3
+
+    def test_unknown_payload(self):
+        assert payload_nbytes(("op", None)) == 0
+
+
+class TestFastpathAblation:
+    """The same programs produce identical results with the flag off."""
+
+    def run_both(self, fn, nprocs):
+        on = mpi.run_spmd(nprocs, fn, config=WorldConfig(serialization_fastpath=True))
+        off = mpi.run_spmd(nprocs, fn, config=WorldConfig(serialization_fastpath=False))
+        return on, off
+
+    def test_bcast_identical(self):
+        def prog(comm):
+            return comm.bcast(np.arange(10.0) if comm.rank == 0 else None).tolist()
+
+        on, off = self.run_both(prog, 4)
+        assert on == off
+
+    def test_send_recv_identical(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.full(6, 7.0), dest=1)
+                return None
+            if comm.rank == 1:
+                return comm.recv(source=0).sum()
+            return None
+
+        on, off = self.run_both(prog, 2)
+        assert on == off == [None, 42.0]
+
+    def test_copy_avoided_ledger_only_on_fastpath(self):
+        def prog(comm):
+            before = comm.world.traffic_snapshot()
+            comm.bcast(np.arange(1024.0) if comm.rank == 0 else None)
+            comm.barrier()
+            return comm.world.traffic_snapshot().since(before).copy_avoided_bytes
+
+        on, off = self.run_both(prog, 4)
+        # Rank 0 snapshots before any traffic moves and after the barrier
+        # has flushed it all, so its delta sees the whole bcast.
+        assert on[0] > 0
+        assert all(v == 0 for v in off)
+
+
+class TestObjectModeStatusCount:
+    def test_count_is_encoded_bytes(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send([1, 2, 3], dest=1, tag=5)
+                return comm.last_payload_bytes
+            status = mpi.Status()
+            comm.recv(source=0, tag=5, status=status)
+            return status.count
+
+        sent_bytes, recv_count = mpi.run_spmd(2, prog)
+        assert sent_bytes == recv_count > 0
+
+    def test_array_count_matches_nbytes(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+                return None
+            status = mpi.Status()
+            comm.recv(source=0, status=status)
+            return status.count
+
+        config = WorldConfig(serialization_fastpath=True)
+        assert mpi.run_spmd(2, prog, config=config)[1] == 800
+
+    def test_legacy_pickled_count(self):
+        # Flag off: counts are the pickle size, as before the fast path.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100), dest=1)
+                return None
+            status = mpi.Status()
+            comm.recv(source=0, status=status)
+            return status.count
+
+        config = WorldConfig(serialization_fastpath=False)
+        count = mpi.run_spmd(2, prog, config=config)[1]
+        assert count == len(pickle.dumps(np.zeros(100), pickle.HIGHEST_PROTOCOL))
