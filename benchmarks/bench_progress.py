@@ -1,0 +1,132 @@
+"""Progress-engine ablation kernels: polling vs event.
+
+Three kernels quantify what the event engine buys over per-slice polling:
+
+* ``blocked_recv_latency`` — a receiver parked in ``Request.waitany`` on
+  a message that arrives later; measures send-to-completion latency.
+  Under polling, waitany is a sleep loop, so delivery waits out the
+  current backoff; under the event engine the waitset is signalled by
+  the delivery itself.
+* ``idle_wakeups`` — 15 of 16 ranks block on a receive while rank 0
+  sleeps; counts wakeups per blocked rank-second.  Polling pays one
+  wakeup per wait slice, the event engine O(1) per episode.
+* ``handshake`` — 32-rank dissemination barriers (five send/recv
+  handshake steps each); measures seconds per barrier round.
+
+Everything runs in-process on the simulated substrate.  The driver in
+``compare.py`` runs each kernel under both engines and writes
+``BENCH_progress.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.mpi import World, WorldConfig, run_spmd
+from repro.mpi.executor import run_world
+from repro.mpi.request import Request
+
+
+def blocked_recv_latency(engine: str, reps: int = 5, idle: float = 0.15) -> dict:
+    """Median seconds from send to waitany completion for a parked receiver."""
+    world = World(2, WorldConfig(progress_engine=engine))
+
+    def receiver(comm):
+        latencies = []
+        for i in range(reps):
+            req = comm.irecv(source=1, tag=i)
+            _, t_sent = Request.waitany([req])
+            latencies.append(time.perf_counter() - t_sent)
+        return latencies
+
+    def sender(comm):
+        for i in range(reps):
+            time.sleep(idle)
+            comm.send(time.perf_counter(), 0, tag=i)
+
+    results = run_world(world, [receiver, sender], timeout=60)
+    latencies = results[0].value
+    return {
+        "median_latency_s": statistics.median(latencies),
+        "max_latency_s": max(latencies),
+        "reps": reps,
+    }
+
+
+def idle_wakeups(engine: str, ranks: int = 16, idle: float = 1.0) -> dict:
+    """Wakeups per blocked rank-second while ``ranks - 1`` ranks sit in a
+    receive that only completes after *idle* seconds."""
+    world = World(ranks, WorldConfig(progress_engine=engine))
+
+    def main(comm):
+        if comm.rank == 0:
+            time.sleep(idle)
+            for dest in range(1, comm.size):
+                comm.send("go", dest, tag=1)
+            return None
+        return comm.recv(source=0, tag=1)
+
+    run_world(world, [main] * ranks, timeout=60)
+    total_wakeups = sum(world.progress_stats(r).wakeups for r in range(1, ranks))
+    blocked = sum(world.progress_stats(r).blocked_seconds for r in range(1, ranks))
+    return {
+        "ranks": ranks,
+        "idle_seconds": idle,
+        "total_wakeups": total_wakeups,
+        "blocked_rank_seconds": blocked,
+        "wakeups_per_blocked_second": total_wakeups / max(blocked, 1e-9),
+    }
+
+
+def handshake(engine: str, ranks: int = 32, rounds: int = 10) -> dict:
+    """Seconds per 32-rank dissemination barrier (handshake cascade)."""
+
+    def main(comm):
+        comm.barrier()  # warm-up: first rendezvous pays thread start-up
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            comm.barrier()
+        return time.perf_counter() - t0
+
+    values = run_spmd(
+        ranks, main, config=WorldConfig(progress_engine=engine), timeout=120
+    )
+    return {
+        "ranks": ranks,
+        "rounds": rounds,
+        "seconds_per_barrier": max(values) / rounds,
+    }
+
+
+KERNELS = {
+    "blocked_recv_latency": blocked_recv_latency,
+    "idle_wakeups_16_ranks": idle_wakeups,
+    "handshake_32_ranks": handshake,
+}
+
+#: Per-kernel metric the ablation compares (lower is better for all three).
+HEADLINE = {
+    "blocked_recv_latency": "median_latency_s",
+    "idle_wakeups_16_ranks": "wakeups_per_blocked_second",
+    "handshake_32_ranks": "seconds_per_barrier",
+}
+
+
+def run_progress_ablation() -> dict:
+    """Run every kernel under both engines; return the comparison report."""
+    report = {}
+    for name, kernel in KERNELS.items():
+        metric = HEADLINE[name]
+        entry = {}
+        for engine in ("event", "polling"):
+            entry[engine] = kernel(engine)
+        entry["metric"] = metric
+        entry["event_beats_polling"] = entry["event"][metric] < entry["polling"][metric]
+        report[name] = entry
+        print(
+            f"{name}: event {metric}={entry['event'][metric]:.6g} "
+            f"polling {metric}={entry['polling'][metric]:.6g} "
+            f"event_beats_polling={entry['event_beats_polling']}"
+        )
+    return report

@@ -1,8 +1,11 @@
-"""Fastpath ablation driver: measure on-vs-off, write ``BENCH_fastpath.json``.
+"""Ablation driver: fast-path on-vs-off and progress-engine polling-vs-event.
 
-Runs the three zero-copy fast-path kernels with the relevant
-``WorldConfig`` flags toggled and records median wall-clock times plus
-the on/off speedup:
+The default ``fastpath`` suite runs the three zero-copy fast-path
+kernels with the relevant ``WorldConfig`` flags toggled and records
+median wall-clock times plus the on/off speedup (``BENCH_fastpath.json``);
+``--suite progress`` instead runs the progress-engine kernels from
+:mod:`bench_progress` under both engines (``BENCH_progress.json``), and
+``--suite all`` runs both.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
   rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
@@ -101,20 +104,39 @@ def run_ablation(reps: int = 5) -> dict:
     return results
 
 
+def _write_report(report: dict, out: str) -> None:
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out}")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("fastpath", "progress", "all"),
+                        default="fastpath",
+                        help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
-                        help="timed repetitions per configuration (median taken)")
-    parser.add_argument("--out", default="BENCH_fastpath.json",
-                        help="where to write the JSON report")
+                        help="timed repetitions per configuration (median "
+                             "taken; fastpath suite only)")
+    parser.add_argument("--out", default=None,
+                        help="where to write the JSON report (default: "
+                             "BENCH_<suite>.json; ignored for --suite all)")
     args = parser.parse_args(argv)
     if args.reps < 1:
         parser.error("--reps must be at least 1")
-    report = run_ablation(args.reps)
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    if args.suite in ("fastpath", "all"):
+        _write_report(run_ablation(args.reps),
+                      args.out if args.suite == "fastpath" and args.out
+                      else "BENCH_fastpath.json")
+    if args.suite in ("progress", "all"):
+        try:
+            from benchmarks.bench_progress import run_progress_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_progress import run_progress_ablation
+        _write_report(run_progress_ablation(),
+                      args.out if args.suite == "progress" and args.out
+                      else "BENCH_progress.json")
 
 
 if __name__ == "__main__":

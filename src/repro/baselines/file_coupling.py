@@ -25,8 +25,14 @@ from repro.climate.grid import LatLonGrid
 from repro.errors import ReproError
 from repro.launcher.job import mph_run
 
-#: Seconds between polls for a partner's file.
+#: Default seconds between polls for a partner's file (the filesystem has
+#: no notification channel, so polling is inherent to this baseline; both
+#: knobs are per-run parameters of :func:`run_file_coupled`).
 _POLL_INTERVAL = 0.002
+
+#: Default overall seconds to wait for any single partner file before the
+#: run fails instead of spinning forever.
+_POLL_TIMEOUT = 30.0
 
 
 @dataclass
@@ -48,17 +54,33 @@ def _write_atomic(path: Path, array: np.ndarray) -> None:
     tmp.rename(path)
 
 
-def _poll_read(path: Path, timeout: float = 30.0) -> np.ndarray:
+def _poll_read(
+    path: Path,
+    timeout: float = _POLL_TIMEOUT,
+    interval: float = _POLL_INTERVAL,
+) -> np.ndarray:
+    if timeout <= 0:
+        raise ReproError(f"file-coupling poll timeout must be > 0, got {timeout}")
+    if interval <= 0:
+        raise ReproError(f"file-coupling poll interval must be > 0, got {interval}")
     deadline = time.monotonic() + timeout
     while not path.exists():
         if time.monotonic() > deadline:
-            raise ReproError(f"file-coupling timed out waiting for {path.name}")
-        time.sleep(_POLL_INTERVAL)
+            raise ReproError(
+                f"file-coupling timed out after {timeout}s waiting for {path.name}"
+            )
+        time.sleep(interval)
     return np.load(path)
 
 
 def run_file_coupled(
-    grid: LatLonGrid, nsteps: int, dt: float, workdir: Path, coupling_coeff: float = 15.0
+    grid: LatLonGrid,
+    nsteps: int,
+    dt: float,
+    workdir: Path,
+    coupling_coeff: float = 15.0,
+    poll_interval: float = _POLL_INTERVAL,
+    poll_timeout: float = _POLL_TIMEOUT,
 ) -> FileCouplingReport:
     """Run the two-component file-coupled system.
 
@@ -67,6 +89,11 @@ def run_file_coupled(
     and steps.  Both sides run single-process — file coupling between
     decomposed components would need one file per rank, compounding the
     overhead this baseline quantifies.
+
+    *poll_interval* sets the seconds between existence checks for the
+    partner's file and *poll_timeout* the overall budget per file; when a
+    file never appears the run raises :class:`ReproError` instead of
+    spinning forever.
     """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
@@ -83,7 +110,11 @@ def run_file_coupled(
                 t0 = time.perf_counter()
                 _write_atomic(workdir / f"{kind}_{step:05d}.npy", model.temperature.data)
                 files += 1
-                partner = _poll_read(workdir / f"{other}_{step:05d}.npy")
+                partner = _poll_read(
+                    workdir / f"{other}_{step:05d}.npy",
+                    timeout=poll_timeout,
+                    interval=poll_interval,
+                )
                 exchange_time += time.perf_counter() - t0
                 # Antisymmetric sensible flux: each side warms toward the
                 # partner, so the pair conserves the exchanged energy.

@@ -21,6 +21,7 @@ setup returns the richer handle and the communicator is ``mph.exe_world``
 
 from __future__ import annotations
 
+import time as _time
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -227,7 +228,9 @@ class MPH:
         """Receive from processor *local_rank* of *component*."""
         if status is None:
             status = Status()
+        t0 = _time.perf_counter()
         obj = messaging.mph_recv(self, component, local_rank, tag, status)
+        self.profile.record_wait(_time.perf_counter() - t0)
         self.profile.record_recv(component, status.count)
         return obj
 
@@ -238,7 +241,9 @@ class MPH:
     def recv_any(self, tag: int = ANY_TAG) -> tuple[Any, str, int]:
         """Receive from anyone; returns ``(obj, component, local_rank)``."""
         status = Status()
+        t0 = _time.perf_counter()
         obj, component, local_rank = messaging.mph_recv_any(self, tag, status)
+        self.profile.record_wait(_time.perf_counter() - t0)
         self.profile.record_recv(component, status.count)
         return obj, component, local_rank
 
@@ -258,7 +263,9 @@ class MPH:
         """Buffer-mode receive into *buf*."""
         if status is None:
             status = Status()
+        t0 = _time.perf_counter()
         out = messaging.mph_Recv(self, buf, component, local_rank, tag, status)
+        self.profile.record_wait(_time.perf_counter() - t0)
         # Buffer-mode counts are elements; convert to bytes for the ledger.
         self.profile.record_recv(component, status.count * np.asarray(buf).itemsize)
         return out

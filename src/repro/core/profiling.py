@@ -30,6 +30,18 @@ class CommProfile:
     bytes_sent: dict[str, int] = field(default_factory=dict)
     #: Payload bytes this process received, by source component.
     bytes_received: dict[str, int] = field(default_factory=dict)
+    #: Blocking receive/wait calls this process performed inside coupling
+    #: exchanges (including those that completed immediately).
+    waits: int = 0
+    #: Seconds spent inside those calls (the coupling "idle" cost the
+    #: progress engine is built to keep cheap).
+    wait_seconds: float = 0.0
+
+    def record_wait(self, seconds: float) -> None:
+        """Count one blocking receive/wait call of *seconds* inside a
+        coupling exchange."""
+        self.waits += 1
+        self.wait_seconds += seconds
 
     def record_send(self, component: str, nbytes: int = 0) -> None:
         """Count one send of *nbytes* payload bytes to *component*."""
@@ -68,6 +80,8 @@ class CommProfile:
             dict(self.received),
             dict(self.bytes_sent),
             dict(self.bytes_received),
+            self.waits + other.waits,
+            self.wait_seconds + other.wait_seconds,
         )
         for comp, n in other.sent.items():
             out.sent[comp] = out.sent.get(comp, 0) + n
@@ -85,6 +99,11 @@ class CommProfile:
             f"sent {self.total_sent} / received {self.total_received} messages "
             f"({self.total_bytes_sent} B out, {self.total_bytes_received} B in)"
         ]
+        if self.waits:
+            lines.append(
+                f"  waited in {self.waits} blocking calls for "
+                f"{self.wait_seconds * 1e3:.1f} ms total"
+            )
         for comp in sorted(set(self.sent) | set(self.received)):
             lines.append(
                 f"  {comp:<16s} -> {self.sent.get(comp, 0):>6d} sent, "

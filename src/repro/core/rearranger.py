@@ -32,6 +32,7 @@ prefix is exact for row indices below 2**53).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
@@ -215,17 +216,31 @@ class Rearranger:
             return None
         dst_start, dst_stop = self.dst_rows
         out = np.empty((dst_stop - dst_start, self.ncols))
-        for rbuf, req, lo, hi in self._recv_plan:
-            req.wait()
-            got_lo, got_hi = int(rbuf[0]), int(rbuf[1])
-            if (got_lo, got_hi) != (lo, hi):
-                raise MPHError(
-                    f"rearranger header mismatch: expected rows [{lo}, {hi}) from "
-                    f"{self.src.name!r}, got [{got_lo}, {got_hi})"
-                )
-            rows = hi - lo
-            out[lo - dst_start : hi - dst_start] = rbuf[2:].reshape(rows, self.ncols)
-            self.mph.profile.record_recv(self.src.name, rbuf.nbytes)
+        # Complete receives in *arrival* order (MPI_Waitsome) instead of
+        # plan order, so one slow peer never serialises the unpacking of
+        # blocks that already landed.  Each waitsome call parks at most
+        # once on the progress engine; the blocked time is ledgered on the
+        # coupling profile.
+        remaining = list(range(len(self._recv_plan)))
+        while remaining:
+            t0 = time.perf_counter()
+            done = Request.waitsome([self._recv_plan[i][1] for i in remaining])
+            self.mph.profile.record_wait(time.perf_counter() - t0)
+            finished = []
+            for j, _ in done:
+                i = remaining[j]
+                rbuf, _, lo, hi = self._recv_plan[i]
+                got_lo, got_hi = int(rbuf[0]), int(rbuf[1])
+                if (got_lo, got_hi) != (lo, hi):
+                    raise MPHError(
+                        f"rearranger header mismatch: expected rows [{lo}, {hi}) from "
+                        f"{self.src.name!r}, got [{got_lo}, {got_hi})"
+                    )
+                rows = hi - lo
+                out[lo - dst_start : hi - dst_start] = rbuf[2:].reshape(rows, self.ncols)
+                self.mph.profile.record_recv(self.src.name, rbuf.nbytes)
+                finished.append(i)
+            remaining = [i for i in remaining if i not in finished]
         return out
 
     def _route_pickled(self, local_block: Optional[np.ndarray]) -> Optional[np.ndarray]:

@@ -18,8 +18,10 @@ from typing import Any, Optional
 
 from repro.errors import ReproError
 
-#: Poll interval while waiting for a cross-grid message.
-_WAIT_SLICE = 0.002
+#: Fallback poll interval while waiting for a cross-grid message whose
+#: simulated arrival time has not been reached yet and no earlier wake is
+#: scheduled (normally the wait is sized exactly to the next arrival).
+_WAIT_SLICE = 0.05
 
 
 @dataclass
@@ -142,18 +144,28 @@ class GridChannel:
             while True:
                 now = time.monotonic()
                 queue = self._queues[cluster]
+                # One pass both matches visible envelopes and finds the
+                # next simulated arrival among matching in-flight ones, so
+                # the wait below is event-driven: sized exactly to that
+                # arrival (or the timeout) instead of a fixed poll slice.
+                next_visible: Optional[float] = None
                 for env in queue:
-                    if env.visible_at <= now and env.matches(
-                        component, local_rank, tag, src_cluster
-                    ):
-                        queue.remove(env)
-                        return pickle.loads(env.payload), env.src_cluster, env.tag
+                    if env.matches(component, local_rank, tag, src_cluster):
+                        if env.visible_at <= now:
+                            queue.remove(env)
+                            return pickle.loads(env.payload), env.src_cluster, env.tag
+                        if next_visible is None or env.visible_at < next_visible:
+                            next_visible = env.visible_at
                 if now > deadline:
                     raise ReproError(
                         f"grid receive timed out after {timeout}s: "
                         f"({cluster}, {component}, {local_rank}, tag={tag})"
                     )
-                self._cond.wait(timeout=_WAIT_SLICE)
+                # post() notifies on every new arrival, so the only timed
+                # event to wake for is the next simulated arrival (or the
+                # caller's deadline); _WAIT_SLICE caps the gap defensively.
+                wake_at = min(next_visible or (now + _WAIT_SLICE), deadline)
+                self._cond.wait(timeout=max(wake_at - now, 0.0))
 
     def pending(self, cluster: str) -> int:
         """Messages currently queued for *cluster* (diagnostics)."""

@@ -40,6 +40,7 @@ from repro.mpi.reduce_ops import (
     Op,
 )
 from repro.mpi.persistent import PersistentRecv, PersistentSend, Prequest
+from repro.mpi.progress import Completion, ProgressEngine, RankProgress, Waitset
 from repro.mpi.request import Request
 from repro.mpi.serialization import Blob, payload_nbytes
 from repro.mpi.status import Status
@@ -80,6 +81,10 @@ __all__ = [
     "PersistentRecv",
     "Blob",
     "payload_nbytes",
+    "Completion",
+    "ProgressEngine",
+    "RankProgress",
+    "Waitset",
     "Request",
     "Status",
     "TrafficStats",

@@ -162,13 +162,17 @@ def Allgather(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], tag: int
         Bcast(comm, recvbuf, 0, tag + 1)
         return recvbuf
     # ring: forward the piece received last step; slot by source rank.
+    # Each step pre-posts the inbound receive before sending, so the
+    # rendezvous parks at most once on the progress engine.
     right, left = (rank + 1) % size, (rank - 1) % size
     piece_src = rank
     for _ in range(size - 1):
+        inbound_src = (piece_src - 1) % size
+        posted = comm._coll_post(left, tag)
         comm._coll_send_buffer(right, tag, recvbuf[piece_src], f"Allgather:{piece_src}")
-        piece_src = (piece_src - 1) % size
-        arr = comm._coll_recv_buffer(left, tag, f"Allgather:{piece_src}")
+        arr = comm._coll_complete_buffer(posted, left, f"Allgather:{inbound_src}")
         _check_shape(arr, sendbuf.shape, "Allgather")
+        piece_src = inbound_src
         recvbuf[piece_src] = arr
     return recvbuf
 
@@ -311,8 +315,9 @@ def Allreduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, 
         while mask < pof2:
             partner_new = newrank ^ mask
             partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            posted = comm._coll_post(partner, tag)
             comm._coll_send_buffer(partner, tag, acc, "Allreduce")
-            other = comm._coll_recv_buffer(partner, tag, "Allreduce")
+            other = comm._coll_complete_buffer(posted, partner, "Allreduce")
             acc = op(acc, other) if partner_new > newrank else op(other, acc)
             mask <<= 1
     if rank < 2 * rem:

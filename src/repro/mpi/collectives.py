@@ -181,15 +181,19 @@ def _allgather_ring(comm, obj: Any, tag: int) -> list:
     out[rank] = obj
     right = (rank + 1) % size
     left = (rank - 1) % size
+    # Each step pre-posts the inbound receive before sending, so the
+    # neighbour's envelope lands on a posted receive and the completion
+    # wakes this rank exactly once.
     if comm._serialization_fastpath:
         # Relay-without-reencode: each hop decodes the inbound piece for
         # its own result but forwards the received blob verbatim.
         piece_blob = comm._coll_encode((rank, obj))
         fresh = True
         for _ in range(size - 1):
+            posted = comm._coll_post(left, tag)
             comm._coll_send_blob(right, tag, piece_blob, "allgather", reused=not fresh)
             fresh = False
-            piece_blob = comm._coll_recv_blob(left, tag, "allgather")
+            piece_blob = comm._coll_complete(posted, left, "allgather").payload
             piece_src, piece = piece_blob.decode()
             out[piece_src] = piece
         return out
@@ -197,8 +201,9 @@ def _allgather_ring(comm, obj: Any, tag: int) -> list:
     piece_src = rank
     piece = obj
     for _ in range(size - 1):
+        posted = comm._coll_post(left, tag)
         comm._coll_send(right, tag, (piece_src, piece), "allgather")
-        piece_src, piece = comm._coll_recv(left, tag, "allgather")
+        piece_src, piece = comm._coll_complete(posted, left, "allgather").payload.decode()
         out[piece_src] = piece
     return out
 
@@ -221,12 +226,17 @@ def alltoall(comm, objs: Sequence[Any], tag: int) -> list:
         return [objs[0]]
     out: list[Any] = [None] * comm.size
     out[comm.rank] = objs[comm.rank]
+    # Pre-post every inbound receive, then send: arriving envelopes match
+    # posted receives directly instead of queueing as pending, and the
+    # completion wait below parks at most once per missing peer.
+    posted = {
+        src: comm._coll_post(src, tag) for src in range(comm.size) if src != comm.rank
+    }
     for dest in range(comm.size):
         if dest != comm.rank:
             comm._coll_send(dest, tag, objs[dest], "alltoall")
-    for src in range(comm.size):
-        if src != comm.rank:
-            out[src] = comm._coll_recv(src, tag, "alltoall")
+    for src, pr in posted.items():
+        out[src] = comm._coll_complete(pr, src, "alltoall").payload.decode()
     return out
 
 
@@ -317,8 +327,10 @@ def _allreduce_recursive_doubling(comm, obj: Any, op: Op, tag: int) -> Any:
         while mask < pof2:
             partner_new = newrank ^ mask
             partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            # Pairwise exchange: pre-post the inbound half before sending.
+            posted = comm._coll_post(partner, tag)
             comm._coll_send(partner, tag, acc, "allreduce")
-            other = comm._coll_recv(partner, tag, "allreduce")
+            other = comm._coll_complete(posted, partner, "allreduce").payload.decode()
             acc = op(acc, other) if partner_new > newrank else op(other, acc)
             mask <<= 1
     # Post-phase: hand results back to the folded-out even ranks.
@@ -393,8 +405,12 @@ def barrier(comm, tag: int) -> None:
         size, rank = comm.size, comm.rank
         step = 1
         while step < size:
+            # Pre-post the inbound notification before sending ours, so
+            # each round's rendezvous costs at most one park.
+            src = (rank - step) % size
+            posted = comm._coll_post(src, tag)
             comm._coll_send((rank + step) % size, tag, None, "barrier")
-            comm._coll_recv((rank - step) % size, tag, "barrier")
+            comm._coll_complete(posted, src, "barrier")
             step <<= 1
         return
     raise ValueError(f"unknown barrier algorithm {algo!r}")

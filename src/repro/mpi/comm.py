@@ -21,7 +21,6 @@ context ids, and scatters each member its assignment.
 from __future__ import annotations
 
 import pickle
-import threading
 from typing import Any, Optional, Sequence
 
 import numpy as np
@@ -37,7 +36,8 @@ from repro.mpi.constants import (
     is_valid_tag,
 )
 from repro.mpi.group import Group
-from repro.mpi.mailbox import Envelope
+from repro.mpi.mailbox import Envelope, PostedRecv
+from repro.mpi.progress import Completion
 from repro.mpi.reduce_ops import SUM, Op
 from repro.mpi.request import RecvRequest, Request, SendRequest
 from repro.mpi.serialization import Blob
@@ -162,7 +162,10 @@ class Comm:
             raise CommError(f"invalid send tag {tag}")
         blob = Blob.encode(obj, allow_array=self._serialization_fastpath)
         self.last_payload_bytes = blob.nbytes
-        event = threading.Event() if sync else None
+        # Synchronous sends park on a progress-engine Completion: the
+        # matching receive signals it, so the blocked sender wakes once
+        # (or on abort/watchdog) instead of polling a threading.Event.
+        event = Completion() if sync else None
         env = Envelope(self._p2p_ctx, self._rank, tag, blob, "object", blob.nbytes, sync_event=event)
         self._deliver(dest, env)
         if event is not None:
@@ -342,8 +345,17 @@ class Comm:
             for dest in dests:
                 self._coll_send(dest, tag, value, opname)
 
-    def _coll_recv_env(self, source: int, tag: int, opname: str) -> Envelope:
-        posted = self._mailbox.post_recv(self._coll_ctx, source, tag)
+    def _coll_post(self, source: int, tag: int) -> PostedRecv:
+        """Pre-post a collective receive (no blocking).  Collectives that
+        both send and receive in one phase — ring/dissemination steps,
+        ``alltoall`` — post their receives *before* sending, so the
+        matching envelope lands directly on the posted receive and the
+        subsequent :meth:`_coll_complete` parks at most once."""
+        return self._mailbox.post_recv(self._coll_ctx, source, tag)
+
+    def _coll_complete(self, posted: PostedRecv, source: int, opname: str) -> Envelope:
+        """Wait on a pre-posted collective receive and validate the
+        operation name (aborting the world on a collective mismatch)."""
         env = self._mailbox.wait(posted, f"{opname}(source={source}) on {self.name}")
         if self._world.config.validate_collectives and env.op != opname:
             exc = CollectiveMismatchError(
@@ -353,6 +365,9 @@ class Comm:
             self._world.abort(AbortError(str(exc), origin_rank=self._my_world_id))
             raise exc
         return env
+
+    def _coll_recv_env(self, source: int, tag: int, opname: str) -> Envelope:
+        return self._coll_complete(self._coll_post(source, tag), source, opname)
 
     def _coll_recv(self, source: int, tag: int, opname: str) -> Any:
         return self._coll_recv_env(source, tag, opname).payload.decode()
@@ -410,6 +425,14 @@ class Comm:
 
     def _coll_recv_buffer(self, source: int, tag: int, opname: str) -> np.ndarray:
         env = self._coll_recv_env(source, tag, opname)
+        return self._coll_buffer_payload(env, opname)
+
+    def _coll_complete_buffer(self, posted: PostedRecv, source: int, opname: str) -> np.ndarray:
+        """Buffer-mode counterpart of :meth:`_coll_complete`."""
+        env = self._coll_complete(posted, source, opname)
+        return self._coll_buffer_payload(env, opname)
+
+    def _coll_buffer_payload(self, env: Envelope, opname: str) -> np.ndarray:
         payload = env.payload
         if isinstance(payload, Blob):
             value = payload.decode()

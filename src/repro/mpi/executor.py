@@ -93,24 +93,29 @@ def run_world(
 
     deadline = time.monotonic() + timeout
     timed_out = False
-    for t in threads:
-        remaining = deadline - time.monotonic()
-        if remaining <= 0:
-            timed_out = True
-            break
-        t.join(timeout=remaining)
-        if t.is_alive():
-            timed_out = True
-            break
-    if timed_out:
-        world.abort(AbortError(f"job exceeded wall-clock budget of {timeout}s"))
+    try:
         for t in threads:
-            t.join(timeout=2.0)
-        still = [t.name for t in threads if t.is_alive()]
-        raise TimeoutError_(
-            f"job exceeded {timeout}s"
-            + (f"; threads still running: {still}" if still else "")
-        )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                timed_out = True
+                break
+            t.join(timeout=remaining)
+            if t.is_alive():
+                timed_out = True
+                break
+        if timed_out:
+            world.abort(AbortError(f"job exceeded wall-clock budget of {timeout}s"))
+            for t in threads:
+                t.join(timeout=2.0)
+            still = [t.name for t in threads if t.is_alive()]
+            raise TimeoutError_(
+                f"job exceeded {timeout}s"
+                + (f"; threads still running: {still}" if still else "")
+            )
+    finally:
+        # Retire the deadlock watchdog now instead of waiting out its idle
+        # timer; it restarts lazily if the world is run again.
+        world.progress.shutdown()
 
     _raise_root_cause(results)
     return results

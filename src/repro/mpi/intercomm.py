@@ -119,6 +119,14 @@ class InterComm:
         """Blocking receive from a **remote** rank."""
         return self.irecv(source, tag).wait(status)
 
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait for a pending remote message and return its
+        status without receiving it (parks on the progress engine)."""
+        what = f"intercomm probe(source={source}, tag={tag}) on {self.name}"
+        env = self._mailbox.probe(self._p2p_ctx, source, tag, block=True, what=what)
+        assert env is not None
+        return Status(source=env.source, tag=env.tag, count=env.count)
+
     def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
         """Nonblocking probe for a pending remote message."""
         env = self._mailbox.probe(self._p2p_ctx, source, tag, block=False, what="iprobe")

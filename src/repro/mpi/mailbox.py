@@ -17,16 +17,25 @@ The context id — one per communicator per traffic class (point-to-point vs
 collective) — isolates communicators from each other exactly as real MPI
 contexts do, so a stray ``tag=0`` user message can never be swallowed by a
 collective in flight.
+
+Blocking receives and probes run on the world's progress engine
+(:mod:`repro.mpi.progress`): each :class:`PostedRecv` carries a
+:class:`~repro.mpi.progress.Completion` signalled at match time, so in
+event mode a blocked waiter parks once and is woken exactly once — by
+delivery, abort, or the deadlock watchdog.  The legacy wait-slice polling
+loops remain behind ``WorldConfig.progress_engine = "polling"``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import AbortError
+from repro.errors import AbortError, CommError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.progress import Completion
 from repro.mpi.serialization import payload_nbytes
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,7 +77,7 @@ class Envelope:
         payload,
         kind: str,
         count: int,
-        sync_event: Optional[threading.Event] = None,
+        sync_event: Optional[Completion] = None,
         op: Optional[str] = None,
         copy_avoided: int = 0,
     ):
@@ -78,8 +87,10 @@ class Envelope:
         self.payload = payload
         self.kind = kind
         self.count = count
-        #: Set when a matching receive claims this envelope; used by
-        #: synchronous sends (``ssend``) to block until matched.
+        #: Signalled when a matching receive claims this envelope; used by
+        #: synchronous sends (``ssend``) to block until matched.  A
+        #: :class:`~repro.mpi.progress.Completion` (or anything with an
+        #: Event-style ``set()``).
         self.sync_event = sync_event
         self.op = op
         self.copy_avoided = copy_avoided
@@ -96,7 +107,7 @@ class Envelope:
 class PostedRecv:
     """A posted receive awaiting a matching envelope."""
 
-    __slots__ = ("context", "source", "tag", "envelope")
+    __slots__ = ("context", "source", "tag", "envelope", "completion", "cancelled")
 
     def __init__(self, context: int, source: int, tag: int):
         self.context = context
@@ -104,6 +115,12 @@ class PostedRecv:
         self.tag = tag
         #: Filled in (under the mailbox lock) when a match is made.
         self.envelope: Optional[Envelope] = None
+        #: Signalled (after the lock is released) when a match is made —
+        #: what the event engine's waitsets park on.
+        self.completion = Completion()
+        #: Set by a successful :meth:`Mailbox.cancel`; waiting on a
+        #: cancelled receive raises instead of blocking forever.
+        self.cancelled = False
 
     def accepts(self, env: Envelope) -> bool:
         """Whether this posted receive accepts *env*."""
@@ -116,10 +133,10 @@ class PostedRecv:
 
 
 #: Default for how often (seconds) blocked waiters wake to re-check for
-#: aborts — short enough that deadlock aborts propagate promptly, long
-#: enough to stay cheap.  Tunable per world through
-#: :attr:`repro.mpi.world.WorldConfig.wait_slice` (benchmarks ablate
-#: abort-check latency vs wakeup overhead with it).
+#: aborts under the **polling** engine — short enough that deadlock aborts
+#: propagate promptly, long enough to stay cheap.  Tunable per world
+#: through :attr:`repro.mpi.world.WorldConfig.wait_slice`; the event
+#: engine does not poll at all.
 _WAIT_SLICE = 0.05
 
 
@@ -138,6 +155,14 @@ class Mailbox:
         self._cond = threading.Condition()
         self._pending: deque[Envelope] = deque()
         self._posted: deque[PostedRecv] = deque()
+        #: Blocked probes in event mode: ``(completion, (ctx, src, tag))``
+        #: pairs signalled when a matching envelope lands in ``pending``.
+        self._probe_watchers: list[tuple[Completion, tuple[int, int, int]]] = []
+
+    @property
+    def world(self) -> "World":
+        """The world this mailbox belongs to."""
+        return self._world
 
     @property
     def _wait_slice(self) -> float:
@@ -150,22 +175,38 @@ class Mailbox:
         """Hand an envelope to this mailbox, matching a posted receive if
         one accepts it, else queueing it as pending."""
         self._world.record_traffic(env.kind, _payload_bytes(env), env.copy_avoided)
-        matched = False
+        matched: Optional[PostedRecv] = None
+        probe_hits: list[Completion] = []
         with self._cond:
             for pr in self._posted:
                 if pr.accepts(env):
                     self._posted.remove(pr)
                     pr.envelope = env
-                    matched = True
+                    matched = pr
                     break
             else:
                 self._pending.append(env)
+                if self._probe_watchers:
+                    keep = []
+                    for watcher in self._probe_watchers:
+                        if env.matches(*watcher[1]):
+                            probe_hits.append(watcher[0])
+                        else:
+                            keep.append(watcher)
+                    self._probe_watchers = keep
             self._cond.notify_all()
         self._world.note_activity()
-        if matched and env.sync_event is not None:
-            # Matched immediately by a posted receive: release a blocked
-            # synchronous sender.
-            env.sync_event.set()
+        # Signal completions with no mailbox lock held (a waitset notify
+        # takes the waiter's lock; keeping the order one-directional rules
+        # out inversions against World.abort's wake path).
+        if matched is not None:
+            matched.completion.signal()
+            if env.sync_event is not None:
+                # Matched immediately by a posted receive: release a
+                # blocked synchronous sender.
+                env.sync_event.set()
+        for completion in probe_hits:
+            completion.signal()
 
     # -- receiving (called from the *owner's* thread) ----------------------
 
@@ -183,6 +224,7 @@ class Mailbox:
             else:
                 self._posted.append(pr)
         if claimed is not None:
+            pr.completion.signal()
             self._world.note_activity()
             if claimed.sync_event is not None:
                 claimed.sync_event.set()
@@ -194,6 +236,7 @@ class Mailbox:
         with self._cond:
             if pr in self._posted:
                 self._posted.remove(pr)
+                pr.cancelled = True
                 return True
             return False
 
@@ -207,11 +250,24 @@ class Mailbox:
         what :
             Human-readable description of the blocking call, shown in
             deadlock diagnostics (e.g. ``"recv(source=2, tag=7)"``).
+
+        Raises
+        ------
+        CommError
+            If *pr* was cancelled — its message can never arrive.
         """
         if pr.envelope is not None:
             return pr.envelope
+        if pr.cancelled:
+            raise CommError(f"wait on a cancelled receive: {what}")
         world = self._world
+        if world.progress.event_mode:
+            world.progress.wait((pr.completion,), self.owner, what)
+            assert pr.envelope is not None
+            return pr.envelope
         world.block_enter(self.owner, what)
+        wakeups = 0
+        start = time.monotonic()
         try:
             while True:
                 with self._cond:
@@ -219,12 +275,14 @@ class Mailbox:
                         return pr.envelope
                     world.check_abort()
                     self._cond.wait(timeout=self._wait_slice)
+                    wakeups += 1
                 # The deadlock check may abort the world and wake every
                 # mailbox; it must run with no mailbox lock held to keep a
                 # global lock order (see World.abort).
                 world.maybe_detect_deadlock()
         finally:
             world.block_exit(self.owner)
+            world.record_block_episode(self.owner, time.monotonic() - start, wakeups)
 
     # -- probing -----------------------------------------------------------
 
@@ -247,7 +305,29 @@ class Mailbox:
             env = scan()
             if env is not None or not block:
                 return env
+        if world.progress.event_mode:
+            # Arm a fresh one-shot watcher per park: deliver() signals it
+            # when a matching envelope lands in pending.  Only the owner
+            # consumes this mailbox's pending queue, and the owner is the
+            # thread parked here, so a signalled match cannot vanish
+            # before the re-scan.
+            while True:
+                watcher = Completion()
+                with self._cond:
+                    env = scan()
+                    if env is not None:
+                        return env
+                    self._probe_watchers.append((watcher, (context, source, tag)))
+                try:
+                    world.progress.wait((watcher,), self.owner, what)
+                finally:
+                    with self._cond:
+                        self._probe_watchers = [
+                            w for w in self._probe_watchers if w[0] is not watcher
+                        ]
         world.block_enter(self.owner, what)
+        wakeups = 0
+        start = time.monotonic()
         try:
             while True:
                 with self._cond:
@@ -256,9 +336,11 @@ class Mailbox:
                         return env
                     world.check_abort()
                     self._cond.wait(timeout=self._wait_slice)
+                    wakeups += 1
                 world.maybe_detect_deadlock()
         finally:
             world.block_exit(self.owner)
+            world.record_block_episode(self.owner, time.monotonic() - start, wakeups)
 
     # -- maintenance --------------------------------------------------------
 

@@ -17,11 +17,13 @@ import numpy as np
 
 from repro.errors import CommError, TruncationError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG, is_valid_recv_tag, is_valid_tag
+from repro.mpi.progress import Completion
 from repro.mpi.request import Request
 from repro.mpi.status import Status
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.comm import Comm
+    from repro.mpi.world import World
 
 
 class Prequest(Request):
@@ -48,11 +50,35 @@ class Prequest(Request):
     def _start(self) -> None:
         raise NotImplementedError
 
+    def _rollback_start(self) -> None:
+        """Undo a :meth:`start` so a failed ``startall`` leaves no orphaned
+        operation.  Subclasses with posted state override."""
+        self._active = False
+
+    def _site(self) -> Optional[tuple["World", int]]:
+        mailbox = self._comm._mailbox
+        return mailbox.world, mailbox.owner
+
     @staticmethod
     def startall(requests: Sequence["Prequest"]) -> None:
-        """Start every request (``MPI_Startall``)."""
-        for req in requests:
-            req.start()
+        """Start every request (``MPI_Startall``).
+
+        All-or-nothing: if any ``start`` raises (already-active request,
+        invalid state, abort), every request started by *this call* is
+        rolled back before the error propagates, so no orphaned posted
+        receive can swallow a later message.  Receives that already
+        matched an envelope cannot be unposted; those stay active (the
+        message was genuinely consumed) and the error still propagates.
+        """
+        started: list["Prequest"] = []
+        try:
+            for req in requests:
+                req.start()
+                started.append(req)
+        except BaseException:
+            for req in reversed(started):
+                req._rollback_start()
+            raise
 
 
 class PersistentSend(Prequest):
@@ -72,6 +98,12 @@ class PersistentSend(Prequest):
 
     def _start(self) -> None:
         self._comm.Send(self._buf, self._dest, self._tag)
+
+    def _rollback_start(self) -> None:
+        # Sends are eager: the message left at start and cannot be
+        # recalled (matching MPI, where a started send may already be on
+        # the wire).  Rollback only returns the cycle to inactive.
+        self._active = False
 
     def wait(self, status: Optional[Status] = None):
         """Complete the cycle (sends are eager, so this only resets)."""
@@ -106,6 +138,31 @@ class PersistentRecv(Prequest):
         self._posted = self._comm._mailbox.post_recv(
             self._comm._p2p_ctx, self._source, self._tag
         )
+
+    def _rollback_start(self) -> None:
+        # Unpost the receive if still unmatched; a matched receive has
+        # consumed its message and must stay active so the caller can
+        # still drain it with wait().
+        if self._posted is not None and self._posted.envelope is None:
+            if self._comm._mailbox.cancel(self._posted):
+                self._posted = None
+                self._active = False
+
+    def completion(self) -> Optional[Completion]:
+        if self._active and self._posted is not None:
+            return self._posted.completion
+        return None
+
+    def cancel(self) -> bool:
+        """Cancel the active cycle's posted receive if still unmatched;
+        the request returns to inactive and can be ``start``ed again."""
+        if self._posted is None or self._posted.envelope is not None:
+            return False
+        if self._comm._mailbox.cancel(self._posted):
+            self._posted = None
+            self._active = False
+            return True
+        return False
 
     def wait(self, status: Optional[Status] = None):
         """Block for the matching message and copy it into the bound

@@ -5,14 +5,81 @@ destination mailbox before the call returns, so send requests are born
 complete (real MPI behaves this way for small messages).  ``irecv`` posts a
 receive immediately — matching order is the MPI posted-receive order — and
 the request completes when a matching envelope arrives.
+
+``waitany``/``waitsome`` aggregate mixed request lists through the world's
+:class:`~repro.mpi.progress.ProgressEngine`: in event mode the caller
+parks on one waitset subscribed to every incomplete request's completion
+token and is woken exactly once per relevant event (completion, abort,
+deadlock).  Under the legacy polling engine they keep the short-sleep
+retry loop, but now abort-aware even when no incomplete request is a
+receive.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Sequence
+import time as _time
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
+from repro.errors import CommError
 from repro.mpi.mailbox import Envelope, Mailbox, PostedRecv
+from repro.mpi.progress import Completion
 from repro.mpi.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import World
+
+#: Polling-engine retry sleep for ``waitany``/``waitsome`` (seconds).
+_POLL_BACKOFF = 0.0005
+
+
+def _check_no_duplicates(requests: Sequence["Request"], what: str) -> None:
+    """The same request handle twice in one wait list would hand out the
+    same completion twice; MPI calls this erroneous, we raise."""
+    seen: set[int] = set()
+    for req in requests:
+        if id(req) in seen:
+            raise CommError(f"duplicate request handle in {what} list")
+        seen.add(id(req))
+
+
+def _progress_site(requests: Sequence["Request"]):
+    """The ``(world, rank)`` to block on, from the first request that has
+    one (``None`` for lists of detached/complete requests)."""
+    for req in requests:
+        site = req._site()
+        if site is not None:
+            return site
+    return None
+
+
+def _park_any(requests: Sequence["Request"], what: str) -> bool:
+    """Block until some incomplete request *may* have completed.
+
+    Returns True when the caller should re-test (event park or abort
+    check done), False when it should sleep-and-retry (no world found or
+    some incomplete request cannot signal a completion).  Raises on abort
+    or deadlock either way when a world is known.
+    """
+    site = _progress_site(requests)
+    if site is None:
+        return False
+    world, rank = site
+    if not world.progress.event_mode:
+        # Polling engine: stay on the short-sleep loop, but never spin
+        # past an abort (this is what makes all-send lists abort-aware).
+        world.check_abort()
+        world.maybe_detect_deadlock()
+        return False
+    completions = []
+    for req in requests:
+        token = req.completion()
+        if token is not None:
+            completions.append(token)
+    if not completions:
+        world.check_abort()
+        return False
+    world.progress.wait(completions, rank, what)
+    return True
 
 
 class Request:
@@ -32,6 +99,16 @@ class Request:
         """Attempt to cancel; returns True on success.  Only unmatched
         receives can be cancelled."""
         return False
+
+    def completion(self) -> Optional[Completion]:
+        """The token signalled when this request completes, or ``None``
+        when the request has no pending completion to park on (eager
+        sends, inactive persistent requests)."""
+        return None
+
+    def _site(self) -> Optional[tuple["World", int]]:
+        """The ``(world, rank)`` this request blocks on, if any."""
+        return None
 
     # mpi4py-style aliases -------------------------------------------------
 
@@ -59,27 +136,28 @@ class Request:
     @staticmethod
     def waitany(requests: Sequence["Request"]) -> tuple[int, Any]:
         """Block until any request completes; ``(index, value)``
-        (``MPI_Waitany``).  Polls with a short back-off, abort-aware
-        through the underlying receives."""
-        import time as _time
-
+        (``MPI_Waitany``).  Event mode parks on one waitset over every
+        incomplete request; polling mode retries with a short back-off.
+        Raises :class:`CommError` on duplicate handles in the list."""
         if not requests:
             raise ValueError("waitany needs at least one request")
+        _check_no_duplicates(requests, "waitany")
         while True:
             for i, req in enumerate(requests):
                 done, value = req.test()
                 if done:
                     return i, value
-            _time.sleep(0.0005)
+            if not _park_any(requests, f"waitany({len(requests)} requests)"):
+                _time.sleep(_POLL_BACKOFF)
 
     @staticmethod
     def waitsome(requests: Sequence["Request"]) -> list[tuple[int, Any]]:
         """Block until at least one request completes; return every
-        completed ``(index, value)`` (``MPI_Waitsome``)."""
-        import time as _time
-
+        completed ``(index, value)`` (``MPI_Waitsome``).  Raises
+        :class:`CommError` on duplicate handles in the list."""
         if not requests:
             raise ValueError("waitsome needs at least one request")
+        _check_no_duplicates(requests, "waitsome")
         while True:
             done = [
                 (i, value)
@@ -88,7 +166,8 @@ class Request:
             ]
             if done:
                 return done
-            _time.sleep(0.0005)
+            if not _park_any(requests, f"waitsome({len(requests)} requests)"):
+                _time.sleep(_POLL_BACKOFF)
 
 
 class SendRequest(Request):
@@ -134,16 +213,24 @@ class RecvRequest(Request):
             status.count = env.count
         return self._value
 
+    def _check_cancelled(self) -> None:
+        if self._posted.cancelled:
+            raise CommError(
+                f"request was cancelled, its message can never arrive: {self._what}"
+            )
+
     def wait(self, status: Optional[Status] = None) -> Any:
         if self._done:
             env = self._posted.envelope
             assert env is not None
             return self._complete(env, status)
+        self._check_cancelled()
         env = self._mailbox.wait(self._posted, self._what)
         return self._complete(env, status)
 
     def test(self, status: Optional[Status] = None) -> tuple[bool, Any]:
         self._mailbox.check_abort()
+        self._check_cancelled()
         env = self._posted.envelope
         if env is None:
             return False, None
@@ -151,3 +238,9 @@ class RecvRequest(Request):
 
     def cancel(self) -> bool:
         return self._mailbox.cancel(self._posted)
+
+    def completion(self) -> Optional[Completion]:
+        return self._posted.completion
+
+    def _site(self) -> Optional[tuple["World", int]]:
+        return self._mailbox.world, self._mailbox.owner

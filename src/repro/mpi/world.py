@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AbortError, DeadlockError
 from repro.mpi.mailbox import Mailbox
+from repro.mpi.progress import Completion, ProgressEngine, RankProgress, blocked_bucket
 
 
 @dataclass
@@ -37,17 +38,33 @@ class TrafficStats:
     relay-without-reencode forwards; see :mod:`repro.mpi.serialization`).
     The counters make algorithmic message complexity *testable* — e.g. a
     linear broadcast on P ranks must deliver exactly P-1 messages.
+
+    ``wakeups``/``blocked_seconds``/``blocked_hist`` aggregate the
+    blocking ledger from :meth:`World.record_block_episode`: how many
+    times blocked waiters woke, how long they were parked, and a
+    log-bucket histogram of episode durations.  They make the progress
+    engine's claim testable — an idle blocked rank records O(1) wakeups
+    in event mode versus one per wait slice under polling.
     """
 
     messages: int = 0
     payload_bytes: int = 0
     by_kind: dict = field(default_factory=dict)
     copy_avoided_bytes: int = 0
+    wakeups: int = 0
+    blocked_seconds: float = 0.0
+    blocked_hist: dict = field(default_factory=dict)
 
     def snapshot(self) -> "TrafficStats":
         """A copy safe to compare against later counts."""
         return TrafficStats(
-            self.messages, self.payload_bytes, dict(self.by_kind), self.copy_avoided_bytes
+            self.messages,
+            self.payload_bytes,
+            dict(self.by_kind),
+            self.copy_avoided_bytes,
+            self.wakeups,
+            self.blocked_seconds,
+            dict(self.blocked_hist),
         )
 
     def since(self, earlier: "TrafficStats") -> "TrafficStats":
@@ -56,11 +73,18 @@ class TrafficStats:
             k: self.by_kind.get(k, 0) - earlier.by_kind.get(k, 0)
             for k in set(self.by_kind) | set(earlier.by_kind)
         }
+        hist = {
+            k: self.blocked_hist.get(k, 0) - earlier.blocked_hist.get(k, 0)
+            for k in set(self.blocked_hist) | set(earlier.blocked_hist)
+        }
         return TrafficStats(
             self.messages - earlier.messages,
             self.payload_bytes - earlier.payload_bytes,
             {k: v for k, v in kinds.items() if v},
             self.copy_avoided_bytes - earlier.copy_avoided_bytes,
+            self.wakeups - earlier.wakeups,
+            self.blocked_seconds - earlier.blocked_seconds,
+            {k: v for k, v in hist.items() if v},
         )
 
 
@@ -107,11 +131,24 @@ class WorldConfig:
     deadlock_grace :
         Seconds of global inactivity with every process blocked before
         deadlock is declared.
+    progress_engine :
+        ``"event"`` (default) parks every blocked path on the
+        :class:`~repro.mpi.progress.ProgressEngine` — woken exactly once
+        by delivery, abort, or the watchdog, with deadlock detection in
+        a dedicated lazily-started watchdog thread.  ``"polling"`` is
+        the legacy engine: blocked waiters wake every ``wait_slice`` to
+        re-check aborts and run the detector inline, and
+        ``waitany``/``waitsome`` busy-poll.  Kept for ablation
+        (``benchmarks/compare.py`` writes ``BENCH_progress.json``).
+    watchdog_period :
+        Event engine only: how often (seconds) the watchdog thread runs
+        the all-blocked-and-idle deadlock scan while someone is blocked.
+        Bounds deadlock-detection and thereby abort-propagation latency.
     wait_slice :
-        Poll interval (seconds) of blocked waiters — how often a blocked
-        receive wakes to re-check for aborts and run the deadlock
-        watchdog.  Lower values propagate aborts faster at the cost of
-        more wakeups; benchmarks ablate the trade-off.
+        Polling engine only: poll interval (seconds) of blocked waiters —
+        how often a blocked receive wakes to re-check for aborts and run
+        the deadlock watchdog.  Lower values propagate aborts faster at
+        the cost of more wakeups; benchmarks ablate the trade-off.
     max_components_per_executable :
         The paper's Section 4.3 limit ("Each executable could contain up to
         10 components") — consulted by MPH, carried here so one config object
@@ -128,8 +165,17 @@ class WorldConfig:
     rearranger_fastpath: bool = True
     deadlock_detection: bool = True
     deadlock_grace: float = 1.0
+    progress_engine: str = "event"
+    watchdog_period: float = 0.05
     wait_slice: float = 0.05
     max_components_per_executable: int = 10
+
+    def __post_init__(self) -> None:
+        if self.progress_engine not in ("event", "polling"):
+            raise ValueError(
+                f"progress_engine must be 'event' or 'polling', "
+                f"got {self.progress_engine!r}"
+            )
 
 
 class World:
@@ -158,10 +204,16 @@ class World:
 
         self._abort_lock = threading.Lock()
         self._abort_exc: AbortError | None = None
+        self._deadlock_exc: DeadlockError | None = None
 
         self._traffic_lock = threading.Lock()
         #: Aggregate traffic counters (read via :meth:`traffic_snapshot`).
         self.traffic = TrafficStats()
+        self._rank_progress: dict[int, RankProgress] = {}
+
+        #: The completion/waitset layer every blocking path parks on in
+        #: event mode (and the owner of the deadlock watchdog thread).
+        self.progress = ProgressEngine(self)
 
     # -- context ids --------------------------------------------------------
 
@@ -196,6 +248,38 @@ class World:
         with self._traffic_lock:
             return self.traffic.snapshot()
 
+    def record_block_episode(self, rank: int, seconds: float, wakeups: int) -> None:
+        """Account one completed blocked episode of *rank*: *seconds*
+        parked, woken *wakeups* times.  Called by every blocking path in
+        both engine modes; feeds :class:`TrafficStats` and the per-rank
+        ledger read by :meth:`progress_stats`."""
+        bucket = blocked_bucket(seconds)
+        with self._traffic_lock:
+            self.traffic.wakeups += wakeups
+            self.traffic.blocked_seconds += seconds
+            self.traffic.blocked_hist[bucket] = (
+                self.traffic.blocked_hist.get(bucket, 0) + 1
+            )
+            rp = self._rank_progress.setdefault(rank, RankProgress())
+            rp.episodes += 1
+            rp.wakeups += wakeups
+            rp.blocked_seconds += seconds
+
+    def progress_stats(self, rank: int | None = None) -> RankProgress | dict[int, RankProgress]:
+        """Per-rank blocking statistics: episodes, wakeups, blocked time.
+
+        With *rank*, that rank's :class:`RankProgress` (zeros if it never
+        blocked); without, a copy of the whole ledger.
+        """
+        with self._traffic_lock:
+            if rank is not None:
+                rp = self._rank_progress.get(rank, RankProgress())
+                return RankProgress(rp.episodes, rp.wakeups, rp.blocked_seconds)
+            return {
+                r: RankProgress(rp.episodes, rp.wakeups, rp.blocked_seconds)
+                for r, rp in self._rank_progress.items()
+            }
+
     # -- activity / liveness tracking ----------------------------------------
 
     def note_activity(self) -> None:
@@ -220,6 +304,12 @@ class World:
             self._alive.discard(rank)
             self._blocked.pop(rank, None)
 
+    def blocked_count(self) -> int:
+        """Number of ranks currently inside a blocking call (watchdog
+        arming / diagnostics)."""
+        with self._state_lock:
+            return len(self._blocked)
+
     # -- abort handling -------------------------------------------------------
 
     def abort(self, exc: AbortError) -> None:
@@ -230,11 +320,19 @@ class World:
                 self._abort_exc = exc
         for mb in self.mailboxes:
             mb.wake()
+        self.progress.wake_all()
 
     @property
     def aborted(self) -> bool:
         """Whether the world has been aborted."""
         return self._abort_exc is not None
+
+    @property
+    def deadlock_exc(self) -> DeadlockError | None:
+        """The declared deadlock, if the watchdog (or a polling waiter)
+        found one — parked event-mode waiters re-raise it as the root
+        cause instead of a secondary :class:`AbortError`."""
+        return self._deadlock_exc
 
     def check_abort(self) -> None:
         """Raise the recorded :class:`AbortError` if the world aborted."""
@@ -242,27 +340,70 @@ class World:
         if exc is not None:
             raise AbortError(str(exc), origin_rank=exc.origin_rank)
 
-    def wait_event(self, event: threading.Event, rank: int, what: str) -> None:
-        """Abort-aware, deadlock-detecting wait on a plain event (used by
-        synchronous sends, which block until their message is matched)."""
+    def wait_event(self, event: threading.Event | Completion, rank: int, what: str) -> None:
+        """Abort-aware, deadlock-detecting wait on a sync token (used by
+        synchronous sends, which block until their message is matched).
+
+        In event mode a :class:`~repro.mpi.progress.Completion` token
+        parks on the progress engine (one wakeup); otherwise — polling
+        mode, or a plain :class:`threading.Event` — the legacy wait-slice
+        loop runs.
+        """
+        if self.progress.event_mode and isinstance(event, Completion):
+            self.progress.wait((event,), rank, what)
+            return
         self.block_enter(rank, what)
+        wakeups = 0
+        start = time.monotonic()
         try:
             while not event.wait(timeout=self.config.wait_slice):
+                wakeups += 1
                 self.check_abort()
                 self.maybe_detect_deadlock()
         finally:
             self.block_exit(rank)
+            self.record_block_episode(rank, time.monotonic() - start, wakeups)
 
     # -- deadlock detection ----------------------------------------------------
 
-    def maybe_detect_deadlock(self) -> None:
-        """Declare deadlock if every live process is blocked and nothing has
-        moved for the configured grace period.
+    def scan_deadlock(self) -> DeadlockError | None:
+        """Run the all-blocked-and-idle check once; on detection record
+        the :class:`DeadlockError`, abort the world, and return the error
+        (without raising — the caller decides who surfaces it).
 
-        Called by blocked waiters on each wait-slice wakeup.  Safe against
-        false positives: a waiter whose wake condition became true exits its
-        wait (and the blocked set) within one slice, and any message movement
+        Called by the event engine's watchdog thread and by polling
+        waiters via :meth:`maybe_detect_deadlock`.  Safe against false
+        positives: a waiter whose wake condition became true exits its
+        wait (and the blocked set) promptly, and any message movement
         refreshes the activity clock.
+        """
+        if not self.config.deadlock_detection or self.aborted:
+            return None
+        with self._state_lock:
+            alive = len(self._alive)
+            if alive == 0 or len(self._blocked) < alive:
+                return None
+            if time.monotonic() - self._last_activity < self.config.deadlock_grace:
+                return None
+            blocked = dict(self._blocked)
+        detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        err = DeadlockError(
+            f"deadlock detected: all {alive} live processes blocked ({detail})",
+            blocked_on=blocked,
+        )
+        with self._abort_lock:
+            if self._deadlock_exc is None:
+                self._deadlock_exc = err
+        self.abort(AbortError(str(err)))
+        return err
+
+    def maybe_detect_deadlock(self) -> None:
+        """Polling-engine hook: declare deadlock if every live process is
+        blocked and nothing has moved for the configured grace period.
+
+        Called by blocked waiters on each wait-slice wakeup; raises the
+        :class:`DeadlockError` in the detecting waiter.  (The event
+        engine runs the same scan from its watchdog thread instead.)
         """
         if not self.config.deadlock_detection:
             return
@@ -270,20 +411,9 @@ class World:
             # Another process already declared the failure; let the caller's
             # next check_abort unwind this one quietly.
             self.check_abort()
-        with self._state_lock:
-            alive = len(self._alive)
-            if alive == 0 or len(self._blocked) < alive:
-                return
-            if time.monotonic() - self._last_activity < self.config.deadlock_grace:
-                return
-            blocked = dict(self._blocked)
-        detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
-        err = DeadlockError(
-            f"deadlock detected: all {alive} live processes blocked ({detail})",
-            blocked_on=blocked,
-        )
-        self.abort(AbortError(str(err)))
-        raise err
+        err = self.scan_deadlock()
+        if err is not None:
+            raise err
 
     # -- diagnostics -------------------------------------------------------------
 

@@ -115,3 +115,24 @@ class TestFileCoupling:
         gap_first = abs(report.atm_mean_T[0] - report.ocn_mean_T[0])
         gap_last = abs(report.atm_mean_T[-1] - report.ocn_mean_T[-1])
         assert gap_last <= gap_first + 1.0  # no runaway divergence
+
+    def test_poll_times_out_on_missing_file(self, tmp_path):
+        from repro.baselines.file_coupling import _poll_read
+
+        with pytest.raises(ReproError, match="timed out"):
+            _poll_read(tmp_path / "never_appears.npy", timeout=0.05, interval=0.005)
+
+    def test_poll_knobs_validated(self, tmp_path):
+        from repro.baselines.file_coupling import _poll_read
+
+        with pytest.raises(ReproError, match="timeout"):
+            _poll_read(tmp_path / "x.npy", timeout=0.0)
+        with pytest.raises(ReproError, match="interval"):
+            _poll_read(tmp_path / "x.npy", interval=-1.0)
+
+    def test_poll_knobs_plumbed_through_run(self, tmp_path):
+        """A generous custom interval/timeout pair still completes."""
+        report = run_file_coupled(
+            LatLonGrid(4, 8), 2, 3600.0, tmp_path, poll_interval=0.001, poll_timeout=5.0
+        )
+        assert report.nsteps == 2

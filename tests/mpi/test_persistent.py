@@ -131,3 +131,43 @@ class TestMisuse:
 
         with pytest.raises(CommError, match="invalid receive tag"):
             spmd(1, main)
+
+
+class TestStartallRollback:
+    def test_partial_startall_rolls_back(self, spmd):
+        """When startall fails partway, already-started requests are
+        deactivated again — none is left half-armed."""
+
+        def main(comm):
+            first = comm.Recv_init(np.zeros(1), source=0, tag=1)
+            second = comm.Recv_init(np.zeros(1), source=0, tag=2).start()
+            with pytest.raises(CommError, match="already active"):
+                Prequest.startall([first, second])
+            # ``first`` was started then rolled back; ``second`` was the
+            # culprit and keeps its original active cycle.
+            assert not first._active and second._active
+            assert second.cancel()
+            return "rolled back"
+
+        assert spmd(1, main) == ["rolled back"]
+
+    def test_rollback_does_not_swallow_messages(self, spmd):
+        """A posted receive cancelled by the rollback must not consume a
+        message sent later — a fresh start() still matches it."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=3)  # wait until rollback happened
+                comm.Send(np.array([7.0]), 1, tag=1)
+                return None
+            buf = np.zeros(1)
+            recv = comm.Recv_init(buf, source=0, tag=1)
+            bad = comm.Recv_init(np.zeros(1), source=0, tag=2).start()
+            with pytest.raises(CommError, match="already active"):
+                Prequest.startall([recv, bad])
+            comm.send("rolled back", 0, tag=3)
+            recv.start().wait()  # the re-armed cycle gets the message
+            assert bad.cancel()
+            return float(buf[0])
+
+        assert spmd(2, main)[1] == 7.0

@@ -1,0 +1,261 @@
+"""The progress engine: completion tokens, waitsets, the lazy watchdog,
+and the wakeup/blocked-time ledger (repro.mpi.progress).
+
+The load-bearing claims under test:
+
+* an idle blocked rank records **O(1) wakeups** in event mode (woken by
+  delivery only) versus one wakeup per wait slice under polling;
+* abort propagation reaches ranks parked mid-``waitany`` and
+  mid-collective in **both** engine modes;
+* deadlock detection still fires in both modes — including for ranks
+  parked in ``waitany``, which the polling engine's busy-poll never even
+  registered as blocked;
+* misuse (duplicate handles in a wait list, waiting on a cancelled
+  receive, an invalid engine name) raises instead of hanging.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import AbortError, CommError, DeadlockError
+from repro.mpi import Completion, World, WorldConfig, run_spmd
+from repro.mpi.executor import run_world
+from repro.mpi.progress import blocked_bucket
+from repro.mpi.request import Request
+
+
+class TestCompletion:
+    def test_signal_is_idempotent(self):
+        c = Completion()
+        assert not c.done
+        c.signal()
+        c.signal()
+        assert c.done and c.is_set()
+
+    def test_event_style_aliases(self):
+        c = Completion()
+        assert not c.wait(timeout=0.01)
+        c.set()
+        assert c.wait(timeout=0.01)
+
+    def test_engine_wait_returns_immediately_when_done(self):
+        world = World(1)
+        c = Completion()
+        c.signal()
+        fired = world.progress.wait((c,), 0, "pre-signalled")
+        assert fired == [c]
+
+    def test_engine_wait_rejects_empty_list(self):
+        world = World(1)
+        with pytest.raises(CommError):
+            world.progress.wait((), 0, "nothing to wait on")
+
+
+class TestConfigValidation:
+    def test_invalid_engine_name_rejected(self):
+        with pytest.raises(ValueError, match="progress_engine"):
+            WorldConfig(progress_engine="busywait")
+
+    def test_both_engine_names_accepted(self):
+        assert WorldConfig(progress_engine="event").progress_engine == "event"
+        assert WorldConfig(progress_engine="polling").progress_engine == "polling"
+
+
+class TestBlockedBuckets:
+    def test_bucket_edges(self):
+        assert blocked_bucket(0.0001) == "<1ms"
+        assert blocked_bucket(0.005) == "1-10ms"
+        assert blocked_bucket(0.05) == "10-100ms"
+        assert blocked_bucket(0.5) == "100ms-1s"
+        assert blocked_bucket(5.0) == ">=1s"
+
+
+class TestWakeupCeilings:
+    """The measurable heart of the refactor: parked means *parked*."""
+
+    def _blocked_recv_world(self, config: WorldConfig, idle: float) -> World:
+        world = World(2, config)
+
+        def receiver(comm):
+            return comm.recv(source=1, tag=1)
+
+        def sender(comm):
+            time.sleep(idle)
+            comm.send("late", 0, tag=1)
+
+        run_world(world, [receiver, sender], timeout=20)
+        return world
+
+    def test_event_mode_idle_rank_has_constant_wakeups(self):
+        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.5)
+        stats = world.progress_stats(0)
+        assert stats.episodes >= 1
+        assert stats.blocked_seconds > 0.3
+        # Woken by the delivery (plus at most a spurious cond wakeup) —
+        # never once per wait slice.
+        assert stats.wakeups <= 3
+
+    def test_polling_mode_idle_rank_pays_per_slice(self):
+        world = self._blocked_recv_world(
+            WorldConfig(progress_engine="polling", wait_slice=0.02), idle=0.5
+        )
+        stats = world.progress_stats(0)
+        # ~25 slices in 0.5 s; demand at least a third to stay timing-proof.
+        assert stats.wakeups >= 8
+
+    def test_traffic_stats_carry_the_blocking_ledger(self):
+        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.4)
+        traffic = world.traffic_snapshot()
+        assert traffic.blocked_seconds > 0.2
+        assert sum(traffic.blocked_hist.values()) >= 1
+        delta = world.traffic_snapshot().since(traffic)
+        assert delta.blocked_seconds == 0.0 and delta.blocked_hist == {}
+
+    def test_ssend_parks_once_in_event_mode(self):
+        world = World(2, WorldConfig(progress_engine="event"))
+
+        def sender(comm):
+            comm.ssend("sync", 1, tag=3)
+
+        def receiver(comm):
+            time.sleep(0.3)
+            return comm.recv(source=0, tag=3)
+
+        run_world(world, [sender, receiver], timeout=20)
+        stats = world.progress_stats(0)
+        assert stats.episodes >= 1
+        assert stats.wakeups <= 3
+
+
+class TestAbortMidWaitany:
+    def test_abort_unwinds_parked_waitany(self, progress_engine):
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.2)
+                raise RuntimeError("mid-waitany abort")
+            reqs = [comm.irecv(source=0, tag=t) for t in (1, 2, 3)]
+            Request.waitany(reqs)
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="mid-waitany abort"):
+            run_spmd(3, main, config=WorldConfig(progress_engine=progress_engine), timeout=20)
+        assert time.monotonic() - start < 5.0
+
+    def test_abort_unwinds_waitsome_of_sends_and_recvs(self, progress_engine):
+        """A mixed list whose only incomplete entries are receives must
+        still observe the abort (and an all-send list completes eagerly)."""
+
+        def main(comm):
+            if comm.rank == 0:
+                time.sleep(0.2)
+                raise RuntimeError("mixed-list abort")
+            reqs = [comm.isend("x", 0, tag=9), comm.irecv(source=0, tag=8)]
+            while True:
+                done = Request.waitsome(reqs)
+                if len(done) == len(reqs):
+                    return
+                time.sleep(0.01)
+
+        with pytest.raises(RuntimeError, match="mixed-list abort"):
+            run_spmd(2, main, config=WorldConfig(progress_engine=progress_engine), timeout=20)
+
+
+class TestAbortMidCollective:
+    def test_abort_during_collective_storm(self, progress_engine):
+        """Stress: repeated collectives with one rank failing mid-stream;
+        everyone must unwind with the user exception as root cause."""
+
+        def main(comm):
+            for i in range(5):
+                comm.allreduce(comm.rank + i)
+                comm.barrier()
+            if comm.rank == 1:
+                raise RuntimeError("died between collectives")
+            comm.allreduce(0)
+            comm.barrier()
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="died between collectives"):
+            run_spmd(4, main, config=WorldConfig(progress_engine=progress_engine), timeout=20)
+        assert time.monotonic() - start < 10.0
+
+
+class TestDeadlockThroughWaitsets:
+    def test_waitany_cycle_detected_in_event_mode(self):
+        """Ranks parked in waitany count as blocked for the watchdog — a
+        coverage *gain* over the polling busy-poll, which never registered
+        them."""
+
+        def main(comm):
+            req = comm.irecv(source=(comm.rank + 1) % comm.size, tag=7)
+            Request.waitany([req])
+
+        config = WorldConfig(progress_engine="event", deadlock_grace=0.3)
+        with pytest.raises(DeadlockError) as info:
+            run_spmd(2, main, config=config, timeout=20)
+        assert "waitany" in str(info.value)
+
+    def test_watchdog_detects_recv_cycle_quickly(self):
+        config = WorldConfig(
+            progress_engine="event", deadlock_grace=0.3, watchdog_period=0.02
+        )
+
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=1)
+
+        start = time.monotonic()
+        with pytest.raises(DeadlockError):
+            run_spmd(3, main, config=config, timeout=20)
+        # grace 0.3 s + a few watchdog periods, not a poll-slice cascade
+        assert time.monotonic() - start < 5.0
+
+    def test_watchdog_retires_after_the_job(self):
+        world = World(2, WorldConfig(progress_engine="event"))
+
+        def main(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=1)
+            time.sleep(0.2)
+            comm.send("x", 0, tag=1)
+
+        run_world(world, [main, main], timeout=20)
+        deadline = time.monotonic() + 2.0
+        while world.progress._wd_running and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not world.progress._wd_running
+
+
+class TestRequestMisuse:
+    def test_duplicate_handle_in_waitany_raises(self):
+        def main(comm):
+            req = comm.irecv(source=0, tag=5)
+            with pytest.raises(CommError, match="duplicate"):
+                Request.waitany([req, req])
+            assert req.cancel()
+            return "ok"
+
+        assert run_spmd(1, main) == ["ok"]
+
+    def test_duplicate_handle_in_waitsome_raises(self):
+        def main(comm):
+            req = comm.irecv(source=0, tag=5)
+            with pytest.raises(CommError, match="duplicate"):
+                Request.waitsome([req, req])
+            assert req.cancel()
+            return "ok"
+
+        assert run_spmd(1, main) == ["ok"]
+
+    def test_wait_after_cancel_raises_instead_of_hanging(self, progress_engine):
+        def main(comm):
+            req = comm.irecv(source=0, tag=5)
+            assert req.cancel()
+            with pytest.raises(CommError, match="cancelled"):
+                req.wait()
+            with pytest.raises(CommError, match="cancelled"):
+                req.test()
+            return "ok"
+
+        config = WorldConfig(progress_engine=progress_engine)
+        assert run_spmd(1, main, config=config) == ["ok"]
