@@ -4,8 +4,11 @@ The default ``fastpath`` suite runs the three zero-copy fast-path
 kernels with the relevant ``WorldConfig`` flags toggled and records
 median wall-clock times plus the on/off speedup (``BENCH_fastpath.json``);
 ``--suite progress`` instead runs the progress-engine kernels from
-:mod:`bench_progress` under both engines (``BENCH_progress.json``), and
-``--suite all`` runs both.  The fast-path kernels:
+:mod:`bench_progress` under both engines (``BENCH_progress.json``),
+``--suite faults`` runs the fault-injection hook-overhead and
+ULFM-recovery-latency kernels from :mod:`bench_faults`
+(``BENCH_faults.json``), and ``--suite all`` runs everything.  The
+fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
   rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
@@ -113,7 +116,7 @@ def _write_report(report: dict, out: str) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -137,6 +140,14 @@ def main(argv=None) -> None:
         _write_report(run_progress_ablation(),
                       args.out if args.suite == "progress" and args.out
                       else "BENCH_progress.json")
+    if args.suite in ("faults", "all"):
+        try:
+            from benchmarks.bench_faults import run_faults_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_faults import run_faults_ablation
+        _write_report(run_faults_ablation(args.reps),
+                      args.out if args.suite == "faults" and args.out
+                      else "BENCH_faults.json")
 
 
 if __name__ == "__main__":

@@ -64,13 +64,29 @@ def _poll_read(
     if interval <= 0:
         raise ReproError(f"file-coupling poll interval must be > 0, got {interval}")
     deadline = time.monotonic() + timeout
-    while not path.exists():
+    last_error: Exception | None = None
+    while True:
+        if path.exists():
+            # A file that exists but will not parse is truncated or
+            # corrupt (e.g. a writer died mid-write on a filesystem
+            # without atomic rename).  Keep polling — the writer may
+            # still replace it — and fail with a clean ReproError at the
+            # deadline instead of leaking an unpickling traceback.
+            try:
+                return np.load(path)
+            except (ValueError, EOFError, OSError) as exc:
+                last_error = exc
         if time.monotonic() > deadline:
+            if last_error is not None:
+                raise ReproError(
+                    f"file-coupling gave up after {timeout}s: {path.name} exists "
+                    f"but is truncated or corrupt ({type(last_error).__name__}: "
+                    f"{last_error})"
+                ) from last_error
             raise ReproError(
                 f"file-coupling timed out after {timeout}s waiting for {path.name}"
             )
         time.sleep(interval)
-    return np.load(path)
 
 
 def run_file_coupled(

@@ -44,9 +44,10 @@ from repro.climate.coupler import FLUX_TAG_BASE, TEMP_TAG_BASE, FluxCoupler
 from repro.climate.grid import Decomposition, LatLonGrid
 from repro.core.mph import MPH, components_setup
 from repro.core.registry import Registry
-from repro.errors import ReproError
+from repro.errors import ProcessFailedError, ReproError
 from repro.launcher.job import mph_run
 from repro.mpi.comm import Comm
+from repro.mpi.faults import SimulatedCrash
 
 #: Model component kinds (the coupler is handled separately).
 MODEL_KINDS = ("atmosphere", "ocean", "land", "ice")
@@ -63,6 +64,13 @@ _MODEL_CLASSES = {
 
 #: The execution modes :func:`run_ccsm` understands.
 MODES = ("scse", "scme", "mcse", "mcme", "mcme_overlap")
+
+
+class ComponentCrash(SimulatedCrash):
+    """A crash injected by :attr:`CCSMConfig.crash_at` — recoverable
+    within the job (checkpoint restore + flux replay), unlike a
+    schedule-level :class:`~repro.mpi.faults.SimulatedCrash`, which is a
+    fail-stop death of the whole rank."""
 
 
 @dataclass
@@ -126,6 +134,15 @@ class CCSMConfig:
     #: band (results agree with serial to floating-point round-off, not
     #: bitwise: partial-sum order differs).
     coupler_mode: str = "serial"
+    #: Save each component's checkpoint to ``checkpoint_dir`` every N
+    #: completed steps (0 = only at the end).  Enables in-job recovery:
+    #: with periodic checkpoints a crashed component is restarted from its
+    #: last save and replays the logged coupling fluxes, bitwise-exactly.
+    checkpoint_every: int = 0
+    #: Inject a crash: ``(kind, step)`` makes that component fail at the
+    #: top of ``receive_and_step(step)`` (once).  The driver recovers it
+    #: from the last checkpoint and the run continues within the same job.
+    crash_at: Optional[tuple[str, int]] = None
 
     def __post_init__(self) -> None:
         if self.exchange not in ("p2p", "join"):
@@ -139,6 +156,20 @@ class CCSMConfig:
                 "the parallel coupler currently runs over the p2p exchange; "
                 "use exchange='p2p' with coupler_mode='parallel'"
             )
+        if self.checkpoint_every < 0:
+            raise ReproError(f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.checkpoint_every > 0 and self.checkpoint_dir is None:
+            raise ReproError("checkpoint_every needs a checkpoint_dir to write into")
+        if self.crash_at is not None:
+            if self.checkpoint_every <= 0:
+                raise ReproError(
+                    "crash_at recovery needs periodic checkpoints; set checkpoint_every"
+                )
+            if self.exchange != "p2p":
+                raise ReproError(
+                    "crash_at recovery runs over the p2p exchange (a join-mode retry "
+                    "would re-enter collectives the coupler has already completed)"
+                )
 
     # -- accessors -----------------------------------------------------------
 
@@ -218,6 +249,15 @@ class ComponentRunner:
             self._join = mph.comm_join(self.name, self.coupler_name)
             assert self._join is not None
             self._cpl_root = mph.layout.component(self.name).size
+        #: Local coupling fluxes since the last checkpoint, for replay
+        #: after an in-job recovery (``(step, local_flux)`` per entry).
+        self._flux_log: list[tuple[int, Optional[np.ndarray]]] = []
+        self._crash_pending = cfg.crash_at is not None and cfg.crash_at[0] == kind
+        if cfg.checkpoint_every > 0:
+            from repro.climate import checkpoint
+
+            # The initial save covers a crash before the first periodic one.
+            checkpoint.save(self.model, cfg.checkpoint_dir, self.name)
 
     def publish(self, step: int) -> None:
         """Phase 1: hand this component's temperature to the coupler (a
@@ -239,6 +279,11 @@ class ComponentRunner:
     def receive_and_step(self, step: int) -> None:
         """Phase 2: receive the coupling flux and advance one step (zero
         flux when running stand-alone)."""
+        if self._crash_pending and self.cfg.crash_at == (self.kind, step):
+            self._crash_pending = False  # fire once; the retry proceeds
+            raise ComponentCrash(
+                f"injected crash of component {self.name!r} at step {step}"
+            )
         if self.standalone:
             local_flux = None
         elif self._join is not None:
@@ -255,15 +300,58 @@ class ComponentRunner:
                         f"(expected {step}, got {got_step})"
                     )
             local_flux = _scatter_blocks(self.comm, self.cfg.grid(self.kind), full)
+        self._advance(step, local_flux)
+        if (
+            self.cfg.checkpoint_every > 0
+            and self.model.steps_taken % self.cfg.checkpoint_every == 0
+        ):
+            from repro.climate import checkpoint
+
+            checkpoint.save(self.model, self.cfg.checkpoint_dir, self.name)
+            # Fluxes up to the saved step are baked into the checkpoint.
+            self._flux_log = [e for e in self._flux_log if e[0] >= self.model.steps_taken]
+
+    def _advance(self, step: int, local_flux: Optional[np.ndarray]) -> None:
+        """Apply one step's flux and book the histories and replay log."""
+        if self.cfg.checkpoint_every > 0:
+            self._flux_log.append(
+                (step, None if local_flux is None else np.array(local_flux))
+            )
         self.model.step(self.cfg.dt, local_flux)
         self.mean_T.append(self.model.mean_temperature())
         self.energy.append(self.model.energy())
         if isinstance(self.model, SeaIceModel):
             self.mean_thickness.append(self.model.mean_thickness())
 
+    def recover(self) -> int:
+        """Restart this component from its last checkpoint, within the job.
+
+        Collective over the component communicator.  Restores the model
+        state (bitwise), truncates the diagnostic histories to the
+        checkpointed step *k*, then replays the logged coupling fluxes of
+        steps ``k..crash-1`` — deterministic physics makes the replayed
+        trajectory identical to the lost one.  Returns *k*.
+        """
+        from repro.climate import checkpoint
+
+        k = checkpoint.restore(self.model, self.cfg.checkpoint_dir, self.name)
+        del self.mean_T[k + 1 :]
+        del self.energy[k + 1 :]
+        if isinstance(self.model, SeaIceModel):
+            del self.mean_thickness[k + 1 :]
+        replay = [e for e in self._flux_log if e[0] >= k]
+        self._flux_log = []
+        for s, flux in replay:
+            self._advance(s, flux)
+        return k
+
     def diagnostics(self) -> dict[str, Any]:
         """Per-component diagnostics (identical on every component rank
         except ``final_field``, populated on component-local rank 0)."""
+        try:
+            final_field = self.model.temperature.gather_global(root=0)
+        except ProcessFailedError:
+            final_field = None  # a sibling rank died; no assembled field
         out: dict[str, Any] = {
             "kind": self.kind,
             "name": self.name,
@@ -276,7 +364,7 @@ class ComponentRunner:
                 "coupling_in": self.model.budget.coupling_in,
                 "diffusion_residual": self.model.budget.diffusion_residual,
             },
-            "final_field": self.model.temperature.gather_global(root=0),
+            "final_field": final_field,
         }
         if self.mean_thickness:
             out["mean_thickness"] = list(self.mean_thickness)
@@ -303,12 +391,21 @@ class CouplerRunner:
             {k: cfg.grid(k) for k in surfaces},
             {k: cfg.coupling_coeff[k] for k in surfaces},
         )
+        #: Surface components observed dead and dropped from the coupling,
+        #: in detection order (the atmosphere dying is not survivable).
+        self.dropped_components: list[str] = []
         self._joins: dict[str, Comm] = {}
         if cfg.exchange == "join":
             for kind in self.active_kinds:
                 join = mph.comm_join(cfg.name(kind), self.name)
                 assert join is not None
                 self._joins[kind] = join
+
+    def _drop(self, kind: str) -> None:
+        """Degrade the coupling after surface *kind*'s processes died."""
+        self.active_kinds.remove(kind)
+        self.engine.drop_surface(kind)
+        self.dropped_components.append(kind)
 
     def _comp_size(self, kind: str) -> int:
         return self.mph.layout.component(self.cfg.name(kind)).size
@@ -326,10 +423,18 @@ class CouplerRunner:
         if self.comm.rank != 0:
             return  # the p2p coupler is serial on its local processor 0
         temps: dict[str, np.ndarray] = {}
-        for kind in self.active_kinds:
+        for kind in list(self.active_kinds):
             name = self.cfg.name(kind)
             comp_id = self.mph.layout.component(name).comp_id
-            got_name, got_step, full = self.mph.recv(name, 0, TEMP_TAG_BASE + comp_id)
+            try:
+                got_name, got_step, full = self.mph.recv(name, 0, TEMP_TAG_BASE + comp_id)
+            except ProcessFailedError:
+                # A dead surface degrades the coupling; a dead atmosphere
+                # has nothing left to couple — let the failure propagate.
+                if kind == "atmosphere":
+                    raise
+                self._drop(kind)
+                continue
             if got_name != name or got_step != step:
                 raise ReproError(
                     f"coupler protocol out of step: expected ({name}, {step}), got "
@@ -339,11 +444,16 @@ class CouplerRunner:
         atm_flux, sfc_fluxes = self.engine.compute_fluxes(
             temps["atmosphere"], {k: v for k, v in temps.items() if k != "atmosphere"}
         )
-        for kind in self.active_kinds:
+        for kind in list(self.active_kinds):
             name = self.cfg.name(kind)
             comp_id = self.mph.layout.component(name).comp_id
             payload = atm_flux if kind == "atmosphere" else sfc_fluxes[kind]
-            self.mph.send((step, payload), name, 0, FLUX_TAG_BASE + comp_id)
+            try:
+                self.mph.send((step, payload), name, 0, FLUX_TAG_BASE + comp_id)
+            except ProcessFailedError:
+                if kind == "atmosphere":
+                    raise
+                self._drop(kind)
 
     def _step_p2p_parallel(self, step: int) -> None:
         """The distributed coupler: local processor 0 still owns the
@@ -433,6 +543,7 @@ class CouplerRunner:
             "size": self.comm.size,
             "exchange_residual": list(self.engine.exchange_residual),
             "max_exchange_residual": self.engine.max_residual(),
+            "dropped_components": list(self.dropped_components),
         }
 
 
@@ -465,23 +576,45 @@ def _drive(mph: MPH, cfg: CCSMConfig, kinds: tuple[str, ...]) -> dict[str, Any]:
             runners.append(ComponentRunner(mph, cfg, kind, comm))
     runners.sort(key=lambda r: r.comp_id)
 
+    degraded: Optional[str] = None
     for step in range(cfg.nsteps):
-        for r in runners:
-            r.publish(step)
-        if coupler is not None:
-            coupler.step(step)
-        for r in runners:
-            r.receive_and_step(step)
+        try:
+            for r in runners:
+                r.publish(step)
+            if coupler is not None:
+                coupler.step(step)
+            for r in runners:
+                try:
+                    r.receive_and_step(step)
+                except ComponentCrash:
+                    # In-job component restart: restore the last checkpoint,
+                    # replay the logged fluxes, then redo this step — its flux
+                    # message is still queued (the coupler sends eagerly).
+                    r.recover()
+                    r.receive_and_step(step)
+        except ProcessFailedError as exc:
+            # A communication partner this process cannot do without died
+            # (a sibling rank of one of its components, or the coupler):
+            # stop cleanly with the histories produced so far instead of
+            # stalling or aborting the survivors.
+            degraded = str(exc)
+            break
 
     if cfg.checkpoint_dir is not None:
         from repro.climate import checkpoint
 
         for r in runners:
-            checkpoint.save(r.model, cfg.checkpoint_dir, r.name)
+            try:
+                checkpoint.save(r.model, cfg.checkpoint_dir, r.name)
+            except ProcessFailedError:
+                continue  # a dead sibling rank; no consistent state to save
 
     out: dict[str, Any] = {r.kind: r.diagnostics() for r in runners}
     if coupler is not None:
         out["coupler"] = coupler.diagnostics()
+    if degraded is not None:
+        for diag in out.values():
+            diag["degraded"] = degraded
     return out
 
 

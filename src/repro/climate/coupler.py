@@ -104,6 +104,26 @@ class FluxCoupler:
         #: Per-step energy-exchange imbalance (should be round-off).
         self.exchange_residual: list[float] = []
 
+    def drop_surface(self, kind: str) -> None:
+        """Remove surface *kind* from the coupling — the degraded-mode
+        physics after that component's processes die.
+
+        Its area fraction of the atmosphere simply stops exchanging heat;
+        the remaining surfaces keep their coefficients and the energy
+        books still balance over the surviving exchange.  At least one
+        surface must remain.
+        """
+        if kind not in self.surface_grids:
+            raise ReproError(
+                f"unknown surface kind {kind!r}; active: {sorted(self.surface_grids)}"
+            )
+        if len(self.surface_grids) == 1:
+            raise ReproError(f"cannot drop {kind!r}: it is the last surface component")
+        del self.surface_grids[kind]
+        del self.coupling_coeff[kind]
+        del self._to_atm[kind]
+        del self._from_atm[kind]
+
     def compute_fluxes(
         self, atm_temp: np.ndarray, surface_temps: dict[str, np.ndarray]
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:

@@ -29,7 +29,7 @@ from typing import Any, Optional, Sequence
 import numpy as np
 
 from repro.core.mph import MPH
-from repro.errors import MPHError
+from repro.errors import MPHError, ProcessFailedError
 
 #: Reserved world-communicator tags for the ensemble protocol.  User
 #: traffic should avoid this narrow band (documented in the README).
@@ -225,6 +225,10 @@ class EnsembleCollector:
         self._comm = mph.component_comm()
         #: Per-instance streaming time aggregation of the ensemble means.
         self.time_moments = OnlineMoments()
+        #: Instances observed dead, in detection order — the degradation
+        #: report.  Kept identical on every statistics process (rank 0
+        #: detects, :meth:`collect` broadcasts).
+        self.degraded_instances: list[str] = []
 
     @classmethod
     def for_prefix(cls, mph: MPH, prefix: str) -> "EnsembleCollector":
@@ -239,24 +243,54 @@ class EnsembleCollector:
 
     @property
     def k(self) -> int:
-        """Ensemble size."""
+        """Ensemble size as registered (dead instances included)."""
         return len(self.instance_names)
 
+    @property
+    def live_instance_names(self) -> list[str]:
+        """Instances not yet observed dead, in registration order."""
+        dead = set(self.degraded_instances)
+        return [n for n in self.instance_names if n not in dead]
+
+    @property
+    def live_k(self) -> int:
+        """Number of instances still contributing."""
+        return len(self.live_instance_names)
+
     def collect(self, step: int) -> EnsembleStats:
-        """Gather the K instantaneous fields for *step* (collective over
-        the statistics component)."""
-        fields: Optional[dict[str, np.ndarray]] = None
+        """Gather the instantaneous fields for *step* from every live
+        instance (collective over the statistics component).
+
+        An instance whose reporter died is moved to
+        :attr:`degraded_instances` instead of stalling the collection —
+        the surviving K-1 runs keep aggregating, with the ensemble
+        statistics computed over the remaining members (the *degraded
+        mean*).  Raises :class:`MPHError` on every statistics process
+        once no instance is left.
+        """
+        payload: Optional[tuple[dict[str, np.ndarray], list[str]]] = None
         if self._comm.rank == 0:
-            fields = {}
-            for name in self.instance_names:
-                got_name, got_step, field = self.mph.recv(name, 0, REPORT_TAG)
+            fields: dict[str, np.ndarray] = {}
+            for name in self.live_instance_names:
+                try:
+                    got_name, got_step, field = self.mph.recv(name, 0, REPORT_TAG)
+                except ProcessFailedError:
+                    self.degraded_instances.append(name)
+                    continue
                 if got_name != name or got_step != step:
                     raise MPHError(
                         f"ensemble protocol out of step: expected ({name}, {step}), "
                         f"got ({got_name}, {got_step})"
                     )
                 fields[name] = field
-        fields = self._comm.bcast(fields, root=0)
+            payload = (fields, list(self.degraded_instances))
+        fields, dead = self._comm.bcast(payload, root=0)
+        self.degraded_instances = list(dead)
+        if not fields:
+            raise MPHError(
+                f"all {self.k} ensemble instances are dead "
+                f"(degraded_instances={self.degraded_instances}); nothing to collect"
+            )
         stats = EnsembleStats(step=step, fields=fields)
         if self._comm.rank == 0:
             self.time_moments.push(stats.mean)
@@ -267,12 +301,18 @@ class EnsembleCollector:
 
         *controls* maps instance name to an arbitrary decision dict —
         the paper's "future simulation direction can be dynamically
-        adjusted at real time".
+        adjusted at real time".  Dead instances are skipped; an instance
+        that dies under the send is added to :attr:`degraded_instances`
+        (broadcast to the other statistics processes by the next
+        :meth:`collect`).
         """
         if self._comm.rank != 0:
             return
-        for name in self.instance_names:
-            self.mph.send(controls.get(name, {}), name, 0, CONTROL_TAG)
+        for name in self.live_instance_names:
+            try:
+                self.mph.send(controls.get(name, {}), name, 0, CONTROL_TAG)
+            except ProcessFailedError:
+                self.degraded_instances.append(name)
 
     def broadcast_same_control(self, control: dict[str, Any]) -> None:
         """Push one decision to every instance."""

@@ -100,6 +100,9 @@ class HandshakeResult:
     service_comm: Optional[Comm] = None
     #: The declaration this executable made.
     declaration: Optional[Declaration] = None
+    #: Components that lost every process in a re-handshake after a
+    #: failure (empty for the initial handshake).
+    dead_components: tuple[str, ...] = ()
 
     @property
     def my_component_names(self) -> tuple[str, ...]:
@@ -171,6 +174,64 @@ def handshake(world: Comm, decl: Declaration, registry_input) -> HandshakeResult
         world=world,
         service_comm=service,
         declaration=decl,
+    )
+
+
+def rehandshake(prev: HandshakeResult) -> HandshakeResult:
+    """Rebuild the multi-component environment over the survivors of a
+    process failure — the ``MPH_comm_join``-level recovery step.
+
+    Collective over every *live* member of the previous world (the dead
+    ranks are excluded by construction, exactly as in
+    :meth:`~repro.mpi.comm.Comm.shrink`).  The sequence is the ULFM
+    recovery idiom lifted to the MPH layer:
+
+    1. shrink the old world communicator over the survivors;
+    2. degrade the layout — survivors keep their **original** world ids,
+       components that lost every process are recorded in
+       ``dead_components``;
+    3. rebuild the executable, component, and service communicators with
+       ordinary splits over the shrunken world, in a deterministic
+       collective order (executable split, then one split per surviving
+       component in ``comp_id`` order, then the service dup).
+
+    No registry re-read and no new declarations: the degraded layout is
+    derived locally from the old one, so — like the original handshake —
+    every survivor computes an identical map.
+    """
+    assert prev.world is not None
+    new_world = prev.world.shrink("MPH_world")
+    me = new_world.group.world_id(new_world.rank)  # original world id
+    layout, dead = Layout.degrade(prev.layout, new_world.group.members)
+
+    # Executable communicator: one split of the survivors by exe id.
+    exe_comm = new_world.split(prev.exe_id, key=me)
+    assert exe_comm is not None
+    exe_comm.name = f"MPH:exe{prev.exe_id}"
+
+    # Component communicators: one split per surviving component, in
+    # comp_id order — a collective sequence every survivor executes
+    # identically regardless of the original split strategy.
+    comp_comms: dict[str, Comm] = {}
+    for comp in layout.components:
+        member = me in comp.world_ranks
+        comm = new_world.split(0 if member else UNDEFINED, key=me)
+        if comm is not None:
+            comm.name = f"MPH:{comp.name}"
+            comp_comms[comp.name] = comm
+
+    service = new_world.dup("MPH_service")
+    return HandshakeResult(
+        layout=layout,
+        registry=prev.registry,
+        exe_id=prev.exe_id,
+        exe_comm=exe_comm,
+        comp_comms=comp_comms,
+        strategy=prev.strategy,
+        world=new_world,
+        service_comm=service,
+        declaration=prev.declaration,
+        dead_components=dead,
     )
 
 

@@ -71,6 +71,9 @@ def comm_join(mph: "MPH", name_first: str, name_second: str) -> Optional[Comm]:
     if me not in members:
         return None
 
+    # The member list is world ids; the service communicator's ranks only
+    # coincide with them on the full world.  After a post-failure shrink
+    # the translation goes through the service group (identity otherwise).
     service = mph.service_comm
     tag = JOIN_TAG_BASE + a.comp_id * _JOIN_ID_RADIX + b.comp_id
     leader = min(members)
@@ -78,9 +81,9 @@ def comm_join(mph: "MPH", name_first: str, name_second: str) -> Optional[Comm]:
         ctxs = service.world.alloc_context_pair()
         for other in members:
             if other != leader:
-                service.send(ctxs, other, tag)
+                service.send(ctxs, service.group.rank_of(other), tag)
     else:
-        ctxs = service.recv(source=leader, tag=tag)
+        ctxs = service.recv(source=service.group.rank_of(leader), tag=tag)
 
     return Comm(
         service.world,

@@ -12,8 +12,8 @@ address translation (§5.2) read from here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
 
 from repro.core.registry import (
     MultiComponentEntry,
@@ -106,6 +106,48 @@ class Layout:
         self.components: tuple[ComponentInfo, ...] = tuple(components)
         self._by_name: dict[str, ComponentInfo] = {c.name: c for c in self.components}
 
+    # -- degradation after process failure ------------------------------------
+
+    @classmethod
+    def degrade(
+        cls, prev: "Layout", live_world_ids: Iterable[int]
+    ) -> tuple["Layout", tuple[str, ...]]:
+        """The layout that survives a process failure: *prev* with every
+        dead world rank removed.
+
+        World ids are **preserved** — a surviving process keeps its
+        original global id, components keep their ``comp_id``, and
+        executables keep their ``exe_id`` (an executable that lost every
+        process stays in :attr:`executables` with no ranks, so positional
+        ``exe_id`` indexing still works).  Components left with zero
+        processes are dropped from :attr:`components`; their names are
+        returned alongside the new layout so callers can report the
+        degradation.
+
+        Returns ``(layout, dead_component_names)``.  Deterministic: every
+        survivor passing the same live set derives the identical layout,
+        mirroring the original handshake's no-further-communication
+        property.
+        """
+        live = frozenset(live_world_ids)
+        lay = cls.__new__(cls)
+        lay.registry = prev.registry
+        lay.executables = tuple(
+            replace(e, world_ranks=tuple(r for r in e.world_ranks if r in live))
+            for e in prev.executables
+        )
+        survivors: list[ComponentInfo] = []
+        dead: list[str] = []
+        for comp in prev.components:
+            ranks = tuple(r for r in comp.world_ranks if r in live)
+            if ranks:
+                survivors.append(replace(comp, world_ranks=ranks))
+            else:
+                dead.append(comp.name)
+        lay.components = tuple(survivors)
+        lay._by_name = {c.name: c for c in lay.components}
+        return lay, tuple(dead)
+
     # -- lookups --------------------------------------------------------------
 
     def component(self, name: str) -> ComponentInfo:
@@ -181,9 +223,13 @@ class Layout:
         lines = ["executables:"]
         for exe in self.executables:
             names = ", ".join(exe.component_names)
+            span = (
+                f"world ranks {exe.low_proc_limit}..{exe.up_proc_limit}"
+                if exe.world_ranks
+                else "no surviving ranks"
+            )
             lines.append(
-                f"  exe {exe.exe_id}  {exe.kind:<15s} "
-                f"world ranks {exe.low_proc_limit}..{exe.up_proc_limit}  [{names}]"
+                f"  exe {exe.exe_id}  {exe.kind:<15s} {span}  [{names}]"
                 + ("  (overlapping)" if exe.has_overlap else "")
             )
         lines.append("components:")

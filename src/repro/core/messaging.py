@@ -19,7 +19,8 @@ from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
-from repro.mpi.constants import ANY_TAG
+from repro.errors import ProcessFailedError
+from repro.mpi.constants import ANY_TAG, UNDEFINED
 from repro.mpi.request import Request
 from repro.mpi.status import Status
 
@@ -27,16 +28,39 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.mph import MPH
 
 
+def _comm_rank(mph: "MPH", component: str, local_rank: int) -> int:
+    """Translate ``(component, local_rank)`` to a rank of the global world
+    communicator.
+
+    The layout's address translation yields the *original* world id; on
+    the initial (full) world that id equals the communicator rank, so
+    this is the identity.  After a post-failure shrink the world
+    communicator spans only the survivors and the translation goes
+    through its group — a world id that is no longer a member belongs to
+    a dead process, reported as a clean :class:`ProcessFailedError`
+    instead of an out-of-range rank.
+    """
+    wid = mph.global_id(component, local_rank)
+    rank = mph.global_world.group.rank_of(wid)
+    if rank == UNDEFINED:
+        raise ProcessFailedError(
+            f"processor {local_rank} of component {component!r} (world rank {wid}) "
+            "is dead",
+            failed_ranks=(wid,),
+        )
+    return rank
+
+
 def mph_send(mph: "MPH", obj: Any, component: str, local_rank: int, tag: int = 0) -> None:
     """Send *obj* to processor *local_rank* of *component* over the global
     world communicator."""
-    dest = mph.global_id(component, local_rank)
+    dest = _comm_rank(mph, component, local_rank)
     mph.global_world.send(obj, dest, tag)
 
 
 def mph_isend(mph: "MPH", obj: Any, component: str, local_rank: int, tag: int = 0) -> Request:
     """Nonblocking :func:`mph_send`."""
-    dest = mph.global_id(component, local_rank)
+    dest = _comm_rank(mph, component, local_rank)
     return mph.global_world.isend(obj, dest, tag)
 
 
@@ -48,13 +72,13 @@ def mph_recv(
     status: Optional[Status] = None,
 ) -> Any:
     """Receive from processor *local_rank* of *component*."""
-    source = mph.global_id(component, local_rank)
+    source = _comm_rank(mph, component, local_rank)
     return mph.global_world.recv(source, tag, status)
 
 
 def mph_irecv(mph: "MPH", component: str, local_rank: int, tag: int = ANY_TAG) -> Request:
     """Nonblocking :func:`mph_recv`."""
-    source = mph.global_id(component, local_rank)
+    source = _comm_rank(mph, component, local_rank)
     return mph.global_world.irecv(source, tag)
 
 
@@ -71,18 +95,21 @@ def mph_recv_any(
     if status is None:
         status = Status()
     obj = mph.global_world.recv(tag=tag, status=status)
-    infos = mph.layout.components_on(status.source)
+    # status.source is a communicator rank; the layout speaks world ids
+    # (identical on the full world, translated after a shrink).
+    wid = mph.global_world.group.world_id(status.source)
+    infos = mph.layout.components_on(wid)
     if not infos:
-        return obj, "?", status.source
+        return obj, "?", wid
     info = min(infos, key=lambda c: c.comp_id)
-    return obj, info.name, info.local_rank_of(status.source)
+    return obj, info.name, info.local_rank_of(wid)
 
 
 def mph_Send(
     mph: "MPH", array: np.ndarray, component: str, local_rank: int, tag: int = 0
 ) -> None:
     """Buffer-mode send of a numpy array to ``(component, local_rank)``."""
-    dest = mph.global_id(component, local_rank)
+    dest = _comm_rank(mph, component, local_rank)
     mph.global_world.Send(array, dest, tag)
 
 
@@ -95,5 +122,5 @@ def mph_Recv(
     status: Optional[Status] = None,
 ) -> np.ndarray:
     """Buffer-mode receive from ``(component, local_rank)`` into *buf*."""
-    source = mph.global_id(component, local_rank)
+    source = _comm_rank(mph, component, local_rank)
     return mph.global_world.Recv(buf, source, tag, status)

@@ -121,6 +121,31 @@ class MPH:
         processors ranked first (paper §5.1)."""
         return _comm_join(self, name_first, name_second)
 
+    # -- fault recovery --------------------------------------------------------
+
+    def shrink_world(self) -> "MPH":
+        """Rebuild the multi-component environment over the survivors of a
+        process failure; returns a fresh :class:`MPH` handle.
+
+        Collective over every live process of the world (typically called
+        after :meth:`~repro.mpi.comm.Comm.revoke` has knocked all
+        survivors out of their communication pattern).  Survivors keep
+        their original global ids; components that lost every process are
+        listed in the new handle's :attr:`dead_components` and vanish
+        from its layout.  The old handle remains usable only for inquiry.
+        """
+        from repro.core.handshake import rehandshake
+
+        new_mph = MPH(rehandshake(self._hs), env=self._env)
+        new_mph.profile = self.profile
+        return new_mph
+
+    @property
+    def dead_components(self) -> tuple[str, ...]:
+        """Components with zero surviving processes (empty before any
+        :meth:`shrink_world`)."""
+        return self._hs.dead_components
+
     # -- identity / inquiry (paper §5.3) ------------------------------------------
 
     @property
@@ -169,8 +194,14 @@ class MPH:
         return self.component_comm(name).rank
 
     def global_proc_id(self) -> int:
-        """Global processor id in the world (``MPH_global_proc_id``)."""
-        return self.global_world.rank
+        """Global processor id in the world (``MPH_global_proc_id``).
+
+        Always the *original* world id, so layout lookups stay valid even
+        after :meth:`shrink_world` renumbers the communicator ranks (on
+        the full world the two coincide).
+        """
+        world = self.global_world
+        return world.group.world_id(world.rank)
 
     def total_components(self) -> int:
         """Number of components in the application (``MPH_total_components``)."""

@@ -69,6 +69,33 @@ class DeadlockError(MPIError):
         self.blocked_on = dict(blocked_on or {})
 
 
+class ProcessFailedError(MPIError):
+    """An operation involved a process that suffered a fail-stop failure
+    (the ULFM ``MPI_ERR_PROC_FAILED`` analogue).
+
+    Unlike :class:`AbortError` this is *survivable*: the world keeps
+    running, only operations that depend on a dead rank raise, and the
+    survivors can recover with ``Comm.revoke``/``shrink``/``agree`` (or
+    rebuild the MPH layer with ``MPH.shrink_world``).
+    """
+
+    def __init__(self, message: str, *, failed_ranks=()):
+        super().__init__(message)
+        #: World ranks known dead when the error was raised (sorted).
+        self.failed_ranks = tuple(sorted(failed_ranks))
+
+
+class RevokedError(MPIError):
+    """The communicator was revoked (``Comm.revoke``, the ULFM
+    ``MPI_ERR_REVOKED`` analogue): every pending and future operation on
+    it fails so all members can reach the recovery path together."""
+
+    def __init__(self, message: str, *, comm_name: str | None = None):
+        super().__init__(message)
+        #: Name of the revoked communicator, if known.
+        self.comm_name = comm_name
+
+
 class TimeoutError_(MPIError):
     """The job exceeded its wall-clock budget before completing."""
 

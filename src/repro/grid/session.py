@@ -49,13 +49,21 @@ class GridSession:
             raise ReproError(f"cluster names must be non-empty and distinct: {names}")
         self.clusters = list(clusters)
         self.channel = GridChannel(names, latency=latency, bandwidth=bandwidth)
+        #: Per-cluster failures of the last :meth:`run` (empty on success).
+        self.failures: dict[str, BaseException] = {}
 
-    def run(self, timeout: float = 120.0) -> dict[str, JobResult]:
+    def run(
+        self, timeout: float = 120.0, allow_partial: bool = False
+    ) -> dict[str, JobResult]:
         """Run every cluster to completion; returns per-cluster results.
 
-        A failure on any cluster fails the whole session (after every
-        cluster thread has stopped), mirroring how a co-allocated grid job
-        dies together.
+        By default a failure on any cluster fails the whole session (after
+        every cluster thread has stopped), mirroring how a co-allocated
+        grid job dies together.  With ``allow_partial=True`` the session
+        instead survives individual cluster failures: the results of the
+        clusters that finished are returned and the failures are recorded
+        in :attr:`failures` — the grid analogue of degraded ensemble mode.
+        Only when *every* cluster fails is the first failure re-raised.
         """
         results: dict[str, JobResult] = {}
         errors: dict[str, BaseException] = {}
@@ -85,7 +93,8 @@ class GridSession:
             t.join(timeout=timeout + 10.0)
             if t.is_alive():
                 raise ReproError(f"grid session wedged: {t.name} did not finish")
-        if errors:
+        self.failures = dict(errors)
+        if errors and (not allow_partial or not results):
             name, exc = sorted(errors.items())[0]
             raise exc
         return results

@@ -24,6 +24,7 @@ from repro.mpi.group import Group
 from repro.mpi.intercomm import InterComm, create_intercomm
 from repro.mpi.comm import Comm, make_world_comm
 from repro.mpi.executor import ProcResult, run_spmd, run_world
+from repro.mpi.faults import FaultSchedule, SimulatedCrash, random_schedule
 from repro.mpi.reduce_ops import (
     BAND,
     BOR,
@@ -63,6 +64,9 @@ __all__ = [
     "ProcResult",
     "run_spmd",
     "run_world",
+    "FaultSchedule",
+    "SimulatedCrash",
+    "random_schedule",
     "Op",
     "SUM",
     "PROD",

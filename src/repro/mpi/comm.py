@@ -25,7 +25,14 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import AbortError, CollectiveMismatchError, CommError, TruncationError
+from repro.errors import (
+    AbortError,
+    CollectiveMismatchError,
+    CommError,
+    ProcessFailedError,
+    RevokedError,
+    TruncationError,
+)
 from repro.mpi import buffer_collectives, collectives
 from repro.mpi.constants import (
     ANY_SOURCE,
@@ -52,6 +59,17 @@ from repro.mpi.world import World
 #: actually used and a regression test pins ``MAX_TAG_OFFSET < stride``.
 _COLL_TAG_STRIDE = 64
 
+#: Tag space reserved for the ULFM-style recovery operations
+#: (``shrink``/``agree``), far above the collective tag sequence
+#: (collective tags stay below ``(1 << 24) * _COLL_TAG_STRIDE``).
+#: Recovery operations run on the *collective* context with raw
+#: envelopes, bypassing the revocation poisoning on purpose — they are
+#: exactly the operations that must still work on a revoked communicator.
+_RECOVERY_TAG_BASE = 1 << 31
+#: Sub-tags per recovery operation (shrink assignment, agree gather,
+#: agree result).
+_RECOVERY_TAG_STRIDE = 4
+
 
 class Comm:
     """A per-process handle on one communicator.
@@ -71,6 +89,7 @@ class Comm:
         self._rank = rank
         self._p2p_ctx, self._coll_ctx = ctx_pair
         self._coll_seq = 0
+        self._recovery_seq = 0
         self._freed = False
         #: Human-readable communicator name (diagnostics only).
         self.name = name
@@ -124,7 +143,15 @@ class Comm:
     def _check(self) -> None:
         if self._freed:
             raise CommError(f"communicator {self.name!r} has been freed")
-        self._world.check_abort()
+        world = self._world
+        if world.ctx_revoked(self._p2p_ctx):
+            raise RevokedError(
+                f"communicator {self.name!r} has been revoked", comm_name=self.name
+            )
+        world.check_abort()
+        schedule = world.config.fault_schedule
+        if schedule is not None:
+            schedule.on_op(self._my_world_id)
 
     def _check_rank(self, rank: int, role: str) -> None:
         if not 0 <= rank < self.size:
@@ -132,6 +159,12 @@ class Comm:
 
     def _deliver(self, dest: int, env: Envelope) -> None:
         self._world.mailboxes[self._group.world_id(dest)].deliver(env)
+
+    def _world_source(self, source: int) -> Optional[int]:
+        """World rank of a comm-local receive source (``None`` for
+        wildcards) — lets the mailbox fail the receive the moment that
+        rank dies instead of blocking until the watchdog notices."""
+        return None if source == ANY_SOURCE else self._group.world_id(source)
 
     @property
     def _serialization_fastpath(self) -> bool:
@@ -192,7 +225,9 @@ class Comm:
             self._check_rank(source, "source rank")
         if not is_valid_recv_tag(tag):
             raise CommError(f"invalid receive tag {tag}")
-        posted = self._mailbox.post_recv(self._p2p_ctx, source, tag)
+        posted = self._mailbox.post_recv(
+            self._p2p_ctx, source, tag, world_source=self._world_source(source)
+        )
         what = f"recv(source={source}, tag={tag}) on {self.name}"
         return RecvRequest(self._mailbox, posted, _decode_object, what)
 
@@ -261,7 +296,9 @@ class Comm:
             self._check_rank(source, "source rank")
         if not is_valid_recv_tag(tag):
             raise CommError(f"invalid receive tag {tag}")
-        posted = self._mailbox.post_recv(self._p2p_ctx, source, tag)
+        posted = self._mailbox.post_recv(
+            self._p2p_ctx, source, tag, world_source=self._world_source(source)
+        )
         what = f"Recv(source={source}, tag={tag}) on {self.name}"
         env = self._mailbox.wait(posted, what)
         arr = _decode_buffer(env)
@@ -351,7 +388,9 @@ class Comm:
         ``alltoall`` — post their receives *before* sending, so the
         matching envelope lands directly on the posted receive and the
         subsequent :meth:`_coll_complete` parks at most once."""
-        return self._mailbox.post_recv(self._coll_ctx, source, tag)
+        return self._mailbox.post_recv(
+            self._coll_ctx, source, tag, world_source=self._world_source(source)
+        )
 
     def _coll_complete(self, posted: PostedRecv, source: int, opname: str) -> Envelope:
         """Wait on a pre-posted collective receive and validate the
@@ -640,6 +679,140 @@ class Comm:
         if self._my_world_id not in group:
             return None
         return Comm(self._world, group, self._my_world_id, ctxs, name=f"{self.name}.create")
+
+    # -- ULFM-style fault tolerance ------------------------------------------
+
+    @property
+    def revoked(self) -> bool:
+        """Whether this communicator has been revoked."""
+        return self._world.ctx_revoked(self._p2p_ctx)
+
+    def revoke(self) -> None:
+        """Revoke the communicator (the ``MPIX_Comm_revoke`` analogue).
+
+        Non-collective: any member may call it after observing a failure.
+        Every pending receive and probe on the communicator fails with
+        :class:`~repro.errors.RevokedError`, and so does every future
+        operation on any member's handle — which is the point: all
+        surviving members are knocked out of whatever communication
+        pattern they were in and reach the recovery path
+        (:meth:`shrink` / :meth:`agree`) together.  Idempotent.
+
+        A synchronous send already parked on a matched-but-unclaimed
+        message is *not* poisoned (its completion can still arrive);
+        revocation targets receives, probes, and future operations.
+        """
+        if self._freed:
+            raise CommError(f"communicator {self.name!r} has been freed")
+        self._world.revoke_contexts((self._p2p_ctx, self._coll_ctx), self.name)
+
+    def _live_members(self) -> tuple[list[int], list[int]]:
+        """``(comm ranks, world ids)`` of members not known dead, in rank
+        order.  The simulated substrate has a perfect failure detector
+        (the executor records fail-stop deaths synchronously), so every
+        member computes the same answer as long as failures are quiescent
+        during recovery — the standard ULFM assumption."""
+        failed = self._world.failed_ranks
+        live_ranks = [
+            r for r in range(self.size) if self._group.world_id(r) not in failed
+        ]
+        return live_ranks, [self._group.world_id(r) for r in live_ranks]
+
+    def _next_recovery_tag(self) -> int:
+        """Reserved tag for the next recovery operation.  Recovery calls
+        are collective over the live members, so the per-handle sequence
+        stays agreed across ranks."""
+        tag = _RECOVERY_TAG_BASE + self._recovery_seq * _RECOVERY_TAG_STRIDE
+        self._recovery_seq += 1
+        return tag
+
+    def _recovery_send(self, dest: int, tag: int, value: Any) -> None:
+        """Raw recovery-plane send to comm rank *dest* (collective
+        context, reserved tag) — works on a revoked communicator."""
+        blob = Blob.encode(value, allow_array=False)
+        env = Envelope(self._coll_ctx, self._rank, tag, blob, "object", blob.nbytes)
+        self._deliver(dest, env)
+
+    def _recovery_recv(self, source: int, tag: int, what: str) -> Any:
+        """Raw recovery-plane receive from comm rank *source* — fails
+        fast with :class:`ProcessFailedError` if *source* dies."""
+        posted = self._mailbox.post_recv(
+            self._coll_ctx, source, tag, world_source=self._group.world_id(source)
+        )
+        env = self._mailbox.wait(posted, what)
+        return env.payload.decode()
+
+    def shrink(self, name: Optional[str] = None) -> "Comm":
+        """Build a new communicator over the surviving members (the
+        ``MPIX_Comm_shrink`` analogue).
+
+        Collective over every *live* member of this communicator — dead
+        ranks are excluded by construction.  Works on a revoked
+        communicator (that is its main use: revoke, then shrink, then
+        continue on the result).  The lowest-ranked survivor allocates
+        the new context ids and distributes the membership; survivors
+        keep their relative rank order.
+        """
+        if self._freed:
+            raise CommError(f"communicator {self.name!r} has been freed")
+        self._world.check_abort()
+        new_name = name or f"{self.name}.shrink"
+        tag = self._next_recovery_tag()
+        live_ranks, live_wids = self._live_members()
+        coordinator = live_ranks[0]
+        if self._rank == coordinator:
+            ctxs = self._world.alloc_context_pair()
+            for r in live_ranks[1:]:
+                try:
+                    self._recovery_send(r, tag, (ctxs, live_wids))
+                except ProcessFailedError:
+                    continue  # died since the liveness snapshot; shrink goes on
+        else:
+            ctxs, live_wids = self._recovery_recv(
+                coordinator, tag, f"shrink(coordinator={coordinator}) on {self.name}"
+            )
+        return Comm(self._world, Group(live_wids), self._my_world_id, ctxs, name=new_name)
+
+    def agree(self, flag: bool) -> bool:
+        """Fault-tolerant agreement on a boolean (the ``MPIX_Comm_agree``
+        analogue): returns the logical AND of the *flag* values of the
+        members that could contribute.
+
+        Collective over the live members; works on a revoked communicator
+        and in the presence of dead ranks.  A member that dies during the
+        agreement simply stops contributing — the survivors still all
+        return the same value, which is the property recovery protocols
+        need ("did everyone checkpoint step N?").
+        """
+        if self._freed:
+            raise CommError(f"communicator {self.name!r} has been freed")
+        self._world.check_abort()
+        tag = self._next_recovery_tag()
+        live_ranks, _ = self._live_members()
+        coordinator = live_ranks[0]
+        if self._rank == coordinator:
+            result = bool(flag)
+            for r in live_ranks[1:]:
+                try:
+                    result = result and bool(
+                        self._recovery_recv(
+                            r, tag, f"agree(gather from {r}) on {self.name}"
+                        )
+                    )
+                except ProcessFailedError:
+                    continue
+            for r in live_ranks[1:]:
+                try:
+                    self._recovery_send(r, tag + 1, result)
+                except ProcessFailedError:
+                    continue
+            return result
+        self._recovery_send(coordinator, tag, bool(flag))
+        return bool(
+            self._recovery_recv(
+                coordinator, tag + 1, f"agree(result from {coordinator}) on {self.name}"
+            )
+        )
 
     def free(self) -> None:
         """Mark the handle freed; subsequent use raises ``CommError``."""

@@ -20,6 +20,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.errors import AbortError, DeadlockError, TimeoutError_
 from repro.mpi.comm import Comm, make_world_comm
+from repro.mpi.faults import SimulatedCrash
 from repro.mpi.world import World, WorldConfig
 
 #: Per-rank entry point: receives the process's ``COMM_WORLD`` handle.
@@ -72,15 +73,23 @@ def run_world(
         comm = make_world_comm(world, rank)
         try:
             results[rank].value = rank_fns[rank](comm, *fn_args, **fn_kwargs)
+        except SimulatedCrash as exc:
+            # Injected fail-stop death: the rank is dead but the world
+            # lives on (ULFM semantics) — survivors see ProcessFailedError
+            # from operations involving this rank, never a world abort.
+            results[rank].exception = exc
+            world.proc_failed(rank)
         except BaseException as exc:  # noqa: BLE001 - report all failures
             results[rank].exception = exc
             if not isinstance(exc, AbortError):
-                world.abort(
-                    AbortError(
-                        f"world rank {rank} raised {type(exc).__name__}: {exc}",
-                        origin_rank=rank,
-                    )
+                abort_exc = AbortError(
+                    f"world rank {rank} raised {type(exc).__name__}: {exc}",
+                    origin_rank=rank,
                 )
+                # Chain the real root cause so sibling ranks' AbortErrors
+                # (re-raised by World.check_abort) carry it as __cause__.
+                abort_exc.__cause__ = exc
+                world.abort(abort_exc)
         finally:
             world.proc_done(rank)
 
@@ -122,9 +131,23 @@ def run_world(
 
 
 def _raise_root_cause(results: Sequence[ProcResult]) -> None:
-    """Re-raise the most informative failure among per-rank exceptions."""
-    failures = [r for r in results if r.exception is not None]
+    """Re-raise the most informative failure among per-rank exceptions.
+
+    An injected :class:`SimulatedCrash` is a *survivable* fail-stop death:
+    if any rank completed normally the job as a whole succeeded in
+    degraded mode, and the crash stays recorded in that rank's
+    :class:`ProcResult` instead of being raised.  It is only raised when
+    nobody survived and nothing more informative exists.
+    """
+    failures = [
+        r
+        for r in results
+        if r.exception is not None and not isinstance(r.exception, SimulatedCrash)
+    ]
     if not failures:
+        crashes = [r for r in results if isinstance(r.exception, SimulatedCrash)]
+        if crashes and all(r.exception is not None for r in results):
+            raise crashes[0].exception
         return
     for bucket in (
         lambda e: not isinstance(e, (AbortError, DeadlockError)),

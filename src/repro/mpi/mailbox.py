@@ -33,7 +33,7 @@ import time
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
-from repro.errors import AbortError, CommError
+from repro.errors import AbortError, CommError, ProcessFailedError, RevokedError
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
 from repro.mpi.progress import Completion
 from repro.mpi.serialization import payload_nbytes
@@ -107,9 +107,21 @@ class Envelope:
 class PostedRecv:
     """A posted receive awaiting a matching envelope."""
 
-    __slots__ = ("context", "source", "tag", "envelope", "completion", "cancelled")
+    __slots__ = (
+        "context",
+        "source",
+        "tag",
+        "envelope",
+        "completion",
+        "cancelled",
+        "world_source",
+        "failed_rank",
+        "revoked",
+    )
 
-    def __init__(self, context: int, source: int, tag: int):
+    def __init__(
+        self, context: int, source: int, tag: int, world_source: Optional[int] = None
+    ):
         self.context = context
         self.source = source
         self.tag = tag
@@ -121,6 +133,16 @@ class PostedRecv:
         #: Set by a successful :meth:`Mailbox.cancel`; waiting on a
         #: cancelled receive raises instead of blocking forever.
         self.cancelled = False
+        #: *World* rank of the expected sender (``None`` for wildcard
+        #: receives) — lets :meth:`Mailbox.fail_posted_from` fail this
+        #: receive the moment that rank dies.
+        self.world_source = world_source
+        #: World rank whose fail-stop death doomed this receive (waiting
+        #: on it raises :class:`~repro.errors.ProcessFailedError`).
+        self.failed_rank: Optional[int] = None
+        #: Set when the owning communicator was revoked (waiting raises
+        #: :class:`~repro.errors.RevokedError`).
+        self.revoked = False
 
     def accepts(self, env: Envelope) -> bool:
         """Whether this posted receive accepts *env*."""
@@ -173,7 +195,32 @@ class Mailbox:
 
     def deliver(self, env: Envelope) -> None:
         """Hand an envelope to this mailbox, matching a posted receive if
-        one accepts it, else queueing it as pending."""
+        one accepts it, else queueing it as pending.
+
+        Fails fast with :class:`~repro.errors.ProcessFailedError` when
+        the owner is dead (a send to a failed rank must error, not
+        vanish), and applies the world's armed
+        :class:`~repro.mpi.faults.FaultSchedule` — drop, delay,
+        duplication, corruption — on the sender's thread.
+        """
+        world = self._world
+        if world.rank_failed(self.owner):
+            raise ProcessFailedError(
+                f"delivery to failed world rank {self.owner} "
+                f"(source rank {env.source}, tag {env.tag})",
+                failed_ranks=(self.owner,),
+            )
+        schedule = world.config.fault_schedule
+        if schedule is not None:
+            envs = schedule.on_deliver(self.owner, env)
+            if not envs:
+                return  # dropped: the message silently never arrives
+            for extra in envs[:-1]:
+                self._deliver_one(extra)
+            env = envs[-1]
+        self._deliver_one(env)
+
+    def _deliver_one(self, env: Envelope) -> None:
         self._world.record_traffic(env.kind, _payload_bytes(env), env.copy_avoided)
         matched: Optional[PostedRecv] = None
         probe_hits: list[Completion] = []
@@ -210,9 +257,23 @@ class Mailbox:
 
     # -- receiving (called from the *owner's* thread) ----------------------
 
-    def post_recv(self, context: int, source: int, tag: int) -> PostedRecv:
-        """Post a receive; match immediately against pending envelopes."""
-        pr = PostedRecv(context, source, tag)
+    def post_recv(
+        self,
+        context: int,
+        source: int,
+        tag: int,
+        world_source: Optional[int] = None,
+    ) -> PostedRecv:
+        """Post a receive; match immediately against pending envelopes.
+
+        *world_source* is the expected sender's world rank (``None`` for
+        wildcards).  Eager delivery means everything a rank sent before
+        dying is already pending, so a receive posted against an
+        already-dead rank with no pending match can never complete — it
+        is failed at post time (the waiter raises
+        :class:`~repro.errors.ProcessFailedError`).
+        """
+        pr = PostedRecv(context, source, tag, world_source)
         claimed: Optional[Envelope] = None
         with self._cond:
             for env in self._pending:
@@ -222,12 +283,17 @@ class Mailbox:
                     claimed = env
                     break
             else:
-                self._posted.append(pr)
+                if world_source is not None and self._world.rank_failed(world_source):
+                    pr.failed_rank = world_source
+                else:
+                    self._posted.append(pr)
         if claimed is not None:
             pr.completion.signal()
             self._world.note_activity()
             if claimed.sync_event is not None:
                 claimed.sync_event.set()
+        elif pr.failed_rank is not None:
+            pr.completion.signal()
         return pr
 
     def cancel(self, pr: PostedRecv) -> bool:
@@ -255,14 +321,20 @@ class Mailbox:
         ------
         CommError
             If *pr* was cancelled — its message can never arrive.
+        ProcessFailedError
+            If the expected sender died — its message can never arrive.
+        RevokedError
+            If the communicator was revoked while the receive was pending.
         """
         if pr.envelope is not None:
             return pr.envelope
         if pr.cancelled:
             raise CommError(f"wait on a cancelled receive: {what}")
+        self._check_doomed(pr, what)
         world = self._world
         if world.progress.event_mode:
             world.progress.wait((pr.completion,), self.owner, what)
+            self._check_doomed(pr, what)
             assert pr.envelope is not None
             return pr.envelope
         world.block_enter(self.owner, what)
@@ -274,6 +346,7 @@ class Mailbox:
                     if pr.envelope is not None:
                         return pr.envelope
                     world.check_abort()
+                    self._check_doomed(pr, what)
                     self._cond.wait(timeout=self._wait_slice)
                     wakeups += 1
                 # The deadlock check may abort the world and wake every
@@ -283,6 +356,17 @@ class Mailbox:
         finally:
             world.block_exit(self.owner)
             world.record_block_episode(self.owner, time.monotonic() - start, wakeups)
+
+    @staticmethod
+    def _check_doomed(pr: PostedRecv, what: str) -> None:
+        """Raise if *pr* can never complete (dead sender / revoked comm)."""
+        if pr.failed_rank is not None and pr.envelope is None:
+            raise ProcessFailedError(
+                f"receive from failed world rank {pr.failed_rank}: {what}",
+                failed_ranks=(pr.failed_rank,),
+            )
+        if pr.revoked and pr.envelope is None:
+            raise RevokedError(f"communicator revoked while blocked in {what}")
 
     # -- probing -----------------------------------------------------------
 
@@ -312,6 +396,8 @@ class Mailbox:
             # thread parked here, so a signalled match cannot vanish
             # before the re-scan.
             while True:
+                if world.ctx_revoked(context):
+                    raise RevokedError(f"communicator revoked while blocked in {what}")
                 watcher = Completion()
                 with self._cond:
                     env = scan()
@@ -335,6 +421,10 @@ class Mailbox:
                     if env is not None:
                         return env
                     world.check_abort()
+                    if world.ctx_revoked(context):
+                        raise RevokedError(
+                            f"communicator revoked while blocked in {what}"
+                        )
                     self._cond.wait(timeout=self._wait_slice)
                     wakeups += 1
                 world.maybe_detect_deadlock()
@@ -348,6 +438,55 @@ class Mailbox:
         """Wake all waiters (used by :meth:`World.abort`)."""
         with self._cond:
             self._cond.notify_all()
+
+    def fail_posted_from(self, world_rank: int) -> None:
+        """Fail every unmatched posted receive that can only be satisfied
+        by *world_rank* (called by :meth:`World.proc_failed` when that
+        rank dies).  Wildcard receives are untouched — another sender may
+        still satisfy them; a global stall is caught by the watchdog's
+        failure pulse instead."""
+        doomed: list[PostedRecv] = []
+        with self._cond:
+            keep: deque[PostedRecv] = deque()
+            for pr in self._posted:
+                if pr.world_source == world_rank and pr.envelope is None:
+                    pr.failed_rank = world_rank
+                    doomed.append(pr)
+                else:
+                    keep.append(pr)
+            self._posted = keep
+            if doomed:
+                self._cond.notify_all()
+        for pr in doomed:
+            pr.completion.signal()
+
+    def revoke_ctxs(self, ctxs: set, comm_name: str) -> None:
+        """Fail every unmatched posted receive and wake every probe on the
+        given context ids (called by :meth:`World.revoke_contexts`)."""
+        doomed: list[PostedRecv] = []
+        probe_hits: list[Completion] = []
+        with self._cond:
+            keep: deque[PostedRecv] = deque()
+            for pr in self._posted:
+                if pr.context in ctxs and pr.envelope is None:
+                    pr.revoked = True
+                    doomed.append(pr)
+                else:
+                    keep.append(pr)
+            self._posted = keep
+            watchers = []
+            for watcher in self._probe_watchers:
+                if watcher[1][0] in ctxs:
+                    probe_hits.append(watcher[0])
+                else:
+                    watchers.append(watcher)
+            self._probe_watchers = watchers
+            if doomed or probe_hits:
+                self._cond.notify_all()
+        for pr in doomed:
+            pr.completion.signal()
+        for completion in probe_hits:
+            completion.signal()
 
     def stats(self) -> tuple[int, int]:
         """Return ``(pending, posted)`` queue depths (diagnostics only)."""

@@ -212,7 +212,9 @@ class ProgressEngine:
         Returns the completions known to have fired (callers re-test their
         requests — more may fire after return).  Raises
         :class:`~repro.errors.DeadlockError` when the watchdog declared
-        deadlock while we were parked, or
+        deadlock while we were parked,
+        :class:`~repro.errors.ProcessFailedError` when the failure
+        detector found the survivors stalled on dead ranks, or
         :class:`~repro.errors.AbortError` on any other world abort.  The
         episode (duration + wakeup count) is recorded on the world either
         way.
@@ -224,6 +226,7 @@ class ProgressEngine:
         world = self._world
         ws = Waitset()
         start = time.monotonic()
+        pulse0 = world.failure_pulse
         world.block_enter(rank, what)
         self._arm_watchdog()
         with self._reg_lock:
@@ -240,7 +243,7 @@ class ProgressEngine:
                 return fired
             with ws._cond:
                 while not ws._fired:
-                    self._check_failure()
+                    self._check_failure(pulse0)
                     ws._cond.wait()
                     ws.wakeups += 1
                 return list(ws._fired)
@@ -252,13 +255,24 @@ class ProgressEngine:
             world.block_exit(rank)
             world.record_block_episode(rank, time.monotonic() - start, ws.wakeups)
 
-    def _check_failure(self) -> None:
-        """Raise the world's failure for a parked waiter: the declared
-        :class:`DeadlockError` when one exists (so the root cause survives
-        to the driver), otherwise the recorded abort."""
-        from repro.errors import DeadlockError
+    def _check_failure(self, pulse0: int = -1) -> None:
+        """Raise the world's failure for a parked waiter: a
+        :class:`ProcessFailedError` when the failure detector pulsed while
+        we were parked (dead ranks stalled the survivors — the world is
+        *not* aborted), the declared :class:`DeadlockError` when one
+        exists (so the root cause survives to the driver), otherwise the
+        recorded abort."""
+        from repro.errors import DeadlockError, ProcessFailedError
 
         world = self._world
+        if pulse0 >= 0 and world.failure_pulse != pulse0:
+            failed = world.failed_ranks
+            if failed:
+                raise ProcessFailedError(
+                    f"process failure: world rank(s) {sorted(failed)} died while "
+                    f"this rank was blocked",
+                    failed_ranks=failed,
+                )
         if not world.aborted:
             return
         dl = world.deadlock_exc

@@ -19,10 +19,14 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
-from repro.errors import AbortError, DeadlockError
+from repro.errors import AbortError, DeadlockError, ProcessFailedError
 from repro.mpi.mailbox import Mailbox
 from repro.mpi.progress import Completion, ProgressEngine, RankProgress, blocked_bucket
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.faults import FaultSchedule
 
 
 @dataclass
@@ -153,6 +157,13 @@ class WorldConfig:
         The paper's Section 4.3 limit ("Each executable could contain up to
         10 components") — consulted by MPH, carried here so one config object
         travels with the job.
+    fault_schedule :
+        A :class:`repro.mpi.faults.FaultSchedule` of injected failures
+        (rank crashes, message drop/delay/duplication/corruption,
+        slow-rank jitter), or ``None`` (the default) for a fault-free
+        world.  When ``None`` the hooks cost one ``is None`` branch per
+        operation and per delivery (``benchmarks/bench_faults.py``
+        verifies the overhead stays under 2%).
     """
 
     bcast_algorithm: str = "binomial"
@@ -169,6 +180,7 @@ class WorldConfig:
     watchdog_period: float = 0.05
     wait_slice: float = 0.05
     max_components_per_executable: int = 10
+    fault_schedule: Optional["FaultSchedule"] = None
 
     def __post_init__(self) -> None:
         if self.progress_engine not in ("event", "polling"):
@@ -201,6 +213,14 @@ class World:
         self._blocked: dict[int, str] = {}
         self._activity = 0
         self._last_activity = time.monotonic()
+
+        # ULFM-style failure state: ranks dead by fail-stop crash (the
+        # world keeps running), a monotonic pulse bumped whenever the
+        # failure detector finds survivors stalled on a dead rank, and
+        # the context ids of revoked communicators.
+        self._failed: set[int] = set()
+        self._failure_pulse = 0
+        self._revoked_ctxs: set[int] = set()
 
         self._abort_lock = threading.Lock()
         self._abort_exc: AbortError | None = None
@@ -304,6 +324,70 @@ class World:
             self._alive.discard(rank)
             self._blocked.pop(rank, None)
 
+    # -- process failure (ULFM semantics) -----------------------------------
+
+    def proc_failed(self, rank: int) -> None:
+        """Record the fail-stop death of *rank*.
+
+        Unlike :meth:`abort` the world keeps running: survivors proceed,
+        and only operations that involve the dead rank raise
+        :class:`~repro.errors.ProcessFailedError` — receives posted
+        against it fail immediately, deliveries into its mailbox fail the
+        sender, and survivors stalled *indirectly* are released by the
+        watchdog's failure pulse (see :meth:`scan_deadlock`).
+        """
+        with self._state_lock:
+            if rank in self._failed:
+                return
+            self._failed.add(rank)
+            self._alive.discard(rank)
+            self._blocked.pop(rank, None)
+        for mb in self.mailboxes:
+            mb.fail_posted_from(rank)
+        for mb in self.mailboxes:
+            mb.wake()
+        self.progress.wake_all()
+
+    def rank_failed(self, rank: int) -> bool:
+        """Whether *rank* died by fail-stop failure."""
+        return bool(self._failed) and rank in self._failed
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """World ranks dead by fail-stop failure."""
+        with self._state_lock:
+            return frozenset(self._failed)
+
+    @property
+    def failure_pulse(self) -> int:
+        """Monotonic counter bumped each time the failure detector finds
+        every survivor blocked with dead ranks present; parked waiters
+        compare it against their entry value to learn of the stall."""
+        return self._failure_pulse
+
+    # -- communicator revocation (ULFM semantics) ---------------------------
+
+    def revoke_contexts(self, ctxs, comm_name: str) -> None:
+        """Revoke the communicator owning context ids *ctxs*: pending
+        receives and probes on those contexts fail with
+        :class:`~repro.errors.RevokedError`, and ``Comm._check`` fails
+        all future operations.  Idempotent."""
+        ctxs = tuple(ctxs)
+        with self._state_lock:
+            if all(c in self._revoked_ctxs for c in ctxs):
+                return
+            self._revoked_ctxs.update(ctxs)
+        ctx_set = set(ctxs)
+        for mb in self.mailboxes:
+            mb.revoke_ctxs(ctx_set, comm_name)
+        for mb in self.mailboxes:
+            mb.wake()
+        self.progress.wake_all()
+
+    def ctx_revoked(self, ctx: int) -> bool:
+        """Whether context id *ctx* belongs to a revoked communicator."""
+        return bool(self._revoked_ctxs) and ctx in self._revoked_ctxs
+
     def blocked_count(self) -> int:
         """Number of ranks currently inside a blocking call (watchdog
         arming / diagnostics)."""
@@ -335,10 +419,18 @@ class World:
         return self._deadlock_exc
 
     def check_abort(self) -> None:
-        """Raise the recorded :class:`AbortError` if the world aborted."""
+        """Raise the recorded :class:`AbortError` if the world aborted.
+
+        Each raising rank gets its own exception instance (a shared one
+        would interleave tracebacks across threads), chained to the
+        originating rank's real exception via ``__cause__`` so failure
+        diagnostics survive propagation to sibling ranks.
+        """
         exc = self._abort_exc
         if exc is not None:
-            raise AbortError(str(exc), origin_rank=exc.origin_rank)
+            sibling = AbortError(str(exc), origin_rank=exc.origin_rank)
+            sibling.__cause__ = exc.__cause__
+            raise sibling
 
     def wait_event(self, event: threading.Event | Completion, rank: int, what: str) -> None:
         """Abort-aware, deadlock-detecting wait on a sync token (used by
@@ -366,10 +458,18 @@ class World:
 
     # -- deadlock detection ----------------------------------------------------
 
-    def scan_deadlock(self) -> DeadlockError | None:
+    def scan_deadlock(self) -> DeadlockError | ProcessFailedError | None:
         """Run the all-blocked-and-idle check once; on detection record
         the :class:`DeadlockError`, abort the world, and return the error
         (without raising — the caller decides who surfaces it).
+
+        When dead ranks are present the same stall is a *process-failure*
+        stall, not a deadlock: survivors are waiting (directly or
+        transitively) on ranks that can never answer.  The scan then
+        bumps the failure pulse and wakes everyone — each parked waiter
+        raises :class:`~repro.errors.ProcessFailedError` for itself — and
+        the world is **not** aborted, so survivors that handle the error
+        keep running (ULFM semantics).
 
         Called by the event engine's watchdog thread and by polling
         waiters via :meth:`maybe_detect_deadlock`.  Safe against false
@@ -381,12 +481,26 @@ class World:
             return None
         with self._state_lock:
             alive = len(self._alive)
+            failed = frozenset(self._failed)
             if alive == 0 or len(self._blocked) < alive:
                 return None
             if time.monotonic() - self._last_activity < self.config.deadlock_grace:
                 return None
             blocked = dict(self._blocked)
         detail = "; ".join(f"rank {r}: {w}" for r, w in sorted(blocked.items()))
+        if failed:
+            err: DeadlockError | ProcessFailedError = ProcessFailedError(
+                f"process failure stalled the job: rank(s) {sorted(failed)} dead, "
+                f"all {alive} survivors blocked ({detail})",
+                failed_ranks=failed,
+            )
+            with self._state_lock:
+                self._failure_pulse += 1
+                self._last_activity = time.monotonic()
+            for mb in self.mailboxes:
+                mb.wake()
+            self.progress.wake_all()
+            return err
         err = DeadlockError(
             f"deadlock detected: all {alive} live processes blocked ({detail})",
             blocked_on=blocked,
@@ -402,8 +516,10 @@ class World:
         blocked and nothing has moved for the configured grace period.
 
         Called by blocked waiters on each wait-slice wakeup; raises the
-        :class:`DeadlockError` in the detecting waiter.  (The event
-        engine runs the same scan from its watchdog thread instead.)
+        :class:`DeadlockError` — or, when dead ranks are present,
+        :class:`~repro.errors.ProcessFailedError` — in the detecting
+        waiter.  (The event engine runs the same scan from its watchdog
+        thread instead.)
         """
         if not self.config.deadlock_detection:
             return
@@ -422,8 +538,10 @@ class World:
         with self._state_lock:
             alive = sorted(self._alive)
             blocked = dict(self._blocked)
+            failed = sorted(self._failed)
         return {
             "alive": alive,
             "blocked": blocked,
+            "failed": failed,
             "queues": {r: mb.stats() for r, mb in enumerate(self.mailboxes)},
         }

@@ -1,6 +1,8 @@
 """Baselines: the pre-MPH approaches, and the comparisons the paper draws
 (experiments E10 and E12)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -136,3 +138,38 @@ class TestFileCoupling:
             LatLonGrid(4, 8), 2, 3600.0, tmp_path, poll_interval=0.001, poll_timeout=5.0
         )
         assert report.nsteps == 2
+
+    def test_corrupt_partner_file_is_clean_error(self, tmp_path):
+        """A file that exists but will not parse (writer died mid-write)
+        must surface as a ReproError naming the file, not a raw
+        numpy/pickle traceback."""
+        from repro.baselines.file_coupling import _poll_read
+
+        bad = tmp_path / "ocn_00000.npy"
+        bad.write_bytes(b"\x93NUMPY garbage that is not a valid header")
+        with pytest.raises(ReproError, match="truncated or corrupt") as info:
+            _poll_read(bad, timeout=0.05, interval=0.005)
+        assert info.value.__cause__ is not None
+
+    def test_truncated_file_replaced_mid_poll_recovers(self, tmp_path):
+        """Polling keeps retrying a corrupt file: once the writer replaces
+        it with a valid one, the read succeeds."""
+        import threading
+
+        from repro.baselines.file_coupling import _poll_read, _write_atomic
+
+        path = tmp_path / "atm_00000.npy"
+        path.write_bytes(b"partial")
+        good = np.arange(6.0)
+
+        def fix():
+            time.sleep(0.05)
+            _write_atomic(path, good)
+
+        t = threading.Thread(target=fix)
+        t.start()
+        try:
+            got = _poll_read(path, timeout=5.0, interval=0.005)
+        finally:
+            t.join()
+        np.testing.assert_array_equal(got, good)

@@ -262,3 +262,54 @@ class TestSessionFailures:
         )
         assert set(res["big"].values()) == {4}
         assert set(res["small"].values()) == {1}
+
+
+class TestPartialSessions:
+    def test_allow_partial_survives_one_cluster_failure(self):
+        def bad(gmph, mph):
+            raise RuntimeError("site outage")
+
+        def good(gmph, mph):
+            return "fine"
+
+        session = GridSession(
+            [
+                ClusterSpec("a", [(simple_component("x", bad), 1)], registry="BEGIN\nx\nEND"),
+                ClusterSpec("b", [(simple_component("y", good), 1)], registry="BEGIN\ny\nEND"),
+            ]
+        )
+        results = session.run(allow_partial=True)
+        assert sorted(results) == ["b"]
+        assert set(session.failures) == {"a"}
+        assert isinstance(session.failures["a"], RuntimeError)
+
+    def test_allow_partial_still_fails_when_every_cluster_dies(self):
+        def bad(gmph, mph):
+            raise RuntimeError("total outage")
+
+        session = GridSession(
+            [
+                ClusterSpec("a", [(simple_component("x", bad), 1)], registry="BEGIN\nx\nEND"),
+                ClusterSpec("b", [(simple_component("y", bad), 1)], registry="BEGIN\ny\nEND"),
+            ]
+        )
+        with pytest.raises(RuntimeError, match="total outage"):
+            session.run(allow_partial=True)
+        assert set(session.failures) == {"a", "b"}
+
+    def test_default_remains_all_or_nothing(self):
+        def bad(gmph, mph):
+            raise RuntimeError("site outage")
+
+        def good(gmph, mph):
+            return "fine"
+
+        session = GridSession(
+            [
+                ClusterSpec("a", [(simple_component("x", bad), 1)], registry="BEGIN\nx\nEND"),
+                ClusterSpec("b", [(simple_component("y", good), 1)], registry="BEGIN\ny\nEND"),
+            ]
+        )
+        with pytest.raises(RuntimeError, match="site outage"):
+            session.run()
+        assert set(session.failures) == {"a"}
