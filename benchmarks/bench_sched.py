@@ -1,0 +1,153 @@
+"""Schedule-exploration ablation kernels: what does the match-schedule
+hook cost when it is off, and what does arming one cost?
+
+Three configurations per kernel, answered in ``BENCH_sched.json``:
+
+* **disabled** (twice — the second run is the noise floor): no
+  :class:`~repro.mpi.sched.MatchSchedule` armed.  The hooks in
+  ``Mailbox.post_recv``/``Mailbox._deliver_one``/``Mailbox.probe`` and
+  ``Request.waitany`` are one ``is None`` branch each, so the disabled
+  cost must be indistinguishable from the noise between two identical
+  disabled runs (the <1% claim).
+* **armed_inert**: a fifo schedule with holds off — every operation pays
+  the trace recording and counter bookkeeping but no decision ever
+  deviates from the baseline.
+* **armed_random**: the default exploration schedule (seeded choices,
+  25% holds) — the full price of a sweep run, for context.
+
+Kernels: the PR-1 empty-roundtrip op loop (tightest per-operation view)
+and a wildcard fan-in (the path where the schedule actually has choices
+to weigh).  Driver: ``compare.py --suite sched``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.mpi import MatchSchedule, WorldConfig, run_spmd
+from repro.mpi.constants import ANY_SOURCE
+
+
+def _op_loop_kernel(config: WorldConfig) -> float:
+    """Seconds for 2000 empty send/recv roundtrips, timed *inside* one
+    long-lived 2-rank world — no per-sample world start-up."""
+    ops = 2000
+
+    def main(comm):
+        peer = 1 - comm.rank
+        if comm.rank == 0:
+            t0 = time.perf_counter()
+            for i in range(ops):
+                comm.send(None, peer, tag=1)
+                comm.recv(source=peer, tag=1)
+            return time.perf_counter() - t0
+        for i in range(ops):
+            comm.recv(source=peer, tag=1)
+            comm.send(None, peer, tag=1)
+        return None
+
+    return run_spmd(2, main, config=config)[0]
+
+
+def _fan_in_kernel(config: WorldConfig) -> float:
+    """Seconds for 500 wildcard fan-in rounds (3 senders → 1 receiver),
+    timed inside one 4-rank world: every receive is an ANY_SOURCE match
+    with a real candidate frontier, the schedule's busiest code path."""
+    rounds = 500
+
+    def main(comm):
+        if comm.rank == 0:
+            t0 = time.perf_counter()
+            for r in range(rounds):
+                for _ in range(comm.size - 1):
+                    comm.recv(source=ANY_SOURCE, tag=2)
+                comm.barrier()
+            return time.perf_counter() - t0
+        for r in range(rounds):
+            comm.send(comm.rank, 0, tag=2)
+            comm.barrier()
+        return None
+
+    return run_spmd(4, main, config=config)[0]
+
+
+KERNELS = {
+    "p2p_op_loop_2ranks": _op_loop_kernel,
+    "wildcard_fan_in_4ranks": _fan_in_kernel,
+}
+
+
+def _inert_schedule() -> MatchSchedule:
+    """Armed but decision-free: fifo policy, holds off — pays the full
+    per-operation bookkeeping (counters, trace records) while changing
+    no behavior."""
+    return MatchSchedule(seed=0, policy="fifo", hold_prob=0.0)
+
+
+def hook_overhead(name: str, reps: int = 5) -> dict:
+    """Time one kernel disabled (twice — noise floor), armed-inert, and
+    armed-random.  Configurations are *interleaved* per repetition so
+    machine-load drift cancels instead of masquerading as overhead."""
+    kernel = KERNELS[name]
+
+    def configs():
+        # Fresh schedule objects per sample: a schedule carries per-run
+        # counters and reuse across worlds would need reset() anyway.
+        return (
+            ("disabled", WorldConfig()),
+            ("rerun", WorldConfig()),
+            ("armed_inert", WorldConfig(match_schedule=_inert_schedule())),
+            ("armed_random", WorldConfig(match_schedule=MatchSchedule(seed=0))),
+        )
+
+    for _, config in configs():  # warm-up (imports, thread-pool priming)
+        kernel(config)
+    samples: dict[str, list[float]] = {
+        "disabled": [], "rerun": [], "armed_inert": [], "armed_random": []
+    }
+    for _ in range(reps):
+        for key, config in configs():
+            samples[key].append(kernel(config))
+    # Fresh threads per sample mean heavy scheduler noise.  The headline
+    # overheads are *paired* medians: within one repetition the four
+    # configurations run back-to-back, so the per-rep relative difference
+    # cancels slow machine-load drift that a min-vs-min comparison across
+    # the whole run would read as overhead.
+    def paired_pct(key: str) -> float:
+        return statistics.median(
+            (b - a) / a * 100
+            for a, b in zip(samples["disabled"], samples[key])
+        )
+
+    return {
+        "disabled_min_s": min(samples["disabled"]),
+        "disabled_rerun_min_s": min(samples["rerun"]),
+        "armed_inert_min_s": min(samples["armed_inert"]),
+        "armed_random_min_s": min(samples["armed_random"]),
+        "disabled_median_s": statistics.median(samples["disabled"]),
+        "armed_inert_median_s": statistics.median(samples["armed_inert"]),
+        "armed_random_median_s": statistics.median(samples["armed_random"]),
+        # The disabled hook is one `is None` branch per choice point; its
+        # cost is bounded by the paired noise between two identical
+        # disabled runs (this is the <1% claim).
+        "disabled_overhead_percent": abs(paired_pct("rerun")),
+        "armed_inert_overhead_percent": paired_pct("armed_inert"),
+        "armed_random_overhead_percent": paired_pct("armed_random"),
+        "reps": reps,
+    }
+
+
+def run_sched_ablation(reps: int = 5) -> dict:
+    """The full schedule suite: per-kernel hook overhead."""
+    report: dict = {"hook_overhead": {}}
+    for name in KERNELS:
+        entry = hook_overhead(name, reps)
+        report["hook_overhead"][name] = entry
+        print(
+            f"{name}: disabled={entry['disabled_min_s'] * 1e3:.1f}ms "
+            f"noise={entry['disabled_overhead_percent']:.2f}% "
+            f"armed_inert={entry['armed_inert_overhead_percent']:+.2f}% "
+            f"armed_random={entry['armed_random_overhead_percent']:+.2f}%"
+        )
+    return report

@@ -7,8 +7,9 @@ median wall-clock times plus the on/off speedup (``BENCH_fastpath.json``);
 :mod:`bench_progress` under both engines (``BENCH_progress.json``),
 ``--suite faults`` runs the fault-injection hook-overhead and
 ULFM-recovery-latency kernels from :mod:`bench_faults`
-(``BENCH_faults.json``), and ``--suite all`` runs everything.  The
-fast-path kernels:
+(``BENCH_faults.json``), ``--suite sched`` runs the match-schedule
+hook-overhead kernels from :mod:`bench_sched` (``BENCH_sched.json``),
+and ``--suite all`` runs everything.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
   rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
@@ -116,7 +117,7 @@ def _write_report(report: dict, out: str) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -148,6 +149,14 @@ def main(argv=None) -> None:
         _write_report(run_faults_ablation(args.reps),
                       args.out if args.suite == "faults" and args.out
                       else "BENCH_faults.json")
+    if args.suite in ("sched", "all"):
+        try:
+            from benchmarks.bench_sched import run_sched_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_sched import run_sched_ablation
+        _write_report(run_sched_ablation(args.reps),
+                      args.out if args.suite == "sched" and args.out
+                      else "BENCH_sched.json")
 
 
 if __name__ == "__main__":

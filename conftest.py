@@ -1,0 +1,9 @@
+"""Root conftest: registers the schedule-sweep plugin repo-wide.
+
+``pytest_plugins`` must live in the rootdir conftest (a hard error
+elsewhere in modern pytest); the plugin itself — seed sweeping, the
+``mpi_world``/``sweep_config`` fixtures, and the failing-run repro
+command — is :mod:`tests.plugins.schedule_sweep`.
+"""
+
+pytest_plugins = ("tests.plugins.schedule_sweep",)

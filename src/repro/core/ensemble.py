@@ -19,6 +19,13 @@ This module provides the pieces the paper's two worked scenarios need:
   time aggregation with zero intermediate storage (the "eliminates large
   data output and storage for post-processing averaging" claim, benchmarked
   against the independent-jobs baseline in experiment E10).
+
+The collector addresses every instance by its expanded name — a
+specific source, never ``ANY_SOURCE`` — so ensemble statistics are
+schedule-independent: an armed
+:class:`~repro.mpi.sched.MatchSchedule` permuting match orders cannot
+change a collected mean (asserted across seeds in
+``tests/mpi/test_sched.py::TestEnsembleScheduleIndependence``).
 """
 
 from __future__ import annotations

@@ -26,7 +26,11 @@ that anonymous world into a fully-mapped multi-component environment:
 
 The handshake is deterministic: every process derives the identical
 :class:`~repro.core.layout.Layout` from the broadcast registry and the
-allgathered declarations, with no further communication.
+allgathered declarations, with no further communication.  Deterministic
+against message *scheduling* too — bcast/allgather use specific-source
+receives, so an armed :class:`~repro.mpi.sched.MatchSchedule` cannot
+perturb the layout (asserted across seeds in
+``tests/core/test_handshake_modes.py``).
 """
 
 from __future__ import annotations

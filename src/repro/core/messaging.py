@@ -11,6 +11,13 @@ computer with a single MPI_Comm_World").
 
 When components overlap on processors, the paper recommends message tags
 to disambiguate — these functions pass user tags straight through.
+
+Because the address is always a specific ``(component, local id)`` pair,
+name-addressed messaging is schedule-*independent*: an armed
+:class:`~repro.mpi.sched.MatchSchedule` cannot change what a
+``recv`` returns (swept in ``tests/core/test_messaging.py``).  The one
+wildcard entry point is ``recv_any``, whose tie-break on overlapping
+components is asserted under every swept seed.
 """
 
 from __future__ import annotations

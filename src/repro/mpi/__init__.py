@@ -41,6 +41,17 @@ from repro.mpi.reduce_ops import (
     Op,
 )
 from repro.mpi.persistent import PersistentRecv, PersistentSend, Prequest
+from repro.mpi.sched import (
+    ExplorationReport,
+    MatchSchedule,
+    MatchTrace,
+    SeedOutcome,
+    TraceRecorder,
+    explore,
+    minimize,
+    parse_repro_command,
+    repro_command,
+)
 from repro.mpi.progress import Completion, ProgressEngine, RankProgress, Waitset
 from repro.mpi.request import Request
 from repro.mpi.serialization import Blob, payload_nbytes
@@ -83,6 +94,15 @@ __all__ = [
     "Prequest",
     "PersistentSend",
     "PersistentRecv",
+    "MatchSchedule",
+    "MatchTrace",
+    "TraceRecorder",
+    "ExplorationReport",
+    "SeedOutcome",
+    "explore",
+    "minimize",
+    "repro_command",
+    "parse_repro_command",
     "Blob",
     "payload_nbytes",
     "Completion",

@@ -16,6 +16,13 @@ Communicator-creating operations (``split``, ``dup``, ``create``) are
 collective and implemented with the same agreement protocol a real MPI uses:
 the root gathers the inputs, computes the new groups, allocates fresh
 context ids, and scatters each member its assignment.
+
+Wildcard receives (``ANY_SOURCE``/``ANY_TAG``) and probes are the points
+where MPI semantics permit several outcomes; under an armed
+:class:`~repro.mpi.sched.MatchSchedule`
+(:attr:`~repro.mpi.world.WorldConfig.match_schedule`) those choices are
+made by the schedule — seeded, recorded, and replayable — instead of by
+arrival timing.  Specific-source operations are unaffected.
 """
 
 from __future__ import annotations

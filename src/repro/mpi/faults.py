@@ -60,10 +60,17 @@ class SimulatedCrash(ReproError):
 _MSG_KINDS = ("drop", "delay", "duplicate", "corrupt")
 
 
-def _site_rng(*key) -> random.Random:
-    """A private RNG seeded stably from *key* (CRC32 of its repr —
-    ``hash()`` is per-process randomized, which would break replay)."""
+def site_rng(*key) -> random.Random:
+    """An RNG seeded stably from *key* (CRC32 of its repr — ``hash()``
+    is per-process randomized, which would break replay).  Shared with
+    :mod:`repro.mpi.sched`, which derives every match-order decision the
+    same way: a pure function of ``(seed, site, counter)``, never shared
+    RNG state, so thread scheduling cannot change what a seed does."""
     return random.Random(zlib.crc32(repr(key).encode()))
+
+
+#: Backwards-compatible private alias (pre-PR-4 name).
+_site_rng = site_rng
 
 
 class FaultSchedule:

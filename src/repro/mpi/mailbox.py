@@ -24,6 +24,21 @@ Blocking receives and probes run on the world's progress engine
 event mode a blocked waiter parks once and is woken exactly once — by
 delivery, abort, or the deadlock watchdog.  The legacy wait-slice polling
 loops remain behind ``WorldConfig.progress_engine = "polling"``.
+
+When a :class:`~repro.mpi.sched.MatchSchedule` is armed
+(``WorldConfig.match_schedule``), the two nondeterministic choice points
+of this layer are delegated to it: a wildcard receive chooses among its
+*candidate frontier* (the first matching envelope per source — per-source
+order is the non-overtaking guarantee and is never up for choice), and an
+arriving envelope that matches no posted receive may be *held* invisible
+for a bounded number of visibility events, permuting cross-source
+delivery order and probe visibility.  Holds are deadlock-free by
+construction: posting a matching receive or scanning in a blocking probe
+force-reveals them (so no program ever blocks on a hidden message), while
+nonblocking probes only age them — exactly the "sent but not yet visible
+to iprobe" window real MPI permits.  With the schedule off, every path
+here is the historical earliest-first behaviour behind one ``is None``
+branch.
 """
 
 from __future__ import annotations
@@ -117,6 +132,7 @@ class PostedRecv:
         "world_source",
         "failed_rank",
         "revoked",
+        "post_seq",
     )
 
     def __init__(
@@ -143,6 +159,10 @@ class PostedRecv:
         #: Set when the owning communicator was revoked (waiting raises
         #: :class:`~repro.errors.RevokedError`).
         self.revoked = False
+        #: Per-rank post index under an armed
+        #: :class:`~repro.mpi.sched.MatchSchedule` (the receive's trace
+        #: key; -1 when no schedule is armed).
+        self.post_seq = -1
 
     def accepts(self, env: Envelope) -> bool:
         """Whether this posted receive accepts *env*."""
@@ -177,6 +197,12 @@ class Mailbox:
         self._cond = threading.Condition()
         self._pending: deque[Envelope] = deque()
         self._posted: deque[PostedRecv] = deque()
+        #: Envelopes held invisible by an armed MatchSchedule, as mutable
+        #: ``[ttl, env]`` entries in arrival order.  Invariant: a held
+        #: envelope matches nothing in ``_posted`` (delivery matches
+        #: first, and posting a receive force-reveals its matches), so a
+        #: reveal only ever appends to ``_pending``.
+        self._held: deque[list] = deque()
         #: Blocked probes in event mode: ``(completion, (ctx, src, tag))``
         #: pairs signalled when a matching envelope lands in ``pending``.
         self._probe_watchers: list[tuple[Completion, tuple[int, int, int]]] = []
@@ -222,25 +248,36 @@ class Mailbox:
 
     def _deliver_one(self, env: Envelope) -> None:
         self._world.record_traffic(env.kind, _payload_bytes(env), env.copy_avoided)
+        sched = self._world.config.match_schedule
         matched: Optional[PostedRecv] = None
         probe_hits: list[Completion] = []
         with self._cond:
+            if sched is not None:
+                # Every delivery is a visibility event for already-held
+                # envelopes, and every delivery consumes one per-stream
+                # hold decision (consumed whether or not it applies, so
+                # the decision stream follows the sender's program order,
+                # not match timing).
+                if self._held:
+                    self._age_held(probe_hits)
+                ttl = sched.hold_ttl(self.owner, env.source)
+            else:
+                ttl = 0
             for pr in self._posted:
                 if pr.accepts(env):
                     self._posted.remove(pr)
                     pr.envelope = env
                     matched = pr
+                    if sched is not None:
+                        sched.record_match(
+                            self.owner, pr.post_seq, env.source, env.tag
+                        )
                     break
             else:
-                self._pending.append(env)
-                if self._probe_watchers:
-                    keep = []
-                    for watcher in self._probe_watchers:
-                        if env.matches(*watcher[1]):
-                            probe_hits.append(watcher[0])
-                        else:
-                            keep.append(watcher)
-                    self._probe_watchers = keep
+                if sched is not None and self._maybe_hold(env, ttl, probe_hits):
+                    pass  # held: invisible until aged out or force-revealed
+                else:
+                    self._to_pending(env, probe_hits)
             self._cond.notify_all()
         self._world.note_activity()
         # Signal completions with no mailbox lock held (a waitset notify
@@ -254,6 +291,126 @@ class Mailbox:
                 env.sync_event.set()
         for completion in probe_hits:
             completion.signal()
+
+    # -- schedule holds (all helpers run under self._cond) ------------------
+
+    def _to_pending(self, env: Envelope, probe_hits: list[Completion]) -> None:
+        """Append *env* to pending and collect matching probe watchers
+        (signalled by the caller outside the lock)."""
+        self._pending.append(env)
+        if self._probe_watchers:
+            keep = []
+            for watcher in self._probe_watchers:
+                if env.matches(*watcher[1]):
+                    probe_hits.append(watcher[0])
+                else:
+                    keep.append(watcher)
+            self._probe_watchers = keep
+
+    def _maybe_hold(
+        self, env: Envelope, ttl: int, probe_hits: list[Completion]
+    ) -> bool:
+        """Hold *env* invisible if the schedule decided a delay (or a
+        same-stream predecessor is still held — per-stream FIFO means an
+        envelope can never overtake a held one from its own sender).
+        Never holds an envelope a parked blocking probe is waiting for:
+        that watcher was armed because nothing matched, and hiding its
+        match would turn a legal delay into a missed wakeup."""
+        stream_blocked = any(
+            h[1].context == env.context and h[1].source == env.source
+            for h in self._held
+        )
+        if ttl <= 0 and not stream_blocked:
+            return False
+        if self._probe_watchers and any(
+            env.matches(*w[1]) for w in self._probe_watchers
+        ):
+            self._reveal_stream(env.context, env.source, probe_hits)
+            return False
+        self._held.append([ttl, env])
+        return True
+
+    def _age_held(self, probe_hits: list[Completion]) -> None:
+        """One visibility event: decrement every hold and reveal expired
+        envelopes, keeping per-stream order (an expired envelope stays
+        held while an earlier envelope of its stream is held)."""
+        released: list[Envelope] = []
+        blocked: set[tuple[int, int]] = set()
+        keep: deque[list] = deque()
+        for item in self._held:
+            item[0] -= 1
+            env = item[1]
+            stream = (env.context, env.source)
+            if item[0] <= 0 and stream not in blocked:
+                released.append(env)
+            else:
+                keep.append(item)
+                blocked.add(stream)
+        self._held = keep
+        for env in released:
+            self._to_pending(env, probe_hits)
+
+    def _reveal_matching(
+        self, context: int, source: int, tag: int, probe_hits: list[Completion]
+    ) -> None:
+        """Force-reveal every held envelope matching the receive/probe
+        pattern — plus each one's held same-stream predecessors, so the
+        pending queue stays FIFO per stream.  Called before a posted
+        receive scans and inside blocking-probe scans: a blocked caller
+        must see everything that has been *sent*, holds only delay
+        visibility to nonblocking observers."""
+        last: dict[tuple[int, int], int] = {}
+        for i, item in enumerate(self._held):
+            env = item[1]
+            if env.matches(context, source, tag):
+                last[(env.context, env.source)] = i
+        if not last:
+            return
+        keep: deque[list] = deque()
+        for i, item in enumerate(self._held):
+            env = item[1]
+            stream = (env.context, env.source)
+            if stream in last and i <= last[stream]:
+                self._to_pending(env, probe_hits)
+            else:
+                keep.append(item)
+        self._held = keep
+
+    def _reveal_stream(
+        self, context: int, source: int, probe_hits: list[Completion]
+    ) -> None:
+        """Force-reveal every held envelope of one stream, in order."""
+        keep: deque[list] = deque()
+        for item in self._held:
+            env = item[1]
+            if env.context == context and env.source == source:
+                self._to_pending(env, probe_hits)
+            else:
+                keep.append(item)
+        self._held = keep
+
+    def _claim_scheduled(self, sched, pr: PostedRecv) -> Optional[Envelope]:
+        """Scheduled wildcard matching: build the candidate frontier (the
+        first pending envelope *pr* accepts from each source — per-source
+        order is non-overtaking and never up for choice), sort it by
+        ``(source, tag)`` so the choice is independent of arrival order,
+        and let the schedule pick."""
+        cands: list[Envelope] = []
+        seen: set[int] = set()
+        for env in self._pending:
+            if env.source not in seen and pr.accepts(env):
+                seen.add(env.source)
+                cands.append(env)
+        if not cands:
+            return None
+        cands.sort(key=lambda e: (e.source, e.tag))
+        idx = sched.choose_match(
+            self.owner, pr.post_seq, tuple((e.source, e.tag) for e in cands)
+        )
+        env = cands[idx]
+        self._pending.remove(env)
+        pr.envelope = env
+        return env
 
     # -- receiving (called from the *owner's* thread) ----------------------
 
@@ -274,19 +431,35 @@ class Mailbox:
         :class:`~repro.errors.ProcessFailedError`).
         """
         pr = PostedRecv(context, source, tag, world_source)
+        sched = self._world.config.match_schedule
         claimed: Optional[Envelope] = None
+        probe_hits: list[Completion] = []
         with self._cond:
-            for env in self._pending:
-                if pr.accepts(env):
-                    self._pending.remove(env)
-                    pr.envelope = env
-                    claimed = env
-                    break
+            if sched is not None:
+                # A posted receive must see everything already *sent* to
+                # it: force-reveal matching held envelopes (liveness),
+                # then let the schedule choose among the candidate
+                # frontier.  The post index is allocated for every
+                # receive — matched here or later at delivery — so the
+                # rank's decision keys follow its own program order.
+                pr.post_seq = sched.next_post_seq(self.owner)
+                if self._held:
+                    self._reveal_matching(context, source, tag, probe_hits)
+                claimed = self._claim_scheduled(sched, pr)
             else:
+                for env in self._pending:
+                    if pr.accepts(env):
+                        self._pending.remove(env)
+                        pr.envelope = env
+                        claimed = env
+                        break
+            if claimed is None:
                 if world_source is not None and self._world.rank_failed(world_source):
                     pr.failed_rank = world_source
                 else:
                     self._posted.append(pr)
+        for completion in probe_hits:
+            completion.signal()
         if claimed is not None:
             pr.completion.signal()
             self._world.note_activity()
@@ -376,16 +549,52 @@ class Mailbox:
         With ``block=True``, waits (abort-aware) until one arrives.  The
         envelope is *not* removed.  Returns ``None`` only when non-blocking
         and nothing matches.
+
+        Under an armed :class:`~repro.mpi.sched.MatchSchedule` the probe
+        reports a schedule-chosen envelope from the candidate frontier
+        (still the earliest per source, so a follow-up receive addressed
+        by the reported ``(source, tag)`` claims the probed message).  A
+        *blocking* probe force-reveals matching held envelopes — it must
+        see everything sent; a nonblocking probe only ages holds, which
+        is the "sent but not yet visible" window real MPI permits.
         """
         world = self._world
+        sched = world.config.match_schedule
 
         def scan() -> Optional[Envelope]:
+            if sched is None:
+                for env in self._pending:
+                    if env.matches(context, source, tag):
+                        return env
+                return None
+            if block and self._held:
+                hits: list[Completion] = []
+                self._reveal_matching(context, source, tag, hits)
+                # Owner-thread probes can have no parked watcher of
+                # their own mailbox; any hits here are defensive.
+                for completion in hits:
+                    completion.signal()
+            cands: list[Envelope] = []
+            seen: set[int] = set()
             for env in self._pending:
-                if env.matches(context, source, tag):
-                    return env
-            return None
+                if env.source not in seen and env.matches(context, source, tag):
+                    seen.add(env.source)
+                    cands.append(env)
+            if not cands:
+                return None
+            cands.sort(key=lambda e: (e.source, e.tag))
+            return cands[
+                sched.choose_probe(
+                    self.owner, tuple((e.source, e.tag) for e in cands)
+                )
+            ]
 
         with self._cond:
+            if sched is not None and not block and self._held:
+                hits: list[Completion] = []
+                self._age_held(hits)
+                for completion in hits:
+                    completion.signal()
             env = scan()
             if env is not None or not block:
                 return env
@@ -435,9 +644,20 @@ class Mailbox:
     # -- maintenance --------------------------------------------------------
 
     def wake(self) -> None:
-        """Wake all waiters (used by :meth:`World.abort`)."""
+        """Wake all waiters (used by :meth:`World.abort`).  Also flushes
+        any schedule-held envelopes into pending: during abort, revoke,
+        or failure recovery nothing may stay hidden — diagnostics and the
+        ULFM recovery plane must see the full mailbox state."""
+        probe_hits: list[Completion] = []
         with self._cond:
+            if self._held:
+                released = [item[1] for item in self._held]
+                self._held = deque()
+                for env in released:
+                    self._to_pending(env, probe_hits)
             self._cond.notify_all()
+        for completion in probe_hits:
+            completion.signal()
 
     def fail_posted_from(self, world_rank: int) -> None:
         """Fail every unmatched posted receive that can only be satisfied
@@ -489,9 +709,11 @@ class Mailbox:
             completion.signal()
 
     def stats(self) -> tuple[int, int]:
-        """Return ``(pending, posted)`` queue depths (diagnostics only)."""
+        """Return ``(pending, posted)`` queue depths (diagnostics only).
+        Schedule-held envelopes count as pending — they have been
+        delivered, the schedule is merely delaying their visibility."""
         with self._cond:
-            return len(self._pending), len(self._posted)
+            return len(self._pending) + len(self._held), len(self._posted)
 
     def check_abort(self) -> None:
         """Raise :class:`AbortError` if the world has aborted."""

@@ -314,6 +314,23 @@ class ProgressEngine:
             self._wd_shutdown = True
             self._wd_cond.notify_all()
 
+    def join_watchdog(self, timeout: float = 5.0) -> bool:
+        """Testing hook: block until the watchdog thread has retired.
+
+        Returns ``True`` once no watchdog is running (immediately if one
+        never started), ``False`` on timeout.  Replaces the "poll
+        ``_wd_running`` with short sleeps" idiom in lifecycle tests — the
+        watchdog notifies this waiter the moment it retires.
+        """
+        deadline = time.monotonic() + timeout
+        with self._wd_cond:
+            while self._wd_running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wd_cond.wait(remaining)
+            return True
+
     def _watchdog_loop(self) -> None:
         """Periodically run the all-blocked-and-idle deadlock scan while
         anyone is blocked; retire on abort, shutdown, or a quiet period.
@@ -333,10 +350,12 @@ class ProgressEngine:
                 if self._wd_shutdown:
                     self._wd_running = False
                     self._wd_shutdown = False
+                    self._wd_cond.notify_all()
                     return
             if world.aborted:
                 with self._wd_cond:
                     self._wd_running = False
+                    self._wd_cond.notify_all()
                     return
             if world.blocked_count() == 0:
                 now = time.monotonic()
@@ -350,6 +369,7 @@ class ProgressEngine:
                             idle_since = None
                             continue
                         self._wd_running = False
+                        self._wd_cond.notify_all()
                         return
                 continue
             idle_since = None

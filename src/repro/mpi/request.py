@@ -52,6 +52,19 @@ def _progress_site(requests: Sequence["Request"]):
     return None
 
 
+def _sched_site(requests: Sequence["Request"]):
+    """``(match_schedule, rank)`` when the requests' world has one armed,
+    else ``None`` (the disabled hook is this one lookup + branch)."""
+    site = _progress_site(requests)
+    if site is None:
+        return None
+    world, rank = site
+    sched = world.config.match_schedule
+    if sched is None:
+        return None
+    return sched, rank
+
+
 def _park_any(requests: Sequence["Request"], what: str) -> bool:
     """Block until some incomplete request *may* have completed.
 
@@ -138,10 +151,21 @@ class Request:
         """Block until any request completes; ``(index, value)``
         (``MPI_Waitany``).  Event mode parks on one waitset over every
         incomplete request; polling mode retries with a short back-off.
+        Under an armed :class:`~repro.mpi.sched.MatchSchedule` the
+        returned request is schedule-chosen among everything already
+        complete (the index MPI leaves unspecified when several are).
         Raises :class:`CommError` on duplicate handles in the list."""
         if not requests:
             raise ValueError("waitany needs at least one request")
         _check_no_duplicates(requests, "waitany")
+        sched_site = _sched_site(requests)
+        if sched_site is not None:
+            done = Request._await_some(requests, "waitany")
+            if len(done) == 1:
+                return done[0]
+            sched, rank = sched_site
+            idx = sched.choose_wait("waitany", rank, tuple(i for i, _ in done))
+            return done[idx]
         while True:
             for i, req in enumerate(requests):
                 done, value = req.test()
@@ -153,11 +177,22 @@ class Request:
     @staticmethod
     def waitsome(requests: Sequence["Request"]) -> list[tuple[int, Any]]:
         """Block until at least one request completes; return every
-        completed ``(index, value)`` (``MPI_Waitsome``).  Raises
-        :class:`CommError` on duplicate handles in the list."""
+        completed ``(index, value)`` (``MPI_Waitsome``).  Under an armed
+        :class:`~repro.mpi.sched.MatchSchedule` the returned list is
+        rotated to a schedule-chosen head — the completion *order* is
+        exactly what MPI leaves unspecified.  Raises :class:`CommError`
+        on duplicate handles in the list."""
         if not requests:
             raise ValueError("waitsome needs at least one request")
         _check_no_duplicates(requests, "waitsome")
+        sched_site = _sched_site(requests)
+        if sched_site is not None:
+            done = Request._await_some(requests, "waitsome")
+            if len(done) == 1:
+                return done
+            sched, rank = sched_site
+            idx = sched.choose_wait("waitsome", rank, tuple(i for i, _ in done))
+            return done[idx:] + done[:idx]
         while True:
             done = [
                 (i, value)
@@ -167,6 +202,24 @@ class Request:
             if done:
                 return done
             if not _park_any(requests, f"waitsome({len(requests)} requests)"):
+                _time.sleep(_POLL_BACKOFF)
+
+    @staticmethod
+    def _await_some(
+        requests: Sequence["Request"], what: str
+    ) -> list[tuple[int, Any]]:
+        """Scheduled-mode helper: block until at least one request is
+        complete, then return *every* completed ``(index, value)`` —
+        the full choice set the schedule picks from."""
+        while True:
+            done = [
+                (i, value)
+                for i, (flag, value) in enumerate(req.test() for req in requests)
+                if flag
+            ]
+            if done:
+                return done
+            if not _park_any(requests, f"{what}({len(requests)} requests)"):
                 _time.sleep(_POLL_BACKOFF)
 
 

@@ -27,6 +27,7 @@ from repro.mpi.progress import Completion, ProgressEngine, RankProgress, blocked
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.faults import FaultSchedule
+    from repro.mpi.sched import MatchSchedule
 
 
 @dataclass
@@ -164,6 +165,14 @@ class WorldConfig:
         world.  When ``None`` the hooks cost one ``is None`` branch per
         operation and per delivery (``benchmarks/bench_faults.py``
         verifies the overhead stays under 2%).
+    match_schedule :
+        A :class:`repro.mpi.sched.MatchSchedule` deciding every legal
+        nondeterministic choice of the substrate — wildcard match order,
+        probe visibility, ``waitany``/``waitsome`` completion order, and
+        bounded delivery holds — from a seed, so schedule-dependent bugs
+        become replayable.  ``None`` (the default) keeps the historical
+        earliest-first behaviour; the hooks then cost one ``is None``
+        branch per choice point (``benchmarks/bench_sched.py``).
     """
 
     bcast_algorithm: str = "binomial"
@@ -181,6 +190,7 @@ class WorldConfig:
     wait_slice: float = 0.05
     max_components_per_executable: int = 10
     fault_schedule: Optional["FaultSchedule"] = None
+    match_schedule: Optional["MatchSchedule"] = None
 
     def __post_init__(self) -> None:
         if self.progress_engine not in ("event", "polling"):
@@ -209,6 +219,9 @@ class World:
         self._next_ctx = 2
 
         self._state_lock = threading.Lock()
+        #: Notified on block_enter so tests can wait for a rank to park
+        #: (:meth:`wait_until_blocked`) instead of sleeping wall-clock.
+        self._state_cond = threading.Condition(self._state_lock)
         self._alive: set[int] = set(range(nprocs))
         self._blocked: dict[int, str] = {}
         self._activity = 0
@@ -312,6 +325,7 @@ class World:
         """Mark *rank* as blocked in the call described by *what*."""
         with self._state_lock:
             self._blocked[rank] = what
+            self._state_cond.notify_all()
 
     def block_exit(self, rank: int) -> None:
         """Mark *rank* as running again."""
@@ -323,6 +337,30 @@ class World:
         with self._state_lock:
             self._alive.discard(rank)
             self._blocked.pop(rank, None)
+            self._state_cond.notify_all()
+
+    def wait_until_blocked(
+        self, ranks=None, timeout: float = 5.0
+    ) -> bool:
+        """Testing hook: block until every rank in *ranks* (default: all
+        currently-alive ranks) sits inside a blocking call.
+
+        Replaces the "sleep long enough and hope the peer has parked"
+        idiom in timing-sensitive tests with an event: returns ``True``
+        as soon as the ranks are blocked, ``False`` on timeout (e.g. a
+        rank finished instead of blocking).  Purely observational — it
+        takes no locks a blocked rank holds and never wakes anyone.
+        """
+        deadline = time.monotonic() + timeout
+        with self._state_cond:
+            while True:
+                want = set(ranks) if ranks is not None else set(self._alive)
+                if want and want <= set(self._blocked):
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._state_cond.wait(remaining)
 
     # -- process failure (ULFM semantics) -----------------------------------
 

@@ -37,10 +37,13 @@ class TestScseMode:
 class TestScmeMode:
     REG = "BEGIN\natm\nocn\ncpl\nEND"
 
-    def test_three_executables(self):
+    def test_three_executables(self, sweep_config):
+        """Swept: the handshake's allgather/exchange must produce the
+        same component map under every legal match order."""
         result = mph_run(
             [(reporter("atm"), 2), (reporter("ocn"), 3), (reporter("cpl"), 1)],
             registry=self.REG,
+            config=sweep_config(),
         )
         assert result.by_executable(0)[0]["comp_sizes"] == {"atm": 2}
         assert result.by_executable(1)[2]["locals"] == {"ocn": 2}
@@ -119,8 +122,8 @@ END
             (reporter("cpl"), 1),
         ]
 
-    def test_overlapping_components_on_one_rank(self):
-        result = mph_run(self.exes(), registry=self.REG)
+    def test_overlapping_components_on_one_rank(self, sweep_config):
+        result = mph_run(self.exes(), registry=self.REG, config=sweep_config())
         rank0 = result.values()[0]
         assert rank0["names"] == ("atm", "lnd")
         assert rank0["locals"] == {"atm": 0, "lnd": 0}
@@ -170,12 +173,16 @@ stats
 END
 """
 
-    def test_instances_get_expanded_names(self):
+    def test_instances_get_expanded_names(self, sweep_config):
         def ocean(world, env):
             mph = multi_instance(world, "Ocean", env=env)
             return (mph.comp_name(), mph.local_proc_id())
 
-        result = mph_run([(ocean, 4), (reporter("stats"), 1)], registry=self.REG)
+        result = mph_run(
+            [(ocean, 4), (reporter("stats"), 1)],
+            registry=self.REG,
+            config=sweep_config(),
+        )
         assert result.by_executable(0) == [
             ("Ocean1", 0),
             ("Ocean1", 1),

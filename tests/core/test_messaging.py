@@ -84,7 +84,7 @@ class TestNameAddressedSend:
         result = two_component_job(atm, ocn)
         assert result.by_executable(1)[1] == [1, 2]
 
-    def test_recv_any_identifies_sender_component(self):
+    def test_recv_any_identifies_sender_component(self, sweep_config):
         def atm(mph):
             if mph.local_proc_id() == 2:
                 mph.send("hi", "ocean", 0, tag=9)
@@ -95,7 +95,7 @@ class TestNameAddressedSend:
                 return mph.recv_any(tag=9)
             return None
 
-        result = two_component_job(atm, ocn)
+        result = two_component_job(atm, ocn, config=sweep_config())
         assert result.by_executable(1)[0] == ("hi", "atmosphere", 2)
 
 
@@ -118,6 +118,10 @@ class TestBufferMessaging:
 
 
 class TestOverlapDisambiguation:
+    """Overlap cases are schedule-swept (``sweep_config``): tag-based
+    disambiguation and the tie-break rule must hold under every legal
+    match order, not just the arrival order the OS happened to give."""
+
     REG = """
 BEGIN
 Multi_Component_Begin
@@ -128,7 +132,7 @@ reader
 END
 """
 
-    def test_tags_distinguish_overlapping_senders(self):
+    def test_tags_distinguish_overlapping_senders(self, sweep_config):
         """Paper §4.2: 'When sending data to components on the overlapped
         processors, we recommend to use message tags to distinguish
         different components.'"""
@@ -146,10 +150,10 @@ END
             hot = mph.recv("hot", 0, tag=1)
             return (hot, cold)
 
-        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG)
+        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG, config=sweep_config())
         assert result.by_executable(1)[0] == ("from-hot", "from-cold")
 
-    def test_recv_any_reports_lowest_comp_id_on_overlap(self):
+    def test_recv_any_reports_lowest_comp_id_on_overlap(self, sweep_config):
         def dual(world, env):
             mph = components_setup(world, "hot", "cold", env=env)
             if mph.local_proc_id("hot") == 1:
@@ -160,6 +164,6 @@ END
             mph = components_setup(world, "reader", env=env)
             return mph.recv_any(tag=3)
 
-        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG)
+        result = mph_run([(dual, 2), (reader, 1)], registry=self.REG, config=sweep_config())
         # "hot" is registered before "cold" -> reported on ties.
         assert result.by_executable(1)[0] == ("ambiguous", "hot", 1)

@@ -65,7 +65,11 @@ class TestBasicSendRecv:
 
 
 class TestMatchingSemantics:
-    def test_tag_selective_receive(self, spmd):
+    """Wildcard matching: swept over match-schedule seeds (``mpi_world``)
+    so any assertion that silently leaned on arrival order fails loudly
+    under a permuting schedule."""
+
+    def test_tag_selective_receive(self, mpi_world):
         def main(comm):
             if comm.rank == 0:
                 comm.send("low", 1, tag=1)
@@ -75,9 +79,9 @@ class TestMatchingSemantics:
             low = comm.recv(source=0, tag=1)
             return (high, low)
 
-        assert spmd(2, main)[1] == ("high", "low")
+        assert mpi_world(2, main)[1] == ("high", "low")
 
-    def test_any_source(self, spmd):
+    def test_any_source(self, mpi_world):
         def main(comm):
             if comm.rank == 2:
                 got = sorted(comm.recv(source=ANY_SOURCE, tag=5) for _ in range(2))
@@ -85,9 +89,9 @@ class TestMatchingSemantics:
             comm.send(f"from{comm.rank}", 2, tag=5)
             return None
 
-        assert spmd(3, main)[2] == ["from0", "from1"]
+        assert mpi_world(3, main)[2] == ["from0", "from1"]
 
-    def test_any_tag(self, spmd):
+    def test_any_tag(self, mpi_world):
         def main(comm):
             if comm.rank == 0:
                 comm.send("x", 1, tag=77)
@@ -96,9 +100,9 @@ class TestMatchingSemantics:
             obj = comm.recv(source=0, tag=ANY_TAG, status=status)
             return (obj, status.tag)
 
-        assert spmd(2, main)[1] == ("x", 77)
+        assert mpi_world(2, main)[1] == ("x", 77)
 
-    def test_non_overtaking_same_source_tag(self, spmd):
+    def test_non_overtaking_same_source_tag(self, mpi_world):
         def main(comm):
             if comm.rank == 0:
                 for i in range(10):
@@ -106,9 +110,9 @@ class TestMatchingSemantics:
                 return None
             return [comm.recv(source=0, tag=4) for _ in range(10)]
 
-        assert spmd(2, main)[1] == list(range(10))
+        assert mpi_world(2, main)[1] == list(range(10))
 
-    def test_status_fields(self, spmd):
+    def test_status_fields(self, mpi_world):
         def main(comm):
             if comm.rank == 1:
                 comm.send([1, 2, 3], 0, tag=13)
@@ -117,7 +121,7 @@ class TestMatchingSemantics:
             comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
             return (status.Get_source(), status.Get_tag(), status.Get_count() > 0)
 
-        assert spmd(2, main)[0] == (1, 13, True)
+        assert mpi_world(2, main)[0] == (1, 13, True)
 
 
 class TestProcNull:
@@ -156,7 +160,10 @@ class TestSsend:
 
 
 class TestProbe:
-    def test_probe_does_not_consume(self, spmd):
+    def test_probe_does_not_consume(self, mpi_world):
+        """Swept: a blocking probe must force-reveal held envelopes and
+        its answer must stay claimable by the follow-up recv."""
+
         def main(comm):
             if comm.rank == 0:
                 comm.send("keep", 1, tag=2)
@@ -165,7 +172,7 @@ class TestProbe:
             obj = comm.recv(source=st.source, tag=st.tag)
             return (st.source, obj)
 
-        assert spmd(2, main)[1] == (0, "keep")
+        assert mpi_world(2, main)[1] == (0, "keep")
 
     def test_iprobe_empty(self, spmd):
         def main(comm):
@@ -174,6 +181,9 @@ class TestProbe:
         assert spmd(1, main) == [None]
 
     def test_iprobe_sees_pending(self, spmd):
+        # Deliberately unswept: a nonblocking iprobe is allowed to miss a
+        # schedule-held message (holds model network delay), so this
+        # visibility-after-barrier guarantee only exists disarmed.
         def main(comm):
             if comm.rank == 0:
                 comm.send("here", 1, tag=6)

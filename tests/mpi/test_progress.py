@@ -81,6 +81,11 @@ class TestWakeupCeilings:
             return comm.recv(source=1, tag=1)
 
         def sender(comm):
+            # Event hook, not a blind sleep: only start the idle window
+            # once the receiver is *provably* parked, so the asserted
+            # blocked time is a guaranteed floor, not a race against
+            # thread startup.
+            assert world.wait_until_blocked([0], timeout=10.0)
             time.sleep(idle)
             comm.send("late", 0, tag=1)
 
@@ -88,7 +93,7 @@ class TestWakeupCeilings:
         return world
 
     def test_event_mode_idle_rank_has_constant_wakeups(self):
-        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.5)
+        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.35)
         stats = world.progress_stats(0)
         assert stats.episodes >= 1
         assert stats.blocked_seconds > 0.3
@@ -98,14 +103,15 @@ class TestWakeupCeilings:
 
     def test_polling_mode_idle_rank_pays_per_slice(self):
         world = self._blocked_recv_world(
-            WorldConfig(progress_engine="polling", wait_slice=0.02), idle=0.5
+            WorldConfig(progress_engine="polling", wait_slice=0.02), idle=0.35
         )
         stats = world.progress_stats(0)
-        # ~25 slices in 0.5 s; demand at least a third to stay timing-proof.
+        # ~17 slices of guaranteed blocked time; demand half to stay
+        # timing-proof.
         assert stats.wakeups >= 8
 
     def test_traffic_stats_carry_the_blocking_ledger(self):
-        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.4)
+        world = self._blocked_recv_world(WorldConfig(progress_engine="event"), idle=0.25)
         traffic = world.traffic_snapshot()
         assert traffic.blocked_seconds > 0.2
         assert sum(traffic.blocked_hist.values()) >= 1
@@ -119,7 +125,9 @@ class TestWakeupCeilings:
             comm.ssend("sync", 1, tag=3)
 
         def receiver(comm):
-            time.sleep(0.3)
+            # Recv only once the ssend is provably parked (was a 0.3 s
+            # sleep and a hope).
+            assert world.wait_until_blocked([0], timeout=10.0)
             return comm.recv(source=0, tag=3)
 
         run_world(world, [sender, receiver], timeout=20)
@@ -216,13 +224,14 @@ class TestDeadlockThroughWaitsets:
         def main(comm):
             if comm.rank == 0:
                 return comm.recv(source=1, tag=1)
-            time.sleep(0.2)
+            # Send only after rank 0 is parked, so the watchdog provably
+            # started watching something before the job drains.
+            assert world.wait_until_blocked([0], timeout=10.0)
             comm.send("x", 0, tag=1)
 
         run_world(world, [main, main], timeout=20)
-        deadline = time.monotonic() + 2.0
-        while world.progress._wd_running and time.monotonic() < deadline:
-            time.sleep(0.02)
+        # Event hook instead of the old _wd_running poll loop.
+        assert world.progress.join_watchdog(timeout=3.0)
         assert not world.progress._wd_running
 
 

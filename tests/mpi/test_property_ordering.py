@@ -1,0 +1,128 @@
+"""Property tests for matching-order guarantees under schedule sweeps.
+
+Seeded ``random.Random`` soups (hypothesis is deliberately not a
+dependency) generate message mixes over random ``(source, tag)`` pairs;
+for *every* swept match seed the substrate must uphold the two MPI
+guarantees the schedule is forbidden to break:
+
+* **non-overtaking** — two messages on the same ``(source, tag,
+  communicator)`` stream are received in send order, no matter how the
+  schedule holds or permutes across streams;
+* **no wildcard starvation** — a loop of ``recv(ANY_SOURCE)`` calls
+  eventually receives every posted send (ssend completion proves the
+  senders were all matched, not parked forever).
+"""
+
+import random
+
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MatchSchedule, Status, WorldConfig, run_spmd
+
+
+def _soup(seed: int, nsenders: int, nmsgs: int, ntags: int):
+    """A reproducible message soup: per-sender [(tag, payload), ...]."""
+    rng = random.Random(seed)
+    return [
+        [(rng.randrange(ntags), (s, i)) for i in range(nmsgs)]
+        for s in range(nsenders)
+    ]
+
+
+@pytest.mark.parametrize("soup_seed", [0, 1, 2])
+class TestNonOvertaking:
+    def test_per_stream_fifo_under_wildcards(self, mpi_world, soup_seed):
+        """Receive everything with full wildcards; within each (source,
+        tag) stream the payload sequence numbers must be ascending."""
+        nsenders, nmsgs = 3, 8
+        plan = _soup(soup_seed, nsenders, nmsgs, ntags=2)
+
+        def main(comm):
+            if comm.rank > 0:
+                for tag, payload in plan[comm.rank - 1]:
+                    comm.send(payload, 0, tag=tag)
+            comm.barrier()
+            if comm.rank > 0:
+                return None
+            got = []
+            st = Status()
+            for _ in range(nsenders * nmsgs):
+                obj = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=st)
+                got.append((st.source, st.tag, obj))
+            return got
+
+        values = mpi_world(nsenders + 1, main)
+        got = values[0]
+        assert len(got) == nsenders * nmsgs
+        streams = {}
+        for source, tag, payload in got:
+            streams.setdefault((source, tag), []).append(payload)
+        for (source, tag), payloads in streams.items():
+            sent = [p for t, p in plan[source - 1] if t == tag]
+            assert payloads == sent, (
+                f"stream ({source}, {tag}) overtaken: {payloads} != {sent}"
+            )
+
+    def test_specific_tag_recv_ignores_held_other_streams(self, mpi_world, soup_seed):
+        """Mixed wildcard/specific receives: the specific-tag drain still
+        sees its stream in order while other streams are held/permuted."""
+        nmsgs = 6
+        plan = _soup(soup_seed + 10, 2, nmsgs, ntags=3)
+
+        def main(comm):
+            if comm.rank > 0:
+                for tag, payload in plan[comm.rank - 1]:
+                    comm.send(payload, 0, tag=tag)
+            comm.barrier()
+            if comm.rank > 0:
+                return None
+            want = [p for t, p in plan[0] if t == 0]
+            got = [comm.recv(source=1, tag=0) for _ in range(len(want))]
+            rest = sum(1 for t, _ in plan[0] if t != 0) + nmsgs
+            for _ in range(rest):
+                comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            return (got, want)
+
+        got, want = mpi_world(3, main)[0]
+        assert got == want
+
+
+class TestNoStarvation:
+    def test_any_source_never_starves_a_sender(self, mpi_world):
+        """Every ssend completes: the wildcard receiver's schedule may
+        permute, but each posted sender is matched eventually."""
+        nsenders = 4
+
+        def main(comm):
+            if comm.rank > 0:
+                comm.ssend(("msg", comm.rank), 0, tag=7)
+                return "released"
+            for _ in range(nsenders):
+                comm.recv(source=ANY_SOURCE, tag=7)
+            return "drained"
+
+        values = mpi_world(nsenders + 1, main, timeout=20.0)
+        assert values[0] == "drained"
+        assert values[1:] == ["released"] * nsenders
+
+    def test_every_message_received_exactly_once(self, mpi_world):
+        """Wildcard drain over a multi-sender burst: no loss, no
+        duplication, whatever the holds did."""
+        nsenders, nmsgs = 3, 10
+
+        def main(comm):
+            if comm.rank > 0:
+                for i in range(nmsgs):
+                    comm.send((comm.rank, i), 0, tag=1)
+            comm.barrier()
+            if comm.rank > 0:
+                return None
+            got = [
+                comm.recv(source=ANY_SOURCE, tag=1)
+                for _ in range(nsenders * nmsgs)
+            ]
+            return sorted(got)
+
+        values = mpi_world(nsenders + 1, main)
+        expected = sorted((s, i) for s in range(1, nsenders + 1) for i in range(nmsgs))
+        assert values[0] == expected

@@ -3,16 +3,15 @@
 Every injected fault has to land in one of three acceptable outcomes —
 a clean :class:`ProcessFailedError` on the survivors, a successful
 revoke/shrink/continue, or a checkpoint-driven restart — with zero hangs
-and zero misdiagnosed :class:`DeadlockError`.  Seeds 0..4 run locally;
-CI shards the matrix by exporting ``CHAOS_SEED`` (one seed per job) so a
-failing seed is named directly by the failing job.
+and zero misdiagnosed :class:`DeadlockError`.  Seeding comes from the
+schedule-sweep plugin's ``fault_seed`` fixture: seeds 0..4 locally, one
+seed per CI job via ``CHAOS_SEED`` or ``--mpi-fault-seed=J``.
 
-Replaying a failure: ``CHAOS_SEED=<n> pytest tests/test_chaos.py``; the
-schedule is reconstructible via ``random_schedule(seed, nprocs, ...)``
-and can be minimized with ``FaultSchedule.shrink()``.
+Replaying a failure: run the one-line ``PYTHONPATH=src python -m pytest
+... --mpi-fault-seed=J`` command the plugin prints in the failure
+report.  The schedule is reconstructible via ``random_schedule(seed,
+nprocs, ...)`` and can be minimized with ``FaultSchedule.shrink()``.
 """
-
-import os
 
 import numpy as np
 import pytest
@@ -20,19 +19,12 @@ import pytest
 from repro.errors import DeadlockError, ProcessFailedError, RevokedError
 from repro.mpi import FaultSchedule, SimulatedCrash, WorldConfig, random_schedule, run_spmd
 
-SEEDS = (
-    [int(os.environ["CHAOS_SEED"])]
-    if os.environ.get("CHAOS_SEED")
-    else list(range(5))
-)
 
-
-@pytest.mark.parametrize("seed", SEEDS)
 class TestChaosOutcomes:
-    def test_unrecovered_crash_is_clean_pfe(self, seed):
+    def test_unrecovered_crash_is_clean_pfe(self, fault_seed):
         """No recovery attempted: the job must die with a clean
         ProcessFailedError (never a hang, never a DeadlockError)."""
-        sched = random_schedule(seed, 6, crashes=1, max_op=20)
+        sched = random_schedule(fault_seed, 6, crashes=1, max_op=20)
 
         def main(comm):
             for i in range(40):
@@ -48,11 +40,11 @@ class TestChaosOutcomes:
             pytest.fail(f"dead rank misdiagnosed as deadlock: {exc}")
         assert any(f.startswith("crash") for f in sched.fired())
 
-    def test_revoke_shrink_continue(self, seed):
+    def test_revoke_shrink_continue(self, fault_seed):
         """Full recovery: survivors revoke, shrink, and finish a
         collective over the shrunken world."""
         nprocs = 8
-        sched = random_schedule(seed, nprocs, crashes=2, max_op=30)
+        sched = random_schedule(fault_seed, nprocs, crashes=2, max_op=30)
         scheduled_dead = {c["rank"] for c in sched.to_spec()["crashes"]}
 
         def main(comm):
@@ -78,13 +70,13 @@ class TestChaosOutcomes:
             if r not in dead:
                 assert results[r] == (live, live)
 
-    def test_checkpoint_restart_is_bitwise(self, seed, tmp_path):
+    def test_checkpoint_restart_is_bitwise(self, fault_seed, tmp_path):
         """In-job component crash + checkpoint restore: the recovered run
         must be bitwise identical to an uninterrupted one."""
         from repro.climate.ccsm import CCSMConfig, run_ccsm
 
-        kind = ("ocean", "land", "ice", "atmosphere")[seed % 4]
-        step = 2 + seed % 3  # crash somewhere mid-run
+        kind = ("ocean", "land", "ice", "atmosphere")[fault_seed % 4]
+        step = 2 + fault_seed % 3  # crash somewhere mid-run
         base = dict(nsteps=6, coupler_mode="serial", exchange="p2p")
         clean = run_ccsm(
             "scme",
@@ -123,10 +115,10 @@ END
 STEPS = 10
 
 
-@pytest.mark.parametrize("victim", [SEEDS[0] % 4])
-def test_ensemble_kills_one_of_four_and_degrades(victim):
+def test_ensemble_kills_one_of_four_and_degrades(fault_seed):
     """Kill one of K=4 MIME instances mid-run: the remaining three finish
     and the collector reports the degraded mean over the survivors."""
+    victim = fault_seed % 4
     from repro import components_setup, multi_instance
     from repro.core.ensemble import EnsembleCollector, EnsembleMember
     from repro.launcher.job import mph_run

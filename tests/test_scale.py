@@ -1,5 +1,9 @@
 """Scale smoke tests: larger worlds and component counts than the unit
-tests use — paper-sized configurations must hold together end to end."""
+tests use — paper-sized configurations must hold together end to end.
+
+Deflake audit: no wall-clock sleeps here — every test is rendezvous-
+synchronized by its own collectives, so nothing to convert to the
+``World.wait_until_blocked`` event hook."""
 
 import numpy as np
 import pytest
