@@ -1,0 +1,148 @@
+"""Execution-backend ablation: thread-direct vs thread-transport vs process.
+
+Three questions, answered in ``BENCH_backend.json``:
+
+* **Did the transport seam slow the thread backend down?**  Routing all
+  remote delivery through :meth:`World.deliver` put exactly one
+  ``transport is None`` branch on the seed's hot path.  Each kernel is
+  timed on ``thread-direct`` (the seed configuration) twice — the second
+  batch against the first is the *noise floor* — and the claim is that
+  the branch is indistinguishable from that floor (<1%).
+* **What does the ThreadTransport indirection itself cost?**  The
+  ``thread-transport`` substrate layers the full :class:`Transport`
+  interface over the same in-memory mailboxes (no sockets), isolating
+  the cost of the abstraction from the cost of the wire.
+* **What does a real wire cost?**  ``process-unix`` runs every rank as a
+  forked OS process over Unix-domain sockets — pickled frames, kernel
+  round trips, real context switches.  This is the honest price of true
+  address-space isolation, reported so nobody mistakes the thread
+  backend's numbers for it.
+
+Every kernel times its operation loop *inside* the job from rank 0,
+between two barriers — process spawn and socket bootstrap are excluded,
+so the comparison is per-operation transport cost, not launch cost.
+
+The driver in ``compare.py`` (``--suite backend``) writes
+``BENCH_backend.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.mpi import WorldConfig, run_spmd
+
+
+def _substrates() -> dict[str, WorldConfig]:
+    return {
+        "thread-direct": WorldConfig(),
+        "thread-transport": WorldConfig(transport="thread"),
+        "process-unix": WorldConfig(backend="process", transport="unix"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Kernels: each returns rank 0's in-job seconds for the operation loop
+# ---------------------------------------------------------------------------
+
+
+def pingpong_seconds(config: WorldConfig, rounds: int = 50, elements: int = 100_000) -> float:
+    """Object-mode ping-pong of a ~0.8 MiB field between 2 ranks."""
+
+    def main(comm):
+        payload = np.zeros(elements)
+        comm.barrier()
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            if comm.rank == 0:
+                comm.send(payload, 1, tag=1)
+                comm.recv(source=1, tag=2)
+            else:
+                comm.recv(source=0, tag=1)
+                comm.send(payload, 0, tag=2)
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    return run_spmd(2, main, config=config, timeout=300.0)[0]
+
+
+def small_p2p_seconds(config: WorldConfig, rounds: int = 500) -> float:
+    """Latency view: empty-payload send/recv roundtrips between 2 ranks."""
+
+    def main(comm):
+        comm.barrier()
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            if comm.rank == 0:
+                comm.send(None, 1, tag=1)
+                comm.recv(source=1, tag=2)
+            else:
+                comm.recv(source=0, tag=1)
+                comm.send(None, 0, tag=2)
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    return run_spmd(2, main, config=config, timeout=300.0)[0]
+
+
+def allreduce_seconds(config: WorldConfig, rounds: int = 100, nprocs: int = 4) -> float:
+    """Collective view: object-mode allreduce on 4 ranks."""
+
+    def main(comm):
+        comm.barrier()
+        t0 = time.perf_counter()
+        for i in range(rounds):
+            comm.allreduce(comm.rank + i)
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    return run_spmd(nprocs, main, config=config, timeout=300.0)[0]
+
+
+KERNELS = {
+    "pingpong_100k_x50": pingpong_seconds,
+    "small_p2p_x500": small_p2p_seconds,
+    "allreduce_p4_x100": allreduce_seconds,
+}
+
+
+def _median(kernel, config: WorldConfig, reps: int) -> float:
+    kernel(config)  # warm-up: imports, thread pools, fork machinery
+    return statistics.median(kernel(config) for _ in range(reps))
+
+
+def run_backend_ablation(reps: int = 5) -> dict:
+    """Time every kernel on every substrate; return the report."""
+    report: dict = {}
+    for name, kernel in KERNELS.items():
+        baseline = _median(kernel, WorldConfig(), reps)
+        noise = _median(kernel, WorldConfig(), reps)
+        entry = {
+            "reps": reps,
+            "thread_direct_median_s": baseline,
+            "noise_floor_percent": abs(noise - baseline) / baseline * 100.0,
+        }
+        for substrate, config in _substrates().items():
+            if substrate == "thread-direct":
+                continue
+            seconds = _median(kernel, config, reps)
+            key = substrate.replace("-", "_")
+            entry[f"{key}_median_s"] = seconds
+            entry[f"{key}_overhead_percent"] = (seconds - baseline) / baseline * 100.0
+        report[name] = entry
+        print(
+            f"{name}: thread={baseline * 1e3:.1f}ms "
+            f"noise={entry['noise_floor_percent']:.2f}% "
+            f"transport={entry['thread_transport_overhead_percent']:+.2f}% "
+            f"process={entry['process_unix_overhead_percent']:+.2f}%"
+        )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import json
+
+    print(json.dumps(run_backend_ablation(), indent=2))

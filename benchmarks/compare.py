@@ -9,7 +9,9 @@ median wall-clock times plus the on/off speedup (``BENCH_fastpath.json``);
 ULFM-recovery-latency kernels from :mod:`bench_faults`
 (``BENCH_faults.json``), ``--suite sched`` runs the match-schedule
 hook-overhead kernels from :mod:`bench_sched` (``BENCH_sched.json``),
-and ``--suite all`` runs everything.  The fast-path kernels:
+``--suite backend`` runs the execution-backend substrate comparison from
+:mod:`bench_backend` (``BENCH_backend.json``), and ``--suite all`` runs
+everything.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
   rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
@@ -117,7 +119,7 @@ def _write_report(report: dict, out: str) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -157,6 +159,14 @@ def main(argv=None) -> None:
         _write_report(run_sched_ablation(args.reps),
                       args.out if args.suite == "sched" and args.out
                       else "BENCH_sched.json")
+    if args.suite in ("backend", "all"):
+        try:
+            from benchmarks.bench_backend import run_backend_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_backend import run_backend_ablation
+        _write_report(run_backend_ablation(args.reps),
+                      args.out if args.suite == "backend" and args.out
+                      else "BENCH_backend.json")
 
 
 if __name__ == "__main__":

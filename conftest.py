@@ -1,9 +1,17 @@
-"""Root conftest: registers the schedule-sweep plugin repo-wide.
+"""Root conftest: registers the repo-wide pytest plugins.
 
 ``pytest_plugins`` must live in the rootdir conftest (a hard error
-elsewhere in modern pytest); the plugin itself — seed sweeping, the
-``mpi_world``/``sweep_config`` fixtures, and the failing-run repro
-command — is :mod:`tests.plugins.schedule_sweep`.
+elsewhere in modern pytest).  The plugins:
+
+* :mod:`tests.plugins.schedule_sweep` — seed sweeping, the
+  ``mpi_world``/``sweep_config`` fixtures, and the failing-run repro
+  command;
+* :mod:`tests.plugins.backend_select` — the ``--mpi-backend`` option and
+  the ``mpi_backend``/``backend_spmd`` fixtures parametrizing the
+  conformance suite over the thread and process backends.
 """
 
-pytest_plugins = ("tests.plugins.schedule_sweep",)
+pytest_plugins = (
+    "tests.plugins.schedule_sweep",
+    "tests.plugins.backend_select",
+)

@@ -36,6 +36,7 @@ from repro.errors import (
     RegistryError,
     LaunchError,
     DeadlockError,
+    TransportError,
 )
 from repro.core.registry import Registry
 from repro.core.mph import MPH, components_setup, multi_instance
@@ -49,6 +50,7 @@ __all__ = [
     "RegistryError",
     "LaunchError",
     "DeadlockError",
+    "TransportError",
     "Registry",
     "MPH",
     "components_setup",

@@ -29,7 +29,7 @@ from repro.core.migration import block_rows, migrate, redistribute_block
 from repro.core.mph import MPH, components_setup, multi_instance
 from repro.core.profiling import CommProfile, gather_profiles
 from repro.core.rearranger import Rearranger, overlap_schedule
-from repro.core.redirect import MultiChannelOutput
+from repro.core.redirect import MultiChannelOutput, ProcessOutput, log_path_for
 from repro.core.registry import (
     ComponentSpec,
     MultiComponentEntry,
@@ -64,6 +64,8 @@ __all__ = [
     "Rearranger",
     "overlap_schedule",
     "MultiChannelOutput",
+    "ProcessOutput",
+    "log_path_for",
     "ComponentSpec",
     "MultiComponentEntry",
     "MultiInstanceEntry",

@@ -20,10 +20,35 @@ command line or in batch run script" (paper §5.4).
 from __future__ import annotations
 
 import io
+import os
 import sys
 import threading
 from pathlib import Path
 from typing import Optional, TextIO, Union
+
+
+def log_path_for(
+    component_name: str,
+    *,
+    is_channel_owner: bool,
+    env_vars: Optional[dict[str, str]] = None,
+    workdir: Optional[Union[str, Path]] = None,
+) -> Path:
+    """The Section 5.4 log-path policy, shared by both output managers.
+
+    The component's local processor 0 owns ``<component>.log``
+    (overridable via the ``MPH_LOG_<NAME>`` environment variable, name
+    upper-cased with ``-``/``.`` mapped to ``_``); every other processor
+    shares the combined log (``MPH_COMBINED_LOG`` override, default
+    ``mph_combined.log``).  Default-named logs land in *workdir* (or the
+    current directory).
+    """
+    env_vars = env_vars or {}
+    base = Path(workdir) if workdir is not None else Path.cwd()
+    if is_channel_owner:
+        var = "MPH_LOG_" + component_name.upper().replace("-", "_").replace(".", "_")
+        return Path(env_vars.get(var, base / f"{component_name}.log"))
+    return Path(env_vars.get("MPH_COMBINED_LOG", base / "mph_combined.log"))
 
 
 class _ThreadAwareProxy(io.TextIOBase):
@@ -187,15 +212,13 @@ class MultiChannelOutput:
         """
         if self._proxy is None:
             return None
-        env_vars = env_vars or {}
-        base = Path(workdir) if workdir is not None else Path.cwd()
-        if is_channel_owner:
-            var = "MPH_LOG_" + component_name.upper().replace("-", "_").replace(".", "_")
-            path = Path(env_vars.get(var, base / f"{component_name}.log"))
-            key = f"component:{component_name}"
-        else:
-            path = Path(env_vars.get("MPH_COMBINED_LOG", base / "mph_combined.log"))
-            key = "combined"
+        path = log_path_for(
+            component_name,
+            is_channel_owner=is_channel_owner,
+            env_vars=env_vars,
+            workdir=workdir,
+        )
+        key = f"component:{component_name}" if is_channel_owner else "combined"
         self._proxy.register(self._channel(key, path))
         return path
 
@@ -203,3 +226,96 @@ class MultiChannelOutput:
         """Undo :meth:`redirect` for the calling thread."""
         if self._proxy is not None:
             self._proxy.unregister()
+
+
+class ProcessOutput:
+    """The process-backend output manager: real OS-level redirection.
+
+    Where :class:`MultiChannelOutput` simulates per-process stdout with a
+    thread-aware proxy (threads share one interpreter, so there is only
+    one real stdout to go around), a process-backend rank *owns* its
+    stdout — so §5.4 redirection is done the way the paper's platforms do
+    it: ``dup2`` the log file over file descriptor 1.  The path policy
+    (:func:`log_path_for`) is identical, so ``MPH_redirect_output`` is
+    backend-transparent.
+
+    Duck-types the :class:`MultiChannelOutput` surface MPH touches
+    (``install``/``uninstall``/``redirect``/``restore``/``installed``),
+    so :class:`~repro.launcher.job.JobEnv.output` can carry either.
+    """
+
+    def __init__(self) -> None:
+        self._saved_fd: Optional[int] = None
+        self._log_fd: Optional[int] = None
+        self._saved_stdout: Optional[TextIO] = None
+
+    def __enter__(self) -> "ProcessOutput":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.restore()
+
+    def install(self) -> None:
+        """No-op (a process's stdout needs no proxy)."""
+
+    def uninstall(self) -> None:
+        """Alias for :meth:`restore` (manager-interface parity)."""
+        self.restore()
+
+    @property
+    def installed(self) -> bool:
+        """Always true: fd 1 is always redirectable."""
+        return True
+
+    def redirect(
+        self,
+        component_name: str,
+        *,
+        is_channel_owner: bool,
+        env_vars: Optional[dict[str, str]] = None,
+        workdir: Optional[Union[str, Path]] = None,
+    ) -> Path:
+        """Point this process's stdout (fd 1) at the §5.4 log file.
+
+        Opened in append mode so the combined log survives many ranks
+        writing concurrently (the "log mode" of §5.4).
+        """
+        path = log_path_for(
+            component_name,
+            is_channel_owner=is_channel_owner,
+            env_vars=env_vars,
+            workdir=workdir,
+        )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        sys.stdout.flush()
+        fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        if self._saved_fd is None:
+            self._saved_fd = os.dup(1)
+        os.dup2(fd, 1)
+        if self._log_fd is not None:
+            os.close(self._log_fd)
+        self._log_fd = fd
+        # ``print`` must follow the redirection too.  A forked child
+        # inherits whatever object the parent had bound to ``sys.stdout``
+        # — possibly a capture proxy (pytest, an output manager) that
+        # does not write through fd 1 — so rebind it onto fd 1 directly.
+        if self._saved_stdout is None:
+            self._saved_stdout = sys.stdout
+            sys.stdout = io.TextIOWrapper(
+                io.FileIO(1, "w", closefd=False), line_buffering=True
+            )
+        return path
+
+    def restore(self) -> None:
+        """Undo :meth:`redirect`: put the original stdout back on fd 1."""
+        sys.stdout.flush()
+        if self._saved_stdout is not None:
+            sys.stdout = self._saved_stdout
+            self._saved_stdout = None
+        if self._saved_fd is not None:
+            os.dup2(self._saved_fd, 1)
+            os.close(self._saved_fd)
+            self._saved_fd = None
+        if self._log_fd is not None:
+            os.close(self._log_fd)
+            self._log_fd = None

@@ -100,6 +100,12 @@ class TimeoutError_(MPIError):
     """The job exceeded its wall-clock budget before completing."""
 
 
+class TransportError(MPIError):
+    """The transport layer failed to move bytes between ranks: a torn or
+    corrupt wire frame, an unreachable peer, or a connection that died
+    mid-stream (process backend; see :mod:`repro.mpi.transport`)."""
+
+
 # ---------------------------------------------------------------------------
 # Launcher errors
 # ---------------------------------------------------------------------------

@@ -87,6 +87,23 @@ class JobResult:
         """Per-world-rank return values."""
         return [p.value for p in self.procs]
 
+    def failures(self) -> list[tuple[int, str, BaseException]]:
+        """Every failed process as ``(world_rank, program, exception)``.
+
+        Covers failures that do **not** abort the job — e.g. a rank dead
+        by survivable fail-stop crash while its siblings completed — so
+        callers (``mphrun``) can refuse to report success when any
+        component failed.
+        """
+        out = []
+        for exe_index, ranks in enumerate(self.assignment):
+            program = self.specs[exe_index].program
+            for rank in ranks:
+                exc = self.procs[rank].exception
+                if exc is not None:
+                    out.append((rank, program, exc))
+        return sorted(out)
+
     def by_executable(self, which: Union[int, str]) -> list[Any]:
         """Return values of one executable's processes, in local order.
 
@@ -181,13 +198,22 @@ class MpmdJob:
         return sum(s.nprocs for s in self.specs)
 
     def run(self, timeout: float = 120.0) -> JobResult:
-        """Launch the job and run it to completion."""
+        """Launch the job and run it to completion.
+
+        With ``config.backend == "process"`` every rank is a forked OS
+        process over the socket transport
+        (:func:`repro.mpi.procbackend.run_procs`): components genuinely
+        own their stdout (§5.4 redirection becomes a real ``dup2``), and
+        a rank that dies without reporting fails the job with its
+        component named.
+        """
         sizes = [s.nprocs for s in self.specs]
         assignment = assign_ranks(sizes, self.rank_policy)
         placement = self.machine.place(sizes, assignment) if self.machine else None
 
-        world = World(self.world_size, self.config)
         rank_fns: list[Callable] = [None] * self.world_size  # type: ignore[list-item]
+        process_backend = self.config is not None and self.config.backend == "process"
+        labels: list[str] = [""] * self.world_size
         for exe_index, ranks in enumerate(assignment):
             spec, fn = self.specs[exe_index], self.fns[exe_index]
             for local_index, world_rank in enumerate(ranks):
@@ -199,12 +225,26 @@ class MpmdJob:
                     vars=self.env_vars,
                     workdir=self.workdir,
                     registry=self.registry,
-                    output=self.output,
+                    output=None if process_backend else self.output,
                 )
-                rank_fns[world_rank] = _bind(fn, env)
+                labels[world_rank] = f"{spec.program}.{local_index}"
+                bind = _bind_process if process_backend else _bind
+                rank_fns[world_rank] = bind(fn, env)
 
-        with self.output:
-            procs = run_world(world, rank_fns, timeout=timeout)
+        if process_backend:
+            from repro.mpi.procbackend import run_procs
+
+            procs = run_procs(
+                self.world_size,
+                rank_fns,
+                config=self.config,
+                timeout=timeout,
+                labels=labels,
+            )
+        else:
+            world = World(self.world_size, self.config)
+            with self.output:
+                procs = run_world(world, rank_fns, timeout=timeout)
         return JobResult(procs=procs, specs=self.specs, assignment=assignment, placement=placement)
 
 
@@ -212,6 +252,19 @@ def _bind(fn: Callable, env: JobEnv) -> Callable:
     """Close over this process's environment (late-binding-safe)."""
 
     def entry(comm):
+        return fn(comm, env)
+
+    return entry
+
+
+def _bind_process(fn: Callable, env: JobEnv) -> Callable:
+    """Process-backend binding: runs in the forked child, where §5.4
+    output redirection is real fd-level redirection."""
+
+    def entry(comm):
+        from repro.core.redirect import ProcessOutput
+
+        env.output = ProcessOutput()
         return fn(comm, env)
 
     return entry

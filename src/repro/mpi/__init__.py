@@ -52,10 +52,19 @@ from repro.mpi.sched import (
     parse_repro_command,
     repro_command,
 )
+from repro.mpi.procbackend import ProcessWorld, run_exec_job, run_procs
 from repro.mpi.progress import Completion, ProgressEngine, RankProgress, Waitset
 from repro.mpi.request import Request
 from repro.mpi.serialization import Blob, payload_nbytes
 from repro.mpi.status import Status
+from repro.mpi.transport import (
+    FrameDecoder,
+    SocketTransport,
+    ThreadTransport,
+    Transport,
+    TransportStats,
+    pack_frame,
+)
 from repro.mpi.world import TrafficStats, World, WorldConfig
 
 __all__ = [
@@ -109,6 +118,15 @@ __all__ = [
     "ProgressEngine",
     "RankProgress",
     "Waitset",
+    "ProcessWorld",
+    "run_procs",
+    "run_exec_job",
+    "Transport",
+    "ThreadTransport",
+    "SocketTransport",
+    "TransportStats",
+    "FrameDecoder",
+    "pack_frame",
     "Request",
     "Status",
     "TrafficStats",

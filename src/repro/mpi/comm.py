@@ -165,7 +165,7 @@ class Comm:
             raise CommError(f"{role} {rank} out of range for {self.name!r} of size {self.size}")
 
     def _deliver(self, dest: int, env: Envelope) -> None:
-        self._world.mailboxes[self._group.world_id(dest)].deliver(env)
+        self._world.deliver(self._group.world_id(dest), env)
 
     def _world_source(self, source: int) -> Optional[int]:
         """World rank of a comm-local receive source (``None`` for

@@ -34,6 +34,10 @@ class ProcResult:
     rank: int
     value: Any = None
     exception: Optional[BaseException] = None
+    #: Process backend only: the child world's final traffic counters
+    #: (each OS process has its own world replica, so the counters are
+    #: per-rank; the thread backend reads ``world.traffic`` directly).
+    traffic: Any = None
 
 
 def run_world(
@@ -64,6 +68,12 @@ def run_world(
         exception is preferred over :class:`DeadlockError`, which is
         preferred over secondary :class:`AbortError` unwinds.
     """
+    if world.config.backend == "process":
+        raise ValueError(
+            "run_world is the thread engine; a process-backend config must "
+            "go through repro.mpi.procbackend.run_procs (or run_spmd, which "
+            "dispatches on config.backend)"
+        )
     if len(rank_fns) != world.nprocs:
         raise ValueError(f"need {world.nprocs} rank functions, got {len(rank_fns)}")
     fn_kwargs = fn_kwargs or {}
@@ -176,7 +186,23 @@ def run_spmd(
     >>> from repro.mpi import run_spmd
     >>> run_spmd(4, lambda comm: comm.allreduce(comm.rank))
     [6, 6, 6, 6]
+
+    With ``config.backend == "process"`` the ranks run as forked OS
+    processes over the socket transport instead of threads
+    (:mod:`repro.mpi.procbackend`); the contract is identical.
     """
+    if config is not None and config.backend == "process":
+        from repro.mpi.procbackend import run_procs
+
+        results = run_procs(
+            nprocs,
+            [fn] * nprocs,
+            fn_args=fn_args,
+            fn_kwargs=fn_kwargs,
+            config=config,
+            timeout=timeout,
+        )
+        return [r.value for r in results]
     world = World(nprocs, config)
     results = run_world(
         world, [fn] * nprocs, fn_args=fn_args, fn_kwargs=fn_kwargs, timeout=timeout

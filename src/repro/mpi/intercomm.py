@@ -96,7 +96,7 @@ class InterComm:
             raise CommError(f"invalid send tag {tag}")
         payload = pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
         env = Envelope(self._p2p_ctx, self.rank, tag, payload, "object", len(payload))
-        self._local.world.mailboxes[self._remote.world_id(dest)].deliver(env)
+        self._local.world.deliver(self._remote.world_id(dest), env)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking :meth:`send` (eager: already complete)."""

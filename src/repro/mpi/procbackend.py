@@ -1,0 +1,726 @@
+"""The process backend: every MPI rank is a real OS process.
+
+The thread backend runs every simulated rank inside one interpreter — the
+one substitution that least resembles the paper's platforms, where each
+MPH component is a separate executable on distributed memory.  This
+module restores the real thing, following the rank-bootstrap shape of
+the MPD process-management papers (Butler, Gropp & Lusk): a parent
+process plays the *process manager*, children rendezvous with it over a
+control socket, and the parent wires them into one world by exchanging
+the rank → address map.
+
+Bootstrap handshake (all frames use the transport's length-prefixed
+pickle framing, :func:`~repro.mpi.transport.send_frame`):
+
+1. The parent binds a rendezvous listener and spawns ``nprocs`` children
+   (``fork`` for :func:`run_procs`, ``exec`` of
+   ``python -m repro.tools.mphchild`` for :func:`run_exec_job`).
+2. Each child binds its own *data* listener — before anyone learns its
+   address, so no sender can race it — connects to the rendezvous and
+   sends ``("hello", rank, data_address)``.
+3. Once all hellos are in, the parent answers each child with
+   ``("welcome", {nprocs, peers, config, meta})``: the full rank → address
+   map, the :class:`~repro.mpi.world.WorldConfig`, and per-rank launcher
+   metadata.
+4. Each child builds a :class:`~repro.mpi.transport.SocketTransport` over
+   the peer map, a :class:`ProcessWorld` replica, and its ``COMM_WORLD``
+   handle, then runs the rank function.
+5. The child reports ``("result", rank, ok, payload, traffic)`` and then
+   *keeps serving inbound connections* until the parent's
+   ``("shutdown",)`` frame — sent only after every result is in — so a
+   fast rank can never tear down its mailbox while a slow peer still has
+   eager sends in flight.
+
+A child that dies without reporting (segfault, ``sys.exit(3)``, killed)
+is detected by the parent polling process liveness; it synthesizes a
+:class:`~repro.errors.LaunchError` naming the component and exit code —
+nonzero component exits fail the whole job instead of being swallowed.
+
+Every child holds its own :class:`ProcessWorld` replica.  That works for
+*all* existing features (collectives, split/dup/create, intercomm,
+persistent requests, ssend) because the substrate has exactly one remote
+seam — :meth:`World.deliver <repro.mpi.world.World.deliver>` — and only
+two kinds of cross-rank agreement: message delivery (now framed over the
+socket) and context-id allocation, which is made collision-free by
+giving each rank a disjoint id subspace (see
+:meth:`ProcessWorld.alloc_context_pair`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import (
+    AbortError,
+    LaunchError,
+    ReproError,
+    TimeoutError_,
+    TransportError,
+)
+from repro.mpi.comm import make_world_comm
+from repro.mpi.executor import ProcResult, _raise_root_cause
+from repro.mpi.transport import (
+    SocketTransport,
+    make_listener,
+    recv_frame,
+    send_frame,
+)
+from repro.mpi.world import World, WorldConfig
+
+#: How long a child waits for the parent's welcome / shutdown frames.
+_CHILD_CTRL_TIMEOUT = 120.0
+#: Grace for siblings to unwind after a child dies without reporting.
+_DEATH_GRACE = 3.0
+
+
+class ChildExitError(LaunchError):
+    """A child process died without reporting a result (nonzero exit,
+    signal, or killed).  Preferred as the job's root cause over the
+    secondary transport errors its siblings see when their connections
+    to the dead rank fail."""
+
+    def __init__(self, message: str, *, rank: int, label: str, exit_code):
+        super().__init__(message)
+        self.rank = rank
+        self.label = label
+        self.exit_code = exit_code
+
+
+class ProcessWorld(World):
+    """One rank's world replica on the process backend.
+
+    Differences from the shared thread-backend :class:`World`:
+
+    * **Disjoint context-id subspaces.**  Communicator creation allocates
+      a context pair on one agreeing rank (the root of a split, the
+      leader of an intercomm) and distributes it by message.  With a
+      world replica per process there is no shared counter, so each rank
+      allocates from its own arithmetic progression — rank *r* hands out
+      pairs starting at ``2 + 2r`` with stride ``2 * nprocs``.  Any two
+      ranks' allocations are disjoint by construction, and a pair stays
+      consecutive ``(n, n+1)`` as the communicator code assumes.
+    * **Abort broadcast.**  A local abort is forwarded to every peer as
+      an ``abort`` control frame so blocked siblings unwind instead of
+      hanging until the parent's wall-clock timeout; remote aborts are
+      recorded without re-broadcast (no storms).
+    * **Local-only deadlock scan.**  The all-blocked watchdog sees only
+      this process's single rank, so for ``nprocs > 1`` it can never
+      declare a (necessarily global) deadlock; the parent's timeout is
+      the cross-process backstop.
+    """
+
+    def __init__(self, nprocs: int, config: Optional[WorldConfig], rank: int):
+        super().__init__(nprocs, config)
+        #: This process's world rank (a thread-backend World has no
+        #: single rank; a process world does).
+        self.my_rank = rank
+        self._ctx_stride = 2 * nprocs
+        self._next_ctx = 2 + 2 * rank
+        self._abort_broadcast = threading.Event()
+
+    def alloc_context_pair(self) -> tuple[int, int]:
+        with self._ctx_lock:
+            pair = (self._next_ctx, self._next_ctx + 1)
+            self._next_ctx += self._ctx_stride
+            return pair
+
+    def abort(self, exc: AbortError) -> None:
+        super().abort(exc)
+        transport = self.transport
+        if transport is not None and not self._abort_broadcast.is_set():
+            self._abort_broadcast.set()
+            transport.broadcast_abort(self.my_rank, str(exc))
+
+    def abort_from_remote(self, origin: int, message: str) -> None:
+        """Record an abort initiated by a peer (no re-broadcast)."""
+        self._abort_broadcast.set()
+        World.abort(self, AbortError(message, origin_rank=origin))
+
+
+def _validate_process_config(config: WorldConfig) -> None:
+    if config.fault_schedule is not None:
+        raise ValueError(
+            "fault_schedule requires the thread backend: fault injection "
+            "hooks live in the shared world, which the process backend "
+            "replicates per rank"
+        )
+    if config.match_schedule is not None:
+        raise ValueError(
+            "match_schedule requires the thread backend: schedule "
+            "exploration needs one shared match arbiter"
+        )
+
+
+def _socket_family(config: WorldConfig) -> str:
+    return "tcp" if config.transport == "tcp" else "unix"
+
+
+def _format_addr(addr: tuple) -> str:
+    if addr[0] == "unix":
+        return f"unix:{addr[1]}"
+    return f"tcp:{addr[1]}:{addr[2]}"
+
+
+def _parse_addr(text: str) -> tuple:
+    kind, _, rest = text.partition(":")
+    if kind == "unix":
+        return ("unix", rest)
+    host, _, port = rest.rpartition(":")
+    return ("tcp", host, int(port))
+
+
+def _connect(addr: tuple) -> socket.socket:
+    if addr[0] == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(addr[1])
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.connect((addr[1], addr[2]))
+    return sock
+
+
+# ---------------------------------------------------------------------------
+# Child side
+# ---------------------------------------------------------------------------
+
+
+def child_session(
+    rendezvous: tuple,
+    rank: int,
+    family: str,
+    sockdir: str,
+    run: Callable[[Any, Any], Any],
+) -> None:
+    """One child's whole life: handshake, run the rank, report, linger.
+
+    *run* is called as ``run(comm_world, meta)`` where *meta* is the
+    per-rank launcher metadata from the welcome frame.  Shared by the
+    fork children of :func:`run_procs` (which close over the rank
+    function directly) and the exec children of ``repro.tools.mphchild``
+    (which resolve the function from *meta*).
+    """
+    listener, addr = make_listener(family, os.path.join(sockdir, f"rank{rank}.sock"))
+    ctrl = _connect(rendezvous)
+    try:
+        send_frame(ctrl, ("hello", rank, addr))
+        welcome = recv_frame(ctrl, timeout=_CHILD_CTRL_TIMEOUT)
+        if not welcome or welcome[0] != "welcome":
+            raise TransportError(f"expected welcome frame, got {welcome!r}")
+        info = welcome[1]
+        nprocs = info["nprocs"]
+        config: WorldConfig = info["config"]
+
+        world = ProcessWorld(nprocs, config, rank)
+        transport = SocketTransport(rank, nprocs, listener, info["peers"])
+        transport.deliver_local = world.mailboxes[rank].deliver
+        transport.on_abort = world.abort_from_remote
+        transport.on_error = lambda exc: world.abort(
+            AbortError(f"transport stream failed on rank {rank}: {exc}")
+        )
+        transport.on_wire = world.record_wire
+        world.transport = transport
+        transport.start()
+
+        comm = make_world_comm(world, rank)
+        ok, value, exc = True, None, None
+        try:
+            value = run(comm, info.get("meta"))
+        except BaseException as e:  # noqa: BLE001 - everything is reported
+            ok, exc = False, e
+            if not isinstance(e, AbortError):
+                abort_exc = AbortError(
+                    f"world rank {rank} raised {type(e).__name__}: {e}",
+                    origin_rank=rank,
+                )
+                abort_exc.__cause__ = e
+                world.abort(abort_exc)  # broadcasts to peers
+        finally:
+            world.proc_done(rank)
+
+        payload = value if ok else exc
+        traffic = world.traffic_snapshot()
+        frame = ("result", rank, ok, payload, traffic)
+        try:
+            pickle.dumps(frame)
+        except Exception as pickle_exc:  # noqa: BLE001 - degrade, don't die
+            what = "returned a value" if ok else "raised an exception"
+            frame = (
+                "result",
+                rank,
+                False,
+                ReproError(
+                    f"rank {rank} {what} that cannot cross the process "
+                    f"boundary ({pickle_exc}): {payload!r}"
+                ),
+                traffic,
+            )
+        send_frame(ctrl, frame)
+
+        # Linger until the parent has every result: a peer may still be
+        # draining eager sends into our mailbox, and tearing the
+        # transport down early would turn its sends into hard errors.
+        try:
+            recv_frame(ctrl, timeout=_CHILD_CTRL_TIMEOUT)
+        except TransportError:
+            pass
+        transport.close()
+        world.progress.shutdown()
+    finally:
+        try:
+            ctrl.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+def _fork_child_main(
+    rendezvous: tuple,
+    rank: int,
+    family: str,
+    sockdir: str,
+    fn,
+    fn_args: tuple,
+    fn_kwargs: dict,
+    log_path: Optional[str],
+) -> None:
+    if log_path is not None:
+        fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        os.dup2(fd, 1)
+        os.dup2(fd, 2)
+        os.close(fd)
+    child_session(
+        rendezvous,
+        rank,
+        family,
+        sockdir,
+        lambda comm, meta: fn(comm, *fn_args, **fn_kwargs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+class _ChildHandle:
+    """Uniform liveness/termination view over fork and exec children."""
+
+    def __init__(self, rank: int, label: str):
+        self.rank = rank
+        self.label = label
+
+    def exitcode(self) -> Optional[int]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def terminate(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def join(self, timeout: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _ForkHandle(_ChildHandle):
+    def __init__(self, rank: int, label: str, proc: multiprocessing.process.BaseProcess):
+        super().__init__(rank, label)
+        self.proc = proc
+
+    def exitcode(self) -> Optional[int]:
+        return self.proc.exitcode
+
+    def terminate(self) -> None:
+        if self.proc.is_alive():
+            self.proc.terminate()
+
+    def join(self, timeout: float) -> None:
+        self.proc.join(timeout)
+        if self.proc.is_alive():  # pragma: no cover - stuck child
+            self.proc.kill()
+            self.proc.join(1.0)
+
+
+class _ExecHandle(_ChildHandle):
+    def __init__(self, rank: int, label: str, proc: subprocess.Popen, logfile=None):
+        super().__init__(rank, label)
+        self.proc = proc
+        self.logfile = logfile
+
+    def exitcode(self) -> Optional[int]:
+        return self.proc.poll()
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.terminate()
+
+    def join(self, timeout: float) -> None:
+        try:
+            self.proc.wait(timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            self.proc.kill()
+            self.proc.wait(1.0)
+        if self.logfile is not None:
+            self.logfile.close()
+            self.logfile = None
+
+
+class _Rendezvous:
+    """The parent half of the bootstrap: accept hellos, send welcomes,
+    collect results, detect silent deaths, and shut everyone down."""
+
+    def __init__(self, nprocs: int, config: WorldConfig, family: str):
+        self.nprocs = nprocs
+        self.config = config
+        self.family = family
+        self.sockdir = tempfile.mkdtemp(prefix="repro-mpi-")
+        self.listener, self.addr = make_listener(
+            family, os.path.join(self.sockdir, "rendezvous.sock")
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def cleanup(self) -> None:
+        try:
+            self.listener.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        shutil.rmtree(self.sockdir, ignore_errors=True)
+
+    # -- protocol ----------------------------------------------------------
+
+    def run(
+        self,
+        handles: Sequence[_ChildHandle],
+        metas: Optional[Sequence[Any]],
+        timeout: float,
+    ) -> list[ProcResult]:
+        """Drive the whole parent side; returns per-rank results.
+
+        Raises :class:`~repro.errors.TimeoutError_` if the job exceeds
+        *timeout*; a child that dies without reporting becomes a
+        :class:`~repro.errors.LaunchError` result for its rank.
+        """
+        deadline = time.monotonic() + timeout
+        by_rank = {h.rank: h for h in handles}
+        results: dict[int, ProcResult] = {}
+        conns: dict[int, socket.socket] = {}
+        try:
+            try:
+                self._gather_hellos(conns, by_rank, results, deadline)
+            except _BootstrapDead:
+                return [results[r] for r in sorted(results)]
+            for rank, conn in conns.items():
+                peers = {r: a for r, a in self._addrs.items()}
+                send_frame(
+                    conn,
+                    (
+                        "welcome",
+                        {
+                            "nprocs": self.nprocs,
+                            "peers": peers,
+                            "config": self.config,
+                            "meta": metas[rank] if metas is not None else None,
+                        },
+                    ),
+                )
+            self._collect_results(conns, by_rank, results, deadline)
+        except TimeoutError_:
+            for h in handles:
+                h.terminate()
+            raise
+        finally:
+            for conn in conns.values():
+                try:
+                    send_frame(conn, ("shutdown",))
+                except (TransportError, OSError):
+                    pass
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            for h in handles:
+                h.join(5.0)
+        return [results[r] for r in sorted(results)]
+
+    def _gather_hellos(self, conns, by_rank, results, deadline) -> None:
+        self._addrs: dict[int, tuple] = {}
+        self.listener.settimeout(0.2)
+        while len(conns) < self.nprocs:
+            self._check_deadline(deadline, "rank bootstrap")
+            dead = self._dead_without_result(by_rank, results, conns)
+            if dead:
+                # A child died before saying hello: nobody can form a
+                # world.  Record the failure and stop waiting for the
+                # ranks that will never arrive.
+                for h in dead:
+                    results[h.rank] = ProcResult(
+                        rank=h.rank, exception=self._death_error(h)
+                    )
+                for h in by_rank.values():
+                    h.terminate()
+                for rank in by_rank:
+                    if rank not in results:
+                        results[rank] = ProcResult(
+                            rank=rank,
+                            exception=LaunchError(
+                                f"rank {rank} was terminated because a "
+                                f"sibling died during bootstrap"
+                            ),
+                        )
+                raise _BootstrapDead()
+            try:
+                conn, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            hello = recv_frame(conn, timeout=10.0)
+            if not hello or hello[0] != "hello":
+                raise LaunchError(f"malformed hello frame: {hello!r}")
+            _, rank, addr = hello
+            conns[rank] = conn
+            self._addrs[rank] = addr
+
+    def _collect_results(self, conns, by_rank, results, deadline) -> None:
+        inbox: queue.Queue = queue.Queue()
+
+        def reader(rank: int, conn: socket.socket) -> None:
+            try:
+                frame = recv_frame(conn, timeout=None)
+            except (TransportError, OSError) as exc:
+                inbox.put((rank, exc))
+            else:
+                inbox.put((rank, frame))
+
+        for rank, conn in conns.items():
+            threading.Thread(
+                target=reader, args=(rank, conn), daemon=True,
+                name=f"rendezvous-reader-{rank}",
+            ).start()
+
+        death_deadline = None
+        while len(results) < self.nprocs:
+            now = time.monotonic()
+            if death_deadline is not None and now >= death_deadline:
+                # Grace expired: whoever still has no result is wedged on
+                # the dead rank; terminate and synthesize.
+                for rank, h in by_rank.items():
+                    if rank not in results:
+                        h.terminate()
+                        results[rank] = ProcResult(
+                            rank=rank,
+                            exception=self._death_error(h)
+                            if h.exitcode() not in (0, None)
+                            else LaunchError(
+                                f"component {h.label!r} (world rank {rank}) "
+                                f"was terminated: a sibling died without "
+                                f"reporting a result"
+                            ),
+                        )
+                return
+            self._check_deadline(deadline, "job")
+            dead = self._dead_without_result(by_rank, results, None)
+            if dead and death_deadline is None:
+                death_deadline = now + _DEATH_GRACE
+            try:
+                rank, frame = inbox.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if rank in results:
+                continue
+            if isinstance(frame, tuple) and frame and frame[0] == "result":
+                _, rank_, ok, payload, traffic = frame
+                results[rank] = ProcResult(
+                    rank=rank,
+                    value=payload if ok else None,
+                    exception=None if ok else payload,
+                    traffic=traffic,
+                )
+            # EOF (None) or a transport error: the liveness poll above
+            # will classify the death on a later iteration.
+
+    def _dead_without_result(self, by_rank, results, conns) -> list[_ChildHandle]:
+        dead = []
+        for rank, h in by_rank.items():
+            if rank in results:
+                continue
+            if conns is not None and rank in conns:
+                continue
+            if h.exitcode() is not None:
+                dead.append(h)
+        return dead
+
+    @staticmethod
+    def _death_error(h: _ChildHandle) -> ChildExitError:
+        return ChildExitError(
+            f"component {h.label!r} (world rank {h.rank}) exited with "
+            f"code {h.exitcode()} without reporting a result",
+            rank=h.rank,
+            label=h.label,
+            exit_code=h.exitcode(),
+        )
+
+    @staticmethod
+    def _check_deadline(deadline: float, what: str) -> None:
+        if time.monotonic() >= deadline:
+            raise TimeoutError_(f"{what} exceeded its wall-clock budget")
+
+
+class _BootstrapDead(Exception):
+    """Internal: bootstrap aborted because a child died before hello."""
+
+
+def _finish(rendezvous, handles, metas, timeout) -> list[ProcResult]:
+    try:
+        results = rendezvous.run(handles, metas, timeout)
+    finally:
+        rendezvous.cleanup()
+    # A silent child death is the root cause of whatever transport
+    # fallout its siblings saw; name the dead component first.
+    for r in results:
+        if isinstance(r.exception, ChildExitError):
+            raise r.exception
+    _raise_root_cause(results)
+    return results
+
+
+def run_procs(
+    nprocs: int,
+    rank_fns: Sequence[Callable],
+    *,
+    fn_args: Sequence[Any] = (),
+    fn_kwargs: Optional[dict] = None,
+    config: Optional[WorldConfig] = None,
+    timeout: float = 120.0,
+    log_dir: Optional[str] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list[ProcResult]:
+    """Run one callable per rank, each as a **forked OS process**.
+
+    The process-backend analogue of
+    :func:`~repro.mpi.executor.run_world`: same contract (per-rank
+    :class:`~repro.mpi.executor.ProcResult` list, root-cause exception
+    re-raised), but every rank owns an interpreter, a world replica, and
+    a socket transport.  Fork inheritance carries the rank functions, so
+    closures work without being picklable.
+
+    With *log_dir*, each child's stdout+stderr are redirected at the OS
+    level to ``<log_dir>/<label>.log`` — real per-process log files, not
+    the thread backend's ``sys.stdout`` proxy.
+    """
+    if len(rank_fns) != nprocs:
+        raise ValueError(f"need {nprocs} rank functions, got {len(rank_fns)}")
+    config = config or WorldConfig(backend="process")
+    _validate_process_config(config)
+    labels = list(labels) if labels is not None else [f"rank{r}" for r in range(nprocs)]
+    if log_dir is not None:
+        os.makedirs(log_dir, exist_ok=True)
+
+    rendezvous = _Rendezvous(nprocs, config, _socket_family(config))
+    ctx = multiprocessing.get_context("fork")
+    handles: list[_ChildHandle] = []
+    try:
+        for r in range(nprocs):
+            log_path = (
+                os.path.join(log_dir, f"{labels[r]}.log") if log_dir is not None else None
+            )
+            proc = ctx.Process(
+                target=_fork_child_main,
+                args=(
+                    rendezvous.addr,
+                    r,
+                    rendezvous.family,
+                    rendezvous.sockdir,
+                    rank_fns[r],
+                    tuple(fn_args),
+                    dict(fn_kwargs or {}),
+                    log_path,
+                ),
+                name=f"mpi-proc-{r}",
+            )
+            proc.start()
+            handles.append(_ForkHandle(r, labels[r], proc))
+    except BaseException:
+        for h in handles:
+            h.terminate()
+        rendezvous.cleanup()
+        raise
+    return _finish(rendezvous, handles, None, timeout)
+
+
+def run_exec_job(
+    nprocs: int,
+    metas: Sequence[dict],
+    *,
+    config: Optional[WorldConfig] = None,
+    timeout: float = 120.0,
+    log_dir: Optional[str] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> list[ProcResult]:
+    """Run *nprocs* ranks, each ``exec``'d as its own Python executable.
+
+    True MIME in the paper's sense: every rank is an independent
+    ``python -m repro.tools.mphchild`` process that learns *what to run*
+    from its welcome frame's per-rank *meta* dict (see
+    :mod:`repro.tools.mphchild` for the schema).  Used by ``mphrun
+    --backend process``.
+    """
+    if len(metas) != nprocs:
+        raise ValueError(f"need {nprocs} child metas, got {len(metas)}")
+    config = config or WorldConfig(backend="process")
+    _validate_process_config(config)
+    labels = list(labels) if labels is not None else [f"rank{r}" for r in range(nprocs)]
+    if log_dir is not None:
+        os.makedirs(log_dir, exist_ok=True)
+
+    rendezvous = _Rendezvous(nprocs, config, _socket_family(config))
+
+    # The children must import repro regardless of how the parent got it
+    # onto sys.path (installed, PYTHONPATH=src, pytest rootdir magic).
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pkg_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    handles: list[_ChildHandle] = []
+    try:
+        for r in range(nprocs):
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.tools.mphchild",
+                "--rendezvous",
+                _format_addr(rendezvous.addr),
+                "--rank",
+                str(r),
+                "--family",
+                rendezvous.family,
+                "--sockdir",
+                rendezvous.sockdir,
+            ]
+            logfile = None
+            if log_dir is not None:
+                logfile = open(os.path.join(log_dir, f"{labels[r]}.log"), "wb")
+            proc = subprocess.Popen(
+                argv,
+                stdout=logfile if logfile is not None else None,
+                stderr=subprocess.STDOUT if logfile is not None else None,
+                env=env,
+            )
+            handles.append(_ExecHandle(r, labels[r], proc, logfile))
+    except BaseException:
+        for h in handles:
+            h.terminate()
+        rendezvous.cleanup()
+        raise
+    return _finish(rendezvous, handles, list(metas), timeout)

@@ -1,0 +1,614 @@
+"""The pluggable transport layer: how envelopes move between ranks.
+
+MPICH-G2 (Karonis et al.) demonstrated that one MPI surface can run over
+radically different substrates when delivery is hidden behind a
+multi-protocol transport layer.  This module is that layer for the
+simulated substrate: every remote delivery funnels through
+:meth:`~repro.mpi.world.World.deliver`, which hands the envelope to the
+world's :class:`Transport` (or straight to the destination mailbox when
+no transport is selected — the historical zero-overhead path).
+
+Two implementations:
+
+* :class:`ThreadTransport` — the existing in-memory thread mailbox behind
+  the interface.  ``send_envelope`` is a direct call into the destination
+  mailbox, so selecting it changes no behaviour and costs one branch plus
+  one indirection per message (``benchmarks/bench_backend.py`` pins the
+  overhead inside the established <1% noise floor).
+* :class:`SocketTransport` — localhost TCP or Unix-domain sockets with
+  length-prefixed framing and per-peer connection caching; the substrate
+  of the **process backend** (:mod:`repro.mpi.procbackend`), where every
+  rank is a real OS process.  Envelopes are encoded with
+  :func:`encode_envelope` (the payload crosses the wire as the
+  :class:`~repro.mpi.serialization.Blob` bytes it was already encoded
+  into), synchronous sends are completed by an ``ack`` frame from the
+  receiver, and abort notifications ride the same connections.
+
+The wire format is deliberately simple and *testable*: a frame is a
+4-byte big-endian length followed by that many payload bytes
+(:func:`pack_frame` / :class:`FrameDecoder`).  A declared length beyond
+:data:`MAX_FRAME_BYTES` and a stream that ends mid-frame both raise a
+clean :class:`~repro.errors.TransportError` instead of hanging — the
+property tests in ``tests/mpi/test_transport.py`` fuzz exactly these
+edges (empty, 1-byte, multi-MiB, split reads, torn frames).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from repro.errors import TransportError
+from repro.mpi.mailbox import Envelope
+from repro.mpi.progress import Completion
+from repro.mpi.serialization import Blob, payload_nbytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import World
+
+#: Pickle protocol for wire frames (control tuples and envelope payloads).
+WIRE_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Hard ceiling on one frame's payload size.  A length prefix beyond this
+#: is treated as stream corruption (a torn or misaligned frame), never as
+#: a buffer to allocate — the difference between a clean
+#: :class:`TransportError` and an out-of-memory hang.
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct("!I")
+
+
+# ---------------------------------------------------------------------------
+# Framing: length-prefixed byte frames
+# ---------------------------------------------------------------------------
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Wrap *payload* in the wire framing (4-byte big-endian length)."""
+    n = len(payload)
+    if n > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {n} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _LEN.pack(n) + payload
+
+
+class FrameDecoder:
+    """Incremental decoder of the length-prefixed wire format.
+
+    Feed it byte chunks exactly as they come off a socket — any split is
+    legal, including mid-header — and it yields complete frames in order.
+    :meth:`finish` declares end-of-stream: leftover bytes mean the peer
+    died mid-frame (a *torn frame*) and raise :class:`TransportError`.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._need: Optional[int] = None  # payload length of the frame in progress
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb *data*; return every frame completed by it."""
+        self._buf.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if self._need is None:
+                if len(self._buf) < _LEN.size:
+                    break
+                (self._need,) = _LEN.unpack(bytes(self._buf[: _LEN.size]))
+                del self._buf[: _LEN.size]
+                if self._need > MAX_FRAME_BYTES:
+                    raise TransportError(
+                        f"corrupt stream: declared frame length {self._need} "
+                        f"exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+                    )
+            if len(self._buf) < self._need:
+                break
+            frames.append(bytes(self._buf[: self._need]))
+            del self._buf[: self._need]
+            self._need = None
+        return frames
+
+    @property
+    def partial(self) -> bool:
+        """Whether a frame is in progress (header or payload incomplete)."""
+        return self._need is not None or bool(self._buf)
+
+    def finish(self) -> None:
+        """Declare end-of-stream; raise on a torn frame."""
+        if self.partial:
+            got = len(self._buf)
+            want = self._need if self._need is not None else _LEN.size
+            raise TransportError(
+                f"torn frame: stream ended with {got} of {want} expected bytes"
+            )
+
+
+def send_frame(sock: socket.socket, obj) -> int:
+    """Pickle *obj* and send it as one frame; returns bytes written."""
+    frame = pack_frame(pickle.dumps(obj, protocol=WIRE_PICKLE_PROTOCOL))
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_frame(sock: socket.socket, timeout: Optional[float] = None):
+    """Receive exactly one pickled frame from *sock* (blocking).
+
+    Returns the unpickled object, or ``None`` on a clean EOF before any
+    byte.  A stream that ends mid-frame raises :class:`TransportError`.
+    """
+    sock.settimeout(timeout)
+    decoder = FrameDecoder()
+    while True:
+        try:
+            data = sock.recv(65536)
+        except socket.timeout:
+            raise TransportError("timed out waiting for a frame") from None
+        if not data:
+            if decoder.partial:
+                decoder.finish()
+            return None
+        frames = decoder.feed(data)
+        if frames:
+            if len(frames) > 1 or decoder.partial:  # pragma: no cover - misuse
+                raise TransportError("recv_frame got more than one frame")
+            return pickle.loads(frames[0])
+
+
+# ---------------------------------------------------------------------------
+# Envelope wire encoding
+# ---------------------------------------------------------------------------
+
+
+def encode_envelope(env: Envelope, sync_id: int = 0, from_rank: int = -1) -> bytes:
+    """Encode an envelope for the wire.
+
+    A :class:`Blob` payload crosses as its already-encoded bytes (pickle
+    blobs are *not* re-pickled into a nested pickle; the array snapshot
+    of an array blob is carried as-is), a buffer-mode numpy payload as
+    the array.  *sync_id* is nonzero for synchronous sends: the receiver
+    acks it when the message is matched.  *from_rank* is the sender's
+    **world** rank — ``env.source`` is comm-local, so the ack route must
+    travel explicitly.
+    """
+    payload = env.payload
+    if isinstance(payload, Blob):
+        wire_payload = ("blob", payload.kind, payload.data, payload.nbytes)
+    else:
+        wire_payload = ("raw", payload)
+    return pickle.dumps(
+        (
+            "msg",
+            env.context,
+            env.source,
+            env.tag,
+            env.kind,
+            env.count,
+            env.op,
+            sync_id,
+            from_rank,
+            wire_payload,
+        ),
+        protocol=WIRE_PICKLE_PROTOCOL,
+    )
+
+
+def decode_envelope(fields: tuple) -> tuple[Envelope, int, int]:
+    """Rebuild ``(envelope, sync_id, from_rank)`` from a ``"msg"`` frame."""
+    _, context, source, tag, kind, count, op, sync_id, from_rank, wire_payload = fields
+    if wire_payload[0] == "blob":
+        _, blob_kind, data, nbytes = wire_payload
+        if blob_kind == "array" and isinstance(data, np.ndarray):
+            data.flags.writeable = False  # restore the snapshot invariant
+        payload = Blob(blob_kind, data, nbytes)
+    else:
+        payload = wire_payload[1]
+    env = Envelope(context, source, tag, payload, kind, count, op=op)
+    return env, sync_id, from_rank
+
+
+# ---------------------------------------------------------------------------
+# The transport interface
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TransportStats:
+    """Wire-level counters of one transport endpoint."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class Transport(ABC):
+    """How one rank's envelopes reach its peers.
+
+    Implementations must be safe to call from any thread: collectives and
+    the progress engine's reader threads send concurrently.
+    """
+
+    #: Short name for diagnostics ("thread", "unix", "tcp").
+    kind: str = "?"
+
+    @abstractmethod
+    def send_envelope(self, dest: int, env: Envelope) -> None:
+        """Deliver *env* to world rank *dest* (eager: buffered at the
+        destination before returning)."""
+
+    @abstractmethod
+    def alive(self, peer: int) -> bool:
+        """Whether *peer* is believed reachable."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Tear the endpoint down (idempotent)."""
+
+    def stats(self) -> TransportStats:
+        """A snapshot of the wire-level counters."""
+        return TransportStats()
+
+
+class ThreadTransport(Transport):
+    """The in-memory thread mailbox behind the :class:`Transport`
+    interface — zero behaviour change, one indirection per message.
+
+    Exists so the thread backend can be driven through exactly the same
+    seam the process backend uses, which is what makes the backend
+    ablation (``BENCH_backend.json``) a fair comparison.
+    """
+
+    kind = "thread"
+
+    def __init__(self, world: "World"):
+        self._world = world
+        self._stats = TransportStats()
+        self._stats_lock = threading.Lock()
+
+    def send_envelope(self, dest: int, env: Envelope) -> None:
+        self._world.mailboxes[dest].deliver(env)
+        with self._stats_lock:
+            self._stats.frames_sent += 1
+            self._stats.bytes_sent += payload_nbytes(env.payload)
+
+    def alive(self, peer: int) -> bool:
+        return 0 <= peer < self._world.nprocs and not self._world.rank_failed(peer)
+
+    def close(self) -> None:
+        pass
+
+    def stats(self) -> TransportStats:
+        with self._stats_lock:
+            return TransportStats(
+                self._stats.frames_sent,
+                self._stats.frames_received,
+                self._stats.bytes_sent,
+                self._stats.bytes_received,
+            )
+
+
+class _SyncAck:
+    """The receiver-side stand-in for a synchronous send's completion
+    token: ``set()`` (called by the mailbox at match time) sends an
+    ``ack`` frame back to the sender instead of signalling locally."""
+
+    __slots__ = ("_transport", "_source", "_sync_id", "_fired")
+
+    def __init__(self, transport: "SocketTransport", source: int, sync_id: int):
+        self._transport = transport
+        self._source = source
+        self._sync_id = sync_id
+        self._fired = False
+
+    def set(self) -> None:
+        if self._fired:
+            return
+        self._fired = True
+        try:
+            self._transport.send_control(self._source, ("ack", self._sync_id))
+        except TransportError:
+            # The sender is gone; nobody is left to wake.
+            pass
+
+
+class SocketTransport(Transport):
+    """Framed envelope delivery over localhost sockets.
+
+    Parameters
+    ----------
+    rank, nprocs :
+        This endpoint's world rank and the world size.
+    listener :
+        A bound, listening socket owned by this rank (created during the
+        bootstrap handshake, *before* any peer learns its address, so a
+        connecting sender can never race the listener into existence).
+    peers :
+        ``world rank -> address`` map from the rendezvous (an address is
+        ``("unix", path)`` or ``("tcp", host, port)``).
+
+    Outbound connections are cached per peer and serialized by a per-peer
+    lock (frames from concurrent senders interleave at frame granularity,
+    never inside one).  Inbound connections are served by one reader
+    thread each; decoded envelopes are injected through
+    :attr:`deliver_local`, acks complete the registered synchronous
+    sends, and ``abort`` frames are routed to :attr:`on_abort`.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        nprocs: int,
+        listener: socket.socket,
+        peers: dict[int, tuple],
+    ):
+        self.rank = rank
+        self.nprocs = nprocs
+        self._listener = listener
+        self._peers = dict(peers)
+        self.kind = "tcp" if self._peers and next(iter(self._peers.values()))[0] == "tcp" else "unix"
+        #: Injects an inbound envelope into the local mailbox.  Bound by
+        #: the process backend after the world exists.
+        self.deliver_local: Callable[[Envelope], None] = lambda env: None
+        #: Called with ``(origin_rank, message)`` on an inbound abort.
+        self.on_abort: Callable[[int, str], None] = lambda origin, msg: None
+        #: Called with the :class:`TransportError` when a reader stream
+        #: tears mid-frame.
+        self.on_error: Callable[[TransportError], None] = lambda exc: None
+        #: Called with ``(sent_bytes, received_bytes)`` per wire transfer;
+        #: the process backend binds this to ``World.record_wire`` so the
+        #: socket path shows up in :class:`~repro.mpi.world.TrafficStats`.
+        self.on_wire: Callable[[int, int], None] = lambda sent, received: None
+
+        self._conns: dict[int, socket.socket] = {}
+        self._send_locks: dict[int, threading.Lock] = {}
+        self._conns_lock = threading.Lock()
+        self._dead_peers: set[int] = set()
+
+        self._sync_lock = threading.Lock()
+        self._next_sync_id = 1
+        self._sync_waiters: dict[int, Completion] = {}
+
+        self._stats = TransportStats()
+        self._stats_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin accepting inbound connections."""
+        t = threading.Thread(
+            target=self._serve, name=f"transport-accept-{self.rank}", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+
+    def close(self) -> None:
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        # shutdown() before close(): close() alone does not interrupt an
+        # accept() blocked in another thread, and the kernel keeps
+        # completing handshakes on the listener's behalf until that call
+        # returns — a sender could still "successfully" connect to a
+        # closed endpoint.  shutdown() revokes the listen state at once.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        with self._conns_lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    # -- outbound ----------------------------------------------------------
+
+    def send_envelope(self, dest: int, env: Envelope) -> None:
+        if dest == self.rank:
+            self.deliver_local(env)
+            return
+        sync_id = 0
+        if env.sync_event is not None:
+            with self._sync_lock:
+                sync_id = self._next_sync_id
+                self._next_sync_id += 1
+                self._sync_waiters[sync_id] = env.sync_event
+        try:
+            self._send_bytes(dest, encode_envelope(env, sync_id, self.rank))
+        except TransportError:
+            if sync_id:
+                with self._sync_lock:
+                    self._sync_waiters.pop(sync_id, None)
+            raise
+
+    def send_control(self, dest: int, fields: tuple) -> None:
+        """Send a non-envelope control frame (``ack``/``abort``)."""
+        self._send_bytes(dest, pickle.dumps(fields, protocol=WIRE_PICKLE_PROTOCOL))
+
+    def broadcast_abort(self, origin: int, message: str) -> None:
+        """Best-effort abort notification to every peer (unreachable
+        peers are skipped: they are either already dead or will be torn
+        down by the launcher)."""
+        for peer in self._peers:
+            if peer == self.rank:
+                continue
+            try:
+                self.send_control(peer, ("abort", origin, message))
+            except TransportError:
+                continue
+
+    def _send_bytes(self, dest: int, payload: bytes) -> None:
+        if dest not in self._peers:
+            raise TransportError(f"no address for world rank {dest}")
+        frame = pack_frame(payload)
+        lock = self._send_locks.setdefault(dest, threading.Lock())
+        with lock:
+            sock = self._connect(dest)
+            try:
+                sock.sendall(frame)
+            except OSError as exc:
+                self._drop_conn(dest)
+                self._dead_peers.add(dest)
+                raise TransportError(
+                    f"send to world rank {dest} failed: {exc}"
+                ) from exc
+        with self._stats_lock:
+            self._stats.frames_sent += 1
+            self._stats.bytes_sent += len(frame)
+        self.on_wire(len(frame), 0)
+
+    def _connect(self, dest: int) -> socket.socket:
+        with self._conns_lock:
+            sock = self._conns.get(dest)
+        if sock is not None:
+            return sock
+        addr = self._peers[dest]
+        try:
+            if addr[0] == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.connect(addr[1])
+            else:
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.connect((addr[1], addr[2]))
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            self._dead_peers.add(dest)
+            raise TransportError(
+                f"cannot connect to world rank {dest} at {addr!r}: {exc}"
+            ) from exc
+        with self._conns_lock:
+            self._conns[dest] = sock
+        return sock
+
+    def _drop_conn(self, dest: int) -> None:
+        with self._conns_lock:
+            sock = self._conns.pop(dest, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    # -- inbound -----------------------------------------------------------
+
+    def _serve(self) -> None:
+        try:
+            self._listener.settimeout(0.2)
+        except OSError:  # closed before the thread got scheduled
+            return
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            t = threading.Thread(
+                target=self._read_conn,
+                args=(conn,),
+                name=f"transport-read-{self.rank}",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def _read_conn(self, conn: socket.socket) -> None:
+        decoder = FrameDecoder()
+        try:
+            while not self._closed.is_set():
+                try:
+                    data = conn.recv(65536)
+                except OSError:
+                    return
+                if not data:
+                    if decoder.partial and not self._closed.is_set():
+                        decoder.finish()  # raises TransportError
+                    return
+                with self._stats_lock:
+                    self._stats.bytes_received += len(data)
+                self.on_wire(0, len(data))
+                for frame in decoder.feed(data):
+                    with self._stats_lock:
+                        self._stats.frames_received += 1
+                    self._dispatch(pickle.loads(frame))
+        except TransportError as exc:
+            self.on_error(exc)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def _dispatch(self, fields: tuple) -> None:
+        tag = fields[0]
+        if tag == "msg":
+            env, sync_id, from_rank = decode_envelope(fields)
+            if sync_id:
+                env.sync_event = _SyncAck(self, from_rank, sync_id)
+            self.deliver_local(env)
+        elif tag == "ack":
+            with self._sync_lock:
+                waiter = self._sync_waiters.pop(fields[1], None)
+            if waiter is not None:
+                waiter.set()
+        elif tag == "abort":
+            self.on_abort(fields[1], fields[2])
+        else:  # pragma: no cover - future protocol versions
+            raise TransportError(f"unknown wire frame {tag!r}")
+
+    # -- introspection -----------------------------------------------------
+
+    def alive(self, peer: int) -> bool:
+        return (
+            not self._closed.is_set()
+            and peer in self._peers
+            and peer not in self._dead_peers
+        )
+
+    def stats(self) -> TransportStats:
+        with self._stats_lock:
+            return TransportStats(
+                self._stats.frames_sent,
+                self._stats.frames_received,
+                self._stats.bytes_sent,
+                self._stats.bytes_received,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Listener construction (shared by bootstrap and tests)
+# ---------------------------------------------------------------------------
+
+
+def make_listener(family: str, path_hint: str) -> tuple[socket.socket, tuple]:
+    """Create a bound, listening socket; return ``(socket, address)``.
+
+    *family* is ``"unix"`` or ``"tcp"``; *path_hint* is the filesystem
+    path for Unix-domain sockets (ignored for TCP, which binds an
+    ephemeral localhost port).
+    """
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(path_hint)
+        sock.listen(64)
+        return sock, ("unix", path_hint)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(64)
+    host, port = sock.getsockname()
+    return sock, ("tcp", host, port)

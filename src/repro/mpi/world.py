@@ -59,6 +59,11 @@ class TrafficStats:
     wakeups: int = 0
     blocked_seconds: float = 0.0
     blocked_hist: dict = field(default_factory=dict)
+    #: Socket-transport wire bytes (length prefix + encoded envelope)
+    #: this world's rank pushed onto / pulled off its peer connections.
+    #: Zero on the thread backend, where no wire exists.
+    wire_bytes_sent: int = 0
+    wire_bytes_received: int = 0
 
     def snapshot(self) -> "TrafficStats":
         """A copy safe to compare against later counts."""
@@ -70,6 +75,8 @@ class TrafficStats:
             self.wakeups,
             self.blocked_seconds,
             dict(self.blocked_hist),
+            self.wire_bytes_sent,
+            self.wire_bytes_received,
         )
 
     def since(self, earlier: "TrafficStats") -> "TrafficStats":
@@ -90,6 +97,8 @@ class TrafficStats:
             self.wakeups - earlier.wakeups,
             self.blocked_seconds - earlier.blocked_seconds,
             {k: v for k, v in hist.items() if v},
+            self.wire_bytes_sent - earlier.wire_bytes_sent,
+            self.wire_bytes_received - earlier.wire_bytes_received,
         )
 
 
@@ -173,6 +182,24 @@ class WorldConfig:
         become replayable.  ``None`` (the default) keeps the historical
         earliest-first behaviour; the hooks then cost one ``is None``
         branch per choice point (``benchmarks/bench_sched.py``).
+    backend :
+        Execution substrate of the job.  ``"thread"`` (default) runs each
+        rank as a thread in this process sharing one :class:`World` — the
+        historical simulator.  ``"process"`` spawns each rank as a real
+        OS process (:mod:`repro.mpi.procbackend`) with its own world
+        replica, wired together over a :class:`~repro.mpi.transport.SocketTransport`
+        by a rank-bootstrap handshake — the paper's genuine
+        multi-executable setting.
+    transport :
+        Which :class:`~repro.mpi.transport.Transport` moves envelopes
+        between ranks.  ``"auto"`` (default): direct mailbox delivery for
+        the thread backend (no transport object at all — the historical
+        zero-overhead path), Unix-domain sockets for the process backend.
+        ``"thread"`` forces the explicit
+        :class:`~repro.mpi.transport.ThreadTransport` indirection on the
+        thread backend (ablation: one extra branch+call per message);
+        ``"unix"``/``"tcp"`` select the socket family of the process
+        backend.
     """
 
     bcast_algorithm: str = "binomial"
@@ -191,6 +218,8 @@ class WorldConfig:
     max_components_per_executable: int = 10
     fault_schedule: Optional["FaultSchedule"] = None
     match_schedule: Optional["MatchSchedule"] = None
+    backend: str = "thread"
+    transport: str = "auto"
 
     def __post_init__(self) -> None:
         if self.progress_engine not in ("event", "polling"):
@@ -198,6 +227,21 @@ class WorldConfig:
                 f"progress_engine must be 'event' or 'polling', "
                 f"got {self.progress_engine!r}"
             )
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.transport not in ("auto", "thread", "unix", "tcp"):
+            raise ValueError(
+                f"transport must be 'auto', 'thread', 'unix' or 'tcp', "
+                f"got {self.transport!r}"
+            )
+        if self.backend == "thread" and self.transport in ("unix", "tcp"):
+            raise ValueError(
+                f"transport {self.transport!r} requires backend='process'"
+            )
+        if self.backend == "process" and self.transport == "thread":
+            raise ValueError("transport 'thread' requires backend='thread'")
 
 
 class World:
@@ -212,6 +256,17 @@ class World:
         self.config = config or WorldConfig()
         #: One mailbox per process, indexed by world rank.
         self.mailboxes = [Mailbox(self, r) for r in range(nprocs)]
+        #: The :class:`~repro.mpi.transport.Transport` carrying remote
+        #: deliveries, or ``None`` for the historical direct-mailbox path
+        #: (thread backend default).  Every remote send funnels through
+        #: :meth:`deliver`, which dispatches on this attribute.
+        self.transport = None
+        if self.config.transport == "thread":
+            # Explicit in-memory transport indirection (ablation of the
+            # transport seam's cost; lazy import breaks the module cycle).
+            from repro.mpi.transport import ThreadTransport
+
+            self.transport = ThreadTransport(self)
 
         # Context ids: 0/1 are reserved for COMM_WORLD's p2p/collective
         # traffic; communicator-creating operations allocate pairs above.
@@ -262,6 +317,24 @@ class World:
             self._next_ctx += 2
             return pair
 
+    # -- envelope delivery ---------------------------------------------------
+
+    def deliver(self, dest: int, env) -> None:
+        """Deliver *env* to world rank *dest* — the single seam every
+        remote send crosses.
+
+        With no transport selected (thread backend default) this is a
+        direct call into the destination mailbox, identical to the
+        historical path; otherwise the envelope goes to the configured
+        :class:`~repro.mpi.transport.Transport` (in-memory indirection or
+        framed socket I/O to another OS process).
+        """
+        transport = self.transport
+        if transport is None:
+            self.mailboxes[dest].deliver(env)
+        else:
+            transport.send_envelope(dest, env)
+
     # -- traffic accounting ---------------------------------------------------
 
     def record_traffic(self, kind: str, nbytes: int, copy_avoided: int = 0) -> None:
@@ -280,6 +353,13 @@ class World:
         """A consistent copy of the traffic counters."""
         with self._traffic_lock:
             return self.traffic.snapshot()
+
+    def record_wire(self, sent: int = 0, received: int = 0) -> None:
+        """Count socket-transport wire bytes (called by the transport's
+        send path and reader threads on the process backend)."""
+        with self._traffic_lock:
+            self.traffic.wire_bytes_sent += sent
+            self.traffic.wire_bytes_received += received
 
     def record_block_episode(self, rank: int, seconds: float, wakeups: int) -> None:
         """Account one completed blocked episode of *rank*: *seconds*

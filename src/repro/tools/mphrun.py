@@ -96,6 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget in seconds (default: 300)",
     )
     parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execution backend: 'thread' simulates ranks as threads of "
+        "this process; 'process' execs every rank as its own "
+        "'python -m repro.tools.mphchild' over the socket transport "
+        "(true multi-executable, as on the paper's platforms)",
+    )
+    parser.add_argument(
+        "--log-dir",
+        type=Path,
+        help="process backend: directory for per-process stdout logs "
+        "(<program>.<local_index>.log)",
+    )
+    parser.add_argument(
         "--show-assignment",
         action="store_true",
         help="print the planned executable -> world-rank assignment before running",
@@ -132,6 +147,56 @@ def _parse_env(pairs: Sequence[str]) -> dict[str, str]:
     return out
 
 
+def _run_exec_backend(specs, args) -> "JobResult":
+    """Run the job with every rank ``exec``'d as its own executable.
+
+    Builds the same assignment an :class:`MpmdJob` would, then hands the
+    per-rank program metadata to
+    :func:`repro.mpi.procbackend.run_exec_job`; each child resolves its
+    program itself (see :mod:`repro.tools.mphchild`) — the parent ships
+    names, never code.
+    """
+    from repro.launcher.job import JobResult
+    from repro.launcher.rankmap import assign_ranks
+    from repro.mpi.procbackend import run_exec_job
+    from repro.mpi.world import WorldConfig
+
+    sizes = [s.nprocs for s in specs]
+    assignment = assign_ranks(sizes, args.rank_policy)
+    machine = Machine.homogeneous(args.nodes, args.cpus_per_node) if args.nodes else None
+    placement = machine.place(sizes, assignment) if machine else None
+
+    env_vars = _parse_env(args.env)
+    world_size = sum(sizes)
+    metas: list[dict] = [None] * world_size  # type: ignore[list-item]
+    labels: list[str] = [""] * world_size
+    for exe_index, ranks in enumerate(assignment):
+        spec = specs[exe_index]
+        for local_index, world_rank in enumerate(ranks):
+            labels[world_rank] = f"{spec.program}.{local_index}"
+            metas[world_rank] = {
+                "programs": args.programs,
+                "program": spec.program,
+                "exe_index": exe_index,
+                "local_index": local_index,
+                "argv": tuple(spec.argv),
+                "vars": env_vars,
+                "workdir": str(args.workdir) if args.workdir else None,
+                "registry": str(args.registry) if args.registry else None,
+            }
+    procs = run_exec_job(
+        world_size,
+        metas,
+        config=WorldConfig(backend="process"),
+        timeout=args.timeout,
+        log_dir=str(args.log_dir) if args.log_dir else None,
+        labels=labels,
+    )
+    return JobResult(
+        procs=procs, specs=list(specs), assignment=assignment, placement=placement
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit status."""
     parser = build_parser()
@@ -141,35 +206,57 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             specs = parse_poe_cmdfile(args.cmdfile.read_text())
         else:
             specs = parse_mpirun_spec(args.spec)
-        programs = _load_programs(args.programs)
-        machine = (
-            Machine.homogeneous(args.nodes, args.cpus_per_node) if args.nodes else None
-        )
-        job = MpmdJob(
-            specs,
-            programs=programs,
-            rank_policy=args.rank_policy,
-            machine=machine,
-            env_vars=_parse_env(args.env),
-            workdir=args.workdir,
-            registry=args.registry,
-        )
         if args.show_assignment:
             from repro.launcher.rankmap import assign_ranks
 
-            assignment = assign_ranks([s.nprocs for s in job.specs], args.rank_policy)
+            assignment = assign_ranks([s.nprocs for s in specs], args.rank_policy)
             print(f"planned assignment ({args.rank_policy}):")
-            for i, spec in enumerate(job.specs):
+            for i, spec in enumerate(specs):
                 ranks = assignment[i]
                 print(f"  [{i}] {spec.program:<16} world ranks {ranks[0]}..{ranks[-1]}"
                       if ranks == list(range(ranks[0], ranks[-1] + 1))
                       else f"  [{i}] {spec.program:<16} world ranks {ranks}")
-        result = job.run(timeout=args.timeout)
+        if args.backend == "process":
+            # Resolve the program module in the parent too, so a typo'd
+            # --programs fails fast here instead of in every child.
+            _load_programs(args.programs)
+            result = _run_exec_backend(specs, args)
+        else:
+            programs = _load_programs(args.programs)
+            machine = (
+                Machine.homogeneous(args.nodes, args.cpus_per_node)
+                if args.nodes
+                else None
+            )
+            job = MpmdJob(
+                specs,
+                programs=programs,
+                rank_policy=args.rank_policy,
+                machine=machine,
+                env_vars=_parse_env(args.env),
+                workdir=args.workdir,
+                registry=args.registry,
+            )
+            result = job.run(timeout=args.timeout)
     except ReproError as exc:
         print(f"mphrun: error: {exc}", file=sys.stderr)
         return 1
     except Exception as exc:  # noqa: BLE001 - rank exceptions surface here
         print(f"mphrun: job failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    # A job can "complete" with per-rank failures that did not abort the
+    # world (e.g. a component dead by survivable fail-stop crash).  That
+    # must not masquerade as success: name every failed component and
+    # fail the whole job.
+    failed = result.failures()
+    if failed:
+        for rank, program, exc in failed:
+            print(
+                f"mphrun: component {program!r} (world rank {rank}) failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
         return 1
 
     if not args.quiet:

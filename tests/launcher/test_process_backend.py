@@ -1,0 +1,212 @@
+"""The process execution backend through the launcher stack.
+
+These tests run *real* OS processes: :class:`MpmdJob` forks its ranks,
+and ``mphrun --backend process`` execs each component as its own
+``python -m repro.tools.mphchild``.  They cover what the thread-backend
+launcher tests cannot — per-process stdout files produced by genuine
+``dup2`` redirection (paper §5.4), and hard child death (``os._exit``)
+failing the whole job with the component named.
+"""
+
+import os
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import AbortError, LaunchError
+from repro.launcher.job import JobResult, MpmdJob
+from repro.mpi.procbackend import ChildExitError
+from repro.mpi.world import WorldConfig
+from repro.tools.mphrun import main
+
+
+def identity_program(world, env):
+    return (env.program, env.exe_index, env.local_index, world.rank, world.size)
+
+
+PROCESS = WorldConfig(backend="process")
+
+
+class TestMpmdJobProcessBackend:
+    def test_shared_comm_world(self):
+        """All executables still share one COMM_WORLD when each rank is a
+        forked process — the §6 startup condition, now cross-process."""
+        job = MpmdJob(
+            [(identity_program, 2), (identity_program, 2)], config=PROCESS
+        )
+        result = job.run(timeout=60.0)
+        assert {v[4] for v in result.values()} == {4}
+        assert result.assignment == [[0, 1], [2, 3]]
+
+    def test_cross_component_exchange(self):
+        """Components really communicate across process boundaries."""
+
+        def sender(world, env):
+            world.send(f"from {env.program}", world.size - 1, tag=1)
+            return "sent"
+
+        def receiver(world, env):
+            if world.rank == world.size - 1:
+                return world.recv(source=0, tag=1)
+            return "idle"
+
+        result = MpmdJob([(sender, 1), (receiver, 2)], config=PROCESS).run(
+            timeout=60.0
+        )
+        assert result.by_executable("receiver")[-1] == "from sender"
+
+    def test_per_component_log_files(self, tmp_path):
+        """§5.4 via dup2: local processor 0 of each component owns
+        ``<component>.log``; other processors share the combined log."""
+
+        def chatty(world, env):
+            env.output.redirect(
+                env.program,
+                is_channel_owner=env.local_index == 0,
+                env_vars=env.vars,
+                workdir=env.workdir,
+            )
+            print(f"{env.program} local {env.local_index} says hi", flush=True)
+            world.barrier()
+            return "ok"
+
+        chatty.__name__ = "atmos"
+        result = MpmdJob([(chatty, 2)], config=PROCESS, workdir=tmp_path).run(
+            timeout=60.0
+        )
+        assert result.values() == ["ok", "ok"]
+        assert "atmos local 0 says hi" in (tmp_path / "atmos.log").read_text()
+        assert "atmos local 1 says hi" in (tmp_path / "mph_combined.log").read_text()
+
+    def test_rank_exception_propagates(self):
+        def boom(world, env):
+            if world.rank == 1:
+                raise RuntimeError("component exploded")
+            world.barrier()
+
+        with pytest.raises((RuntimeError, AbortError)):
+            MpmdJob([(boom, 3)], config=PROCESS).run(timeout=60.0)
+
+    def test_hard_child_death_names_component(self):
+        """A rank dying without reporting (``os._exit``) must fail the
+        job with a ChildExitError naming the component, not hang or
+        surface a bare transport error."""
+
+        def dies(world, env):
+            if world.rank == 0:
+                os._exit(7)
+            world.barrier()
+
+        dies.__name__ = "crasher"
+        with pytest.raises(ChildExitError) as excinfo:
+            MpmdJob([(dies, 2)], config=PROCESS).run(timeout=60.0)
+        exc = excinfo.value
+        assert isinstance(exc, LaunchError)
+        assert exc.label == "crasher.0"
+        assert exc.exit_code == 7
+        assert "crasher" in str(exc)
+
+    def test_failures_accessor_shape(self):
+        """failures() stays empty on a clean process-backend run."""
+        result = MpmdJob([(identity_program, 2)], config=PROCESS).run(timeout=60.0)
+        assert isinstance(result, JobResult)
+        assert result.failures() == []
+
+
+# ---------------------------------------------------------------------------
+# mphrun --backend process (true MIME: each rank its own executable)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def program_module(tmp_path, monkeypatch):
+    """A throwaway registry module importable by exec'd children (the
+    module directory is prepended to PYTHONPATH, which run_exec_job
+    passes through to every child)."""
+    mod = tmp_path / "proc_demo_models.py"
+    mod.write_text(
+        textwrap.dedent(
+            """
+            import os
+
+            def atm(world, env):
+                print(f"atm pid {os.getpid()} rank {world.rank}", flush=True)
+                return world.allreduce(1)
+
+            def ocn(world, env):
+                print(f"ocn pid {os.getpid()} rank {world.rank}", flush=True)
+                return world.allreduce(1)
+
+            def hard_exit(world, env):
+                os._exit(3)
+
+            PROGRAMS = {"atm": atm, "ocn": ocn, "hard_exit": hard_exit}
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        str(tmp_path)
+        + (os.pathsep + os.environ["PYTHONPATH"] if os.environ.get("PYTHONPATH") else ""),
+    )
+    sys.modules.pop("proc_demo_models", None)
+    yield "proc_demo_models"
+    sys.modules.pop("proc_demo_models", None)
+
+
+class TestMphrunProcessBackend:
+    def test_mime_job_with_per_process_logs(self, program_module, tmp_path, capsys):
+        log_dir = tmp_path / "logs"
+        code = main(
+            [
+                "--spec",
+                "-np 2 atm : -np 1 ocn",
+                "--programs",
+                program_module,
+                "--backend",
+                "process",
+                "--log-dir",
+                str(log_dir),
+                "--timeout",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "3 processes" in capsys.readouterr().out
+        # one stdout file per rank, each holding a distinct child pid
+        pids = set()
+        for label in ("atm.0", "atm.1", "ocn.0"):
+            text = (log_dir / f"{label}.log").read_text()
+            assert label.split(".")[0] in text
+            pids.add(text.split("pid ")[1].split()[0])
+        assert len(pids) == 3  # genuinely separate OS processes
+        assert os.getpid() not in {int(p) for p in pids}
+
+    def test_child_exit_code_fails_job(self, program_module, capsys):
+        """Satellite: a nonzero component exit fails the whole job with
+        the failing component named on stderr and exit status 1."""
+        code = main(
+            [
+                "--spec",
+                "-np 1 atm : -np 1 hard_exit",
+                "--programs",
+                program_module,
+                "--backend",
+                "process",
+                "--timeout",
+                "60",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "hard_exit" in err
+        assert "exited with code 3" in err
+
+    def test_thread_backend_rejects_log_dir_silently_unused(self, program_module, capsys):
+        """--backend thread remains the default path (no regression)."""
+        code = main(
+            ["--spec", "-np 1 atm", "--programs", program_module, "--quiet"]
+        )
+        assert code == 0

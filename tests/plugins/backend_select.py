@@ -1,0 +1,77 @@
+"""Pytest plugin: parametrize tests over the execution backend.
+
+The conformance suite (``tests/mpi/test_conformance.py``) runs every MPI
+semantics case on both the thread and the process backend.  This plugin
+provides the knobs:
+
+``--mpi-backend {thread,process,both}``
+    Which backend(s) the ``mpi_backend`` fixture yields (default
+    ``both``).  CI's backend matrix runs one job per value, so a process
+    backend hang can't mask thread results (and vice versa).
+
+``mpi_backend``
+    A parametrized fixture naming the backend of the current test.
+
+``backend_config``
+    A fresh :class:`~repro.mpi.world.WorldConfig` for that backend.
+
+``backend_spmd``
+    ``runner(n, fn, **kw)`` — :func:`repro.mpi.run_spmd` against the
+    selected backend with a test-friendly timeout.  Process-backend runs
+    get a larger default budget (real fork + socket bootstrap per rank).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi.executor import run_spmd
+from repro.mpi.world import WorldConfig
+
+_BACKENDS = ("thread", "process")
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("mpi-backend")
+    group.addoption(
+        "--mpi-backend",
+        action="store",
+        default="both",
+        choices=_BACKENDS + ("both",),
+        help="execution backend(s) for backend-parametrized tests "
+        "(default: both)",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "mpi_backend" in metafunc.fixturenames:
+        choice = metafunc.config.getoption("--mpi-backend")
+        backends = _BACKENDS if choice == "both" else (choice,)
+        metafunc.parametrize("mpi_backend", backends, indirect=True)
+
+
+@pytest.fixture
+def mpi_backend(request):
+    """The execution backend of the current parametrization."""
+    return request.param
+
+
+@pytest.fixture
+def backend_config(mpi_backend):
+    """A fresh world config for the selected backend."""
+    return WorldConfig(backend=mpi_backend)
+
+
+@pytest.fixture
+def backend_spmd(mpi_backend):
+    """SPMD runner against the selected backend."""
+
+    def runner(n, fn, *, config=None, timeout=None, **kw):
+        if config is None:
+            config = WorldConfig(backend=mpi_backend)
+        if timeout is None:
+            timeout = 60.0 if mpi_backend == "process" else 30.0
+        return run_spmd(n, fn, config=config, timeout=timeout, **kw)
+
+    runner.backend = mpi_backend
+    return runner
