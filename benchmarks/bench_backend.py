@@ -22,6 +22,15 @@ Every kernel times its operation loop *inside* the job from rank 0,
 between two barriers — process spawn and socket bootstrap are excluded,
 so the comparison is per-operation transport cost, not launch cost.
 
+Timing discipline: substrates are *interleaved within each repetition*
+(rep 0 runs every substrate back to back, then rep 1, ...), and every
+overhead figure is the median of the **per-rep paired ratios** against
+the thread-direct run of the *same* rep.  Unpaired batches — all
+thread runs, then all process runs — let minute-scale machine drift
+land entirely on one substrate and regularly produced negative
+"overheads" on loaded hosts; pairing cancels the drift because both
+sides of each ratio see the same machine state.
+
 The driver in ``compare.py`` (``--suite backend``) writes
 ``BENCH_backend.json``.
 """
@@ -41,6 +50,7 @@ def _substrates() -> dict[str, WorldConfig]:
         "thread-direct": WorldConfig(),
         "thread-transport": WorldConfig(transport="thread"),
         "process-unix": WorldConfig(backend="process", transport="unix"),
+        "process-shm": WorldConfig(backend="process", transport="shm"),
     }
 
 
@@ -109,40 +119,74 @@ KERNELS = {
 }
 
 
-def _median(kernel, config: WorldConfig, reps: int) -> float:
-    kernel(config)  # warm-up: imports, thread pools, fork machinery
-    return statistics.median(kernel(config) for _ in range(reps))
+def run_backend_ablation(reps: int = 9) -> dict:
+    """Time every kernel on every substrate; return the report.
 
-
-def run_backend_ablation(reps: int = 5) -> dict:
-    """Time every kernel on every substrate; return the report."""
+    Substrates are interleaved within each rep (see the module
+    docstring): every overhead is the median of per-rep ratios against
+    the same-rep thread-direct run, and the noise floor is a second
+    thread-direct run inside the same rep, reported the same way.
+    """
+    substrates = _substrates()
     report: dict = {}
     for name, kernel in KERNELS.items():
-        baseline = _median(kernel, WorldConfig(), reps)
-        noise = _median(kernel, WorldConfig(), reps)
+        for config in substrates.values():
+            kernel(config)  # warm-up: imports, forks, socket bootstrap
+        samples: dict[str, list] = {s: [] for s in substrates}
+        samples["noise-probe"] = []
+        for _ in range(reps):
+            for substrate, config in substrates.items():
+                samples[substrate].append(kernel(config))
+                if substrate == "thread-direct":
+                    # paired noise probe: same config, same rep
+                    samples["noise-probe"].append(kernel(config))
+        baselines = samples["thread-direct"]
         entry = {
             "reps": reps,
-            "thread_direct_median_s": baseline,
-            "noise_floor_percent": abs(noise - baseline) / baseline * 100.0,
+            "thread_direct_median_s": statistics.median(baselines),
+            "noise_floor_percent": statistics.median(
+                abs(n - b) / b * 100.0
+                for n, b in zip(samples["noise-probe"], baselines)
+            ),
         }
-        for substrate, config in _substrates().items():
+        for substrate in substrates:
             if substrate == "thread-direct":
                 continue
-            seconds = _median(kernel, config, reps)
             key = substrate.replace("-", "_")
-            entry[f"{key}_median_s"] = seconds
-            entry[f"{key}_overhead_percent"] = (seconds - baseline) / baseline * 100.0
+            entry[f"{key}_median_s"] = statistics.median(samples[substrate])
+            entry[f"{key}_overhead_percent"] = statistics.median(
+                (s - b) / b * 100.0
+                for s, b in zip(samples[substrate], baselines)
+            )
         report[name] = entry
         print(
-            f"{name}: thread={baseline * 1e3:.1f}ms "
+            f"{name}: thread={entry['thread_direct_median_s'] * 1e3:.1f}ms "
             f"noise={entry['noise_floor_percent']:.2f}% "
-            f"transport={entry['thread_transport_overhead_percent']:+.2f}% "
-            f"process={entry['process_unix_overhead_percent']:+.2f}%"
+            f"transport={entry['thread_transport_overhead_percent']:+.1f}% "
+            f"unix={entry['process_unix_overhead_percent']:+.1f}% "
+            f"shm={entry['process_shm_overhead_percent']:+.1f}%"
         )
     return report
 
 
-if __name__ == "__main__":  # pragma: no cover
+def main(argv=None) -> None:  # pragma: no cover
+    import argparse
     import json
 
-    print(json.dumps(run_backend_ablation(), indent=2))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=9)
+    parser.add_argument("--quick", action="store_true",
+                        help="2 reps — CI smoke, numbers not for citing")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here as well")
+    args = parser.parse_args(argv)
+    report = run_backend_ablation(2 if args.quick else args.reps)
+    text = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -10,8 +10,11 @@ ULFM-recovery-latency kernels from :mod:`bench_faults`
 (``BENCH_faults.json``), ``--suite sched`` runs the match-schedule
 hook-overhead kernels from :mod:`bench_sched` (``BENCH_sched.json``),
 ``--suite backend`` runs the execution-backend substrate comparison from
-:mod:`bench_backend` (``BENCH_backend.json``), and ``--suite all`` runs
-everything.  The fast-path kernels:
+:mod:`bench_backend` (``BENCH_backend.json``), ``--suite shm`` runs the
+shared-memory transport curves and the hierarchical-collective
+comparison from :mod:`bench_shm` (``BENCH_shm.json``), and
+``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
+skips report files — the CI smoke mode.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
   rank 0 to 16 ranks (pickle-once fan-out vs per-destination pickling);
@@ -110,7 +113,9 @@ def run_ablation(reps: int = 5) -> dict:
     return results
 
 
-def _write_report(report: dict, out: str) -> None:
+def _write_report(report: dict, out: str | None) -> None:
+    if out is None:  # --quick smoke run: numbers are not for citing
+        return
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -119,54 +124,62 @@ def _write_report(report: dict, out: str) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
                         help="timed repetitions per configuration (median "
                              "taken; fastpath suite only)")
+    parser.add_argument("--quick", action="store_true",
+                        help="2 reps and no report rewrite unless --out is "
+                             "given — CI smoke-test mode")
     parser.add_argument("--out", default=None,
                         help="where to write the JSON report (default: "
                              "BENCH_<suite>.json; ignored for --suite all)")
     args = parser.parse_args(argv)
     if args.reps < 1:
         parser.error("--reps must be at least 1")
+    if args.quick:
+        args.reps = 2
+    def _out(suite: str) -> str | None:
+        if args.suite == suite and args.out:
+            return args.out
+        if args.quick:
+            return None
+        return f"BENCH_{suite}.json"
+
     if args.suite in ("fastpath", "all"):
-        _write_report(run_ablation(args.reps),
-                      args.out if args.suite == "fastpath" and args.out
-                      else "BENCH_fastpath.json")
+        _write_report(run_ablation(args.reps), _out("fastpath"))
     if args.suite in ("progress", "all"):
         try:
             from benchmarks.bench_progress import run_progress_ablation
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_progress import run_progress_ablation
-        _write_report(run_progress_ablation(),
-                      args.out if args.suite == "progress" and args.out
-                      else "BENCH_progress.json")
+        _write_report(run_progress_ablation(), _out("progress"))
     if args.suite in ("faults", "all"):
         try:
             from benchmarks.bench_faults import run_faults_ablation
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_faults import run_faults_ablation
-        _write_report(run_faults_ablation(args.reps),
-                      args.out if args.suite == "faults" and args.out
-                      else "BENCH_faults.json")
+        _write_report(run_faults_ablation(args.reps), _out("faults"))
     if args.suite in ("sched", "all"):
         try:
             from benchmarks.bench_sched import run_sched_ablation
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_sched import run_sched_ablation
-        _write_report(run_sched_ablation(args.reps),
-                      args.out if args.suite == "sched" and args.out
-                      else "BENCH_sched.json")
+        _write_report(run_sched_ablation(args.reps), _out("sched"))
     if args.suite in ("backend", "all"):
         try:
             from benchmarks.bench_backend import run_backend_ablation
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_backend import run_backend_ablation
-        _write_report(run_backend_ablation(args.reps),
-                      args.out if args.suite == "backend" and args.out
-                      else "BENCH_backend.json")
+        _write_report(run_backend_ablation(args.reps), _out("backend"))
+    if args.suite in ("shm", "all"):
+        try:
+            from benchmarks.bench_shm import run_shm_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_shm import run_shm_ablation
+        _write_report(run_shm_ablation(args.reps), _out("shm"))
 
 
 if __name__ == "__main__":

@@ -56,7 +56,9 @@ from repro.mpi.procbackend import ProcessWorld, run_exec_job, run_procs
 from repro.mpi.progress import Completion, ProgressEngine, RankProgress, Waitset
 from repro.mpi.request import Request
 from repro.mpi.serialization import Blob, payload_nbytes
+from repro.mpi.shm import PagePool, ShmRing, ShmSegment, ShmStats, ShmTransport
 from repro.mpi.status import Status
+from repro.mpi.topology import CommHierarchy, Topology
 from repro.mpi.transport import (
     FrameDecoder,
     SocketTransport,
@@ -124,6 +126,13 @@ __all__ = [
     "Transport",
     "ThreadTransport",
     "SocketTransport",
+    "ShmTransport",
+    "ShmSegment",
+    "ShmRing",
+    "PagePool",
+    "ShmStats",
+    "Topology",
+    "CommHierarchy",
     "TransportStats",
     "FrameDecoder",
     "pack_frame",

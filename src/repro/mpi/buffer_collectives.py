@@ -39,6 +39,9 @@ def Bcast(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
     size, rank = comm.size, comm.rank
     if size == 1:
         return buf
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _Bcast_hierarchical(comm, buf, root, tag, hier)
     algo = comm._world.config.bcast_algorithm
     if algo == "linear":
         if rank == root:
@@ -49,36 +52,27 @@ def Bcast(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
         else:
             _recv_into(comm, buf, root, tag, "Bcast")
         return buf
-    if comm._serialization_fastpath:
-        return _bcast_binomial_forward(comm, buf, root, tag)
-    # binomial (legacy: every hop re-copies the payload per child)
-    relative = (rank - root) % size
-    mask = 1
-    while mask < size:
-        if relative & mask:
-            _recv_into(comm, buf, (rank - mask) % size, tag, "Bcast")
-            break
-        mask <<= 1
-    mask >>= 1
-    while mask > 0:
-        if relative + mask < size:
-            comm._coll_send_buffer((rank + mask) % size, tag, buf, "Bcast")
-        mask >>= 1
-    return buf
+    return _members_Bcast(comm, range(size), root, buf, tag)
 
 
-def _bcast_binomial_forward(comm, buf: np.ndarray, root: int, tag: int) -> np.ndarray:
-    """Binomial buffer bcast on the fast path: a relay forwards the array
-    it *received* verbatim to its children (the transport already owns a
-    private snapshot, so no per-child copy is needed) and copies into its
-    own buffer only for final delivery."""
-    size, rank = comm.size, comm.rank
-    relative = (rank - root) % size
+def _members_Bcast(comm, members, vroot: int, buf: np.ndarray, tag: int) -> np.ndarray:
+    """Binomial buffer bcast over *members* rooted at virtual rank
+    *vroot*.  On the fast path a relay forwards the array it *received*
+    verbatim to its children (the transport already owns a private
+    snapshot, so no per-child copy is needed) and copies into its own
+    buffer only for final delivery."""
+    n = len(members)
+    if n == 1:
+        return buf
+    vrank = members.index(comm.rank)
+    relative = (vrank - vroot) % n
     inbound = None
     mask = 1
-    while mask < size:
+    while mask < n:
         if relative & mask:
-            inbound = comm._coll_recv_buffer((rank - mask) % size, tag, "Bcast")
+            inbound = comm._coll_recv_buffer(
+                members[(vrank - mask) % n], tag, "Bcast"
+            )
             _check_shape(inbound, buf.shape, "Bcast")
             np.copyto(buf, inbound)
             break
@@ -86,15 +80,29 @@ def _bcast_binomial_forward(comm, buf: np.ndarray, root: int, tag: int) -> np.nd
     mask >>= 1
     children = []
     while mask > 0:
-        if relative + mask < size:
-            children.append((rank + mask) % size)
+        if relative + mask < n:
+            children.append(members[(vrank + mask) % n])
         mask >>= 1
     if children:
-        if inbound is not None:
+        if inbound is not None and comm._serialization_fastpath:
             for dst in children:
                 comm._coll_forward_buffer(dst, tag, inbound, "Bcast")
         else:
             comm._coll_fanout_buffer(children, tag, buf, "Bcast")
+    return buf
+
+
+def _Bcast_hierarchical(comm, buf: np.ndarray, root: int, tag: int, hier) -> np.ndarray:
+    """Two-level buffer broadcast: binomial tree among node leaders
+    (root promoted for its node), then a binomial tree within each node."""
+    rank = comm.rank
+    leaders, root_pos = hier.effective_leaders(root)
+    if rank in leaders:
+        _members_Bcast(comm, leaders, root_pos, buf, tag)
+    members = list(hier.members(rank))
+    if len(members) > 1:
+        rep = root if hier.same_node(rank, root) else hier.leader(rank)
+        _members_Bcast(comm, members, members.index(rep), buf, tag + 1)
     return buf
 
 
@@ -259,19 +267,60 @@ def Reduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, roo
             acc = op(acc, stacked[i])
         np.copyto(recvbuf, acc)
         return recvbuf
-    # binomial
-    relative = (rank - root) % size
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _Reduce_hierarchical(comm, sendbuf, recvbuf, op, root, tag, hier)
+    acc = _members_Reduce_binomial(comm, range(size), root, sendbuf, op, tag)
+    if acc is None:
+        return None
+    np.copyto(recvbuf, acc)
+    return recvbuf
+
+
+def _members_Reduce_binomial(comm, members, vroot: int, sendbuf: np.ndarray, op: Op, tag: int) -> Optional[np.ndarray]:
+    """Binomial buffer reduce over *members* to virtual rank *vroot*;
+    returns the accumulated (private) array there, ``None`` elsewhere."""
+    n = len(members)
     acc = np.array(sendbuf, copy=True)
+    if n == 1:
+        return acc
+    vrank = members.index(comm.rank)
+    relative = (vrank - vroot) % n
     mask = 1
-    while mask < size:
+    while mask < n:
         if relative & mask:
-            comm._coll_send_buffer((rank - mask) % size, tag, acc, "Reduce")
+            comm._coll_send_buffer(members[(vrank - mask) % n], tag, acc, "Reduce")
             return None
         src_rel = relative | mask
-        if src_rel < size:
-            partial = comm._coll_recv_buffer((src_rel + root) % size, tag, "Reduce")
+        if src_rel < n:
+            partial = comm._coll_recv_buffer(
+                members[(src_rel + vroot) % n], tag, "Reduce"
+            )
             acc = op(acc, partial)
         mask <<= 1
+    return acc
+
+
+def _Reduce_hierarchical(
+    comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, root: int, tag: int, hier
+) -> Optional[np.ndarray]:
+    """Two-level buffer reduce (commutative operators only): fold within
+    each node to its representative, then across the node leaders to
+    *root*."""
+    rank = comm.rank
+    members = list(hier.members(rank))
+    if len(members) > 1:
+        rep = root if hier.same_node(rank, root) else hier.leader(rank)
+        acc = _members_Reduce_binomial(
+            comm, members, members.index(rep), sendbuf, op, tag
+        )
+    else:
+        acc = np.array(sendbuf, copy=True)
+    leaders, root_pos = hier.effective_leaders(root)
+    if acc is not None and rank in leaders:
+        acc = _members_Reduce_binomial(comm, leaders, root_pos, acc, op, tag + 1)
+    if rank != root or acc is None:
+        return None
     np.copyto(recvbuf, acc)
     return recvbuf
 
@@ -290,40 +339,78 @@ def Allreduce(comm, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray], op: Op, 
     algo = comm._world.config.allreduce_algorithm
     if algo == "reduce_bcast" or not op.commutative:
         Reduce(comm, sendbuf, recvbuf if comm.rank == 0 else None, op, 0, tag)
-        Bcast(comm, recvbuf, 0, tag + 1)
+        # tag + 2: a hierarchical Reduce occupies tag .. tag + 1 (see
+        # collectives.MAX_TAG_OFFSET).
+        Bcast(comm, recvbuf, 0, tag + 2)
         return recvbuf
-    # recursive doubling with non-power-of-two fold-in (see the object-mode
-    # twin for the derivation).
-    size, rank = comm.size, comm.rank
-    pof2 = 1
-    while pof2 * 2 <= size:
-        pof2 *= 2
-    rem = size - pof2
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _Allreduce_hierarchical(comm, sendbuf, recvbuf, op, tag, hier)
+    acc = _members_Allreduce_rd(comm, range(comm.size), sendbuf, op, tag)
+    np.copyto(recvbuf, acc)
+    return recvbuf
+
+
+def _members_Allreduce_rd(comm, members, sendbuf: np.ndarray, op: Op, tag: int) -> np.ndarray:
+    """Recursive-doubling buffer allreduce over *members* with the
+    non-power-of-two fold-in (see the object-mode twin for the
+    derivation); returns the accumulated private array."""
+    n = len(members)
     acc = np.array(sendbuf, copy=True)
-    if rank < 2 * rem:
-        if rank % 2 == 0:
-            comm._coll_send_buffer(rank + 1, tag, acc, "Allreduce")
+    if n == 1:
+        return acc
+    vrank = members.index(comm.rank)
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+    if vrank < 2 * rem:
+        if vrank % 2 == 0:
+            comm._coll_send_buffer(members[vrank + 1], tag, acc, "Allreduce")
             newrank = -1
         else:
-            partial = comm._coll_recv_buffer(rank - 1, tag, "Allreduce")
+            partial = comm._coll_recv_buffer(members[vrank - 1], tag, "Allreduce")
             acc = op(partial, acc)
-            newrank = rank // 2
+            newrank = vrank // 2
     else:
-        newrank = rank - rem
+        newrank = vrank - rem
     if newrank != -1:
         mask = 1
         while mask < pof2:
             partner_new = newrank ^ mask
-            partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            partner_v = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            partner = members[partner_v]
             posted = comm._coll_post(partner, tag)
             comm._coll_send_buffer(partner, tag, acc, "Allreduce")
             other = comm._coll_complete_buffer(posted, partner, "Allreduce")
             acc = op(acc, other) if partner_new > newrank else op(other, acc)
             mask <<= 1
-    if rank < 2 * rem:
-        if rank % 2 == 1:
-            comm._coll_send_buffer(rank - 1, tag, acc, "Allreduce")
+    if vrank < 2 * rem:
+        if vrank % 2 == 1:
+            comm._coll_send_buffer(members[vrank - 1], tag, acc, "Allreduce")
         else:
-            acc = comm._coll_recv_buffer(rank + 1, tag, "Allreduce")
-    np.copyto(recvbuf, acc)
+            acc = comm._coll_recv_buffer(members[vrank + 1], tag, "Allreduce")
+    return acc
+
+
+def _Allreduce_hierarchical(
+    comm, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op, tag: int, hier
+) -> np.ndarray:
+    """Two-level buffer allreduce: reduce to each node leader, recursive
+    doubling among the leaders (the only cross-node phase), broadcast
+    back down within each node."""
+    rank = comm.rank
+    members = list(hier.members(rank))
+    leader = hier.leader(rank)
+    if len(members) > 1:
+        acc = _members_Reduce_binomial(comm, members, 0, sendbuf, op, tag)
+    else:
+        acc = np.array(sendbuf, copy=True)
+    if rank == leader:
+        leaders = list(hier.leaders)
+        if len(leaders) > 1:
+            acc = _members_Allreduce_rd(comm, leaders, acc, op, tag + 1)
+        np.copyto(recvbuf, acc)
+    if len(members) > 1:
+        _members_Bcast(comm, members, 0, recvbuf, tag + 2)
     return recvbuf

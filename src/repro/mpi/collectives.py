@@ -30,15 +30,18 @@ from repro.errors import CollectiveMismatchError
 from repro.mpi.reduce_ops import Op
 
 #: Largest sub-tag offset (``tag + k``) any composed collective in this
-#: module uses: the ``gather_bcast`` allgather, the ``reduce_bcast``
-#: allreduce, the linear barrier, and ``reduce_scatter`` all run their
-#: second phase on ``tag + 1``.  :meth:`repro.mpi.comm.Comm._next_coll_tag`
-#: advances base tags in strides of
-#: :data:`repro.mpi.comm._COLL_TAG_STRIDE`, so back-to-back collectives on
-#: one communicator cannot collide as long as ``MAX_TAG_OFFSET`` stays
-#: below the stride — a regression test pins both the inequality and the
-#: interleaving behaviour.
-MAX_TAG_OFFSET = 1
+#: module uses.  Two-level (hierarchical) collectives consume up to three
+#: sub-tags (intra-node, inter-node, intra-node release), and the
+#: ``reduce_bcast`` allreduce composition must start its broadcast at
+#: ``tag + 2`` because a hierarchical reduce already occupies ``tag`` and
+#: ``tag + 1`` — so the deepest consumer is that composition's
+#: hierarchical broadcast at ``tag + 2 .. tag + 3``.
+#: :meth:`repro.mpi.comm.Comm._next_coll_tag` advances base tags in
+#: strides of :data:`repro.mpi.comm._COLL_TAG_STRIDE`, so back-to-back
+#: collectives on one communicator cannot collide as long as
+#: ``MAX_TAG_OFFSET`` stays below the stride — a regression test pins
+#: both the inequality and the interleaving behaviour.
+MAX_TAG_OFFSET = 3
 
 
 # ---------------------------------------------------------------------------
@@ -51,6 +54,9 @@ def bcast(comm, obj: Any, root: int, tag: int) -> Any:
     algo = comm._world.config.bcast_algorithm
     if comm.size == 1:
         return obj
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _bcast_hierarchical(comm, obj, root, tag, hier)
     if algo == "linear":
         return _bcast_linear(comm, obj, root, tag)
     if algo == "binomial":
@@ -69,39 +75,56 @@ def _bcast_linear(comm, obj: Any, root: int, tag: int) -> Any:
 
 
 def _bcast_binomial(comm, obj: Any, root: int, tag: int) -> Any:
+    return _members_bcast(comm, range(comm.size), root, obj, tag)
+
+
+# The tree algorithms below are *member-list generalised*: they run over
+# an arbitrary ordered subset of communicator ranks (``members``), with
+# every tree position computed in the virtual rank space 0..len-1 and
+# mapped back through the list for the actual sends.  The flat
+# algorithms pass ``range(size)``; the two-level algorithms pass a
+# node's member list or the per-node leader list.
+
+
+def _members_bcast(comm, members, vroot: int, obj: Any, tag: int) -> Any:
+    """Binomial broadcast over *members* rooted at virtual rank *vroot*."""
+    n = len(members)
+    if n == 1:
+        return obj
     if comm._serialization_fastpath:
-        return _bcast_binomial_blob(comm, obj, root, tag)
-    size, rank = comm.size, comm.rank
-    relative = (rank - root) % size
+        return _members_bcast_blob(comm, members, vroot, obj, tag)
+    vrank = members.index(comm.rank)
+    relative = (vrank - vroot) % n
     # Receive phase: wait for the parent one tree level up.
     mask = 1
-    while mask < size:
+    while mask < n:
         if relative & mask:
-            src = (rank - mask) % size
+            src = members[(vrank - mask) % n]
             obj = comm._coll_recv(src, tag, "bcast")
             break
         mask <<= 1
     # Send phase: forward to children at successively lower levels.
     mask >>= 1
     while mask > 0:
-        if relative + mask < size:
-            dst = (rank + mask) % size
+        if relative + mask < n:
+            dst = members[(vrank + mask) % n]
             comm._coll_send(dst, tag, obj, "bcast")
         mask >>= 1
     return obj
 
 
-def _bcast_binomial_blob(comm, obj: Any, root: int, tag: int) -> Any:
+def _members_bcast_blob(comm, members, vroot: int, obj: Any, tag: int) -> Any:
     """Binomial bcast on the fast path: relays forward the *received*
     blob verbatim to their children (no unpickle→repickle per hop) and
     decode it lazily, only for their own final delivery."""
-    size, rank = comm.size, comm.rank
-    relative = (rank - root) % size
+    n = len(members)
+    vrank = members.index(comm.rank)
+    relative = (vrank - vroot) % n
     blob = None
     mask = 1
-    while mask < size:
+    while mask < n:
         if relative & mask:
-            src = (rank - mask) % size
+            src = members[(vrank - mask) % n]
             blob = comm._coll_recv_blob(src, tag, "bcast")
             break
         mask <<= 1
@@ -111,12 +134,28 @@ def _bcast_binomial_blob(comm, obj: Any, root: int, tag: int) -> Any:
     mask >>= 1
     fresh = not received  # the root's first child send pays the encoding
     while mask > 0:
-        if relative + mask < size:
-            dst = (rank + mask) % size
+        if relative + mask < n:
+            dst = members[(vrank + mask) % n]
             comm._coll_send_blob(dst, tag, blob, "bcast", reused=not fresh)
             fresh = False
         mask >>= 1
     return blob.decode() if received else obj
+
+
+def _bcast_hierarchical(comm, obj: Any, root: int, tag: int, hier) -> Any:
+    """Two-level broadcast: inter-node binomial tree among the node
+    leaders (with *root* promoted to represent its node), then an
+    intra-node binomial tree on every node — the MPICH-G2 pattern where
+    the wide fan-out happens over the fast local substrate."""
+    rank = comm.rank
+    leaders, root_pos = hier.effective_leaders(root)
+    if rank in leaders:
+        obj = _members_bcast(comm, leaders, root_pos, obj, tag)
+    members = list(hier.members(rank))
+    if len(members) > 1:
+        rep = root if hier.same_node(rank, root) else hier.leader(rank)
+        obj = _members_bcast(comm, members, members.index(rep), obj, tag + 1)
+    return obj
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +295,9 @@ def reduce(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
     # be avoided, so fall back to the linear algorithm for those.
     if algo == "linear" or not op.commutative:
         return _reduce_linear(comm, obj, op, root, tag)
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _reduce_hierarchical(comm, obj, op, root, tag, hier)
     if algo == "binomial":
         return _reduce_binomial(comm, obj, op, root, tag)
     raise ValueError(f"unknown reduce algorithm {algo!r}")
@@ -270,24 +312,58 @@ def _reduce_linear(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
 
 
 def _reduce_binomial(comm, obj: Any, op: Op, root: int, tag: int) -> Any:
-    size, rank = comm.size, comm.rank
-    relative = (rank - root) % size
+    return _members_reduce_binomial(
+        comm, range(comm.size), root, obj, op, tag
+    )
+
+
+def _members_reduce_binomial(
+    comm, members, vroot: int, obj: Any, op: Op, tag: int
+) -> Any:
+    """Binomial reduce over *members* to virtual rank *vroot* (returns
+    the result there, ``None`` elsewhere)."""
+    n = len(members)
+    if n == 1:
+        return obj
+    vrank = members.index(comm.rank)
+    relative = (vrank - vroot) % n
     acc = obj
     mask = 1
-    while mask < size:
+    while mask < n:
         if relative & mask:
-            dst = (rank - mask) % size
+            dst = members[(vrank - mask) % n]
             comm._coll_send(dst, tag, acc, "reduce")
             return None
         src_rel = relative | mask
-        if src_rel < size:
-            src = (src_rel + root) % size
+        if src_rel < n:
+            src = members[(src_rel + vroot) % n]
             partial = comm._coll_recv(src, tag, "reduce")
             # acc covers relative block [relative, relative+mask); partial
             # covers the adjacent higher block — combine in that order.
             acc = op(acc, partial)
         mask <<= 1
     return acc
+
+
+def _reduce_hierarchical(comm, obj: Any, op: Op, root: int, tag: int, hier) -> Any:
+    """Two-level reduce (commutative operators only — the entry point
+    falls back to linear otherwise): fold within each node to its
+    representative, then fold the per-node partials to *root* over the
+    inter-node tree."""
+    rank = comm.rank
+    members = list(hier.members(rank))
+    acc = obj
+    if len(members) > 1:
+        rep = root if hier.same_node(rank, root) else hier.leader(rank)
+        acc = _members_reduce_binomial(
+            comm, members, members.index(rep), acc, op, tag
+        )
+    leaders, root_pos = hier.effective_leaders(root)
+    if rank in leaders:
+        acc = _members_reduce_binomial(
+            comm, leaders, root_pos, acc, op, tag + 1
+        )
+    return acc if rank == root else None
 
 
 def allreduce(comm, obj: Any, op: Op, tag: int) -> Any:
@@ -297,36 +373,51 @@ def allreduce(comm, obj: Any, op: Op, tag: int) -> Any:
     algo = comm._world.config.allreduce_algorithm
     if algo == "reduce_bcast" or not op.commutative:
         result = reduce(comm, obj, op, 0, tag)
-        return bcast(comm, result, 0, tag + 1)
+        # tag + 2: a hierarchical reduce occupies tag .. tag + 1, so the
+        # broadcast half must start beyond it (see MAX_TAG_OFFSET).
+        return bcast(comm, result, 0, tag + 2)
+    hier = comm._hierarchy()
+    if hier is not None:
+        return _allreduce_hierarchical(comm, obj, op, tag, hier)
     if algo == "recursive_doubling":
         return _allreduce_recursive_doubling(comm, obj, op, tag)
     raise ValueError(f"unknown allreduce algorithm {algo!r}")
 
 
 def _allreduce_recursive_doubling(comm, obj: Any, op: Op, tag: int) -> Any:
-    size, rank = comm.size, comm.rank
+    return _members_allreduce_rd(comm, range(comm.size), obj, op, tag)
+
+
+def _members_allreduce_rd(comm, members, obj: Any, op: Op, tag: int) -> Any:
+    """Recursive-doubling allreduce over *members* with the MPICH
+    non-power-of-two fold-in pre/post phases, in virtual rank space."""
+    n = len(members)
+    if n == 1:
+        return obj
+    vrank = members.index(comm.rank)
     pof2 = 1
-    while pof2 * 2 <= size:
+    while pof2 * 2 <= n:
         pof2 *= 2
-    rem = size - pof2
+    rem = n - pof2
     acc = obj
     # Fold the surplus ranks into their even neighbours so a power-of-two
     # set remains (MPICH pre-phase).
-    if rank < 2 * rem:
-        if rank % 2 == 0:
-            comm._coll_send(rank + 1, tag, acc, "allreduce")
+    if vrank < 2 * rem:
+        if vrank % 2 == 0:
+            comm._coll_send(members[vrank + 1], tag, acc, "allreduce")
             newrank = -1
         else:
-            partial = comm._coll_recv(rank - 1, tag, "allreduce")
+            partial = comm._coll_recv(members[vrank - 1], tag, "allreduce")
             acc = op(partial, acc)  # lower rank's contribution on the left
-            newrank = rank // 2
+            newrank = vrank // 2
     else:
-        newrank = rank - rem
+        newrank = vrank - rem
     if newrank != -1:
         mask = 1
         while mask < pof2:
             partner_new = newrank ^ mask
-            partner = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            partner_v = partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            partner = members[partner_v]
             # Pairwise exchange: pre-post the inbound half before sending.
             posted = comm._coll_post(partner, tag)
             comm._coll_send(partner, tag, acc, "allreduce")
@@ -334,11 +425,29 @@ def _allreduce_recursive_doubling(comm, obj: Any, op: Op, tag: int) -> Any:
             acc = op(acc, other) if partner_new > newrank else op(other, acc)
             mask <<= 1
     # Post-phase: hand results back to the folded-out even ranks.
-    if rank < 2 * rem:
-        if rank % 2 == 1:
-            comm._coll_send(rank - 1, tag, acc, "allreduce")
+    if vrank < 2 * rem:
+        if vrank % 2 == 1:
+            comm._coll_send(members[vrank - 1], tag, acc, "allreduce")
         else:
-            acc = comm._coll_recv(rank + 1, tag, "allreduce")
+            acc = comm._coll_recv(members[vrank + 1], tag, "allreduce")
+    return acc
+
+
+def _allreduce_hierarchical(comm, obj: Any, op: Op, tag: int, hier) -> Any:
+    """Two-level allreduce: reduce to each node's leader, recursive
+    doubling among the leaders (the only phase that crosses node
+    boundaries), then broadcast back down within each node."""
+    rank = comm.rank
+    members = list(hier.members(rank))
+    acc = obj
+    if len(members) > 1:
+        acc = _members_reduce_binomial(comm, members, 0, acc, op, tag)
+    if rank == hier.leader(rank):
+        leaders = list(hier.leaders)
+        if len(leaders) > 1:
+            acc = _members_allreduce_rd(comm, leaders, acc, op, tag + 1)
+    if len(members) > 1:
+        acc = _members_bcast(comm, members, 0, acc, tag + 2)
     return acc
 
 
@@ -396,21 +505,51 @@ def barrier(comm, tag: int) -> None:
     """Block until every rank of *comm* has entered the barrier."""
     if comm.size == 1:
         return
+    hier = comm._hierarchy()
+    if hier is not None:
+        _barrier_hierarchical(comm, tag, hier)
+        return
     algo = comm._world.config.barrier_algorithm
     if algo == "linear":
         gather(comm, None, 0, tag)
         bcast(comm, None, 0, tag + 1)
         return
     if algo == "dissemination":
-        size, rank = comm.size, comm.rank
-        step = 1
-        while step < size:
-            # Pre-post the inbound notification before sending ours, so
-            # each round's rendezvous costs at most one park.
-            src = (rank - step) % size
-            posted = comm._coll_post(src, tag)
-            comm._coll_send((rank + step) % size, tag, None, "barrier")
-            comm._coll_complete(posted, src, "barrier")
-            step <<= 1
+        _members_barrier_dissemination(comm, range(comm.size), tag)
         return
     raise ValueError(f"unknown barrier algorithm {algo!r}")
+
+
+def _members_barrier_dissemination(comm, members, tag: int) -> None:
+    n = len(members)
+    vrank = members.index(comm.rank)
+    step = 1
+    while step < n:
+        # Pre-post the inbound notification before sending ours, so
+        # each round's rendezvous costs at most one park.
+        src = members[(vrank - step) % n]
+        posted = comm._coll_post(src, tag)
+        comm._coll_send(members[(vrank + step) % n], tag, None, "barrier")
+        comm._coll_complete(posted, src, "barrier")
+        step <<= 1
+
+
+def _barrier_hierarchical(comm, tag: int, hier) -> None:
+    """Two-level barrier: members report to their node leader, the
+    leaders run a dissemination barrier among themselves (the only
+    cross-node traffic), then each leader releases its node."""
+    rank = comm.rank
+    members = list(hier.members(rank))
+    leader = hier.leader(rank)
+    if len(members) > 1:
+        if rank != leader:
+            comm._coll_send(leader, tag, None, "barrier")
+        else:
+            for src in members:
+                if src != leader:
+                    comm._coll_recv(src, tag, "barrier")
+    leaders = list(hier.leaders)
+    if rank == leader and len(leaders) > 1:
+        _members_barrier_dissemination(comm, leaders, tag + 1)
+    if len(members) > 1:
+        _members_bcast(comm, members, 0, None, tag + 2)

@@ -103,6 +103,36 @@ class Comm:
         #: Encoded size (bytes) of the last payload this handle sent —
         #: diagnostic, read by the MPH layer for byte-level profiling.
         self.last_payload_bytes = 0
+        # Lazily computed CommHierarchy (False = not yet computed;
+        # None = flat: single node, hierarchy disabled, or trivial size).
+        self._hier = False
+
+    def _hierarchy(self):
+        """The communicator's node hierarchy, or ``None`` when flat.
+
+        ``None`` means two-level collectives have nothing to exploit:
+        the world is single-node, ``hierarchical_collectives`` is off,
+        or every member of *this* communicator shares one node.
+        """
+        if self._hier is False:
+            hier = None
+            cfg = self._world.config
+            topo = getattr(self._world, "topology", None)
+            if (
+                cfg.hierarchical_collectives
+                and topo is not None
+                and topo.nnodes > 1
+                and self.size > 2
+            ):
+                from repro.mpi.topology import CommHierarchy
+
+                h = CommHierarchy.from_topology(
+                    topo, [self._group.world_id(r) for r in range(self.size)]
+                )
+                if h.nnodes > 1:
+                    hier = h
+            self._hier = hier
+        return self._hier
 
     # -- introspection -------------------------------------------------------
 
@@ -878,8 +908,13 @@ def _decode_object(env: Envelope) -> Any:
     """Decode an envelope for an object-mode receive."""
     if env.kind == "buffer":
         # A buffer-mode message received by an object-mode receive: the
-        # payload is already a private array copy, hand it over directly.
-        return env.payload
+        # payload is normally a private array copy, handed over directly.
+        # A payload mapped zero-copy out of a shm page arrives read-only
+        # — copy it so receivers always own writable data (copy-on-read).
+        payload = env.payload
+        if isinstance(payload, np.ndarray) and not payload.flags.writeable:
+            return payload.copy()
+        return payload
     if isinstance(env.payload, Blob):
         return env.payload.decode()
     return pickle.loads(env.payload)

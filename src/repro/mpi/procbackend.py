@@ -187,6 +187,7 @@ def _connect(addr: tuple) -> socket.socket:
     else:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.connect((addr[1], addr[2]))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     return sock
 
 
@@ -222,7 +223,31 @@ def child_session(
         config: WorldConfig = info["config"]
 
         world = ProcessWorld(nprocs, config, rank)
-        transport = SocketTransport(rank, nprocs, listener, info["peers"])
+        if config.transport in ("auto", "shm"):
+            # MPICH-G2-style per-pair protocol selection: shm rings for
+            # same-node peers, the bootstrap sockets otherwise.  The
+            # segment prefix is derived from the job's private sockdir,
+            # so segment names are unique per job and the parent can
+            # sweep leftovers by prefix.
+            from repro.mpi.shm import ShmTransport
+
+            transport = ShmTransport(
+                rank,
+                nprocs,
+                listener,
+                info["peers"],
+                config=config,
+                prefix=os.path.basename(sockdir),
+                topology=world.topology,
+            )
+        else:
+            transport = SocketTransport(rank, nprocs, listener, info["peers"])
+        # A peer dying mid-transfer must surface as a rank failure so
+        # posted receives raise instead of hanging — on shm there is no
+        # socket to error out of a ring read (only the doorbell conn's
+        # EOF), and even on plain sockets a receive with no in-flight
+        # frame would otherwise park forever.
+        transport.on_peer_lost = world.proc_failed
         transport.deliver_local = world.mailboxes[rank].deliver
         transport.on_abort = world.abort_from_remote
         transport.on_error = lambda exc: world.abort(
@@ -392,6 +417,13 @@ class _Rendezvous:
             self.listener.close()
         except OSError:  # pragma: no cover - defensive
             pass
+        # Sweep any shm segments of this job that a crashed child never
+        # unlinked itself (segment names derive from the sockdir name,
+        # so the prefix is job-unique).  Runs on every exit path of
+        # _finish — including ChildExitError — so /dev/shm can't leak.
+        from repro.mpi.shm import sweep_segments
+
+        sweep_segments(os.path.basename(self.sockdir))
         shutil.rmtree(self.sockdir, ignore_errors=True)
 
     # -- protocol ----------------------------------------------------------

@@ -241,6 +241,26 @@ class ProgressEngine:
                     fired.append(c)  # signalled before we could park
             if fired:
                 return fired
+            # Transport-assisted progress: a transport that exposes a
+            # poll window (the shm rings) gets a bounded chance to make
+            # progress on *this* thread before we park — in steady-state
+            # exchange the awaited frame lands inside the window, so no
+            # doorbell round trip or reader-thread wakeup is paid.
+            transport = getattr(world, "transport", None)
+            window = getattr(transport, "progress_poll_s", 0.0)
+            if window > 0.0:
+                end = time.monotonic() + window
+                while time.monotonic() < end:
+                    transport.poll()
+                    with ws._cond:
+                        if ws._fired:
+                            return list(ws._fired)
+                    self._check_failure(pulse0)
+                    time.sleep(0)  # yield: reply production needs the GIL
+                transport.prepare_park()  # re-arm doorbell, final sweep
+                with ws._cond:
+                    if ws._fired:
+                        return list(ws._fired)
             with ws._cond:
                 while not ws._fired:
                     self._check_failure(pulse0)

@@ -52,7 +52,9 @@ class Blob:
     Construct through :meth:`encode`; decode through :meth:`decode`.
     """
 
-    __slots__ = ("kind", "data", "nbytes")
+    # __weakref__ lets the shm transport key page-pool caches and
+    # release-finalizers off a blob without extending its lifetime.
+    __slots__ = ("kind", "data", "nbytes", "__weakref__")
 
     def __init__(self, kind: str, data, nbytes: int):
         self.kind = kind

@@ -80,6 +80,27 @@ def pack_frame(payload: bytes) -> bytes:
     return _LEN.pack(n) + payload
 
 
+def sendall_vectored(sock: socket.socket, parts: list) -> None:
+    """``sendall`` of several buffers without concatenating them.
+
+    The writev-style path of :meth:`SocketTransport._send_bytes`: the
+    4-byte length header and the (possibly multi-MiB) payload go down in
+    one ``sendmsg`` call instead of being copied into a single ``bytes``
+    first.  Partial sends are resumed with zero-copy memoryview slices.
+    """
+    views = [memoryview(p) for p in parts if len(p)]
+    while views:
+        sent = sock.sendmsg(views)
+        while sent:
+            head = len(views[0])
+            if sent >= head:
+                sent -= head
+                del views[0]
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
+
+
 class FrameDecoder:
     """Incremental decoder of the length-prefixed wire format.
 
@@ -179,7 +200,13 @@ def encode_envelope(env: Envelope, sync_id: int = 0, from_rank: int = -1) -> byt
     """
     payload = env.payload
     if isinstance(payload, Blob):
-        wire_payload = ("blob", payload.kind, payload.data, payload.nbytes)
+        data = payload.data
+        if type(data) is memoryview:
+            # A blob mapped zero-copy from a shm page holds a memoryview;
+            # relaying it over a socket must materialise the bytes
+            # (memoryviews don't pickle).
+            data = data.tobytes()
+        wire_payload = ("blob", payload.kind, data, payload.nbytes)
     else:
         wire_payload = ("raw", payload)
     return pickle.dumps(
@@ -365,6 +392,12 @@ class SocketTransport(Transport):
         #: the process backend binds this to ``World.record_wire`` so the
         #: socket path shows up in :class:`~repro.mpi.world.TrafficStats`.
         self.on_wire: Callable[[int, int], None] = lambda sent, received: None
+        #: Called with the world rank of a peer whose connection died
+        #: while the transport was still open (crash detection seam; the
+        #: process backend binds this to ``World.proc_failed`` on the
+        #: shm transport so receives posted against the dead rank raise
+        #: instead of hanging).
+        self.on_peer_lost: Callable[[int], None] = lambda peer: None
 
         self._conns: dict[int, socket.socket] = {}
         self._send_locks: dict[int, threading.Lock] = {}
@@ -422,19 +455,28 @@ class SocketTransport(Transport):
         if dest == self.rank:
             self.deliver_local(env)
             return
-        sync_id = 0
-        if env.sync_event is not None:
-            with self._sync_lock:
-                sync_id = self._next_sync_id
-                self._next_sync_id += 1
-                self._sync_waiters[sync_id] = env.sync_event
+        sync_id = self._register_sync(env)
         try:
             self._send_bytes(dest, encode_envelope(env, sync_id, self.rank))
         except TransportError:
-            if sync_id:
-                with self._sync_lock:
-                    self._sync_waiters.pop(sync_id, None)
+            self._unregister_sync(sync_id)
             raise
+
+    def _register_sync(self, env: Envelope) -> int:
+        """Register a synchronous send's completion token; returns its
+        ack id (0 for a plain send)."""
+        if env.sync_event is None:
+            return 0
+        with self._sync_lock:
+            sync_id = self._next_sync_id
+            self._next_sync_id += 1
+            self._sync_waiters[sync_id] = env.sync_event
+        return sync_id
+
+    def _unregister_sync(self, sync_id: int) -> None:
+        if sync_id:
+            with self._sync_lock:
+                self._sync_waiters.pop(sync_id, None)
 
     def send_control(self, dest: int, fields: tuple) -> None:
         """Send a non-envelope control frame (``ack``/``abort``)."""
@@ -455,12 +497,20 @@ class SocketTransport(Transport):
     def _send_bytes(self, dest: int, payload: bytes) -> None:
         if dest not in self._peers:
             raise TransportError(f"no address for world rank {dest}")
-        frame = pack_frame(payload)
+        n = len(payload)
+        if n > MAX_FRAME_BYTES:
+            raise TransportError(
+                f"frame of {n} bytes exceeds MAX_FRAME_BYTES "
+                f"({MAX_FRAME_BYTES})"
+            )
         lock = self._send_locks.setdefault(dest, threading.Lock())
         with lock:
             sock = self._connect(dest)
             try:
-                sock.sendall(frame)
+                # Header and payload go down in one vectored send: no
+                # pack_frame concatenation, so a multi-MiB payload is
+                # never copied just to prepend its 4-byte length.
+                sendall_vectored(sock, [_LEN.pack(n), payload])
             except OSError as exc:
                 self._drop_conn(dest)
                 self._dead_peers.add(dest)
@@ -469,8 +519,8 @@ class SocketTransport(Transport):
                 ) from exc
         with self._stats_lock:
             self._stats.frames_sent += 1
-            self._stats.bytes_sent += len(frame)
-        self.on_wire(len(frame), 0)
+            self._stats.bytes_sent += n + _LEN.size
+        self.on_wire(n + _LEN.size, 0)
 
     def _connect(self, dest: int) -> socket.socket:
         with self._conns_lock:
@@ -518,6 +568,13 @@ class SocketTransport(Transport):
                 continue
             except OSError:
                 break
+            if conn.family == socket.AF_INET:
+                # Acks and small envelopes flow back over accepted
+                # connections too; without NODELAY they eat Nagle's 40ms.
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:  # pragma: no cover - defensive
+                    pass
             t = threading.Thread(
                 target=self._read_conn,
                 args=(conn,),
@@ -529,6 +586,7 @@ class SocketTransport(Transport):
 
     def _read_conn(self, conn: socket.socket) -> None:
         decoder = FrameDecoder()
+        origin = -1  # world rank speaking on this connection, once known
         try:
             while not self._closed.is_set():
                 try:
@@ -545,7 +603,11 @@ class SocketTransport(Transport):
                 for frame in decoder.feed(data):
                     with self._stats_lock:
                         self._stats.frames_received += 1
-                    self._dispatch(pickle.loads(frame))
+                    fields = pickle.loads(frame)
+                    peer = self._frame_origin(fields)
+                    if peer >= 0:
+                        origin = peer
+                    self._dispatch(fields)
         except TransportError as exc:
             self.on_error(exc)
         finally:
@@ -553,6 +615,27 @@ class SocketTransport(Transport):
                 conn.close()
             except OSError:  # pragma: no cover - defensive
                 pass
+            self._conn_closed(origin)
+
+    def _frame_origin(self, fields: tuple) -> int:
+        """World rank that sent this frame, or -1 if it doesn't say."""
+        if fields[0] == "msg":
+            return fields[8]
+        return -1
+
+    def _conn_closed(self, origin: int) -> None:
+        """An inbound connection from world rank *origin* (or -1 if it
+        never identified itself) ended while we are still open.
+
+        On the process backend that means the peer's process is gone
+        (children only close after the parent's shutdown broadcast,
+        which only happens after every result arrived), so surface it
+        through ``on_peer_lost`` — receives posted against the dead
+        rank then raise instead of blocking forever."""
+        if origin < 0 or self._closed.is_set() or origin in self._dead_peers:
+            return
+        self._dead_peers.add(origin)
+        self.on_peer_lost(origin)
 
     def _dispatch(self, fields: tuple) -> None:
         tag = fields[0]

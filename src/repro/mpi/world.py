@@ -199,7 +199,46 @@ class WorldConfig:
         :class:`~repro.mpi.transport.ThreadTransport` indirection on the
         thread backend (ablation: one extra branch+call per message);
         ``"unix"``/``"tcp"`` select the socket family of the process
-        backend.
+        backend; ``"shm"`` forces the shared-memory transport
+        (:class:`~repro.mpi.shm.ShmTransport`) for every same-node peer
+        pair of the process backend.  On the process backend ``"auto"``
+        selects shm for same-node pairs and Unix sockets otherwise —
+        MPICH-G2-style per-pair protocol selection.
+    nodes :
+        Number of simulated nodes the ranks are block-distributed over
+        (see :class:`~repro.mpi.topology.Topology`), or ``None`` (the
+        default) for a single node.  Cross-node peer pairs never use
+        shared memory, and hierarchical collectives split into
+        intra-node + inter-node phases along this boundary.
+    hierarchical_collectives :
+        Whether collectives use two-level (intra-node leader + inter-node
+        tree) algorithms when the communicator spans multiple simulated
+        nodes.  On by default; turn off to ablate against the flat
+        algorithms.
+    shm_ring_bytes :
+        Capacity of each per-peer-pair shared-memory ring buffer
+        (default 1 MiB).  Frames larger than half the ring are rejected
+        by the transport (large payloads travel via the page pool
+        instead).
+    shm_pool_bytes :
+        Capacity of each rank's shared-memory page pool for zero-copy
+        ``Blob`` payloads (default 64 MiB; the backing file is sparse,
+        so untouched pool pages cost no memory).
+    shm_inline_max :
+        Payload size (bytes) above which a blob payload is written to
+        the page pool and passed by reference instead of inline in the
+        ring frame (default 32 KiB).
+    shm_spin_us :
+        How long (microseconds) a rank's ring reader keeps polling for
+        new frames after draining before re-arming its doorbell and
+        parking.  In steady-state message exchange the peer's next
+        frame lands inside this window, so neither side pays the
+        socket doorbell round trip; 0 always parks immediately
+        (lowest idle cost, highest per-message latency).  The default
+        ``None`` resolves per job: 200 when every rank can have its
+        own core, 0 when ranks oversubscribe the host — a spinning
+        reader on an oversubscribed box steals the very cycles the
+        sender needs to produce the frame it is waiting for.
     """
 
     bcast_algorithm: str = "binomial"
@@ -220,6 +259,12 @@ class WorldConfig:
     match_schedule: Optional["MatchSchedule"] = None
     backend: str = "thread"
     transport: str = "auto"
+    nodes: Optional[int] = None
+    hierarchical_collectives: bool = True
+    shm_ring_bytes: int = 1 << 20
+    shm_pool_bytes: int = 1 << 26
+    shm_inline_max: int = 1 << 15
+    shm_spin_us: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.progress_engine not in ("event", "polling"):
@@ -231,17 +276,41 @@ class WorldConfig:
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {self.backend!r}"
             )
-        if self.transport not in ("auto", "thread", "unix", "tcp"):
+        if self.transport not in ("auto", "thread", "unix", "tcp", "shm"):
             raise ValueError(
-                f"transport must be 'auto', 'thread', 'unix' or 'tcp', "
-                f"got {self.transport!r}"
+                f"transport must be 'auto', 'thread', 'unix', 'tcp' or "
+                f"'shm', got {self.transport!r}"
             )
-        if self.backend == "thread" and self.transport in ("unix", "tcp"):
+        if self.backend == "thread" and self.transport in (
+            "unix",
+            "tcp",
+            "shm",
+        ):
             raise ValueError(
                 f"transport {self.transport!r} requires backend='process'"
             )
         if self.backend == "process" and self.transport == "thread":
             raise ValueError("transport 'thread' requires backend='thread'")
+        if self.nodes is not None and self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.shm_ring_bytes < (1 << 12):
+            raise ValueError(
+                f"shm_ring_bytes must be >= 4096, got {self.shm_ring_bytes}"
+            )
+        if self.shm_pool_bytes < self.shm_ring_bytes:
+            raise ValueError(
+                "shm_pool_bytes must be >= shm_ring_bytes, got "
+                f"{self.shm_pool_bytes}"
+            )
+        if not (0 < self.shm_inline_max <= self.shm_ring_bytes // 4):
+            raise ValueError(
+                "shm_inline_max must be in (0, shm_ring_bytes // 4], got "
+                f"{self.shm_inline_max}"
+            )
+        if self.shm_spin_us is not None and self.shm_spin_us < 0:
+            raise ValueError(
+                f"shm_spin_us must be >= 0 or None (auto), got {self.shm_spin_us}"
+            )
 
 
 class World:
@@ -254,6 +323,13 @@ class World:
         self.nprocs = nprocs
         #: Behaviour knobs shared by every communicator of this world.
         self.config = config or WorldConfig()
+        #: Simulated node topology (ranks → nodes) — consulted by the
+        #: process backend's per-pair transport selection and by the
+        #: hierarchical collective algorithms (lazy import breaks the
+        #: module cycle).
+        from repro.mpi.topology import Topology
+
+        self.topology = Topology.from_config(nprocs, self.config)
         #: One mailbox per process, indexed by world rank.
         self.mailboxes = [Mailbox(self, r) for r in range(nprocs)]
         #: The :class:`~repro.mpi.transport.Transport` carrying remote

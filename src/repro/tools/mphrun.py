@@ -105,6 +105,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(true multi-executable, as on the paper's platforms)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("auto", "unix", "tcp", "shm"),
+        default="auto",
+        help="process backend: wire between ranks — 'shm' uses mmap "
+        "rings and zero-copy pages for same-node pairs with sockets "
+        "across nodes, 'auto' picks shm per pair where available "
+        "(default: auto)",
+    )
+    parser.add_argument(
         "--log-dir",
         type=Path,
         help="process backend: directory for per-process stdout logs "
@@ -184,10 +193,19 @@ def _run_exec_backend(specs, args) -> "JobResult":
                 "workdir": str(args.workdir) if args.workdir else None,
                 "registry": str(args.registry) if args.registry else None,
             }
+    # --nodes doubles as the transport topology: the same SMP node
+    # count that validates placement also scopes which rank pairs the
+    # shm/auto transports treat as same-node (rings) vs cross-node
+    # (sockets), and where hierarchical collectives draw their levels.
+    config = WorldConfig(
+        backend="process",
+        transport=args.transport,
+        nodes=args.nodes or None,
+    )
     procs = run_exec_job(
         world_size,
         metas,
-        config=WorldConfig(backend="process"),
+        config=config,
         timeout=args.timeout,
         log_dir=str(args.log_dir) if args.log_dir else None,
         labels=labels,

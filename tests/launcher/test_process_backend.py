@@ -113,6 +113,48 @@ class TestMpmdJobProcessBackend:
         assert isinstance(result, JobResult)
         assert result.failures() == []
 
+    @pytest.mark.parametrize("transport", ["unix", "shm"])
+    def test_crash_mid_transfer_surfaces_failure(self, tmp_path, transport):
+        """A peer dying between messages must turn the survivor's posted
+        recv into a ProcessFailedError (shm: via the doorbell socket's
+        EOF), never a hang — and the job must still name the dead rank.
+        Shm segments of the crashed job must all be swept."""
+        marker = tmp_path / "observed.txt"
+
+        def fn(world, env, marker_path=str(marker)):
+            import numpy as np
+
+            from repro.errors import ProcessFailedError
+
+            if world.rank == 1:
+                # establish the transfer path with a real large payload
+                # (page-pool path on shm), then die without warning
+                world.send(np.arange(200_000, dtype=np.float64), 0, tag=1)
+                os._exit(9)
+            got = world.recv(source=1, tag=1)
+            assert float(got.sum()) == float(
+                np.arange(200_000, dtype=np.float64).sum()
+            )
+            try:
+                world.recv(source=1, tag=2)  # never sent: peer is dead
+            except ProcessFailedError as exc:
+                with open(marker_path, "w") as fh:
+                    fh.write(f"ProcessFailedError: {exc}")
+                raise
+
+        fn.__name__ = "mid_transfer_crasher"
+        cfg = WorldConfig(backend="process", transport=transport)
+        with pytest.raises((ChildExitError, AbortError)) as excinfo:
+            MpmdJob([(fn, 2)], config=cfg).run(timeout=60.0)
+        if isinstance(excinfo.value, ChildExitError):
+            assert excinfo.value.exit_code == 9
+        # the survivor saw a clean rank-failure, not a hang or garbage
+        assert marker.exists(), "posted recv never observed the crash"
+        assert "ProcessFailedError" in marker.read_text()
+        from repro.mpi.shm import list_segments
+
+        assert list_segments("repro-mpi-") == [], "crash leaked segments"
+
 
 # ---------------------------------------------------------------------------
 # mphrun --backend process (true MIME: each rank its own executable)
@@ -183,6 +225,29 @@ class TestMphrunProcessBackend:
             pids.add(text.split("pid ")[1].split()[0])
         assert len(pids) == 3  # genuinely separate OS processes
         assert os.getpid() not in {int(p) for p in pids}
+
+    def test_shm_transport_flag(self, program_module, capsys):
+        """--transport shm runs the exec'd MIME job over the mmap rings
+        (and must leave no segment files behind)."""
+        from repro.mpi.shm import list_segments
+
+        code = main(
+            [
+                "--spec",
+                "-np 2 atm : -np 1 ocn",
+                "--programs",
+                program_module,
+                "--backend",
+                "process",
+                "--transport",
+                "shm",
+                "--timeout",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "3 processes" in capsys.readouterr().out
+        assert list_segments("repro-mpi-") == []
 
     def test_child_exit_code_fails_job(self, program_module, capsys):
         """Satellite: a nonzero component exit fails the whole job with

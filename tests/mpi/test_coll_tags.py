@@ -49,7 +49,11 @@ def test_source_audit_of_tag_offsets():
     import inspect
     import re
 
-    src = inspect.getsource(collectives)
+    from repro.mpi import buffer_collectives
+
+    src = inspect.getsource(collectives) + inspect.getsource(
+        buffer_collectives
+    )
     offsets = [int(m) for m in re.findall(r"tag \+ (\d+)", src)]
     assert offsets, "expected composed collectives to use tag offsets"
     assert max(offsets) <= collectives.MAX_TAG_OFFSET

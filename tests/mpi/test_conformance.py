@@ -541,3 +541,25 @@ class TestSemantics:
 
         expected = float(np.arange(300_000, dtype=np.float64).sum())
         assert backend_spmd(2, fn)[1] == expected
+
+    def test_large_payload_mutation_isolated(self, backend_spmd):
+        """Receiver mutations of a large payload never reach the sender
+        or later receives — even when the transport maps the payload
+        zero-copy out of a shared page (shm), the received value must
+        behave like a private copy."""
+
+        def fn(comm):
+            src = np.arange(100_000, dtype=np.float64)
+            if comm.rank == 0:
+                comm.send(src, 1, tag=3)
+                comm.send(src, 1, tag=4)  # same logical payload again
+                comm.barrier()
+                return float(src.sum())  # sender's array untouched
+            first = comm.recv(source=0, tag=3)
+            first[:] = -1.0  # clobber the first delivery in place
+            second = comm.recv(source=0, tag=4)
+            comm.barrier()
+            return float(second.sum())  # must be pristine
+
+        expected = float(np.arange(100_000, dtype=np.float64).sum())
+        assert backend_spmd(2, fn) == [expected, expected]

@@ -9,16 +9,33 @@ provides the knobs:
     ``both``).  CI's backend matrix runs one job per value, so a process
     backend hang can't mask thread results (and vice versa).
 
+``--mpi-transport {auto,unix,tcp,shm}``
+    Wire transport for process-backend runs (default ``auto``).  CI adds
+    a ``process`` + ``shm`` leg so the shared-memory rings and page pool
+    face the full conformance and chaos suites, not just their unit
+    tests.  Thread-backend parametrizations ignore this (the thread
+    transport is the only valid choice there).
+
+``--mpi-nodes N``
+    Simulated node count for the world topology (default: unset, one
+    node).  With ``N >= 2`` the hierarchical collectives engage and, for
+    ``shm``/``auto`` transports, cross-node pairs fall back to sockets.
+
 ``mpi_backend``
     A parametrized fixture naming the backend of the current test.
 
 ``backend_config``
-    A fresh :class:`~repro.mpi.world.WorldConfig` for that backend.
+    A fresh :class:`~repro.mpi.world.WorldConfig` for that backend,
+    carrying the transport and node options.
 
 ``backend_spmd``
     ``runner(n, fn, **kw)`` — :func:`repro.mpi.run_spmd` against the
     selected backend with a test-friendly timeout.  Process-backend runs
     get a larger default budget (real fork + socket bootstrap per rank).
+
+An autouse session fixture also asserts that no shm segments survive the
+run: a leaked ``/dev/shm`` mapping is a correctness bug (the rendezvous
+sweep must remove segments on every exit path, crashes included).
 """
 
 from __future__ import annotations
@@ -29,6 +46,7 @@ from repro.mpi.executor import run_spmd
 from repro.mpi.world import WorldConfig
 
 _BACKENDS = ("thread", "process")
+_TRANSPORTS = ("auto", "unix", "tcp", "shm")
 
 
 def pytest_addoption(parser):
@@ -41,6 +59,21 @@ def pytest_addoption(parser):
         help="execution backend(s) for backend-parametrized tests "
         "(default: both)",
     )
+    group.addoption(
+        "--mpi-transport",
+        action="store",
+        default="auto",
+        choices=_TRANSPORTS,
+        help="wire transport for process-backend runs (default: auto)",
+    )
+    group.addoption(
+        "--mpi-nodes",
+        action="store",
+        type=int,
+        default=None,
+        help="simulated node count for the world topology "
+        "(default: single node)",
+    )
 
 
 def pytest_generate_tests(metafunc):
@@ -50,6 +83,16 @@ def pytest_generate_tests(metafunc):
         metafunc.parametrize("mpi_backend", backends, indirect=True)
 
 
+def _make_config(mpi_backend, pytestconfig):
+    kw = {"backend": mpi_backend}
+    if mpi_backend == "process":
+        kw["transport"] = pytestconfig.getoption("--mpi-transport")
+    nodes = pytestconfig.getoption("--mpi-nodes")
+    if nodes is not None:
+        kw["nodes"] = nodes
+    return WorldConfig(**kw)
+
+
 @pytest.fixture
 def mpi_backend(request):
     """The execution backend of the current parametrization."""
@@ -57,21 +100,35 @@ def mpi_backend(request):
 
 
 @pytest.fixture
-def backend_config(mpi_backend):
+def backend_config(mpi_backend, pytestconfig):
     """A fresh world config for the selected backend."""
-    return WorldConfig(backend=mpi_backend)
+    return _make_config(mpi_backend, pytestconfig)
 
 
 @pytest.fixture
-def backend_spmd(mpi_backend):
+def backend_spmd(mpi_backend, pytestconfig):
     """SPMD runner against the selected backend."""
 
     def runner(n, fn, *, config=None, timeout=None, **kw):
         if config is None:
-            config = WorldConfig(backend=mpi_backend)
+            config = _make_config(mpi_backend, pytestconfig)
         if timeout is None:
             timeout = 60.0 if mpi_backend == "process" else 30.0
         return run_spmd(n, fn, config=config, timeout=timeout, **kw)
 
     runner.backend = mpi_backend
     return runner
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _no_shm_segment_leaks():
+    """Every shm segment must be unlinked by the time the session ends.
+
+    Segments are namespaced by the rendezvous directory name (prefix
+    ``repro-mpi-``), so concurrent unrelated processes don't trip this.
+    """
+    from repro.mpi.shm import list_segments
+
+    yield
+    leaked = list_segments("repro-mpi-")
+    assert not leaked, f"leaked shm segments: {leaked}"
