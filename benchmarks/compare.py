@@ -12,8 +12,9 @@ hook-overhead kernels from :mod:`bench_sched` (``BENCH_sched.json``),
 ``--suite backend`` runs the execution-backend substrate comparison from
 :mod:`bench_backend` (``BENCH_backend.json``), ``--suite shm`` runs the
 shared-memory transport curves and the hierarchical-collective
-comparison from :mod:`bench_shm` (``BENCH_shm.json``), and
-``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
+comparison from :mod:`bench_shm` (``BENCH_shm.json``), ``--suite init``
+runs the flat-vs-tree bootstrap scaling sweep from :mod:`bench_init`
+(``BENCH_init.json``), and ``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
 skips report files — the CI smoke mode.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
@@ -124,7 +125,7 @@ def _write_report(report: dict, out: str | None) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "init", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -180,6 +181,12 @@ def main(argv=None) -> None:
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_shm import run_shm_ablation
         _write_report(run_shm_ablation(args.reps), _out("shm"))
+    if args.suite in ("init", "all"):
+        try:
+            from benchmarks.bench_init import run_init_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_init import run_init_ablation
+        _write_report(run_init_ablation(args.reps), _out("init"))
 
 
 if __name__ == "__main__":

@@ -40,6 +40,13 @@ from repro.errors import (
 )
 from repro.core.registry import Registry
 from repro.core.mph import MPH, components_setup, multi_instance
+from repro.core.session import (
+    Session,
+    components_session,
+    instance_session,
+    pool_session,
+)
+from repro.errors import SessionError
 from repro.launcher.job import MpmdJob, mph_run
 
 __all__ = [
@@ -51,10 +58,15 @@ __all__ = [
     "LaunchError",
     "DeadlockError",
     "TransportError",
+    "SessionError",
     "Registry",
     "MPH",
     "components_setup",
     "multi_instance",
+    "Session",
+    "components_session",
+    "instance_session",
+    "pool_session",
     "MpmdJob",
     "mph_run",
 ]

@@ -13,16 +13,13 @@ that anonymous world into a fully-mapped multi-component environment:
 3. processors with identical declarations form an executable; each
    executable is matched against exactly one registry entry, giving every
    component a unique ``component_id`` (its position in the file);
-4. communicators are built by ``Comm_split``:
-
-   * when every executable is single-component, one split of the world by
-     ``component_id`` produces all component communicators at once — the
-     paper's single-component path (§6 case 1), strategy ``"world_split"``;
-   * otherwise the world is first split by executable, then each
-     executable splits into its components — with a **single** split when
-     its components do not overlap on processors, and **repeated** splits
-     (one per component, since a processor may belong to several) when
-     they do (§6 case 2) — strategy ``"exe_then_comp"``.
+4. communicators are derived from the session's named process sets
+   (:mod:`repro.core.session`): each component / executable pset is turned
+   into a communicator on demand by its members only, generalizing the
+   paper's two ``Comm_split`` strategies.  The historical strategy label is
+   preserved — ``"world_split"`` when every executable is single-component
+   (§6 case 1; the executable communicator *is* the component
+   communicator), ``"exe_then_comp"`` otherwise (§6 case 2).
 
 The handshake is deterministic: every process derives the identical
 :class:`~repro.core.layout.Layout` from the broadcast registry and the
@@ -36,7 +33,7 @@ perturb the layout (asserted across seeds in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.core.layout import ComponentInfo, ExecutableInfo, Layout
 from repro.core.names import matches_prefix, validate_name
@@ -49,6 +46,9 @@ from repro.core.registry import (
 from repro.errors import HandshakeError, RegistryError
 from repro.mpi.comm import Comm
 from repro.mpi.constants import UNDEFINED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.session import Session
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,17 @@ class InstanceDecl:
         validate_name(self.prefix)
 
 
-Declaration = Union[ComponentDecl, InstanceDecl]
+@dataclass(frozen=True)
+class PoolDecl:
+    """What :func:`repro.core.session.pool_session` declares: a reserve
+    process that runs no component yet.  It participates in the init
+    exchange, then parks in ``Session.await_assignment`` until an elastic
+    ``Session.grow`` admits it into a component (or the pool is released)."""
+
+    label: str = "pool"
+
+
+Declaration = Union[ComponentDecl, InstanceDecl, PoolDecl]
 
 
 @dataclass
@@ -107,6 +117,12 @@ class HandshakeResult:
     #: Components that lost every process in a re-handshake after a
     #: failure (empty for the initial handshake).
     dead_components: tuple[str, ...] = ()
+    #: The session this result was materialized from (``None`` only for
+    #: results built outside the sessions layer).  The layout above is a
+    #: snapshot of the session's pset epoch at materialization time; after
+    #: an elastic transition (``grow``/``retire``/``shrink``) get a fresh
+    #: view with ``session.mph()``.
+    session: Optional["Session"] = None
 
     @property
     def my_component_names(self) -> tuple[str, ...]:
@@ -124,61 +140,19 @@ def handshake(world: Comm, decl: Declaration, registry_input) -> HandshakeResult
     executable's declaration).  Raises :class:`HandshakeError` (on every
     process, via abort propagation) when declarations and registration file
     disagree.
+
+    Since the sessions refactor this is a thin compatibility shim: the
+    registry broadcast, declaration allgather, and layout resolution run
+    inside :meth:`repro.core.session.Session.init`, and the executable /
+    component communicators are derived from the session's named process
+    sets instead of eager ``Comm_split`` calls.  The result is shaped
+    exactly as before (same communicator names, same ``strategy`` label,
+    and for the single-component path ``exe_comm`` *is* the component
+    communicator, as §6 case 1 produced).
     """
-    max_comps = world.world.config.max_components_per_executable
-    if isinstance(decl, ComponentDecl) and len(decl.names) > max_comps:
-        raise HandshakeError(
-            f"executable declares {len(decl.names)} components; the limit is {max_comps} "
-            "(paper §4.3)"
-        )
+    from repro.core.session import Session
 
-    # Step 1 — root reads the registration file and broadcasts it (§6).
-    registry: Registry
-    if world.rank == 0:
-        registry = Registry.load(registry_input)
-        world.bcast(registry)
-    else:
-        registry = world.bcast(None)
-
-    # Step 2 — allgather declarations.
-    decls: list[Declaration] = world.allgather(decl)
-
-    # Step 3 — group into executables and match against the registry.
-    exes, my_exe_id = _resolve_executables(registry, decls, world.rank)
-    layout = Layout(registry, exes)
-
-    # Step 4 — build communicators.
-    all_single = all(isinstance(e, SingleComponentEntry) for e in registry.entries)
-    if all_single:
-        strategy = "world_split"
-        # One split of the world by component id gives every component its
-        # communicator directly (§6 case 1); the executable communicator is
-        # the same thing for a single-component executable.
-        my_comp = layout.components_on(world.rank)[0]
-        comp_comm = world.split(my_comp.comp_id, key=world.rank)
-        assert comp_comm is not None
-        comp_comm.name = f"MPH:{my_comp.name}"
-        exe_comm = comp_comm
-        comp_comms = {my_comp.name: comp_comm}
-    else:
-        strategy = "exe_then_comp"
-        exe_comm = world.split(my_exe_id, key=world.rank)
-        assert exe_comm is not None
-        exe_comm.name = f"MPH:exe{my_exe_id}"
-        comp_comms = _split_components(exe_comm, layout, exes[_index_of(exes, my_exe_id)], world.rank)
-
-    service = world.dup("MPH_service")
-    return HandshakeResult(
-        layout=layout,
-        registry=registry,
-        exe_id=my_exe_id,
-        exe_comm=exe_comm,
-        comp_comms=comp_comms,
-        strategy=strategy,
-        world=world,
-        service_comm=service,
-        declaration=decl,
-    )
+    return Session.init(world, decl, registry_input).handshake_result()
 
 
 def rehandshake(prev: HandshakeResult) -> HandshakeResult:
@@ -202,7 +176,18 @@ def rehandshake(prev: HandshakeResult) -> HandshakeResult:
     No registry re-read and no new declarations: the degraded layout is
     derived locally from the old one, so — like the original handshake —
     every survivor computes an identical map.
+
+    When *prev* came from the sessions layer (the normal case), the shrink
+    is routed through :meth:`repro.core.session.Session.shrink` — the
+    *unplanned* flavour of the same pset-epoch transition that
+    ``Session.grow``/``Session.retire`` perform — so original global proc
+    ids stay stable and ``dead_components`` stays correct even across a
+    shrink-then-grow sequence.  The split-based fallback below only runs
+    for results built outside a session.
     """
+    if prev.session is not None:
+        prev.session.shrink()
+        return prev.session.handshake_result()
     assert prev.world is not None
     new_world = prev.world.shrink("MPH_world")
     me = new_world.group.world_id(new_world.rank)  # original world id
@@ -239,20 +224,22 @@ def rehandshake(prev: HandshakeResult) -> HandshakeResult:
     )
 
 
-def _index_of(exes: list[ExecutableInfo], exe_id: int) -> int:
-    for i, e in enumerate(exes):
-        if e.exe_id == exe_id:
-            return i
-    raise AssertionError(f"exe_id {exe_id} missing")  # pragma: no cover
-
-
 def _resolve_executables(
     registry: Registry, decls: list[Declaration], my_rank: int
-) -> tuple[list[ExecutableInfo], int]:
+) -> tuple[list[ExecutableInfo], int, tuple[int, ...]]:
     """Group world ranks by declaration, match groups to registry entries,
-    and validate sizes.  Returns all executables plus the caller's exe id."""
+    and validate sizes.
+
+    Ranks declaring :class:`PoolDecl` form the elastic reserve pool: they
+    match no registry entry and belong to no executable until a
+    ``Session.grow`` assigns them.  Returns ``(executables, my_exe_id,
+    pool_ranks)``; ``my_exe_id`` is ``-1`` for a pool rank.
+    """
+    pool_ranks = tuple(r for r, d in enumerate(decls) if isinstance(d, PoolDecl))
     groups: dict[Declaration, list[int]] = {}
     for rank, d in enumerate(decls):
+        if isinstance(d, PoolDecl):
+            continue
         groups.setdefault(d, []).append(rank)
 
     # Deterministic executable ordering: ascending lowest world rank.
@@ -303,8 +290,8 @@ def _resolve_executables(
             f"registration file registers components that no executable declared: "
             f"{unmatched} — is an executable missing from the launch command?"
         )
-    assert my_exe_id >= 0
-    return exes, my_exe_id
+    assert my_exe_id >= 0 or my_rank in pool_ranks
+    return exes, my_exe_id, pool_ranks
 
 
 def _match_entry(registry: Registry, decl: Declaration) -> int:
@@ -346,50 +333,3 @@ def _match_entry(registry: Registry, decl: Declaration) -> int:
             "prefixes must identify the executable uniquely"
         )
     return candidates[0]
-
-
-def _split_components(
-    exe_comm: Comm, layout: Layout, exe: ExecutableInfo, world_rank: int
-) -> dict[str, Comm]:
-    """Create this executable's component communicators (§6 case 2).
-
-    Non-overlapping components need one ``Comm_split``; overlapping ones
-    need one split *per component* because a processor can only pass one
-    color per split.
-    """
-    my_infos = [
-        layout.component(name)
-        for name in exe.component_names
-        if world_rank in layout.component(name).world_ranks
-    ]
-
-    if exe.kind == "single":
-        # The executable communicator *is* the component communicator; a
-        # dup keeps their traffic separate.
-        info = layout.component(exe.component_names[0])
-        comm = exe_comm.dup(f"MPH:{info.name}")
-        return {info.name: comm}
-
-    comp_comms: dict[str, Comm] = {}
-    if not exe.has_overlap:
-        # Single split: color = my component id (every processor is in at
-        # most one component here; uncovered processors opt out).
-        color = my_infos[0].comp_id if my_infos else UNDEFINED
-        comm = exe_comm.split(color, key=world_rank)
-        if comm is not None:
-            info = my_infos[0]
-            comm.name = f"MPH:{info.name}"
-            comp_comms[info.name] = comm
-        return comp_comms
-
-    # Overlap: repeated splits, one per component, in registry order — a
-    # collective sequence every processor of the executable executes
-    # identically.
-    mine = {info.name for info in my_infos}
-    for name in exe.component_names:
-        member = name in mine
-        comm = exe_comm.split(0 if member else UNDEFINED, key=world_rank)
-        if comm is not None:
-            comm.name = f"MPH:{name}"
-            comp_comms[name] = comm
-    return comp_comms

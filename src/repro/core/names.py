@@ -30,6 +30,16 @@ KEYWORDS = frozenset(
     }
 )
 
+#: Path segments of the reserved ``mph://`` process-set namespace (see
+#: :mod:`repro.core.session`).  A component named after one of these would
+#: shadow a built-in pset under the shorthand lookup (``session.pset("world")``
+#: resolves to ``mph://world``), so the registry *linter* rejects them.  Core
+#: validation deliberately does not: existing registration files with such
+#: names keep working, they just cannot use the shorthand.
+RESERVED_PSET_NAMES = frozenset(
+    {"world", "self", "pool", "node", "exe", "component", "ensemble", "mph"}
+)
+
 #: One token: no whitespace, no comment characters, no ``=`` (reserved for
 #: ``key=value`` argument fields).
 _NAME_RE = re.compile(r"^[A-Za-z][A-Za-z0-9_.\-]*$")

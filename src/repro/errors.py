@@ -149,3 +149,10 @@ class ArgumentError(MPHError):
 class JoinError(MPHError):
     """``MPH_comm_join`` was asked to join components that cannot be joined
     (unknown names, or components overlapping on processors)."""
+
+
+class SessionError(MPHError):
+    """Misuse of the sessions layer (:mod:`repro.core.session`): unknown
+    process-set name, a non-member deriving a pset communicator, growing
+    beyond the reserve pool, or a parked process calling an active-only
+    collective."""

@@ -16,12 +16,18 @@ pickle framing, :func:`~repro.mpi.transport.send_frame`):
    (``fork`` for :func:`run_procs`, ``exec`` of
    ``python -m repro.tools.mphchild`` for :func:`run_exec_job`).
 2. Each child binds its own *data* listener — before anyone learns its
-   address, so no sender can race it — connects to the rendezvous and
-   sends ``("hello", rank, data_address)``.
-3. Once all hellos are in, the parent answers each child with
-   ``("welcome", {nprocs, peers, config, meta})``: the full rank → address
-   map, the :class:`~repro.mpi.world.WorldConfig`, and per-rank launcher
-   metadata.
+   address, so no sender can race it — then exchanges addresses with the
+   parent.  Under the default ``config.bootstrap == "tree"`` scheme the
+   exchange runs through a fanout-ary relay tree
+   (:mod:`repro.mpi.bootstrap`): hellos aggregate upward, the welcome
+   payload is pickled once and relayed downward as opaque bytes, and
+   each child then *registers* a direct parent connection.  Under the
+   flat scheme (``"flat"``, or any TCP job) each child instead connects
+   directly, sends ``("hello", rank, data_address)``, and waits for a
+   personal ``("welcome", {nprocs, peers, config, meta})`` frame.
+3. Either way every child ends up holding the full rank → address map,
+   the :class:`~repro.mpi.world.WorldConfig`, its per-rank launcher
+   metadata, and a direct control connection to the parent.
 4. Each child builds a :class:`~repro.mpi.transport.SocketTransport` over
    the peer map, a :class:`ProcessWorld` replica, and its ``COMM_WORLD``
    handle, then runs the rank function.
@@ -67,6 +73,11 @@ from repro.errors import (
     ReproError,
     TimeoutError_,
     TransportError,
+)
+from repro.mpi.bootstrap import (
+    child_tree_exchange,
+    effective_scheme,
+    serve_tree_rendezvous,
 )
 from repro.mpi.comm import make_world_comm
 from repro.mpi.executor import ProcResult, _raise_root_cause
@@ -202,6 +213,10 @@ def child_session(
     family: str,
     sockdir: str,
     run: Callable[[Any, Any], Any],
+    *,
+    nprocs: Optional[int] = None,
+    bootstrap: str = "flat",
+    fanout: int = 8,
 ) -> None:
     """One child's whole life: handshake, run the rank, report, linger.
 
@@ -210,18 +225,31 @@ def child_session(
     fork children of :func:`run_procs` (which close over the rank
     function directly) and the exec children of ``repro.tools.mphchild``
     (which resolve the function from *meta*).
+
+    *bootstrap*/*fanout*/*nprocs* select the address-exchange scheme
+    (the parent passes its resolved choice down, since a child cannot
+    read the :class:`~repro.mpi.world.WorldConfig` it has yet to
+    receive): ``"tree"`` relays through :mod:`repro.mpi.bootstrap`,
+    ``"flat"`` is the direct hello/welcome exchange.
     """
     listener, addr = make_listener(family, os.path.join(sockdir, f"rank{rank}.sock"))
-    ctrl = _connect(rendezvous)
-    try:
+    if effective_scheme(bootstrap, family, nprocs or 1) == "tree":
+        assert nprocs is not None
+        peers, config, meta, ctrl = child_tree_exchange(
+            rendezvous, rank, nprocs, fanout, sockdir, addr
+        )
+    else:
+        ctrl = _connect(rendezvous)
         send_frame(ctrl, ("hello", rank, addr))
         welcome = recv_frame(ctrl, timeout=_CHILD_CTRL_TIMEOUT)
         if not welcome or welcome[0] != "welcome":
             raise TransportError(f"expected welcome frame, got {welcome!r}")
         info = welcome[1]
         nprocs = info["nprocs"]
-        config: WorldConfig = info["config"]
-
+        config = info["config"]
+        peers = info["peers"]
+        meta = info.get("meta")
+    try:
         world = ProcessWorld(nprocs, config, rank)
         if config.transport in ("auto", "shm"):
             # MPICH-G2-style per-pair protocol selection: shm rings for
@@ -235,13 +263,13 @@ def child_session(
                 rank,
                 nprocs,
                 listener,
-                info["peers"],
+                peers,
                 config=config,
                 prefix=os.path.basename(sockdir),
                 topology=world.topology,
             )
         else:
-            transport = SocketTransport(rank, nprocs, listener, info["peers"])
+            transport = SocketTransport(rank, nprocs, listener, peers)
         # A peer dying mid-transfer must surface as a rank failure so
         # posted receives raise instead of hanging — on shm there is no
         # socket to error out of a ring read (only the doorbell conn's
@@ -260,7 +288,7 @@ def child_session(
         comm = make_world_comm(world, rank)
         ok, value, exc = True, None, None
         try:
-            value = run(comm, info.get("meta"))
+            value = run(comm, meta)
         except BaseException as e:  # noqa: BLE001 - everything is reported
             ok, exc = False, e
             if not isinstance(e, AbortError):
@@ -317,6 +345,9 @@ def _fork_child_main(
     fn_args: tuple,
     fn_kwargs: dict,
     log_path: Optional[str],
+    nprocs: int,
+    bootstrap: str,
+    fanout: int,
 ) -> None:
     if log_path is not None:
         fd = os.open(log_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
@@ -329,6 +360,9 @@ def _fork_child_main(
         family,
         sockdir,
         lambda comm, meta: fn(comm, *fn_args, **fn_kwargs),
+        nprocs=nprocs,
+        bootstrap=bootstrap,
+        fanout=fanout,
     )
 
 
@@ -405,6 +439,8 @@ class _Rendezvous:
         self.nprocs = nprocs
         self.config = config
         self.family = family
+        #: Resolved address-exchange scheme (TCP cannot run the tree).
+        self.scheme = effective_scheme(config.bootstrap, family, nprocs)
         self.sockdir = tempfile.mkdtemp(prefix="repro-mpi-")
         self.listener, self.addr = make_listener(
             family, os.path.join(self.sockdir, "rendezvous.sock")
@@ -446,23 +482,26 @@ class _Rendezvous:
         conns: dict[int, socket.socket] = {}
         try:
             try:
-                self._gather_hellos(conns, by_rank, results, deadline)
+                if self.scheme == "tree":
+                    self._gather_tree(conns, by_rank, results, metas, deadline)
+                else:
+                    self._gather_hellos(conns, by_rank, results, deadline)
+                    for rank, conn in conns.items():
+                        peers = {r: a for r, a in self._addrs.items()}
+                        send_frame(
+                            conn,
+                            (
+                                "welcome",
+                                {
+                                    "nprocs": self.nprocs,
+                                    "peers": peers,
+                                    "config": self.config,
+                                    "meta": metas[rank] if metas is not None else None,
+                                },
+                            ),
+                        )
             except _BootstrapDead:
                 return [results[r] for r in sorted(results)]
-            for rank, conn in conns.items():
-                peers = {r: a for r, a in self._addrs.items()}
-                send_frame(
-                    conn,
-                    (
-                        "welcome",
-                        {
-                            "nprocs": self.nprocs,
-                            "peers": peers,
-                            "config": self.config,
-                            "meta": metas[rank] if metas is not None else None,
-                        },
-                    ),
-                )
             self._collect_results(conns, by_rank, results, deadline)
         except TimeoutError_:
             for h in handles:
@@ -490,25 +529,7 @@ class _Rendezvous:
             self._check_deadline(deadline, "rank bootstrap")
             dead = self._dead_without_result(by_rank, results, conns)
             if dead:
-                # A child died before saying hello: nobody can form a
-                # world.  Record the failure and stop waiting for the
-                # ranks that will never arrive.
-                for h in dead:
-                    results[h.rank] = ProcResult(
-                        rank=h.rank, exception=self._death_error(h)
-                    )
-                for h in by_rank.values():
-                    h.terminate()
-                for rank in by_rank:
-                    if rank not in results:
-                        results[rank] = ProcResult(
-                            rank=rank,
-                            exception=LaunchError(
-                                f"rank {rank} was terminated because a "
-                                f"sibling died during bootstrap"
-                            ),
-                        )
-                raise _BootstrapDead()
+                self._fail_bootstrap(dead, by_rank, results)
             try:
                 conn, _ = self.listener.accept()
             except socket.timeout:
@@ -519,6 +540,48 @@ class _Rendezvous:
             _, rank, addr = hello
             conns[rank] = conn
             self._addrs[rank] = addr
+
+    def _gather_tree(self, conns, by_rank, results, metas, deadline) -> None:
+        """Tree-scheme bootstrap: one aggregated hellos frame from the
+        relay root, one once-pickled welcome back, then a direct
+        ``register`` connection per child (collected here into *conns*,
+        after which the result/shutdown protocol is scheme-agnostic)."""
+
+        def tick() -> None:
+            self._check_deadline(deadline, "rank bootstrap")
+            dead = self._dead_without_result(by_rank, results, conns)
+            if dead:
+                # A child died mid-exchange: its whole subtree stalls, so
+                # nobody can form a world.  Same handling as flat.
+                self._fail_bootstrap(dead, by_rank, results)
+
+        self.listener.settimeout(0.2)
+        self._addrs, registered = serve_tree_rendezvous(
+            self.listener,
+            self.nprocs,
+            self.config,
+            list(metas) if metas is not None else None,
+            on_tick=tick,
+        )
+        conns.update(registered)
+
+    def _fail_bootstrap(self, dead, by_rank, results) -> None:
+        """A child died before the world formed: record it, terminate the
+        siblings that can never proceed, and abandon the bootstrap."""
+        for h in dead:
+            results[h.rank] = ProcResult(rank=h.rank, exception=self._death_error(h))
+        for h in by_rank.values():
+            h.terminate()
+        for rank in by_rank:
+            if rank not in results:
+                results[rank] = ProcResult(
+                    rank=rank,
+                    exception=LaunchError(
+                        f"rank {rank} was terminated because a "
+                        f"sibling died during bootstrap"
+                    ),
+                )
+        raise _BootstrapDead()
 
     def _collect_results(self, conns, by_rank, results, deadline) -> None:
         inbox: queue.Queue = queue.Queue()
@@ -674,6 +737,9 @@ def run_procs(
                     tuple(fn_args),
                     dict(fn_kwargs or {}),
                     log_path,
+                    nprocs,
+                    rendezvous.scheme,
+                    config.bootstrap_fanout,
                 ),
                 name=f"mpi-proc-{r}",
             )
@@ -739,6 +805,12 @@ def run_exec_job(
                 rendezvous.family,
                 "--sockdir",
                 rendezvous.sockdir,
+                "--nprocs",
+                str(nprocs),
+                "--bootstrap",
+                rendezvous.scheme,
+                "--fanout",
+                str(config.bootstrap_fanout),
             ]
             logfile = None
             if log_dir is not None:

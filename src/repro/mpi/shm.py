@@ -151,14 +151,28 @@ def list_segments(prefix: str, directory: Optional[str] = None) -> List[str]:
     )
 
 
-def sweep_segments(prefix: str, directory: Optional[str] = None) -> List[str]:
-    """Unlink every leftover segment of a job; returns what was removed.
+def sweep_segments(
+    prefix: str,
+    directory: Optional[str] = None,
+    ranks: Optional[List[int]] = None,
+) -> List[str]:
+    """Unlink leftover segments of a job; returns what was removed.
 
     Run by the launcher during rendezvous cleanup so segments cannot
     outlive the job even when a child died before unlinking its own.
+    With *ranks*, only those ranks' segments are removed — the
+    mid-job form used when ranks *retire* (planned departure): the
+    survivors keep running, so sweeping everything would rip live
+    rings out from under them.
     """
+    if ranks is not None:
+        paths = [
+            segment_path(prefix, r, directory) for r in sorted(set(ranks))
+        ]
+    else:
+        paths = list_segments(prefix, directory)
     removed = []
-    for path in list_segments(prefix, directory):
+    for path in paths:
         try:
             os.unlink(path)
         except OSError:
@@ -517,6 +531,10 @@ class PagePool:
         self._lock = threading.Lock()
         self._free: List[tuple] = [(0, size)]  # (off, len), sorted by off
         self._refs: Dict[int, list] = {}  # off -> [refcount, reserved]
+        # holder rank -> {off: hold count}: which *peer* each receiver
+        # reference was taken for, so a peer that retires (and whose
+        # pfree frames will therefore never arrive) can be force-released
+        self._holds: Dict[int, Dict[int, int]] = {}
 
     def alloc(self, nbytes: int) -> Optional[int]:
         """Reserve a page run for *nbytes*; returns its offset with one
@@ -538,32 +556,88 @@ class PagePool:
         p = self._base + off
         self._mm[p : p + len(data)] = data
 
-    def add_ref(self, off: int) -> None:
-        """Take one extra reference on the run at *off* (fan-out reuse)."""
+    def add_ref(self, off: int, holder: Optional[int] = None) -> None:
+        """Take one extra reference on the run at *off* (fan-out reuse).
+
+        With *holder*, the reference is tagged as held on behalf of that
+        peer rank — reclaimable via :meth:`release_holder` should the
+        peer retire before sending its ``pfree``.
+        """
         with self._lock:
             self._refs[off][0] += 1
+            if holder is not None:
+                self._record_hold(off, holder)
 
-    def release(self, off: int) -> None:
-        """Drop one reference; frees (and coalesces) the run at zero."""
+    def note_hold(self, off: int, holder: int) -> None:
+        """Tag an already-held reference (e.g. the one :meth:`alloc`
+        returned) as belonging to peer rank *holder*."""
         with self._lock:
-            ent = self._refs.get(off)
-            if ent is None:
+            self._record_hold(off, holder)
+
+    def _record_hold(self, off: int, holder: int) -> None:
+        holds = self._holds.setdefault(holder, {})
+        holds[off] = holds.get(off, 0) + 1
+
+    def release(self, off: int, holder: Optional[int] = None) -> None:
+        """Drop one reference; frees (and coalesces) the run at zero.
+
+        With *holder*, the drop is on behalf of that peer (a ``pfree``
+        frame): if the peer's hold was already force-released by
+        :meth:`release_holder` — it retired, then a straggler ``pfree``
+        arrived over a cross-node socket — the drop is a no-op instead
+        of an over-release.
+        """
+        with self._lock:
+            if holder is not None and not self._drop_hold(off, holder):
                 return
-            ent[0] -= 1
-            if ent[0] > 0:
-                return
-            del self._refs[off]
-            ln = ent[1]
-            i = bisect.bisect_left(self._free, (off, 0))
-            # merge with the successor run, then the predecessor
-            if i < len(self._free) and self._free[i][0] == off + ln:
-                ln += self._free[i][1]
-                del self._free[i]
-            if i > 0 and self._free[i - 1][0] + self._free[i - 1][1] == off:
-                prev_off, prev_ln = self._free[i - 1]
-                self._free[i - 1] = (prev_off, prev_ln + ln)
-            else:
-                self._free.insert(i, (off, ln))
+            self._release_locked(off)
+
+    def _drop_hold(self, off: int, holder: int) -> bool:
+        holds = self._holds.get(holder)
+        if holds is None or off not in holds:
+            return False
+        if holds[off] <= 1:
+            del holds[off]
+            if not holds:
+                del self._holds[holder]
+        else:
+            holds[off] -= 1
+        return True
+
+    def release_holder(self, holder: int) -> int:
+        """Force-release every reference held on behalf of peer rank
+        *holder* (it retired; its ``pfree`` frames will never come).
+        Returns the number of references dropped."""
+        with self._lock:
+            holds = self._holds.pop(holder, None)
+            if not holds:
+                return 0
+            dropped = 0
+            for off, count in holds.items():
+                for _ in range(count):
+                    self._release_locked(off)
+                    dropped += 1
+            return dropped
+
+    def _release_locked(self, off: int) -> None:
+        ent = self._refs.get(off)
+        if ent is None:
+            return
+        ent[0] -= 1
+        if ent[0] > 0:
+            return
+        del self._refs[off]
+        ln = ent[1]
+        i = bisect.bisect_left(self._free, (off, 0))
+        # merge with the successor run, then the predecessor
+        if i < len(self._free) and self._free[i][0] == off + ln:
+            ln += self._free[i][1]
+            del self._free[i]
+        if i > 0 and self._free[i - 1][0] + self._free[i - 1][1] == off:
+            prev_off, prev_ln = self._free[i - 1]
+            self._free[i - 1] = (prev_off, prev_ln + ln)
+        else:
+            self._free.insert(i, (off, ln))
 
     @property
     def pages_in_use(self) -> int:
@@ -683,7 +757,7 @@ class ShmTransport(SocketTransport):
             return
         sync_id = self._register_sync(env)
         try:
-            self._ring_send(dest, self._encode_shm(env, sync_id))
+            self._ring_send(dest, self._encode_shm(env, sync_id, dest))
         except TransportError:
             self._unregister_sync(sync_id)
             raise
@@ -702,10 +776,10 @@ class ShmTransport(SocketTransport):
 
     # -- shm send path ------------------------------------------------------
 
-    def _encode_shm(self, env: Envelope, sync_id: int) -> bytes:
+    def _encode_shm(self, env: Envelope, sync_id: int, dest: int) -> bytes:
         payload = env.payload
         if isinstance(payload, Blob) and payload.nbytes >= self._inline_max:
-            desc = self._publish_blob(payload)
+            desc = self._publish_blob(payload, dest)
             return pickle.dumps(
                 (
                     "msgp",
@@ -725,7 +799,7 @@ class ShmTransport(SocketTransport):
             isinstance(payload, np.ndarray)
             and payload.nbytes >= self._inline_max
         ):
-            desc = self._publish_array(payload)
+            desc = self._publish_array(payload, dest)
             return pickle.dumps(
                 (
                     "msgp",
@@ -743,7 +817,7 @@ class ShmTransport(SocketTransport):
             )
         return encode_envelope(env, sync_id, self.rank)
 
-    def _publish_blob(self, blob: Blob) -> tuple:
+    def _publish_blob(self, blob: Blob, dest: int) -> tuple:
         """Write *blob* into our pool (once — fan-outs reuse the page)
         and return its wire descriptor with one receiver hold taken."""
         if blob.kind == "array":
@@ -770,15 +844,18 @@ class ShmTransport(SocketTransport):
         else:
             with self._stats_lock:
                 self._shm.copies_avoided += 1
-        self._pool.add_ref(off)  # the receiver's hold, dropped via pfree
+        # the receiver's hold, dropped via pfree (or force-released
+        # should the receiver retire before sending it)
+        self._pool.add_ref(off, holder=dest)
         return (dkind, off, n, meta)
 
-    def _publish_array(self, arr: np.ndarray) -> tuple:
+    def _publish_array(self, arr: np.ndarray, dest: int) -> tuple:
         """Page path for a buffer-mode ndarray payload (no dedup: the
         envelope owns a private snapshot, sent exactly once)."""
         a = np.ascontiguousarray(arr)
         n = a.nbytes
         off = self._alloc_blocking(n)  # alloc's ref is the receiver hold
+        self._pool.note_hold(off, dest)
         self._pool.write(off, memoryview(a).cast("B"))
         with self._stats_lock:
             self._shm.pages_published += 1
@@ -1018,7 +1095,7 @@ class ShmTransport(SocketTransport):
             self._drain()
         elif tag == "pfree":
             for off in fields[2]:
-                self._pool.release(off)
+                self._pool.release(off, holder=fields[1])
         elif tag == "msgp":
             env, sync_id, from_rank = self._decode_page_msg(fields)
             if sync_id:
@@ -1102,6 +1179,42 @@ class ShmTransport(SocketTransport):
         return super()._frame_origin(fields)
 
     # -- lifecycle / introspection ------------------------------------------
+
+    def forget_peer(self, peer: int) -> None:
+        """Invalidate every cached resource of a *retired* peer.
+
+        On top of the socket-side cleanup (connection, send lock,
+        address), a same-node peer leaves behind: its inbound ring in
+        our segment, our cached mapping of *its* segment (outbound ring
+        + mapped pages), and pool references we hold on its behalf for
+        pages it never ``pfree``'d.  All of it must go — the rank is
+        gone by agreement, so nothing will ever arrive from it, and
+        keeping its holds would leak pool space for the rest of the job.
+        """
+        super().forget_peer(peer)
+        with self._drain_lock:
+            self._rings_in.pop(peer, None)
+            self._peer_rings.pop(peer, None)
+            self._ring_locks.pop(peer, None)
+            seg = self._peer_segs.pop(peer, None)
+            if seg is not None:
+                # close() tolerates still-exported buffers (a received
+                # blob the program kept); the mapping then lives until
+                # those views die, but we stop routing through it now.
+                seg.close()
+        self._pool.release_holder(peer)
+        # Queued releases owed to the departed owner would ring-send
+        # into nothing; its whole pool dies with its segment, so just
+        # drop them.  Bounded pass: finalizers may append concurrently,
+        # and both ends of a deque are safe against that.
+        q = self._release_q
+        for _ in range(len(q)):
+            try:
+                ent = q.popleft()
+            except IndexError:
+                break
+            if ent[0] != peer:
+                q.append(ent)
 
     def close(self) -> None:
         """Flush page releases, close sockets, unmap and unlink segments."""

@@ -278,6 +278,16 @@ class Transport(ABC):
     def close(self) -> None:
         """Tear the endpoint down (idempotent)."""
 
+    def forget_peer(self, peer: int) -> None:
+        """Invalidate every cached resource tied to *peer*, which has
+        left the job *on purpose* (``Session.retire``).
+
+        Unlike a crash (``on_peer_lost``) this is not a failure: the
+        peer's connection teardown must not be reported as a lost rank,
+        and later sends to it are misuse, not bad luck.  The base
+        implementation is a no-op — the thread backend caches nothing
+        per peer."""
+
     def stats(self) -> TransportStats:
         """A snapshot of the wire-level counters."""
         return TransportStats()
@@ -403,6 +413,9 @@ class SocketTransport(Transport):
         self._send_locks: dict[int, threading.Lock] = {}
         self._conns_lock = threading.Lock()
         self._dead_peers: set[int] = set()
+        #: Peers removed on purpose (``forget_peer``) — distinct from
+        #: ``_dead_peers``: their EOFs are expected, not failures.
+        self._departed: set[int] = set()
 
         self._sync_lock = threading.Lock()
         self._next_sync_id = 1
@@ -494,7 +507,19 @@ class SocketTransport(Transport):
             except TransportError:
                 continue
 
+    def forget_peer(self, peer: int) -> None:
+        self._departed.add(peer)
+        self._drop_conn(peer)
+        with self._conns_lock:
+            self._send_locks.pop(peer, None)
+            self._peers.pop(peer, None)
+
     def _send_bytes(self, dest: int, payload: bytes) -> None:
+        if dest in self._departed:
+            raise TransportError(
+                f"world rank {dest} retired from the job; no messages can "
+                "reach it"
+            )
         if dest not in self._peers:
             raise TransportError(f"no address for world rank {dest}")
         n = len(payload)
@@ -631,8 +656,16 @@ class SocketTransport(Transport):
         (children only close after the parent's shutdown broadcast,
         which only happens after every result arrived), so surface it
         through ``on_peer_lost`` — receives posted against the dead
-        rank then raise instead of blocking forever."""
-        if origin < 0 or self._closed.is_set() or origin in self._dead_peers:
+        rank then raise instead of blocking forever.
+
+        A *departed* peer (``forget_peer``) closing its side is the
+        expected end of a planned retirement — silently ignored."""
+        if (
+            origin < 0
+            or self._closed.is_set()
+            or origin in self._dead_peers
+            or origin in self._departed
+        ):
             return
         self._dead_peers.add(origin)
         self.on_peer_lost(origin)

@@ -239,6 +239,19 @@ class WorldConfig:
         own core, 0 when ranks oversubscribe the host — a spinning
         reader on an oversubscribed box steals the very cycles the
         sender needs to produce the frame it is waiting for.
+    bootstrap :
+        Rank-rendezvous scheme of the process backend (see
+        :mod:`repro.mpi.bootstrap`).  ``"tree"`` (default): children
+        relay hellos and welcomes through a *fanout*-ary tree over
+        deterministic control sockets, so the launcher handles O(fanout)
+        connections and pickles the shared welcome payload **once**
+        instead of once per rank.  ``"flat"``: every child talks to the
+        launcher directly (the historical O(nprocs) accept loop; kept
+        for ablation — ``benchmarks/bench_init.py`` writes
+        ``BENCH_init.json``).  TCP jobs always use the flat scheme:
+        the tree needs path-addressable (Unix) control sockets.
+    bootstrap_fanout :
+        Arity of the bootstrap relay tree (default 8).
     """
 
     bcast_algorithm: str = "binomial"
@@ -265,6 +278,8 @@ class WorldConfig:
     shm_pool_bytes: int = 1 << 26
     shm_inline_max: int = 1 << 15
     shm_spin_us: Optional[int] = None
+    bootstrap: str = "tree"
+    bootstrap_fanout: int = 8
 
     def __post_init__(self) -> None:
         if self.progress_engine not in ("event", "polling"):
@@ -310,6 +325,14 @@ class WorldConfig:
         if self.shm_spin_us is not None and self.shm_spin_us < 0:
             raise ValueError(
                 f"shm_spin_us must be >= 0 or None (auto), got {self.shm_spin_us}"
+            )
+        if self.bootstrap not in ("tree", "flat"):
+            raise ValueError(
+                f"bootstrap must be 'tree' or 'flat', got {self.bootstrap!r}"
+            )
+        if self.bootstrap_fanout < 2:
+            raise ValueError(
+                f"bootstrap_fanout must be >= 2, got {self.bootstrap_fanout}"
             )
 
 

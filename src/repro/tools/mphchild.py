@@ -76,6 +76,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--rank", type=int, required=True)
     parser.add_argument("--family", choices=("unix", "tcp"), default="unix")
     parser.add_argument("--sockdir", required=True)
+    parser.add_argument(
+        "--nprocs",
+        type=int,
+        default=None,
+        help="world size (needed by the tree bootstrap to shape the relay tree)",
+    )
+    parser.add_argument(
+        "--bootstrap",
+        choices=("tree", "flat"),
+        default="flat",
+        help="address-exchange scheme, as resolved by the parent",
+    )
+    parser.add_argument(
+        "--fanout", type=int, default=8, help="arity of the bootstrap relay tree"
+    )
     args = parser.parse_args(argv)
 
     def run(comm, meta):
@@ -83,7 +98,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return fn(comm, env)
 
     child_session(
-        _parse_addr(args.rendezvous), args.rank, args.family, args.sockdir, run
+        _parse_addr(args.rendezvous),
+        args.rank,
+        args.family,
+        args.sockdir,
+        run,
+        nprocs=args.nprocs,
+        bootstrap=args.bootstrap,
+        fanout=args.fanout,
     )
     return 0
 

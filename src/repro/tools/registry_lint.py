@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.layout import ExecutableInfo, Layout
+from repro.core.names import RESERVED_PSET_NAMES
 from repro.core.registry import (
     MultiComponentEntry,
     MultiInstanceEntry,
@@ -87,6 +88,29 @@ def plan_layout(registry: Registry, sizes: Sequence[int], rank_policy: str = "bl
     return Layout(registry, exes)
 
 
+def lint_reserved_names(registry: Registry) -> list[str]:
+    """Component names that collide with reserved ``mph://`` pset names.
+
+    The sessions layer names every component's process set
+    ``mph://component/<name>`` and accepts shorthand lookups
+    (``session.pset("world")``).  A component literally named ``world``
+    (or ``pool``, ``self``, ...) would be shadowed by the built-in pset
+    of the same name, so the registry checker rejects it before a job
+    ever launches.  Returns one message per violation.
+    """
+    problems = []
+    for entry in registry.entries:
+        for name in entry.component_names:
+            if name in RESERVED_PSET_NAMES:
+                problems.append(
+                    f"component name {name!r} collides with the reserved "
+                    f"mph:// process-set name mph://{name}; rename it "
+                    "(session.pset() shorthand would always resolve to the "
+                    "built-in pset instead of the component)"
+                )
+    return problems
+
+
 def describe_registry(registry: Registry) -> str:
     """A structural summary of a parsed registration file."""
     lines = [
@@ -122,6 +146,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry = Registry.from_file(args.registry)
     except (ReproError, OSError) as exc:
         print(f"mph-registry: INVALID: {exc}", file=sys.stderr)
+        return 1
+    problems = lint_reserved_names(registry)
+    if problems:
+        for problem in problems:
+            print(f"mph-registry: INVALID: {problem}", file=sys.stderr)
         return 1
     print(f"{args.registry}: OK")
     print(describe_registry(registry))

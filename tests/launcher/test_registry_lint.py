@@ -113,3 +113,35 @@ class TestDescribe:
             "BEGIN\nMulti_Component_Begin\na 0 0\nb 3 3\nMulti_Component_End\nEND"
         )
         assert "warning: local processors [1, 2]" in describe_registry(reg)
+
+
+class TestReservedPsetNames:
+    """Component names must not shadow the sessions layer's built-in
+    ``mph://`` process sets."""
+
+    def test_reserved_name_rejected(self, tmp_path, capsys):
+        from repro.tools.registry_lint import lint_reserved_names
+
+        bad = tmp_path / "bad.in"
+        bad.write_text("BEGIN\nworld\nocean\nEND\n")
+        assert main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "reserved" in err and "mph://world" in err
+        problems = lint_reserved_names(Registry.load("BEGIN\nworld\nocean\nEND"))
+        assert len(problems) == 1 and "world" in problems[0]
+
+    def test_reserved_name_inside_multi_component_entry(self, tmp_path, capsys):
+        bad = tmp_path / "bad.in"
+        bad.write_text(
+            "BEGIN\nMulti_Component_Begin\natm 0 1\npool 2 3\n"
+            "Multi_Component_End\nEND\n"
+        )
+        assert main([str(bad)]) == 1
+        assert "mph://pool" in capsys.readouterr().err
+
+    def test_ordinary_names_pass(self, good_file):
+        from repro.tools.registry_lint import lint_reserved_names
+
+        assert main([str(good_file)]) == 0
+        reg = Registry.load(GOOD)
+        assert lint_reserved_names(reg) == []

@@ -40,6 +40,21 @@ class TestSubstrateScale:
         assert values[0] == [16, 8, 4, 2, 1]
 
 
+class TestInitScale:
+    """The ``init-scale`` CI smoke: both bootstrap schemes must complete
+    a 512-rank address exchange (simulated ranks — one thread each over
+    real Unix sockets).  Every simulated rank verifies it got the full
+    peer map, so this asserts protocol correctness at width; timings
+    from shared runners are noise, and the flat-vs-tree scaling curve is
+    ``benchmarks/bench_init.py``'s job."""
+
+    @pytest.mark.parametrize("scheme", ["flat", "tree"])
+    def test_bootstrap_512_ranks(self, scheme):
+        from benchmarks.bench_init import bootstrap_seconds
+
+        assert bootstrap_seconds(scheme, 512) > 0.0
+
+
 class TestHandshakeScale:
     def test_paper_scale_mcme(self):
         """A CCSM-sized job: 36 + 32 + 4 processes, 6 components, overlap —
