@@ -14,7 +14,9 @@ hook-overhead kernels from :mod:`bench_sched` (``BENCH_sched.json``),
 shared-memory transport curves and the hierarchical-collective
 comparison from :mod:`bench_shm` (``BENCH_shm.json``), ``--suite init``
 runs the flat-vs-tree bootstrap scaling sweep from :mod:`bench_init`
-(``BENCH_init.json``), and ``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
+(``BENCH_init.json``), ``--suite coupling`` runs the coupled-solver
+iteration-count and driver-overhead kernels from :mod:`bench_coupling`
+(``BENCH_coupling.json``), and ``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
 skips report files — the CI smoke mode.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
@@ -125,7 +127,7 @@ def _write_report(report: dict, out: str | None) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "init", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "init", "coupling", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -187,6 +189,12 @@ def main(argv=None) -> None:
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_init import run_init_ablation
         _write_report(run_init_ablation(args.reps), _out("init"))
+    if args.suite in ("coupling", "all"):
+        try:
+            from benchmarks.bench_coupling import run_coupling_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_coupling import run_coupling_ablation
+        _write_report(run_coupling_ablation(args.reps), _out("coupling"))
 
 
 if __name__ == "__main__":

@@ -143,6 +143,27 @@ class CCSMConfig:
     #: top of ``receive_and_step(step)`` (once).  The driver recovers it
     #: from the last checkpoint and the run continues within the same job.
     crash_at: Optional[tuple[str, int]] = None
+    #: Coupling scheme: ``"explicit"`` — one fixed flux exchange per step
+    #: (the paper's §2 coupler); ``"implicit"`` — iterate each step's
+    #: exchange to interface convergence with a coupled solver from
+    #: :mod:`repro.coupling` (fluxes computed from the *converged*
+    #: temperatures, the backward-coupled exchange).
+    coupling: str = "explicit"
+    #: Implicit coupled solver: ``"gauss_seidel"`` | ``"aitken"`` |
+    #: ``"iqn_ils"``.
+    coupling_solver: str = "gauss_seidel"
+    #: Interface-residual 2-norm tolerance of the implicit iteration [K].
+    coupling_tol: float = 1e-9
+    #: Iteration budget per implicit coupling step.
+    max_coupling_iterations: int = 25
+    #: Relaxation: Gauss-Seidel ω, and the initial ω of Aitken / IQN-ILS.
+    coupling_omega: float = 1.0
+    #: Predictor seeding each implicit step from prior converged steps:
+    #: ``None`` | ``"constant"`` | ``"linear"`` | ``"quadratic"``.
+    coupling_predictor: Optional[str] = None
+    #: ``kind -> m``: the component advances *m* substeps of ``dt/m`` per
+    #: coupling step (sub-cycling — components at different timesteps).
+    subcycle: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.exchange not in ("p2p", "join"):
@@ -169,6 +190,49 @@ class CCSMConfig:
                 raise ReproError(
                     "crash_at recovery runs over the p2p exchange (a join-mode retry "
                     "would re-enter collectives the coupler has already completed)"
+                )
+        if self.coupling not in ("explicit", "implicit"):
+            raise ReproError(
+                f"coupling must be 'explicit' or 'implicit', got {self.coupling!r}"
+            )
+        for kind, m in self.subcycle.items():
+            if kind not in MODEL_KINDS:
+                raise ReproError(f"subcycle: unknown component kind {kind!r}")
+            if m < 1:
+                raise ReproError(f"subcycle[{kind!r}] must be >= 1, got {m}")
+        if self.subcycle and self.checkpoint_every > 0:
+            raise ReproError(
+                "sub-cycling does not combine with periodic checkpoints (the "
+                "model's substep counter and the coupling-step counter differ)"
+            )
+        if self.coupling == "implicit":
+            if self.coupling_solver not in ("gauss_seidel", "aitken", "iqn_ils"):
+                raise ReproError(
+                    "coupling_solver must be 'gauss_seidel', 'aitken', or "
+                    f"'iqn_ils', got {self.coupling_solver!r}"
+                )
+            if self.coupling_predictor not in (None, "constant", "linear", "quadratic"):
+                raise ReproError(
+                    f"unknown coupling_predictor {self.coupling_predictor!r}"
+                )
+            if self.coupling_tol <= 0:
+                raise ReproError(f"coupling_tol must be positive, got {self.coupling_tol}")
+            if self.max_coupling_iterations < 1:
+                raise ReproError(
+                    f"max_coupling_iterations must be >= 1, got "
+                    f"{self.max_coupling_iterations}"
+                )
+            if self.coupler_mode == "parallel":
+                raise ReproError("implicit coupling runs the serial coupler")
+            if self.crash_at is not None:
+                raise ReproError(
+                    "crash_at recovery is explicit-only (an implicit retry would "
+                    "re-enter the iteration the coupler already completed)"
+                )
+            if self.procs.get("coupler", 1) != 1:
+                raise ReproError(
+                    "implicit coupling needs a single-process coupler "
+                    "(the iteration control is serial)"
                 )
 
     # -- accessors -----------------------------------------------------------
@@ -278,7 +342,16 @@ class ComponentRunner:
 
     def receive_and_step(self, step: int) -> None:
         """Phase 2: receive the coupling flux and advance one step (zero
-        flux when running stand-alone)."""
+        flux when running stand-alone).
+
+        Under implicit coupling this phase is a command loop instead: the
+        coupler sends ``("iterate", flux)`` trial exchanges, each evaluated
+        from the step-start snapshot, until it converges and sends
+        ``("commit", flux)``.
+        """
+        if self.cfg.coupling == "implicit" and not self.standalone:
+            self._iterate_and_step(step)
+            return
         if self._crash_pending and self.cfg.crash_at == (self.kind, step):
             self._crash_pending = False  # fire once; the retry proceeds
             raise ComponentCrash(
@@ -311,13 +384,65 @@ class ComponentRunner:
             # Fluxes up to the saved step are baked into the checkpoint.
             self._flux_log = [e for e in self._flux_log if e[0] >= self.model.steps_taken]
 
+    def _iterate_and_step(self, step: int) -> None:
+        """The implicit command loop: trial-evaluate from the step-start
+        snapshot until the coupler commits the converged exchange."""
+        snapshot = self.model.state_snapshot()
+        while True:
+            cmd, local_flux = self._receive_command(step)
+            self.model.state_restore(snapshot)
+            if cmd == "iterate":
+                self._substep(local_flux)
+                self.publish(step)
+            elif cmd == "commit":
+                self._advance(step, local_flux)
+                if (
+                    self.cfg.checkpoint_every > 0
+                    and self.model.steps_taken % self.cfg.checkpoint_every == 0
+                ):
+                    from repro.climate import checkpoint
+
+                    checkpoint.save(self.model, self.cfg.checkpoint_dir, self.name)
+                    self._flux_log = [
+                        e for e in self._flux_log if e[0] >= self.model.steps_taken
+                    ]
+                return
+            else:
+                raise ReproError(f"{self.name}: unknown coupling command {cmd!r}")
+
+    def _receive_command(self, step: int) -> tuple[str, np.ndarray]:
+        """One coupler command plus this rank's flux block."""
+        if self._join is not None:
+            return self._join.scatter(None, root=self._cpl_root)
+        if self.comm.rank == 0:
+            got_step, (cmd, full) = self.mph.recv(
+                self.coupler_name, 0, FLUX_TAG_BASE + self.comp_id
+            )
+            if got_step != step:
+                raise ReproError(
+                    f"{self.name}: coupling protocol out of step "
+                    f"(expected {step}, got {got_step})"
+                )
+        else:
+            cmd, full = None, None
+        cmd = self.comm.bcast(cmd, root=0)
+        return cmd, _scatter_blocks(self.comm, self.cfg.grid(self.kind), full)
+
+    def _substep(self, local_flux: Optional[np.ndarray]) -> None:
+        """Advance one coupling step's worth of model time: *m* substeps
+        of ``dt/m`` under the same coupling flux (sub-cycling)."""
+        m = self.cfg.subcycle.get(self.kind, 1)
+        sub_dt = self.cfg.dt / m
+        for _ in range(m):
+            self.model.step(sub_dt, local_flux)
+
     def _advance(self, step: int, local_flux: Optional[np.ndarray]) -> None:
         """Apply one step's flux and book the histories and replay log."""
         if self.cfg.checkpoint_every > 0:
             self._flux_log.append(
                 (step, None if local_flux is None else np.array(local_flux))
             )
-        self.model.step(self.cfg.dt, local_flux)
+        self._substep(local_flux)
         self.mean_T.append(self.model.mean_temperature())
         self.energy.append(self.model.energy())
         if isinstance(self.model, SeaIceModel):
@@ -400,6 +525,48 @@ class CouplerRunner:
                 join = mph.comm_join(cfg.name(kind), self.name)
                 assert join is not None
                 self._joins[kind] = join
+        self._implicit = cfg.coupling == "implicit"
+        if self._implicit:
+            self._build_implicit()
+
+    def _build_implicit(self) -> None:
+        """Assemble the coupled solver, criterion, and predictor that
+        iterate each step's exchange (see :mod:`repro.coupling`)."""
+        from repro.coupling import (
+            AbsoluteNorm,
+            AitkenSolver,
+            ConstantPredictor,
+            GaussSeidelSolver,
+            InterfaceSpec,
+            IQNILSSolver,
+            LinearPredictor,
+            QuadraticPredictor,
+        )
+
+        cfg = self.cfg
+        #: The iterate: every active component's temperature field, packed.
+        self._spec = InterfaceSpec([(k, cfg.shapes[k]) for k in self.active_kinds])
+        criterion = AbsoluteNorm(cfg.coupling_tol)
+        kw = dict(max_iterations=cfg.max_coupling_iterations)
+        if cfg.coupling_solver == "gauss_seidel":
+            self._solver = GaussSeidelSolver(criterion, omega=cfg.coupling_omega, **kw)
+        elif cfg.coupling_solver == "aitken":
+            self._solver = AitkenSolver(criterion, omega_initial=cfg.coupling_omega, **kw)
+        else:
+            self._solver = IQNILSSolver(criterion, omega_initial=cfg.coupling_omega, **kw)
+        self._solver.initialize()
+        pred_cls = {
+            None: None,
+            "constant": ConstantPredictor,
+            "linear": LinearPredictor,
+            "quadratic": QuadraticPredictor,
+        }[cfg.coupling_predictor]
+        self._predictor = pred_cls() if pred_cls is not None else None
+        if self._predictor is not None:
+            self._predictor.initialize()
+        #: Iterations and convergence flag of every implicit step.
+        self.coupling_iterations: list[int] = []
+        self.coupling_converged: list[bool] = []
 
     def _drop(self, kind: str) -> None:
         """Degrade the coupling after surface *kind*'s processes died."""
@@ -412,7 +579,9 @@ class CouplerRunner:
 
     def step(self, step: int) -> None:
         """One coupling step (between the components' two phases)."""
-        if self.cfg.exchange == "join":
+        if self._implicit:
+            self._step_implicit(step)
+        elif self.cfg.exchange == "join":
             self._step_join(step)
         elif self.cfg.coupler_mode == "parallel" and self.comm.size > 1:
             self._step_p2p_parallel(step)
@@ -535,9 +704,103 @@ class CouplerRunner:
                 ] + [None] * self.comm.size
             join.scatter(pieces, root=root)
 
+    # -- implicit coupling ------------------------------------------------------
+
+    def _step_implicit(self, step: int) -> None:
+        """Iterate this step's exchange to interface convergence.
+
+        The fixed-point unknown is the packed vector of every component's
+        temperature *after* the step; each solver iteration computes trial
+        fluxes from the current iterate, has every component re-advance
+        from its step-start snapshot under them, and collects the resulting
+        temperatures.  On convergence the committed fluxes are the ones
+        computed from the converged temperatures — the backward-coupled
+        exchange the explicit coupler only approximates.
+        """
+        x = self._spec.pack(self._collect_temps(step))  # step-start state
+        self._solver.initialize_solution_step()
+        if self._predictor is not None:
+            self._predictor.initialize_solution_step()
+            guess = self._predictor.predict()
+            if guess is not None:
+                x = guess
+
+        def operate(xk: np.ndarray) -> np.ndarray:
+            fluxes = self._fluxes_of(self._spec.unpack(xk), record=False)
+            self._send_command(step, "iterate", fluxes)
+            return self._spec.pack(self._collect_temps(step))
+
+        result = self._solver.solve_solution_step(x, operate, self._spec)
+        fluxes = self._fluxes_of(self._spec.unpack(result.x), record=True)
+        self._send_command(step, "commit", fluxes)
+        if self._predictor is not None:
+            self._predictor.update(result.x)
+            self._predictor.finalize_solution_step()
+        self._solver.finalize_solution_step()
+        self.coupling_iterations.append(result.iterations)
+        self.coupling_converged.append(result.converged)
+
+    def _collect_temps(self, step: int) -> dict[str, np.ndarray]:
+        """Every component's published temperature (serial coupler)."""
+        temps: dict[str, np.ndarray] = {}
+        if self.cfg.exchange == "join":
+            for kind in self.active_kinds:
+                join = self._joins[kind]
+                blocks = join.gather(None, root=self._comp_size(kind))
+                assert blocks is not None
+                temps[kind] = np.concatenate(
+                    [b for b in blocks if b is not None], axis=0
+                )
+            return temps
+        for kind in self.active_kinds:
+            name = self.cfg.name(kind)
+            comp_id = self.mph.layout.component(name).comp_id
+            got_name, got_step, full = self.mph.recv(name, 0, TEMP_TAG_BASE + comp_id)
+            if got_name != name or got_step != step:
+                raise ReproError(
+                    f"coupler protocol out of step: expected ({name}, {step}), got "
+                    f"({got_name}, {got_step})"
+                )
+            temps[kind] = full
+        return temps
+
+    def _fluxes_of(
+        self, temps: dict[str, np.ndarray], record: bool
+    ) -> dict[str, np.ndarray]:
+        atm_flux, sfc_fluxes = self.engine.compute_fluxes(
+            temps["atmosphere"],
+            {k: v for k, v in temps.items() if k != "atmosphere"},
+            record=record,
+        )
+        out = {"atmosphere": atm_flux}
+        out.update(sfc_fluxes)
+        return out
+
+    def _send_command(
+        self, step: int, cmd: str, fluxes: dict[str, np.ndarray]
+    ) -> None:
+        """Hand every component a command plus its flux."""
+        for kind in self.active_kinds:
+            if self.cfg.exchange == "join":
+                join = self._joins[kind]
+                size = self._comp_size(kind)
+                decomp = Decomposition(self.cfg.grid(kind), size)
+                full = fluxes[kind]
+                pieces = [
+                    (cmd, full[decomp.rows(r)[0] : decomp.rows(r)[1]])
+                    for r in range(size)
+                ] + [None] * self.comm.size
+                join.scatter(pieces, root=size)
+            else:
+                name = self.cfg.name(kind)
+                comp_id = self.mph.layout.component(name).comp_id
+                self.mph.send(
+                    (step, (cmd, fluxes[kind])), name, 0, FLUX_TAG_BASE + comp_id
+                )
+
     def diagnostics(self) -> dict[str, Any]:
         """Coupler-side diagnostics: the exchange-balance audit."""
-        return {
+        out = {
             "kind": "coupler",
             "name": self.name,
             "size": self.comm.size,
@@ -545,6 +808,11 @@ class CouplerRunner:
             "max_exchange_residual": self.engine.max_residual(),
             "dropped_components": list(self.dropped_components),
         }
+        if self._implicit:
+            out["coupling_solver"] = self.cfg.coupling_solver
+            out["coupling_iterations"] = list(self.coupling_iterations)
+            out["coupling_converged"] = list(self.coupling_converged)
+        return out
 
 
 def _scatter_blocks(comm: Comm, grid: LatLonGrid, full: Optional[np.ndarray]) -> np.ndarray:
@@ -722,6 +990,11 @@ def run_ccsm(mode: str, cfg: Optional[CCSMConfig] = None, **job_kwargs) -> dict[
     ['atmosphere', 'coupler', 'ice', 'land', 'ocean']
     """
     cfg = cfg or CCSMConfig()
+    if cfg.coupling == "implicit" and mode == "mcme_overlap":
+        raise ReproError(
+            "implicit coupling needs each process to host at most one component; "
+            "mcme_overlap time-shares atmosphere and land on the same processors"
+        )
     if mode == "scse":
         # Stand-alone component: no coupler, pure single-component run.
         cfg = replace(cfg)  # do not mutate the caller's config

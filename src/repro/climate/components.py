@@ -215,6 +215,40 @@ class ComponentModel:
         self.current_time += dt
         return diag
 
+    # -- snapshot / restore (implicit coupling) ---------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Capture the restartable model state (local block).
+
+        The implicit coupling loop evaluates trial steps repeatedly from
+        the same step-start state; :meth:`state_restore` rewinds to a
+        snapshot bitwise (temperature, clock, step count, energy budget).
+        """
+        return {
+            "temperature": self.temperature.data.copy(),
+            "current_time": self.current_time,
+            "steps_taken": self.steps_taken,
+            "budget": StepDiagnostics(
+                solar_in=self.budget.solar_in,
+                olr_out=self.budget.olr_out,
+                coupling_in=self.budget.coupling_in,
+                diffusion_residual=self.budget.diffusion_residual,
+            ),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Rewind to a :meth:`state_snapshot` (bitwise)."""
+        self.temperature.data = snapshot["temperature"].copy()
+        self.current_time = snapshot["current_time"]
+        self.steps_taken = snapshot["steps_taken"]
+        b = snapshot["budget"]
+        self.budget = StepDiagnostics(
+            solar_in=b.solar_in,
+            olr_out=b.olr_out,
+            coupling_in=b.coupling_in,
+            diffusion_residual=b.diffusion_residual,
+        )
+
     # -- diagnostics ------------------------------------------------------------
 
     def mean_temperature(self) -> float:
@@ -340,6 +374,15 @@ class SeaIceModel(ComponentModel):
             None,
         )
         return diag
+
+    def state_snapshot(self) -> dict:
+        snap = super().state_snapshot()
+        snap["thickness"] = self.thickness.copy()
+        return snap
+
+    def state_restore(self, snapshot: dict) -> None:
+        super().state_restore(snapshot)
+        self.thickness = snapshot["thickness"].copy()
 
     def mean_thickness(self) -> float:
         """Area-weighted mean ice thickness [m]."""

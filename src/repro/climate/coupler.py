@@ -125,7 +125,10 @@ class FluxCoupler:
         del self._from_atm[kind]
 
     def compute_fluxes(
-        self, atm_temp: np.ndarray, surface_temps: dict[str, np.ndarray]
+        self,
+        atm_temp: np.ndarray,
+        surface_temps: dict[str, np.ndarray],
+        record: bool = True,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         """One coupling step's flux computation.
 
@@ -135,6 +138,10 @@ class FluxCoupler:
             Full atmosphere temperature on the atmosphere grid.
         surface_temps :
             ``kind -> full temperature`` on each surface's own grid.
+        record :
+            Book the exchange imbalance into :attr:`exchange_residual`.
+            The implicit coupler evaluates trial fluxes many times per
+            step and records only the committed one.
 
         Returns
         -------
@@ -163,7 +170,8 @@ class FluxCoupler:
             surface_fluxes[kind] = sfc_flux
             balance += grid.area_integral(sfc_flux)
         balance += self.atm_grid.area_integral(atm_flux)
-        self.exchange_residual.append(balance)
+        if record:
+            self.exchange_residual.append(balance)
         return atm_flux, surface_fluxes
 
     def compute_fluxes_band(

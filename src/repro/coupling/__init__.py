@@ -1,0 +1,84 @@
+"""Coupling algorithms on top of MPH (:mod:`repro.coupling`).
+
+The MPH paper's coupler exchanges fixed fluxes once per step (explicit
+coupling); this package supplies what tightly coupled multi-physics needs
+on the same infrastructure: implicit coupled solvers (Gauss-Seidel,
+Jacobi, Aitken, IQN-ILS), composable convergence criteria, interface
+predictors, and non-conformal interface mappers — each a
+:class:`~repro.coupling.component.Component` with the same lifecycle, and
+a driver/participant protocol that runs them over ``MPH_comm_join``
+communicators on any execution backend.
+"""
+
+from repro.coupling.component import Component
+from repro.coupling.criteria import (
+    AbsoluteNorm,
+    And,
+    ConvergenceCriterion,
+    IterationBound,
+    Or,
+    RelativeNorm,
+)
+from repro.coupling.driver import (
+    CouplingDriver,
+    LinearParticipant,
+    Participant,
+    ParticipantModel,
+    serve_participant,
+)
+from repro.coupling.interface import InterfaceSpec, join_specs
+from repro.coupling.mappers import (
+    ConservativeGridMapper,
+    LinearMapper,
+    Mapper,
+    NearestNeighbourMapper,
+)
+from repro.coupling.predictors import (
+    ConstantPredictor,
+    LinearPredictor,
+    Predictor,
+    QuadraticPredictor,
+)
+from repro.coupling.solvers import (
+    AitkenSolver,
+    CoupledSolver,
+    GaussSeidelSolver,
+    IQNILSSolver,
+    JacobiSolver,
+    SolveResult,
+    compose_operators,
+    joint_operator,
+)
+
+__all__ = [
+    "Component",
+    "ConvergenceCriterion",
+    "AbsoluteNorm",
+    "RelativeNorm",
+    "IterationBound",
+    "And",
+    "Or",
+    "InterfaceSpec",
+    "join_specs",
+    "Predictor",
+    "ConstantPredictor",
+    "LinearPredictor",
+    "QuadraticPredictor",
+    "Mapper",
+    "NearestNeighbourMapper",
+    "LinearMapper",
+    "ConservativeGridMapper",
+    "CoupledSolver",
+    "SolveResult",
+    "GaussSeidelSolver",
+    "JacobiSolver",
+    "AitkenSolver",
+    "IQNILSSolver",
+    "compose_operators",
+    "joint_operator",
+    "CouplingDriver",
+    "Participant",
+    "ParticipantModel",
+    "LinearParticipant",
+    "serve_participant",
+]

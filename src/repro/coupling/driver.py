@@ -1,0 +1,494 @@
+"""The coupling driver: solvers running over ``MPH_comm_join``.
+
+The coupler executable owns the iteration; every participant executable
+runs a small command server (:func:`serve_participant`).  Between them sits
+one joint communicator per participant (``MPH_comm_join(participant,
+coupler)``), and the whole protocol is five broadcast commands:
+
+========  ==============================================================
+command   meaning
+========  ==============================================================
+begin     a coupling step opens; snapshot your state
+eval      here is your interface input — run a trial solve (sub-cycling
+          and all) from the snapshot, gather your interface output back
+commit    the step converged on your last trial; make it permanent
+shrink    a peer died — shrink the world and rejoin
+close     the coupled run is over
+========  ==============================================================
+
+Because commands and data move only over join communicators and component
+collectives, the driver runs unchanged on the thread, process, and
+process+shm backends — the transport underneath is MPH's problem.
+
+Fault handling (``allow_partial=True``): when a participant dies
+mid-iteration the coupler revokes the failed join and the global world,
+commands the healthy joins to *shrink*, and everyone rebuilds over the
+survivors via :meth:`~repro.core.mph.MPH.shrink_world`.  The dead
+participant's interface is frozen at its last evaluated output and the
+iteration restarts within the same step — degraded, but no survivor
+hangs.  With ``allow_partial=False`` the coupler revokes everything and
+re-raises, so every survivor fails fast instead of hanging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coupling.component import Component
+from repro.coupling.interface import InterfaceSpec, join_specs
+from repro.coupling.mappers import Mapper
+from repro.coupling.predictors import Predictor
+from repro.coupling.solvers import CoupledSolver, SolveResult
+from repro.errors import CouplingError, ProcessFailedError, RevokedError
+
+CMD_BEGIN = "begin"
+CMD_EVAL = "eval"
+CMD_COMMIT = "commit"
+CMD_SHRINK = "shrink"
+CMD_CLOSE = "close"
+
+
+# -- participant side --------------------------------------------------------------
+
+
+class ParticipantModel:
+    """What a participant executable plugs into :func:`serve_participant`.
+
+    The driver may evaluate a step many times before committing it, so
+    :meth:`evaluate` must always run from the state captured by the last
+    :meth:`begin_step` (snapshot/restore semantics); ``begin_step`` may be
+    re-issued for the same step after a fault recovery and must be
+    idempotent.
+    """
+
+    def begin_step(self, step: int) -> None:
+        """A coupling step opens: snapshot the restartable state."""
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """One trial solve from the snapshot with interface input *x*;
+        returns this rank's block of the interface output."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """The last trial converged: make it the permanent state."""
+
+    def close(self) -> None:
+        """The coupled run is over."""
+
+
+class LinearParticipant(ParticipantModel):
+    """An affine interface operator ``y = A x + b`` — the workhorse of the
+    conformance and property suites (linear problems have known spectral
+    radii and exact quasi-Newton behaviour).
+
+    Multi-rank participants pass *rows* (this rank's slice of the output);
+    the coupler concatenates the gathered blocks in rank order.
+    """
+
+    def __init__(self, matrix, offset=None, rows: Optional[slice] = None):
+        self.matrix = np.asarray(matrix, dtype=float)
+        self.offset = (
+            np.zeros(self.matrix.shape[0])
+            if offset is None
+            else np.asarray(offset, dtype=float)
+        )
+        self.rows = rows
+        self.evaluations = 0
+        self.steps_committed = 0
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        self.evaluations += 1
+        y = self.matrix @ x + self.offset
+        return y if self.rows is None else y[self.rows]
+
+    def commit(self) -> None:
+        self.steps_committed += 1
+
+
+def serve_participant(
+    mph,
+    model: ParticipantModel,
+    participant: Optional[str] = None,
+    coupler: str = "coupler",
+    allow_partial: bool = False,
+) -> Dict[str, Any]:
+    """Run a participant's command loop until the coupler closes it.
+
+    Collective over the participant's component.  Returns a small summary
+    dict (``steps``, ``evaluations``, ``degraded``) for assertions.
+    """
+    name = participant or mph.comp_name()
+    join = mph.comm_join(name, coupler)
+    root = mph.component_size(name)  # coupler local 0's join rank
+    steps = evaluations = degraded = 0
+    while True:
+        try:
+            cmd, step, payload = join.bcast(None, root=root)
+        except (ProcessFailedError, RevokedError):
+            if not allow_partial:
+                raise
+            mph, join, root = _participant_shrink(mph, name, coupler)
+            degraded += 1
+            continue
+        if cmd == CMD_BEGIN:
+            model.begin_step(step)
+        elif cmd == CMD_EVAL:
+            y = model.evaluate(np.asarray(payload, dtype=float))
+            evaluations += 1
+            join.gather(np.asarray(y, dtype=float), root=root)
+        elif cmd == CMD_COMMIT:
+            model.commit()
+            steps += 1
+        elif cmd == CMD_SHRINK:
+            mph, join, root = _participant_shrink(mph, name, coupler)
+            degraded += 1
+        elif cmd == CMD_CLOSE:
+            model.close()
+            break
+        else:  # pragma: no cover - protocol corruption
+            raise CouplingError(f"participant {name!r}: unknown command {cmd!r}")
+    return {
+        "component": name,
+        "steps": steps,
+        "evaluations": evaluations,
+        "degraded": degraded,
+    }
+
+
+def _participant_shrink(mph, name: str, coupler: str):
+    """Rebuild this participant's world view and join after a failure."""
+    mph2 = mph.shrink_world()
+    if coupler in mph2.dead_components:
+        raise CouplingError(f"participant {name!r}: coupler {coupler!r} died")
+    join = mph2.comm_join(name, coupler)
+    return mph2, join, mph2.component_size(name)
+
+
+# -- coupler side ------------------------------------------------------------------
+
+
+@dataclass
+class Participant:
+    """Coupler-side declaration of one participant.
+
+    *spec* is the participant's **input** interface; *to_next* maps its
+    output onto the next participant's input discretization (``None`` when
+    the two sides are conformal).  Participants couple in a ring: the
+    output of each is the (mapped) input of the next, which for the common
+    two-participant case is the usual cross exchange.
+    """
+
+    name: str
+    spec: InterfaceSpec
+    to_next: Optional[Mapper] = None
+
+
+class _Proxy:
+    """Coupler-side handle for one participant's join."""
+
+    def __init__(self, decl: Participant):
+        self.name = decl.name
+        self.spec = decl.spec
+        self.to_next = decl.to_next
+        self.join = None
+        self.size = 0
+        self.frozen = False
+        self.failed = False
+        self.last_output: Optional[np.ndarray] = None
+
+    def bind(self, mph, coupler: str) -> None:
+        self.join = mph.comm_join(self.name, coupler)
+        self.size = mph.component_size(self.name)
+
+    @property
+    def root(self) -> int:
+        return self.size  # coupler local rank 0 sits just after the participant
+
+    @property
+    def live(self) -> bool:
+        return self.join is not None and not self.frozen
+
+
+class CouplingDriver(Component):
+    """The coupler's side of the protocol: one coupled solver driven over
+    the participants' join communicators.
+
+    Collective over the coupler component (every coupler rank constructs
+    the driver and calls the same methods; evaluation results are
+    broadcast over the coupler's communicator so all ranks run the
+    identical iteration).
+
+    The iterate is the first participant's input vector in ``sequential``
+    solver mode (participants evaluated in ring order within an
+    iteration), or the concatenation of every participant's input in
+    ``parallel`` mode (one concurrent evaluation wave per iteration, the
+    Jacobi shape).
+    """
+
+    def __init__(
+        self,
+        mph,
+        solver: CoupledSolver,
+        participants: Sequence[Participant],
+        predictor: Optional[Predictor] = None,
+        coupler: Optional[str] = None,
+        allow_partial: bool = False,
+    ):
+        super().__init__()
+        if not participants:
+            raise CouplingError("CouplingDriver needs at least one participant")
+        self.mph = mph
+        self.solver = solver
+        self.predictor = predictor
+        self.allow_partial = bool(allow_partial)
+        self.coupler_name = coupler or mph.comp_name()
+        self._cpl_comm = mph.component_comm(self.coupler_name)
+        self._is_root = self._cpl_comm.rank == 0
+        self._proxies = [_Proxy(decl) for decl in participants]
+        for proxy in self._proxies:
+            proxy.bind(mph, self.coupler_name)
+        if solver.mode == "parallel":
+            self.iterate_spec = join_specs(*(p.spec for p in self._proxies))
+        else:
+            self.iterate_spec = self._proxies[0].spec
+        self._step = -1
+        self._last_converged: Optional[np.ndarray] = None
+        #: ``dead_components`` tuple of every shrink survived (diagnostic).
+        self.degraded_events: List[tuple] = []
+
+    # -- lifecycle cascades over solver / predictor / mappers -------------------
+
+    def _children(self) -> List[Component]:
+        kids: List[Component] = [self.solver]
+        if self.predictor is not None:
+            kids.append(self.predictor)
+        kids.extend(p.to_next for p in self._proxies if p.to_next is not None)
+        return kids
+
+    def initialize(self) -> None:
+        super().initialize()
+        for c in self._children():
+            c.initialize()
+
+    def initialize_solution_step(self) -> None:
+        super().initialize_solution_step()
+        for c in self._children():
+            c.initialize_solution_step()
+
+    def finalize_solution_step(self) -> None:
+        super().finalize_solution_step()
+        for c in self._children():
+            c.finalize_solution_step()
+
+    def finalize(self) -> None:
+        super().finalize()
+        for c in self._children():
+            c.finalize()
+
+    # -- the coupled run --------------------------------------------------------
+
+    def solve_time_step(self, x0: Optional[np.ndarray] = None) -> SolveResult:
+        """Run one implicit coupling step to interface convergence.
+
+        The initial iterate is *x0* if given, else the predictor's
+        extrapolation, else the previous step's converged vector, else
+        zeros.  Returns the solver's :class:`SolveResult`.
+        """
+        self.initialize_solution_step()
+        self._step += 1
+        self._broadcast_live(CMD_BEGIN)
+        guess = x0
+        if guess is None and self.predictor is not None:
+            guess = self.predictor.predict()
+        if guess is None:
+            guess = self._last_converged
+        if guess is None:
+            guess = self.iterate_spec.zeros()
+        guess = np.asarray(guess, dtype=float)
+        if guess.shape != (self.iterate_spec.size,):
+            raise CouplingError(
+                f"initial iterate shape {guess.shape} != ({self.iterate_spec.size},)"
+            )
+        while True:
+            try:
+                result = self.solver.solve_solution_step(
+                    guess, self._operate, self.iterate_spec
+                )
+                break
+            except (ProcessFailedError, RevokedError):
+                if not self.allow_partial:
+                    self._abort()
+                    raise
+                self._degrade()
+        self._broadcast_live(CMD_COMMIT)
+        if self.predictor is not None:
+            self.predictor.update(result.x)
+        self._last_converged = np.array(result.x)
+        self.finalize_solution_step()
+        return result
+
+    def solve(self, n_steps: int) -> List[SolveResult]:
+        """Drive *n_steps* coupling steps (the whole-run convenience)."""
+        return [self.solve_time_step() for _ in range(n_steps)]
+
+    def close(self) -> None:
+        """Release every participant's command loop and finalize.
+
+        Safe to call after a step aborted with an error: an in-flight
+        coupling step is abandoned first so teardown always succeeds and
+        the participants' command loops are released.
+        """
+        if self._in_step:
+            self.finalize_solution_step()
+        self._broadcast_live(CMD_CLOSE)
+        self.finalize()
+
+    # -- the operator the solver iterates ---------------------------------------
+
+    def _operate(self, x: np.ndarray) -> np.ndarray:
+        if self.solver.mode == "parallel":
+            return self._operate_parallel(x)
+        v = np.asarray(x, dtype=float)
+        n = len(self._proxies)
+        for i, proxy in enumerate(self._proxies):
+            y = self._evaluate(proxy, v)
+            v = self._map(proxy, y, self._proxies[(i + 1) % n])
+        return v
+
+    def _operate_parallel(self, z: np.ndarray) -> np.ndarray:
+        proxies = self._proxies
+        n = len(proxies)
+        offsets = np.cumsum([0] + [p.spec.size for p in proxies])
+        xs = [z[offsets[i] : offsets[i + 1]] for i in range(n)]
+        # Post every evaluation before collecting any: the participants
+        # compute concurrently (the Jacobi wave).
+        for proxy, x in zip(proxies, xs):
+            if proxy.live:
+                self._post_eval(proxy, x)
+        outs = [
+            self._frozen_output(p) if not p.live else self._collect_eval(p)
+            for p in proxies
+        ]
+        new_inputs: List[Optional[np.ndarray]] = [None] * n
+        for i, proxy in enumerate(proxies):
+            new_inputs[(i + 1) % n] = self._map(proxy, outs[i], proxies[(i + 1) % n])
+        return np.concatenate(new_inputs)
+
+    def _evaluate(self, proxy: _Proxy, x: np.ndarray) -> np.ndarray:
+        if not proxy.live:
+            return self._frozen_output(proxy)
+        self._post_eval(proxy, x)
+        return self._collect_eval(proxy)
+
+    def _post_eval(self, proxy: _Proxy, x: np.ndarray) -> None:
+        if x.shape != (proxy.spec.size,):
+            raise CouplingError(
+                f"participant {proxy.name!r}: input shape {x.shape} != "
+                f"({proxy.spec.size},)"
+            )
+        self._command(proxy, CMD_EVAL, x)
+
+    def _collect_eval(self, proxy: _Proxy) -> np.ndarray:
+        try:
+            parts = proxy.join.gather(None, root=proxy.root)
+        except (ProcessFailedError, RevokedError):
+            proxy.failed = True
+            raise
+        if self._is_root:
+            y = np.concatenate(
+                [np.asarray(p, dtype=float).ravel() for p in parts[: proxy.size]]
+            )
+        else:
+            y = None
+        if self._cpl_comm.size > 1:
+            y = self._cpl_comm.bcast(y, root=0)
+        proxy.last_output = y
+        return y
+
+    def _frozen_output(self, proxy: _Proxy) -> np.ndarray:
+        if proxy.last_output is None:
+            raise CouplingError(
+                f"participant {proxy.name!r} died before producing any interface "
+                "data; nothing to freeze"
+            )
+        return proxy.last_output
+
+    def _map(self, proxy: _Proxy, y: np.ndarray, nxt: _Proxy) -> np.ndarray:
+        out = proxy.to_next(y) if proxy.to_next is not None else y
+        if out.shape != (nxt.spec.size,):
+            raise CouplingError(
+                f"participant {proxy.name!r} output maps to shape {out.shape}, "
+                f"but {nxt.name!r} expects ({nxt.spec.size},)"
+            )
+        return out
+
+    # -- protocol plumbing ------------------------------------------------------
+
+    def _command(self, proxy: _Proxy, cmd: str, payload: Any = None) -> None:
+        obj = (cmd, self._step, payload) if self._is_root else None
+        try:
+            proxy.join.bcast(obj, root=proxy.root)
+        except (ProcessFailedError, RevokedError):
+            proxy.failed = True
+            raise
+
+    def _broadcast_live(self, cmd: str) -> None:
+        for proxy in self._proxies:
+            if proxy.live:
+                self._command(proxy, cmd)
+
+    # -- fault handling ---------------------------------------------------------
+
+    def _abort(self) -> None:
+        """Fail fast: revoke everything so no survivor hangs in a
+        collective waiting for commands that will never come."""
+        for proxy in self._proxies:
+            if proxy.join is not None:
+                try:
+                    proxy.join.revoke()
+                except Exception:  # pragma: no cover - already torn down
+                    pass
+        try:
+            self.mph.global_world.revoke()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+
+    def _degrade(self) -> None:
+        """Shrink the world around a dead participant and restart the
+        interrupted coupling iteration with the survivors."""
+        self.mph.global_world.revoke()
+        for proxy in self._proxies:
+            if not proxy.live:
+                continue
+            if proxy.failed:
+                proxy.join.revoke()  # wake its surviving ranks, if any
+            else:
+                self._command(proxy, CMD_SHRINK)
+        mph2 = self.mph.shrink_world()
+        self.mph = mph2
+        self.degraded_events.append(tuple(mph2.dead_components))
+        self._cpl_comm = mph2.component_comm(self.coupler_name)
+        for proxy in self._proxies:
+            if not proxy.live:
+                continue
+            old_size = proxy.size
+            if proxy.name in mph2.dead_components:
+                proxy.frozen = True
+                proxy.join = None
+                proxy.failed = False
+                continue
+            proxy.bind(mph2, self.coupler_name)
+            if proxy.size < old_size or proxy.failed:
+                # Partial rank loss: the state is suspect — freeze the
+                # interface and release the survivors.
+                self._command(proxy, CMD_CLOSE)
+                proxy.frozen = True
+                proxy.join = None
+            proxy.failed = False
+        # Restart the interrupted iteration on a clean criterion.
+        self.solver.finalize_solution_step()
+        self.solver.initialize_solution_step()
+        self._broadcast_live(CMD_BEGIN)

@@ -156,3 +156,10 @@ class SessionError(MPHError):
     process-set name, a non-member deriving a pset communicator, growing
     beyond the reserve pool, or a parked process calling an active-only
     collective."""
+
+
+class CouplingError(MPHError):
+    """Misuse of the coupling-algorithms layer (:mod:`repro.coupling`):
+    mismatched interface specs, a solver driven outside its lifecycle,
+    a coupling loop that exhausted its iteration budget with
+    ``strict=True``, or mappers between incompatible discretizations."""

@@ -270,6 +270,38 @@ def _bind_process(fn: Callable, env: JobEnv) -> Callable:
     return entry
 
 
+#: Program name under which ``mphrun --pool N`` registers its reserve
+#: ranks (never resolved against the user's ``--programs`` registry).
+POOL_PROGRAM = "__pool__"
+
+
+def reserve_pool_program(world, env) -> dict:
+    """Entry point of an ``mphrun --pool N`` reserve rank.
+
+    Joins the init exchange as a reserve process
+    (:func:`repro.core.session.pool_session`) and parks in
+    :meth:`~repro.core.session.Session.await_assignment` until an elastic
+    ``grow`` admits it into a component or ``release_pool`` dismisses it.
+    Returns a summary dict so launcher results can tell the two fates
+    apart: ``{"pool": "released"}`` for a dismissal, or ``{"pool":
+    "assigned", "components": ..., "exe_id": ..., "epoch": ...}`` after
+    admission (the admitted process simply reports its assignment; what
+    it does next is up to the job's active components).
+    """
+    from repro.core.session import pool_session
+
+    session = pool_session(world, registry=env.registry, env=env)
+    assignment = session.await_assignment()
+    if assignment is None:
+        return {"pool": "released"}
+    return {
+        "pool": "assigned",
+        "components": list(assignment.components),
+        "exe_id": assignment.exe_id,
+        "epoch": assignment.epoch,
+    }
+
+
 def mph_run(
     executables: Sequence[ExecutableLike],
     registry: Any = None,

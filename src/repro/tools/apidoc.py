@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.launcher",
     "repro.core",
     "repro.grid",
+    "repro.coupling",
     "repro.climate",
     "repro.baselines",
     "repro.tools",

@@ -47,14 +47,19 @@ def _resolve(meta: dict):
     """Build the rank entry point from the welcome metadata."""
     from repro.tools.mphrun import _load_programs
 
-    programs = _load_programs(meta["programs"])
     name = meta["program"]
-    if name not in programs:
-        raise KeyError(
-            f"program {name!r} not found in {meta['programs']!r} "
-            f"(has: {sorted(programs)})"
-        )
-    fn = programs[name]
+    if meta.get("pool"):
+        # --pool reserve rank: runs the built-in parking program, never a
+        # registry lookup (POOL_PROGRAM is not a user program name).
+        from repro.launcher.job import reserve_pool_program as fn
+    else:
+        programs = _load_programs(meta["programs"])
+        if name not in programs:
+            raise KeyError(
+                f"program {name!r} not found in {meta['programs']!r} "
+                f"(has: {sorted(programs)})"
+            )
+        fn = programs[name]
     workdir = meta.get("workdir")
     env = JobEnv(
         program=name,

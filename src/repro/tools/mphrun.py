@@ -27,8 +27,8 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.errors import ReproError
-from repro.launcher.cmdfile import parse_mpirun_spec, parse_poe_cmdfile
-from repro.launcher.job import MpmdJob
+from repro.launcher.cmdfile import ExecutableSpec, parse_mpirun_spec, parse_poe_cmdfile
+from repro.launcher.job import POOL_PROGRAM, MpmdJob, reserve_pool_program
 from repro.launcher.smp import Machine
 
 
@@ -58,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--registry",
         type=Path,
         help="the MPH registration file (processors_map.in)",
+    )
+    parser.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        metavar="N",
+        help="launch N reserve-pool processes alongside the job; each "
+        "parks in await_assignment until a component grow() admits it "
+        "or release_pool() dismisses it (requires --registry)",
     )
     parser.add_argument(
         "--rank-policy",
@@ -193,6 +202,10 @@ def _run_exec_backend(specs, args) -> "JobResult":
                 "workdir": str(args.workdir) if args.workdir else None,
                 "registry": str(args.registry) if args.registry else None,
             }
+            if spec.program == POOL_PROGRAM:
+                # The child resolves this rank to the built-in reserve
+                # program instead of looking --programs up by name.
+                metas[world_rank]["pool"] = True
     # --nodes doubles as the transport topology: the same SMP node
     # count that validates placement also scopes which rank pairs the
     # shm/auto transports treat as same-node (rings) vs cross-node
@@ -224,6 +237,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             specs = parse_poe_cmdfile(args.cmdfile.read_text())
         else:
             specs = parse_mpirun_spec(args.spec)
+        if args.pool < 0:
+            raise ReproError(f"--pool expects a non-negative count, got {args.pool}")
+        if args.pool:
+            if args.registry is None:
+                raise ReproError(
+                    "--pool needs --registry: reserve processes join the "
+                    "MPH init exchange before parking"
+                )
+            if any(s.program == POOL_PROGRAM for s in specs):
+                raise ReproError(
+                    f"program name {POOL_PROGRAM!r} is reserved for --pool ranks"
+                )
+            specs = list(specs) + [ExecutableSpec(POOL_PROGRAM, args.pool)]
         if args.show_assignment:
             from repro.launcher.rankmap import assign_ranks
 
@@ -241,6 +267,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             result = _run_exec_backend(specs, args)
         else:
             programs = _load_programs(args.programs)
+            if args.pool:
+                programs = {**programs, POOL_PROGRAM: reserve_pool_program}
             machine = (
                 Machine.homogeneous(args.nodes, args.cpus_per_node)
                 if args.nodes

@@ -1,0 +1,217 @@
+"""Chaos: rank death mid-coupling-iteration.
+
+A participant crashing between ``eval`` and its gather must never hang
+the coupled job.  With ``allow_partial=False`` the coupler revokes
+everything and every survivor fails fast with the dead rank named; with
+``allow_partial=True`` the survivors shrink the world
+(:meth:`MPH.shrink_world`), freeze the dead interface at its last
+evaluated output, and finish the run degraded.
+
+Hang protection: every job runs under ``mph_run``'s wall-clock budget
+(the substrate's deadlock detector usually fires far earlier and names
+the blocked operation) — pytest-timeout is not available in this
+environment.  Crash points are seeded through the ``fault_seed`` sweep so
+CI covers several interruption points of the iteration.
+"""
+
+import numpy as np
+
+from repro import components_setup
+from repro.coupling import (
+    AbsoluteNorm,
+    CouplingDriver,
+    GaussSeidelSolver,
+    InterfaceSpec,
+    LinearParticipant,
+    Participant,
+    serve_participant,
+)
+from repro.errors import CouplingError, ProcessFailedError, RevokedError
+from repro.launcher.job import mph_run
+from repro.mpi import SimulatedCrash
+
+REG = "BEGIN\ncoupler\np1\np2\nEND"
+
+N = 4
+A1 = 0.5 * np.diag(np.linspace(1.0, 0.4, N))
+B1 = np.linspace(0.5, 1.0, N)
+A2 = np.diag(np.linspace(0.9, 0.6, N))
+B2 = np.full(N, 0.25)
+SPEC = [("u", (N,))]
+
+#: World ranks under block assignment of [(coupler,1), (p1,1), (p2,1)].
+P2_WORLD_RANK = 2
+
+
+class CrashingParticipant(LinearParticipant):
+    """Dies fail-stop on its *crash_at*-th evaluation (1-based)."""
+
+    def __init__(self, matrix, offset, crash_at):
+        super().__init__(matrix, offset)
+        self.crash_at = crash_at
+
+    def evaluate(self, x):
+        if self.evaluations + 1 == self.crash_at:
+            raise SimulatedCrash("participant died mid-iteration")
+        return super().evaluate(x)
+
+
+def make_driver(mph, allow_partial, max_iterations=60):
+    spec = InterfaceSpec(SPEC)
+    driver = CouplingDriver(
+        mph,
+        GaussSeidelSolver(AbsoluteNorm(1e-8), max_iterations=max_iterations),
+        [Participant("p1", spec), Participant("p2", spec)],
+        allow_partial=allow_partial,
+    )
+    driver.initialize()
+    return driver
+
+
+def p1_server(allow_partial):
+    def p1(world, env):
+        mph = components_setup(world, "p1", env=env)
+        try:
+            return serve_participant(
+                mph, LinearParticipant(A1, B1), allow_partial=allow_partial
+            )
+        except (ProcessFailedError, RevokedError):
+            return "aborted"
+
+    return p1
+
+
+def p2_crasher(crash_at, allow_partial=False):
+    def p2(world, env):
+        mph = components_setup(world, "p2", env=env)
+        return serve_participant(
+            mph, CrashingParticipant(A2, B2, crash_at), allow_partial=allow_partial
+        )
+
+    return p2
+
+
+class TestFailFast:
+    def test_crash_mid_iteration_names_dead_rank(self, fault_seed):
+        """allow_partial=False: the coupler surfaces ProcessFailedError
+        carrying the dead participant's world rank, the healthy
+        participant aborts instead of hanging, and the job finishes
+        within its budget — at every seeded crash point."""
+        crash_at = 2 + fault_seed  # sweep the interruption point
+
+        def coupler(world, env):
+            mph = components_setup(world, "coupler", env=env)
+            driver = make_driver(mph, allow_partial=False)
+            try:
+                driver.solve(2)
+            except ProcessFailedError as exc:
+                return ("failed", sorted(exc.failed_ranks))
+            except RevokedError:
+                return ("revoked", [])
+            return ("completed", [])
+
+        result = mph_run(
+            [(coupler, 1), (p1_server(False), 1), (p2_crasher(crash_at), 1)],
+            registry=REG,
+            timeout=60.0,
+        )
+        kind, ranks = result.by_executable(0)[0]
+        assert kind == "failed"
+        assert ranks == [P2_WORLD_RANK]
+        assert result.by_executable(1)[0] == "aborted"
+        assert isinstance(result.procs[P2_WORLD_RANK].exception, SimulatedCrash)
+
+
+class TestDegradedContinuation:
+    def test_allow_partial_shrinks_and_finishes(self, fault_seed):
+        """allow_partial=True: the world shrinks around the dead
+        participant, its interface freezes at the last evaluated output,
+        and the remaining coupling steps complete converged."""
+        crash_at = 3 + fault_seed
+
+        def coupler(world, env):
+            mph = components_setup(world, "coupler", env=env)
+            driver = make_driver(mph, allow_partial=True)
+            results = driver.solve(3)
+            driver.close()
+            return {
+                "converged": [r.converged for r in results],
+                "degraded_events": list(driver.degraded_events),
+                "survivor_mph": mph is not driver.mph,
+            }
+
+        result = mph_run(
+            [
+                (coupler, 1),
+                (p1_server(True), 1),
+                (p2_crasher(crash_at, allow_partial=True), 1),
+            ],
+            registry=REG,
+            timeout=60.0,
+        )
+        out = result.by_executable(0)[0]
+        assert out["converged"] == [True, True, True]
+        assert out["degraded_events"] == [("p2",)]
+        assert out["survivor_mph"]  # the driver rebuilt its MPH handle
+        p1_summary = result.by_executable(1)[0]
+        assert p1_summary["degraded"] == 1
+        assert p1_summary["steps"] == 3
+        assert isinstance(result.procs[P2_WORLD_RANK].exception, SimulatedCrash)
+
+    def test_frozen_interface_is_last_evaluated_output(self):
+        """After the shrink, the dead participant's contribution to the
+        fixed point is exactly its last gathered output — the degraded
+        operator is constant in that slot, so the survivors' converged
+        vector satisfies x = A1-path applied to the frozen value."""
+        crash_at = 4
+
+        def coupler(world, env):
+            mph = components_setup(world, "coupler", env=env)
+            driver = make_driver(mph, allow_partial=True)
+            results = driver.solve(2)
+            frozen = driver._proxies[1].last_output
+            driver.close()
+            return (results[-1].x, frozen)
+
+        result = mph_run(
+            [
+                (coupler, 1),
+                (p1_server(True), 1),
+                (p2_crasher(crash_at, allow_partial=True), 1),
+            ],
+            registry=REG,
+            timeout=60.0,
+        )
+        x_final, frozen = result.by_executable(0)[0]
+        # Ring: p2's frozen output is the iterate the solver converges on.
+        np.testing.assert_allclose(x_final, frozen, atol=1e-12)
+
+    def test_crash_before_any_output_is_clean_error(self):
+        """A participant that dies before producing any interface data
+        cannot be frozen: the coupler gets a CouplingError (not a hang),
+        and close() still releases the healthy participant."""
+
+        def coupler(world, env):
+            mph = components_setup(world, "coupler", env=env)
+            driver = make_driver(mph, allow_partial=True)
+            try:
+                driver.solve(1)
+            except CouplingError as exc:
+                driver.close()
+                return ("coupling-error", "nothing to freeze" in str(exc))
+            return ("completed", False)
+
+        result = mph_run(
+            [
+                (coupler, 1),
+                (p1_server(True), 1),
+                (p2_crasher(1, allow_partial=True), 1),
+            ],
+            registry=REG,
+            timeout=60.0,
+        )
+        kind, matched = result.by_executable(0)[0]
+        assert kind == "coupling-error" and matched
+        p1_summary = result.by_executable(1)[0]
+        assert p1_summary["degraded"] == 1
+        assert p1_summary["steps"] == 0

@@ -1,0 +1,58 @@
+"""The coupling-component lifecycle contract (repro.coupling.component)."""
+
+import pytest
+
+from repro.coupling import Component
+from repro.errors import CouplingError
+
+
+class TestLifecycleOrdering:
+    def test_happy_path(self):
+        c = Component()
+        c.initialize()
+        for expected in (0, 1, 2):
+            c.initialize_solution_step()
+            assert c.step_index == expected
+            c.finalize_solution_step()
+        c.finalize()
+
+    def test_double_initialize_rejected(self):
+        c = Component()
+        c.initialize()
+        with pytest.raises(CouplingError, match="twice"):
+            c.initialize()
+
+    def test_step_before_initialize_rejected(self):
+        with pytest.raises(CouplingError, match="before initialize"):
+            Component().initialize_solution_step()
+
+    def test_nested_step_rejected(self):
+        c = Component()
+        c.initialize()
+        c.initialize_solution_step()
+        with pytest.raises(CouplingError, match="still open"):
+            c.initialize_solution_step()
+
+    def test_close_without_open_rejected(self):
+        c = Component()
+        c.initialize()
+        with pytest.raises(CouplingError, match="without an open step"):
+            c.finalize_solution_step()
+
+    def test_finalize_inside_step_rejected(self):
+        c = Component()
+        c.initialize()
+        c.initialize_solution_step()
+        with pytest.raises(CouplingError, match="inside coupling step"):
+            c.finalize()
+
+    def test_reinitialize_after_finalize(self):
+        """finalize returns the component to its pre-initialize state, so
+        a driver can reuse it for a second coupled calculation."""
+        c = Component()
+        c.initialize()
+        c.finalize()
+        c.initialize()
+        c.initialize_solution_step()
+        c.finalize_solution_step()
+        c.finalize()

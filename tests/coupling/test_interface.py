@@ -1,0 +1,100 @@
+"""Interface field packing (repro.coupling.interface)."""
+
+import numpy as np
+import pytest
+
+from repro.coupling import InterfaceSpec, join_specs
+from repro.errors import CouplingError
+
+
+class TestInterfaceSpec:
+    def test_pack_unpack_roundtrip(self):
+        spec = InterfaceSpec([("temperature", (4,)), ("flux", (2, 3))])
+        fields = {
+            "temperature": np.arange(4.0),
+            "flux": np.arange(6.0).reshape(2, 3),
+        }
+        vec = spec.pack(fields)
+        assert vec.shape == (10,)
+        out = spec.unpack(vec)
+        np.testing.assert_array_equal(out["temperature"], fields["temperature"])
+        np.testing.assert_array_equal(out["flux"], fields["flux"])
+
+    def test_layout_is_declaration_order_c_order(self):
+        """The bitwise-reproducibility contract: field declaration order,
+        C order within a field — never dict insertion order of the data."""
+        spec = InterfaceSpec([("b", (2,)), ("a", (2,))])
+        vec = spec.pack({"a": np.array([3.0, 4.0]), "b": np.array([1.0, 2.0])})
+        np.testing.assert_array_equal(vec, [1.0, 2.0, 3.0, 4.0])
+
+    def test_slice_of(self):
+        spec = InterfaceSpec([("t", (4,)), ("f", (2, 3))])
+        assert spec.slice_of("t") == slice(0, 4)
+        assert spec.slice_of("f") == slice(4, 10)
+
+    def test_scalar_field(self):
+        spec = InterfaceSpec([("alpha", ())])
+        assert spec.size == 1
+        vec = spec.pack({"alpha": np.asarray(7.0)})
+        assert spec.unpack(vec)["alpha"].shape == ()
+
+    def test_names_and_shape(self):
+        spec = InterfaceSpec([("t", (4,)), ("f", (2, 3))])
+        assert spec.names == ("t", "f")
+        assert spec.shape("f") == (2, 3)
+
+    def test_zeros(self):
+        assert InterfaceSpec([("t", (3,))]).zeros().tolist() == [0.0, 0.0, 0.0]
+
+    def test_equality_and_hash(self):
+        a = InterfaceSpec([("t", (3,))])
+        b = InterfaceSpec([("t", (3,))])
+        c = InterfaceSpec([("t", (4,))])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_empty_rejected(self):
+        with pytest.raises(CouplingError, match="at least one field"):
+            InterfaceSpec([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CouplingError, match="duplicate"):
+            InterfaceSpec([("t", (2,)), ("t", (3,))])
+
+    def test_pack_missing_field(self):
+        spec = InterfaceSpec([("t", (2,)), ("f", (2,))])
+        with pytest.raises(CouplingError, match="missing"):
+            spec.pack({"t": np.zeros(2)})
+
+    def test_pack_wrong_shape(self):
+        spec = InterfaceSpec([("t", (2,))])
+        with pytest.raises(CouplingError, match="shape"):
+            spec.pack({"t": np.zeros(3)})
+
+    def test_unpack_wrong_length(self):
+        spec = InterfaceSpec([("t", (2,))])
+        with pytest.raises(CouplingError, match="unpack"):
+            spec.unpack(np.zeros(3))
+
+    def test_unknown_field(self):
+        spec = InterfaceSpec([("t", (2,))])
+        with pytest.raises(CouplingError, match="unknown"):
+            spec.slice_of("nope")
+        with pytest.raises(CouplingError, match="unknown"):
+            spec.shape("nope")
+
+
+class TestJoinSpecs:
+    def test_prefixes_keep_names_unique(self):
+        a = InterfaceSpec([("t", (2,))])
+        b = InterfaceSpec([("t", (3,))])
+        joint = join_specs(a, b)
+        assert joint.names == ("p0/t", "p1/t")
+        assert joint.size == 5
+
+    def test_joint_layout_concatenates(self):
+        a = InterfaceSpec([("u", (2,))])
+        b = InterfaceSpec([("v", (2,))])
+        joint = join_specs(a, b)
+        vec = joint.pack({"p0/u": np.array([1.0, 2.0]), "p1/v": np.array([3.0, 4.0])})
+        np.testing.assert_array_equal(vec, [1.0, 2.0, 3.0, 4.0])

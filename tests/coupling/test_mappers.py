@@ -1,0 +1,100 @@
+"""Interface mappers (repro.coupling.mappers)."""
+
+import numpy as np
+import pytest
+
+from repro.climate.grid import LatLonGrid
+from repro.coupling import ConservativeGridMapper, LinearMapper, NearestNeighbourMapper
+from repro.errors import CouplingError
+
+
+class TestNearestNeighbour:
+    def test_copies_nearest_source_value(self):
+        m = NearestNeighbourMapper([0.0, 1.0], [0.1, 0.4, 0.9])
+        np.testing.assert_array_equal(m(np.array([5.0, 7.0])), [5.0, 5.0, 7.0])
+
+    def test_ties_break_to_lower_index(self):
+        m = NearestNeighbourMapper([0.0, 1.0], [0.5])
+        assert m.nearest.tolist() == [0]
+
+    def test_2d_points(self):
+        src = [[0.0, 0.0], [1.0, 1.0]]
+        dst = [[0.1, 0.0], [0.9, 1.1]]
+        m = NearestNeighbourMapper(src, dst)
+        np.testing.assert_array_equal(m(np.array([3.0, 4.0])), [3.0, 4.0])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(CouplingError, match="dimensions differ"):
+            NearestNeighbourMapper([[0.0, 0.0]], [0.5])
+
+    def test_wrong_input_length(self):
+        m = NearestNeighbourMapper([0.0, 1.0], [0.5])
+        with pytest.raises(CouplingError, match="shape"):
+            m(np.zeros(3))
+
+    def test_matrix_is_binary_row_stochastic(self):
+        m = NearestNeighbourMapper([0.0, 0.5, 1.0], np.linspace(0, 1, 7))
+        np.testing.assert_array_equal(m.matrix.sum(axis=1), np.ones(7))
+        assert set(np.unique(m.matrix)) <= {0.0, 1.0}
+
+
+class TestLinearMapper:
+    def test_matches_np_interp(self):
+        src = np.array([0.0, 1.0, 2.5, 4.0])
+        dst = np.array([-1.0, 0.5, 2.0, 3.9, 5.0])  # includes clamped ends
+        vals = np.array([1.0, -2.0, 4.0, 0.5])
+        m = LinearMapper(src, dst)
+        np.testing.assert_allclose(m(vals), np.interp(dst, src, vals))
+
+    def test_exact_on_linear_field(self):
+        src = np.linspace(0.0, 1.0, 5)
+        dst = np.linspace(0.1, 0.9, 9)
+        m = LinearMapper(src, dst)
+        np.testing.assert_allclose(m(3.0 * src + 1.0), 3.0 * dst + 1.0)
+
+    def test_rows_sum_to_one(self):
+        m = LinearMapper(np.linspace(0, 1, 4), np.linspace(-0.5, 1.5, 11))
+        np.testing.assert_allclose(m.matrix.sum(axis=1), np.ones(11))
+
+    def test_unsorted_source_rejected(self):
+        with pytest.raises(CouplingError, match="strictly increasing"):
+            LinearMapper([0.0, 2.0, 1.0], [0.5])
+
+    def test_needs_two_source_points(self):
+        with pytest.raises(CouplingError, match="at least two"):
+            LinearMapper([0.0], [0.5])
+
+
+class TestConservativeGridMapper:
+    def test_preserves_area_integral(self):
+        src, dst = LatLonGrid(8, 16), LatLonGrid(5, 7)
+        m = ConservativeGridMapper(src, dst)
+        lat, lon = np.meshgrid(src.lat_centers, src.lon_centers, indexing="ij")
+        field = 250.0 + 30.0 * np.cos(np.deg2rad(lat)) + np.sin(np.deg2rad(lon))
+        assert m.conservation_error(field) < 1e-12
+
+    def test_2d_and_flat_forms_agree(self):
+        src, dst = LatLonGrid(6, 12), LatLonGrid(4, 8)
+        m = ConservativeGridMapper(src, dst)
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=src.shape)
+        np.testing.assert_allclose(m(field).ravel(), m(field.ravel()))
+
+    def test_flat_matrix_matches_direct_application(self):
+        """matrix (the lazy Kronecker product) is the same linear map the
+        regridder applies — solvers can reason about it spectrally."""
+        src, dst = LatLonGrid(5, 6), LatLonGrid(3, 4)
+        m = ConservativeGridMapper(src, dst)
+        rng = np.random.default_rng(1)
+        field = rng.normal(size=src.shape)
+        np.testing.assert_allclose(m.matrix @ field.ravel(), m(field).ravel())
+
+    def test_flat_length_mismatch_rejected(self):
+        m = ConservativeGridMapper(LatLonGrid(4, 8), LatLonGrid(3, 6))
+        with pytest.raises(CouplingError, match="flat field length"):
+            m(np.zeros(7))
+
+    def test_constant_field_is_preserved(self):
+        m = ConservativeGridMapper(LatLonGrid(6, 12), LatLonGrid(4, 8))
+        out = m(np.full((6, 12), 273.15))
+        np.testing.assert_allclose(out, 273.15)

@@ -1,0 +1,300 @@
+"""Coupled solvers on linear operators with known spectral radius.
+
+Linear fixed points ``x = M x + b`` make solver behaviour *provable*: the
+error contracts by ``rho(M)`` per Gauss-Seidel iteration, the Jacobi
+joint operator's spectral radius is ``sqrt(rho)``, and a quasi-Newton
+scheme with exact secants terminates in at most ``n + 2`` evaluations on
+an ``n``-dimensional interface.  Every assertion below is one of those
+analytic bounds (plus slack for the non-asymptotic first iterations).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.coupling import (
+    AbsoluteNorm,
+    AitkenSolver,
+    GaussSeidelSolver,
+    IQNILSSolver,
+    IterationBound,
+    JacobiSolver,
+    compose_operators,
+    joint_operator,
+)
+from repro.errors import CouplingError
+
+N = 8
+RHO = 0.6
+TOL = 1e-10
+
+#: The benchmark contraction: diag spectrum in [0.15, 0.6], radius 0.6.
+MATRIX = RHO * np.diag(np.linspace(1.0, 0.25, N))
+OFFSET = np.linspace(1.0, 2.0, N)
+FIXED_POINT = np.linalg.solve(np.eye(N) - MATRIX, OFFSET)
+
+
+def operate(x):
+    return MATRIX @ x + OFFSET
+
+
+def run_step(solver, op=operate, x0=None, n=N):
+    solver.initialize()
+    solver.initialize_solution_step()
+    result = solver.solve_solution_step(
+        np.zeros(n) if x0 is None else x0, op
+    )
+    solver.finalize_solution_step()
+    solver.finalize()
+    return result
+
+
+def gs_iteration_bound(rho=RHO, tol=TOL):
+    """Iterations a rho-contraction needs to push the residual from its
+    initial magnitude below *tol* (the Banach estimate)."""
+    r0 = float(np.linalg.norm(operate(np.zeros(N))))
+    return math.ceil(math.log(tol / r0) / math.log(rho))
+
+
+class TestGaussSeidel:
+    def test_converges_to_fixed_point(self):
+        res = run_step(GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80))
+        assert res.converged
+        np.testing.assert_allclose(res.x, FIXED_POINT, atol=1e-9)
+
+    def test_iterations_match_contraction_bound(self):
+        res = run_step(GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80))
+        bound = gs_iteration_bound()
+        assert res.iterations <= bound + 2
+        # The dominant mode really does govern: substantially many
+        # iterations are needed (not an accidentally easy problem).
+        assert res.iterations >= bound // 2
+
+    def test_residuals_decay_monotonically_at_rho(self):
+        res = run_step(GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80))
+        norms = np.array(res.residual_norms)
+        ratios = norms[1:] / norms[:-1]
+        assert np.all(ratios <= RHO + 1e-12)
+
+    def test_under_relaxation_slows_convergence(self):
+        full = run_step(GaussSeidelSolver(AbsoluteNorm(1e-8), max_iterations=200))
+        half = run_step(
+            GaussSeidelSolver(AbsoluteNorm(1e-8), omega=0.5, max_iterations=200)
+        )
+        assert half.converged and half.iterations > full.iterations
+
+    def test_budget_exhaustion_reports_unconverged(self):
+        res = run_step(GaussSeidelSolver(AbsoluteNorm(1e-14), max_iterations=3))
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_strict_mode_raises(self):
+        solver = GaussSeidelSolver(AbsoluteNorm(1e-14), max_iterations=3, strict=True)
+        solver.initialize()
+        solver.initialize_solution_step()
+        with pytest.raises(CouplingError, match="did not\\s+converge"):
+            solver.solve_solution_step(np.zeros(N), operate)
+
+    def test_omega_validation(self):
+        with pytest.raises(CouplingError, match="omega"):
+            GaussSeidelSolver(AbsoluteNorm(1.0), omega=0.0)
+        with pytest.raises(CouplingError, match="omega"):
+            GaussSeidelSolver(AbsoluteNorm(1.0), omega=2.5)
+
+    def test_solve_outside_step_rejected(self):
+        solver = GaussSeidelSolver(AbsoluteNorm(1.0))
+        solver.initialize()
+        with pytest.raises(CouplingError, match="outside a coupling step"):
+            solver.solve_solution_step(np.zeros(N), operate)
+
+    def test_shape_mismatch_detected(self):
+        solver = GaussSeidelSolver(AbsoluteNorm(1.0))
+        solver.initialize()
+        solver.initialize_solution_step()
+        with pytest.raises(CouplingError, match="shape"):
+            solver.solve_solution_step(np.zeros(N), lambda x: x[:-1])
+
+    def test_fixed_iteration_count_via_bound_criterion(self):
+        res = run_step(GaussSeidelSolver(IterationBound(4), max_iterations=80))
+        assert res.converged and res.iterations == 4
+
+
+class TestAitken:
+    def test_beats_gauss_seidel(self):
+        """Acceptance anchor: dynamic relaxation strictly fewer iterations
+        than plain Gauss-Seidel on the benchmark contraction."""
+        gs = run_step(GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80))
+        ait = run_step(AitkenSolver(AbsoluteNorm(TOL), max_iterations=80))
+        assert ait.converged
+        assert ait.iterations < gs.iterations
+        np.testing.assert_allclose(ait.x, FIXED_POINT, atol=1e-8)
+
+    def test_scalar_problem_is_exact_secant(self):
+        """In 1-D Aitken *is* the secant method: the third evaluation
+        lands on the fixed point of an affine map exactly."""
+        res = run_step(
+            AitkenSolver(AbsoluteNorm(1e-13), omega_max=20.0, max_iterations=10),
+            op=lambda x: 0.9 * x + 1.0,
+            x0=np.zeros(1),
+            n=1,
+        )
+        assert res.converged and res.iterations <= 3
+
+    def test_omega_clipped(self):
+        solver = AitkenSolver(AbsoluteNorm(TOL), omega_max=0.7, max_iterations=80)
+        run_step(solver)
+        assert all(abs(w) <= 0.7 for w in solver.omega_history)
+
+    def test_warm_start_magnitude_capped(self):
+        solver = AitkenSolver(AbsoluteNorm(TOL), omega_initial=0.1, max_iterations=80)
+        solver.initialize()
+        for _ in range(2):
+            solver.initialize_solution_step()
+            solver.solve_solution_step(np.zeros(N), operate)
+            solver.finalize_solution_step()
+        # First omega of step 1 reuses step 0's sign but is capped at 0.1.
+        assert abs(solver.omega_history[0]) <= 0.1 + 1e-15
+
+    def test_zero_omega_initial_rejected(self):
+        with pytest.raises(CouplingError, match="nonzero"):
+            AitkenSolver(AbsoluteNorm(1.0), omega_initial=0.0)
+
+
+class TestIQNILS:
+    def test_terminates_within_exact_secant_bound(self):
+        """Acceptance anchor: on a linear problem the least-squares secant
+        model becomes exact once n independent columns exist, so IQN-ILS
+        converges in at most n + 2 evaluations."""
+        res = run_step(IQNILSSolver(AbsoluteNorm(TOL), max_iterations=80))
+        assert res.converged
+        assert res.iterations <= N + 2
+        np.testing.assert_allclose(res.x, FIXED_POINT, atol=1e-8)
+
+    def test_beats_aitken_and_gauss_seidel(self):
+        gs = run_step(GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80))
+        ait = run_step(AitkenSolver(AbsoluteNorm(TOL), max_iterations=80))
+        iqn = run_step(IQNILSSolver(AbsoluteNorm(TOL), max_iterations=80))
+        assert iqn.iterations < ait.iterations < gs.iterations
+
+    def test_reuse_window_cuts_later_steps(self):
+        """With the Jacobian constant across steps, reused secant columns
+        make step 1 converge almost immediately."""
+        solver = IQNILSSolver(AbsoluteNorm(TOL), reuse_steps=2, max_iterations=80)
+        solver.initialize()
+        iters = []
+        for _ in range(3):
+            solver.initialize_solution_step()
+            res = solver.solve_solution_step(np.zeros(N), operate)
+            solver.finalize_solution_step()
+            iters.append(res.iterations)
+        assert iters[1] <= 3 and iters[2] <= 3
+        assert iters[1] < iters[0]
+
+    def test_no_reuse_restarts_cold(self):
+        solver = IQNILSSolver(AbsoluteNorm(TOL), reuse_steps=0, max_iterations=80)
+        solver.initialize()
+        iters = []
+        for _ in range(2):
+            solver.initialize_solution_step()
+            res = solver.solve_solution_step(np.zeros(N), operate)
+            solver.finalize_solution_step()
+            iters.append(res.iterations)
+        assert iters[1] == iters[0]  # identical cold starts
+
+    def test_qr_filter_drops_degenerate_columns(self):
+        """Reused columns from a converged step are linearly dependent;
+        the QR filter must drop them instead of producing NaNs."""
+        solver = IQNILSSolver(
+            AbsoluteNorm(TOL), reuse_steps=2, filter_eps=1e-8, max_iterations=80
+        )
+        solver.initialize()
+        for _ in range(4):
+            solver.initialize_solution_step()
+            res = solver.solve_solution_step(np.zeros(N), operate)
+            solver.finalize_solution_step()
+            assert res.converged
+            assert np.all(np.isfinite(res.x))
+        assert solver.filtered_columns > 0
+
+    def test_validation(self):
+        with pytest.raises(CouplingError, match="reuse_steps"):
+            IQNILSSolver(AbsoluteNorm(1.0), reuse_steps=-1)
+        with pytest.raises(CouplingError, match="filter_eps"):
+            IQNILSSolver(AbsoluteNorm(1.0), filter_eps=1.0)
+
+
+class TestJacobiJointOperator:
+    def test_joint_spectral_radius_is_sqrt(self):
+        """The 2-participant Jacobi iteration matrix ``[[0, A1], [A2, 0]]``
+        has spectral radius sqrt(rho(A2 A1)): verify on the matrices, then
+        verify the iteration count follows it."""
+        a1 = MATRIX.copy()
+        a2 = np.eye(N)
+        joint_matrix = np.block(
+            [[np.zeros((N, N)), a1], [a2, np.zeros((N, N))]]
+        )
+        rho_joint = max(abs(np.linalg.eigvals(joint_matrix)))
+        assert rho_joint == pytest.approx(math.sqrt(RHO), rel=1e-12)
+
+        f1 = lambda v: a1 @ v + OFFSET  # noqa: E731
+        f2 = lambda u: a2 @ u  # noqa: E731
+        jac = run_step(
+            JacobiSolver(AbsoluteNorm(TOL), max_iterations=200),
+            op=joint_operator(f1, f2, N, N),
+            x0=np.zeros(2 * N),
+            n=2 * N,
+        )
+        assert jac.converged
+        r0 = float(np.linalg.norm(joint_operator(f1, f2, N, N)(np.zeros(2 * N))))
+        bound = math.ceil(math.log(TOL / r0) / math.log(rho_joint))
+        assert jac.iterations <= bound + 2
+
+    def test_jacobi_needs_about_twice_gauss_seidel(self):
+        a1, a2 = MATRIX, np.eye(N)
+        f1 = lambda v: a1 @ v + OFFSET  # noqa: E731
+        f2 = lambda u: a2 @ u  # noqa: E731
+        gs = run_step(
+            GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=200),
+            op=compose_operators(f1, f2),
+        )
+        jac = run_step(
+            JacobiSolver(AbsoluteNorm(TOL), max_iterations=200),
+            op=joint_operator(f1, f2, N, N),
+            x0=np.zeros(2 * N),
+            n=2 * N,
+        )
+        assert gs.iterations < jac.iterations <= 2 * gs.iterations + 3
+
+    def test_fixed_point_consistency(self):
+        """The joint fixed point's halves satisfy the cross equations."""
+        a1, a2 = MATRIX, np.eye(N)
+        f1 = lambda v: a1 @ v + OFFSET  # noqa: E731
+        f2 = lambda u: a2 @ u  # noqa: E731
+        jac = run_step(
+            JacobiSolver(AbsoluteNorm(1e-12), max_iterations=200),
+            op=joint_operator(f1, f2, N, N),
+            x0=np.zeros(2 * N),
+            n=2 * N,
+        )
+        u, v = jac.x[:N], jac.x[N:]
+        np.testing.assert_allclose(u, f1(v), atol=1e-10)
+        np.testing.assert_allclose(v, f2(u), atol=1e-10)
+
+    def test_joint_operator_shape_check(self):
+        op = joint_operator(lambda v: v, lambda u: u, 2, 3)
+        with pytest.raises(CouplingError, match="joint iterate"):
+            op(np.zeros(4))
+
+    def test_mode_attributes(self):
+        assert GaussSeidelSolver(AbsoluteNorm(1.0)).mode == "sequential"
+        assert JacobiSolver(AbsoluteNorm(1.0)).mode == "parallel"
+
+    def test_iterations_per_step_recorded(self):
+        solver = GaussSeidelSolver(AbsoluteNorm(TOL), max_iterations=80)
+        solver.initialize()
+        for _ in range(2):
+            solver.initialize_solution_step()
+            solver.solve_solution_step(np.zeros(N), operate)
+            solver.finalize_solution_step()
+        assert len(solver.iterations_per_step) == 2

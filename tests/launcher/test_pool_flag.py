@@ -1,0 +1,199 @@
+"""``mphrun --pool N`` — reserve-pool processes from the command line.
+
+PR 7 added elastic membership (``pool_session`` / ``grow`` /
+``release_pool``) as a library API; the ``--pool`` flag exposes it to the
+launcher: N extra world ranks run the built-in ``__pool__`` program,
+which parks in ``await_assignment`` until an active component admits or
+dismisses it.  The exec-backend case execs the pool ranks as their own
+``mphchild`` processes — the reserve program must resolve *without* a
+``--programs`` registry lookup.
+"""
+
+import os
+import sys
+import textwrap
+
+import pytest
+
+from repro.launcher.job import POOL_PROGRAM, reserve_pool_program
+from repro.tools.mphrun import build_parser, main
+
+
+@pytest.fixture
+def program_module(tmp_path, monkeypatch):
+    """Importable module whose actives drive the pool API (PYTHONPATH is
+    extended so exec'd children can import it too)."""
+    mod = tmp_path / "pool_demo_models.py"
+    mod.write_text(
+        textwrap.dedent(
+            """
+            from repro.core.session import components_session
+
+            def atm(world, env):
+                s = components_session(world, "atm", env=env)
+                s.release_pool()
+                return "atm done"
+
+            def grower(world, env):
+                s = components_session(world, "atm", env=env)
+                s.grow("atm", 1)
+                s.release_pool()
+                return s.pset("atm").size
+
+            PROGRAMS = {"atm": atm, "grower": grower}
+            """
+        )
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    monkeypatch.setenv(
+        "PYTHONPATH",
+        str(tmp_path)
+        + (os.pathsep + os.environ["PYTHONPATH"] if os.environ.get("PYTHONPATH") else ""),
+    )
+    sys.modules.pop("pool_demo_models", None)
+    yield "pool_demo_models"
+    sys.modules.pop("pool_demo_models", None)
+
+
+@pytest.fixture
+def registry_file(tmp_path):
+    path = tmp_path / "processors_map.in"
+    path.write_text("BEGIN\natm\nEND\n")
+    return path
+
+
+class TestPoolFlagThreadBackend:
+    def test_pool_ranks_released(self, program_module, registry_file, capsys):
+        code = main(
+            [
+                "--spec",
+                "-np 2 atm",
+                "--pool",
+                "2",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4 processes" in out
+        assert POOL_PROGRAM in out
+        assert "'released'" in out
+
+    def test_pool_rank_admitted_by_grow(self, program_module, registry_file, capsys):
+        code = main(
+            [
+                "--spec",
+                "-np 2 grower",
+                "--pool",
+                "1",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # The admitted reserve rank reports its assignment summary.
+        assert "'assigned'" in out
+        assert "'atm'" in out
+
+    def test_show_assignment_includes_pool(self, program_module, registry_file, capsys):
+        code = main(
+            [
+                "--spec",
+                "-np 1 atm",
+                "--pool",
+                "1",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+                "--show-assignment",
+            ]
+        )
+        assert code == 0
+        assert POOL_PROGRAM in capsys.readouterr().out
+
+
+class TestPoolFlagExecBackend:
+    def test_pool_rank_as_own_process(self, program_module, registry_file, tmp_path, capsys):
+        """Satellite: exec backend — the reserve rank is its own exec'd
+        mphchild and resolves the built-in program from its meta, not the
+        --programs module."""
+        log_dir = tmp_path / "logs"
+        code = main(
+            [
+                "--spec",
+                "-np 2 atm",
+                "--pool",
+                "1",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+                "--backend",
+                "process",
+                "--log-dir",
+                str(log_dir),
+                "--timeout",
+                "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 processes" in out
+        assert "'released'" in out
+        # the pool rank got its own per-process stdout log
+        assert (log_dir / f"{POOL_PROGRAM}.0.log").exists()
+
+
+class TestPoolFlagValidation:
+    def test_pool_requires_registry(self, program_module, capsys):
+        code = main(
+            ["--spec", "-np 1 atm", "--pool", "1", "--programs", program_module]
+        )
+        assert code == 1
+        assert "--registry" in capsys.readouterr().err
+
+    def test_negative_pool_rejected(self, program_module, registry_file, capsys):
+        code = main(
+            [
+                "--spec",
+                "-np 1 atm",
+                "--pool",
+                "-2",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+            ]
+        )
+        assert code == 1
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_reserved_program_name_rejected(self, program_module, registry_file, capsys):
+        code = main(
+            [
+                "--spec",
+                f"-np 1 {POOL_PROGRAM}",
+                "--pool",
+                "1",
+                "--programs",
+                program_module,
+                "--registry",
+                str(registry_file),
+            ]
+        )
+        assert code == 1
+        assert "reserved" in capsys.readouterr().err
+
+    def test_parser_default_is_zero(self):
+        args = build_parser().parse_args(["--spec", "-np 1 a", "--programs", "m"])
+        assert args.pool == 0
+
+    def test_pool_program_is_exported(self):
+        assert callable(reserve_pool_program)
