@@ -1,0 +1,151 @@
+"""Service throughput ablation: what the MPH-as-a-service warm paths buy.
+
+Three comparisons, all over the same coupled two-component job document
+(``atm`` + ``ocn``, one rank each side plus a paired exchange):
+
+* **resident worker world (process backend)** — jobs/s with the runtime
+  allowed to keep a resident world (fork + bootstrap + handshake paid
+  once) vs fully cold isolated jobs (a fresh world per job).  This is
+  the service's headline number; the acceptance bar is warm >= 1.3x
+  cold.
+* **thread backend** — the same document on the in-process substrate,
+  for scale.
+* **layout resolution** — ``JobRuntime.resolve`` per-call latency with a
+  cold vs warm :class:`~repro.service.runtime.LayoutCache` (the §6
+  handshake-layout work amortized across same-layout jobs).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compare.py --suite service [--quick]
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import components_setup
+from repro.service import JobDocument, JobRuntime
+
+#: Jobs timed per batch (per rep) in the throughput kernels.
+BATCH = 8
+
+
+def _model(comm, env):
+    mph = components_setup(comm, env.program, env=env)
+    me = mph.local_proc_id()
+    if mph.comp_name() == "atm":
+        mph.send(float(me), "ocn", me, tag=21)
+        return mph.recv("ocn", me, tag=22)
+    value = mph.recv("atm", me, tag=21)
+    mph.send(value + 1.0, "atm", me, tag=22)
+    return value
+
+
+PROGRAMS = {"model": _model}
+
+
+def _document(backend: str) -> JobDocument:
+    return JobDocument.from_spec(
+        {
+            "name": f"bench-{backend}",
+            "components": [
+                {"name": "atm", "nprocs": 1, "program": "model"},
+                {"name": "ocn", "nprocs": 1, "program": "model"},
+            ],
+            "runtime": {"backend": backend, "timeout": 120.0},
+        }
+    )
+
+
+def batch_seconds(runtime: JobRuntime, document: JobDocument, tag: str, jobs: int) -> float:
+    """Wall-clock seconds to run *jobs* identical documents back to back."""
+    t0 = time.perf_counter()
+    for i in range(jobs):
+        outcome = runtime.execute(document, f"{tag}-{i}")
+        assert outcome.ok, (outcome.error, outcome.failures)
+    return time.perf_counter() - t0
+
+
+def jobs_per_second(backend: str, *, max_resident: int, jobs: int, tag: str) -> float:
+    """One batch on a fresh runtime; resident runtimes get one warm-up
+    job first so the batch measures the steady warm state."""
+    document = _document(backend)
+    with JobRuntime(PROGRAMS, max_resident=max_resident) as runtime:
+        if max_resident:
+            assert runtime.execute(document, f"{tag}-warmup").ok
+        elapsed = batch_seconds(runtime, document, tag, jobs)
+    return jobs / elapsed
+
+
+def resolve_seconds(reps: int) -> dict:
+    """Per-call ``resolve`` latency, cold cache vs warm cache."""
+    document = _document("thread")
+    cold, warm = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        runtime = JobRuntime(PROGRAMS, max_resident=0)
+        runtime.resolve(document)
+        cold.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            runtime.resolve(document)
+        warm.append((time.perf_counter() - t0) / 10)
+    return {
+        "cold_us": statistics.median(cold) * 1e6,
+        "cached_us": statistics.median(warm) * 1e6,
+        "speedup": statistics.median(cold) / max(statistics.median(warm), 1e-9),
+    }
+
+
+def run_service_ablation(reps: int = 5, jobs: int = BATCH) -> dict:
+    """Run every service kernel; return the report dict."""
+    # Warm-up pass: imports, fork machinery, first sockets.
+    jobs_per_second("process", max_resident=1, jobs=2, tag="wu-warm")
+    jobs_per_second("process", max_resident=0, jobs=2, tag="wu-cold")
+
+    samples: dict[str, list] = {"cold": [], "warm": [], "thread": []}
+    for rep in range(reps):
+        samples["cold"].append(
+            jobs_per_second("process", max_resident=0, jobs=jobs, tag=f"c{rep}")
+        )
+        samples["warm"].append(
+            jobs_per_second("process", max_resident=1, jobs=jobs, tag=f"w{rep}")
+        )
+        samples["thread"].append(
+            jobs_per_second("thread", max_resident=0, jobs=jobs, tag=f"t{rep}")
+        )
+
+    cold = statistics.median(samples["cold"])
+    warm = statistics.median(samples["warm"])
+    speedup = warm / cold
+    report = {
+        "service_throughput": {
+            "reps": reps,
+            "jobs_per_batch": jobs,
+            "world_size": 2,
+            "process_cold_jobs_per_s": cold,
+            "process_resident_jobs_per_s": warm,
+            "warm_vs_cold_speedup": speedup,
+            "thread_isolated_jobs_per_s": statistics.median(samples["thread"]),
+        },
+        "layout_resolution": resolve_seconds(max(reps, 3)),
+        "acceptance": {
+            "warm_vs_cold_speedup_min": 1.3,
+            "pass": speedup >= 1.3,
+        },
+    }
+    return report
+
+
+def test_resident_world_beats_cold_isolated():
+    """The acceptance bar as a test: resident warm jobs/s >= 1.3x cold
+    on the process backend (quick reps; the full curve is compare.py's)."""
+    report = run_service_ablation(reps=2, jobs=4)
+    assert report["acceptance"]["pass"], report["service_throughput"]
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run_service_ablation(), indent=2))

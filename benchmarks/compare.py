@@ -16,7 +16,10 @@ comparison from :mod:`bench_shm` (``BENCH_shm.json``), ``--suite init``
 runs the flat-vs-tree bootstrap scaling sweep from :mod:`bench_init`
 (``BENCH_init.json``), ``--suite coupling`` runs the coupled-solver
 iteration-count and driver-overhead kernels from :mod:`bench_coupling`
-(``BENCH_coupling.json``), and ``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
+(``BENCH_coupling.json``), ``--suite service`` runs the MPH-as-a-service
+throughput kernels (cold isolated worlds vs resident worker worlds, plus
+layout-cache resolution latency) from :mod:`bench_service`
+(``BENCH_service.json``), and ``--suite all`` runs everything.  ``--quick`` drops to 2 reps and
 skips report files — the CI smoke mode.  The fast-path kernels:
 
 * ``bcast_1mib_p16_linear`` — a 1 MiB field broadcast linearly from
@@ -127,7 +130,7 @@ def _write_report(report: dict, out: str | None) -> None:
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "init", "coupling", "all"),
+    parser.add_argument("--suite", choices=("fastpath", "progress", "faults", "sched", "backend", "shm", "init", "coupling", "service", "all"),
                         default="fastpath",
                         help="which ablation to run")
     parser.add_argument("--reps", type=int, default=5,
@@ -195,6 +198,12 @@ def main(argv=None) -> None:
         except ImportError:  # run as a script: benchmarks/ is sys.path[0]
             from bench_coupling import run_coupling_ablation
         _write_report(run_coupling_ablation(args.reps), _out("coupling"))
+    if args.suite in ("service", "all"):
+        try:
+            from benchmarks.bench_service import run_service_ablation
+        except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+            from bench_service import run_service_ablation
+        _write_report(run_service_ablation(args.reps), _out("service"))
 
 
 if __name__ == "__main__":

@@ -113,6 +113,61 @@ class ProcessSet:
 
 
 @dataclass(frozen=True)
+class PrecomputedLayout:
+    """A handshake layout resolved ahead of time — the sessions layer's
+    layout-cache seam.
+
+    The init exchange (§6 steps 1–3: registry broadcast, declaration
+    allgather, layout resolution) is a pure function of the registration
+    file and the per-rank declarations.  A launcher that already knows
+    both — the MPH service runtime, which derives them from a validated
+    job document and caches the result keyed by the document's layout
+    hash — can :meth:`build` this once and hand it to every rank as the
+    ``registry`` input.  :meth:`Session.init` then skips the exchange
+    entirely: no broadcast, no allgather, just a local consistency check
+    of this rank's declaration against the precomputed one (a mismatch is
+    a :class:`~repro.errors.HandshakeError`, exactly as a live exchange
+    would have produced).
+
+    Pure data (picklable), so the process backend can ship it to forked
+    and exec'd children inside their launcher metadata.
+    """
+
+    #: The parsed registration file.
+    registry: Registry
+    #: Per-world-rank declarations, in rank order.
+    decls: Tuple[Declaration, ...]
+    #: Resolved executables (identical to what the live exchange derives).
+    exes: Tuple[Any, ...]
+    #: World ranks of the reserve pool.
+    pool: Tuple[int, ...]
+    #: The legacy split-strategy label.
+    strategy: str
+
+    @classmethod
+    def build(cls, registry_input: Any, decls: Sequence[Declaration]) -> "PrecomputedLayout":
+        """Resolve the layout exactly as the live init exchange would:
+        parse the registry, group *decls* into executables, match them
+        against registry entries.  Raises the same
+        :class:`~repro.errors.HandshakeError` /
+        :class:`~repro.errors.RegistryError` a live exchange raises."""
+        registry = Registry.load(registry_input)
+        exes, _, pool = _resolve_executables(registry, list(decls), 0)
+        all_single = all(isinstance(e, SingleComponentEntry) for e in registry.entries)
+        return cls(
+            registry=registry,
+            decls=tuple(decls),
+            exes=tuple(exes),
+            pool=pool,
+            strategy="world_split" if all_single else "exe_then_comp",
+        )
+
+    def layout(self) -> Layout:
+        """The resolved component/executable map."""
+        return Layout(self.registry, list(self.exes))
+
+
+@dataclass(frozen=True)
 class Assignment:
     """What :meth:`Session.await_assignment` returns to an admitted
     reserve process."""
@@ -201,23 +256,47 @@ class Session:
                 "(paper §4.3)"
             )
 
-        # Step 1 — root reads the registration file and broadcasts it (§6).
-        registry: Registry
-        if world.rank == 0:
-            registry = Registry.load(registry_input)
-            world.bcast(registry)
+        if isinstance(registry_input, PrecomputedLayout):
+            # Layout-cache fast path: the launcher resolved the layout
+            # ahead of time (service runtime, warm job) — skip the
+            # broadcast and allgather, check this rank's declaration
+            # against the precomputed one, and take the layout as data.
+            pre = registry_input
+            if len(pre.decls) != world.size:
+                raise HandshakeError(
+                    f"precomputed layout covers {len(pre.decls)} ranks but the "
+                    f"world has {world.size}"
+                )
+            if pre.decls[world.rank] != decl:
+                raise HandshakeError(
+                    f"rank {world.rank} declared {decl!r} but the precomputed "
+                    f"layout expected {pre.decls[world.rank]!r}; the layout "
+                    "cache is stale for this job"
+                )
+            registry = pre.registry
+            decls = list(pre.decls)
+            exes, pool = list(pre.exes), pre.pool
+            layout = Layout(registry, exes)
+            strategy = pre.strategy
         else:
-            registry = world.bcast(None)
+            # Step 1 — root reads the registration file and broadcasts it (§6).
+            if world.rank == 0:
+                registry = Registry.load(registry_input)
+                world.bcast(registry)
+            else:
+                registry = world.bcast(None)
 
-        # Step 2 — allgather declarations.
-        decls: list[Declaration] = world.allgather(decl)
+            # Step 2 — allgather declarations.
+            decls = world.allgather(decl)
 
-        # Step 3 — group into executables and match against the registry.
-        exes, _my_exe_id, pool = _resolve_executables(registry, decls, world.rank)
-        layout = Layout(registry, exes)
+            # Step 3 — group into executables and match against the registry.
+            exes, _my_exe_id, pool = _resolve_executables(registry, decls, world.rank)
+            layout = Layout(registry, exes)
 
-        all_single = all(isinstance(e, SingleComponentEntry) for e in registry.entries)
-        strategy = "world_split" if all_single else "exe_then_comp"
+            all_single = all(
+                isinstance(e, SingleComponentEntry) for e in registry.entries
+            )
+            strategy = "world_split" if all_single else "exe_then_comp"
 
         # The control communicator: MPH's private plane for pset-context
         # distribution, comm_join, and pool notifications.  It spans the

@@ -163,3 +163,35 @@ class CouplingError(MPHError):
     mismatched interface specs, a solver driven outside its lifecycle,
     a coupling loop that exhausted its iteration budget with
     ``strict=True``, or mappers between incompatible discretizations."""
+
+
+# ---------------------------------------------------------------------------
+# Service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the MPH service layer
+    (:mod:`repro.service`): job-document validation, admission control,
+    and runtime dispatch."""
+
+
+class JobSpecError(ServiceError):
+    """A job document failed validation.
+
+    Every rejection names the offending document path (dotted keys with
+    ``[i]`` list indices, e.g. ``components[1].nprocs``) so a submitting
+    client can point at exactly the field it got wrong — malformed input
+    must never surface as a raw ``KeyError``/``TypeError``.
+    """
+
+    def __init__(self, message: str, *, path: str = "$"):
+        super().__init__(f"{path}: {message}")
+        #: Dotted path of the offending field within the document.
+        self.path = path
+
+
+class AdmissionError(ServiceError):
+    """The orchestrator refused a job at the door: the submission queue
+    is full, or the service is shutting down.  Distinct from
+    :class:`JobSpecError` — the document may be perfectly valid."""

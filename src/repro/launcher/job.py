@@ -154,6 +154,8 @@ class MpmdJob:
         env_vars: Optional[dict[str, str]] = None,
         workdir: Optional[Union[str, Path]] = None,
         registry: Any = None,
+        namespace: Optional[str] = None,
+        log_dir: Optional[Union[str, Path]] = None,
     ):
         if not executables:
             raise LaunchError("an MPMD job needs at least one executable")
@@ -190,6 +192,13 @@ class MpmdJob:
         self.env_vars = dict(env_vars or {})
         self.workdir = Path(workdir) if workdir is not None else None
         self.registry = registry
+        #: Optional per-job namespace for the process backend's rendezvous
+        #: directory and shm segments (see
+        #: :func:`repro.mpi.procbackend.rendezvous_prefix`).
+        self.namespace = namespace
+        #: Process backend only: directory for per-process
+        #: ``<program>.<local_index>.log`` files (OS-level fd redirection).
+        self.log_dir = str(log_dir) if log_dir is not None else None
         self.output = MultiChannelOutput()
 
     @property
@@ -240,6 +249,8 @@ class MpmdJob:
                 config=self.config,
                 timeout=timeout,
                 labels=labels,
+                namespace=self.namespace,
+                log_dir=self.log_dir,
             )
         else:
             world = World(self.world_size, self.config)

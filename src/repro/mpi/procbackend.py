@@ -159,6 +159,24 @@ class ProcessWorld(World):
         World.abort(self, AbortError(message, origin_rank=origin))
 
 
+def rendezvous_prefix(namespace: Optional[str] = None) -> str:
+    """The rendezvous-directory (and thereby shm-segment) name prefix for
+    a job, optionally namespaced.
+
+    The per-job isolation seam used by the MPH service: every job the
+    service launches passes its job id as *namespace*, so its sockets and
+    shared-memory segments are attributable — ``list_segments`` /
+    ``sweep_segments`` with this prefix see exactly that job's leftovers
+    and nothing else.  The namespace is sanitized to filesystem-safe
+    characters and truncated, keeping Unix socket paths under the
+    platform's ~108-byte limit.
+    """
+    if not namespace:
+        return "repro-mpi-"
+    clean = "".join(c if c.isalnum() or c in "._" else "-" for c in str(namespace))
+    return f"repro-mpi-{clean[:24]}-"
+
+
 def _validate_process_config(config: WorldConfig) -> None:
     if config.fault_schedule is not None:
         raise ValueError(
@@ -435,13 +453,19 @@ class _Rendezvous:
     """The parent half of the bootstrap: accept hellos, send welcomes,
     collect results, detect silent deaths, and shut everyone down."""
 
-    def __init__(self, nprocs: int, config: WorldConfig, family: str):
+    def __init__(
+        self,
+        nprocs: int,
+        config: WorldConfig,
+        family: str,
+        namespace: Optional[str] = None,
+    ):
         self.nprocs = nprocs
         self.config = config
         self.family = family
         #: Resolved address-exchange scheme (TCP cannot run the tree).
         self.scheme = effective_scheme(config.bootstrap, family, nprocs)
-        self.sockdir = tempfile.mkdtemp(prefix="repro-mpi-")
+        self.sockdir = tempfile.mkdtemp(prefix=rendezvous_prefix(namespace))
         self.listener, self.addr = make_listener(
             family, os.path.join(self.sockdir, "rendezvous.sock")
         )
@@ -696,6 +720,7 @@ def run_procs(
     timeout: float = 120.0,
     log_dir: Optional[str] = None,
     labels: Optional[Sequence[str]] = None,
+    namespace: Optional[str] = None,
 ) -> list[ProcResult]:
     """Run one callable per rank, each as a **forked OS process**.
 
@@ -709,6 +734,10 @@ def run_procs(
     With *log_dir*, each child's stdout+stderr are redirected at the OS
     level to ``<log_dir>/<label>.log`` — real per-process log files, not
     the thread backend's ``sys.stdout`` proxy.
+
+    *namespace* scopes the job's rendezvous directory and shm segments
+    under :func:`rendezvous_prefix` (the MPH service's per-job isolation
+    seam).
     """
     if len(rank_fns) != nprocs:
         raise ValueError(f"need {nprocs} rank functions, got {len(rank_fns)}")
@@ -718,7 +747,7 @@ def run_procs(
     if log_dir is not None:
         os.makedirs(log_dir, exist_ok=True)
 
-    rendezvous = _Rendezvous(nprocs, config, _socket_family(config))
+    rendezvous = _Rendezvous(nprocs, config, _socket_family(config), namespace)
     ctx = multiprocessing.get_context("fork")
     handles: list[_ChildHandle] = []
     try:
@@ -761,6 +790,7 @@ def run_exec_job(
     timeout: float = 120.0,
     log_dir: Optional[str] = None,
     labels: Optional[Sequence[str]] = None,
+    namespace: Optional[str] = None,
 ) -> list[ProcResult]:
     """Run *nprocs* ranks, each ``exec``'d as its own Python executable.
 
@@ -778,7 +808,7 @@ def run_exec_job(
     if log_dir is not None:
         os.makedirs(log_dir, exist_ok=True)
 
-    rendezvous = _Rendezvous(nprocs, config, _socket_family(config))
+    rendezvous = _Rendezvous(nprocs, config, _socket_family(config), namespace)
 
     # The children must import repro regardless of how the parent got it
     # onto sys.path (installed, PYTHONPATH=src, pytest rootdir magic).

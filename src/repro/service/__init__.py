@@ -1,0 +1,59 @@
+"""MPH as a service: JSON job documents, a runtime over the existing
+MPMD backends, and an asyncio orchestrator front-end.
+
+The paper's MPH is a library the application links; this package wraps
+the whole reproduction — handshake, sessions, thread and process
+backends, fault/match seeds — behind a service boundary:
+
+* :mod:`repro.service.jobdoc` — the canonical JSON **job document**
+  (components + processor map + backend selection + seeds + output
+  spec), strictly validated with typed
+  :class:`~repro.errors.JobSpecError` rejections and a byte-stable
+  ``to_spec``/``from_spec`` round-trip.
+* :mod:`repro.service.runtime` — documents onto worlds:
+  per-job isolation (own world, own shm namespace, swept teardown),
+  a handshake-layout cache keyed by the document's layout hash, and
+  resident worker worlds for the process-backend warm path.
+* :mod:`repro.service.stager` — deterministic result staging (the
+  artifact the cross-backend conformance suite byte-compares).
+* :mod:`repro.service.orchestrator` — the asyncio front-end: admission
+  control, a bounded worker pool, job states, cancellation.
+"""
+
+from repro.errors import AdmissionError, JobSpecError, ServiceError
+from repro.service.jobdoc import (
+    ComponentSpec,
+    JobDocument,
+    OutputSpec,
+    RuntimeSpec,
+    SeedSpec,
+)
+from repro.service.orchestrator import JobHandle, JobState, Orchestrator
+from repro.service.runtime import (
+    JobOutcome,
+    JobRuntime,
+    LayoutCache,
+    ResolvedJob,
+    WorkerWorld,
+)
+from repro.service.stager import ResultStager
+
+__all__ = [
+    "AdmissionError",
+    "ComponentSpec",
+    "JobDocument",
+    "JobHandle",
+    "JobOutcome",
+    "JobRuntime",
+    "JobSpecError",
+    "JobState",
+    "LayoutCache",
+    "Orchestrator",
+    "OutputSpec",
+    "ResolvedJob",
+    "ResultStager",
+    "RuntimeSpec",
+    "SeedSpec",
+    "ServiceError",
+    "WorkerWorld",
+]

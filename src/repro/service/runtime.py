@@ -1,0 +1,673 @@
+"""The runtime layer of the MPH service: validated job documents onto
+the existing MPMD machinery.
+
+Three responsibilities:
+
+* **Resolution** — :meth:`JobRuntime.resolve` turns a
+  :class:`~repro.service.jobdoc.JobDocument` into a :class:`ResolvedJob`:
+  program callables bound from the runtime's catalog, world ranks
+  assigned exactly as :class:`~repro.launcher.job.MpmdJob` would assign
+  them, a :class:`~repro.mpi.world.WorldConfig` built from the runtime
+  spec, and the handshake layout resolved **once** per
+  :meth:`~repro.service.jobdoc.JobDocument.layout_key` through a
+  :class:`LayoutCache` of
+  :class:`~repro.core.session.PrecomputedLayout` objects — every rank of
+  every job with the same component/processor map skips the §6 init
+  exchange (registry broadcast + declaration allgather).
+
+* **Isolated execution** — the default path runs each job on its own
+  world via :class:`~repro.launcher.job.MpmdJob`: its own shm/sockdir
+  namespace (the job id, through
+  :func:`~repro.mpi.procbackend.rendezvous_prefix`), swept on teardown
+  by the rendezvous cleanup, so no two jobs can see each other's
+  segments no matter how they die.
+
+* **Resident execution** — for process-backend jobs that opt in
+  (``runtime.reuse_world``, the default), the runtime keeps a small pool
+  of :class:`WorkerWorld` objects keyed by layout hash: fork +
+  bootstrap + handshake are paid once, and subsequent jobs with the
+  same layout are dispatched to the already-running ranks over
+  multiprocessing queues.  This is the service's warm path — the jobs/s
+  win ``benchmarks/bench_service.py`` measures.  A resident world is
+  **poisoned** (evicted and shut down) the moment any rank fails or a
+  job times out; fault-seeded, match-seeded, and reserve-pool jobs
+  never use one (seeds are thread-backend-only by document validation,
+  pool ranks park in ``await_assignment`` and cannot loop).
+
+The service convention for program callables is the ``mph_run`` one —
+``fn(comm, env)`` with a :class:`~repro.launcher.job.JobEnv` — plus one
+rule: ``env.program`` is the **component name** from the job document,
+so a cooperative program declares ``components_setup(comm, env.program,
+env=env)`` and the precomputed layout matches its declaration.  A
+program that declares anything else still works on a live exchange but
+fails the precomputed-layout consistency check with a
+:class:`~repro.errors.HandshakeError` naming the stale declaration.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.session import PrecomputedLayout
+from repro.core.handshake import ComponentDecl, PoolDecl
+from repro.errors import ReproError, ServiceError, TimeoutError_
+from repro.launcher.job import JobEnv, JobResult, MpmdJob, POOL_PROGRAM, reserve_pool_program
+from repro.launcher.rankmap import assign_ranks
+from repro.mpi.world import WorldConfig
+from repro.service.jobdoc import JobDocument
+
+__all__ = [
+    "JobOutcome",
+    "JobRuntime",
+    "LayoutCache",
+    "ResolvedJob",
+    "WorkerWorld",
+]
+
+
+# ---------------------------------------------------------------------------
+# Layout cache
+# ---------------------------------------------------------------------------
+
+
+class LayoutCache:
+    """Precomputed handshake layouts keyed by
+    :meth:`JobDocument.layout_key` — resolve once, reuse for every job
+    sharing the component/processor map."""
+
+    def __init__(self) -> None:
+        self._layouts: Dict[str, PrecomputedLayout] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self, key: str, build: Callable[[], PrecomputedLayout]
+    ) -> PrecomputedLayout:
+        """The cached layout for *key*, building (and caching) it on a
+        miss.  Thread-safe; concurrent misses may both build, the first
+        stored wins."""
+        with self._lock:
+            pre = self._layouts.get(key)
+            if pre is not None:
+                self.hits += 1
+                return pre
+            self.misses += 1
+        built = build()  # outside the lock: Registry parsing is pure
+        with self._lock:
+            return self._layouts.setdefault(key, built)
+
+    def __len__(self) -> int:
+        return len(self._layouts)
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResolvedJob:
+    """A job document bound to this runtime: callables, ranks, config."""
+
+    document: JobDocument
+    layout_key: str
+    #: One entry per executable: ``(label, fn, nprocs, argv)``.  The
+    #: reserve pool, when requested, is the final entry under
+    #: :data:`~repro.launcher.job.POOL_PROGRAM`.
+    executables: List[Tuple[str, Callable, int, Tuple[str, ...]]]
+    #: ``assignment[i]`` — world ranks of executable *i* (MpmdJob order).
+    assignment: List[List[int]]
+    #: The precomputed handshake layout every rank hands to
+    #: ``Session.init`` (cache hit or fresh build).
+    pre: PrecomputedLayout
+    config: WorldConfig
+    #: Whether :attr:`pre` came out of the layout cache.
+    layout_cached: bool
+
+    @property
+    def world_size(self) -> int:
+        return sum(n for _, _, n, _ in self.executables)
+
+    @property
+    def component_labels(self) -> List[str]:
+        return [label for label, _, _, _ in self.executables if label != POOL_PROGRAM]
+
+
+@dataclass
+class JobOutcome:
+    """What the runtime hands back for one executed job."""
+
+    job_id: str
+    name: str
+    ok: bool
+    #: Whether the job ran on a resident worker world (warm path).
+    warm: bool
+    elapsed: float
+    #: Per-component return values in component-local rank order.
+    values: Dict[str, List[Any]] = field(default_factory=dict)
+    #: Reserve-pool rank summaries (``{"pool": "released"}`` /
+    #: ``{"pool": "assigned", ...}``), empty without a pool.
+    pool: List[Any] = field(default_factory=list)
+    #: Every failed rank as ``(world_rank, component, exception)`` —
+    #: the :meth:`~repro.launcher.job.JobResult.failures` shape.
+    failures: List[Tuple[int, str, BaseException]] = field(default_factory=list)
+    #: Whole-job error when the run never produced per-rank results
+    #: (bootstrap death, abort, wall-clock timeout).
+    error: Optional[str] = None
+    #: Per-world-rank traffic counters when the path collects them
+    #: (isolated runs), else ``None`` — deliberately backend-dependent,
+    #: so the stager keeps it out of the conformance-checked artifact.
+    traffic: Optional[List[Any]] = None
+
+    def failed_components(self) -> Tuple[str, ...]:
+        """Names of components with at least one failed rank, sorted."""
+        return tuple(sorted({program for _, program, _ in self.failures}))
+
+
+def _portable(obj: Any) -> Any:
+    """An object safe to send across a multiprocessing queue: the object
+    itself when picklable, a :class:`ServiceError` describing it when not
+    (a silently-lost frame would strand the parent at its timeout)."""
+    try:
+        pickle.dumps(obj)
+        return obj
+    except Exception:  # noqa: BLE001 - anything unpicklable degrades
+        if isinstance(obj, BaseException):
+            return ServiceError(
+                f"rank raised unpicklable {type(obj).__name__}: {obj}"
+            )
+        return ServiceError(f"rank returned unpicklable {type(obj).__name__}: {obj!r}")
+
+
+# ---------------------------------------------------------------------------
+# Resident worker worlds (the warm path)
+# ---------------------------------------------------------------------------
+
+
+def _resident_loop(
+    task_q, result_q, fn: Callable, program: str, exe_index: int, local_index: int, pre
+) -> Callable:
+    """Build one rank's resident loop (closures cross the fork)."""
+
+    def loop(comm):
+        jobs_done = 0
+        while True:
+            task = task_q.get()
+            if task is None:
+                return jobs_done
+            job_id, argvs, env_vars = task
+            env = JobEnv(
+                program=program,
+                exe_index=exe_index,
+                local_index=local_index,
+                argv=tuple(argvs[exe_index]),
+                vars=dict(env_vars),
+                registry=pre,
+            )
+            try:
+                ok, value = True, fn(comm, env)
+            except BaseException as exc:  # noqa: BLE001 - reported, poisons
+                ok, value = False, exc
+            # Per-job hygiene: every rank finishes (or fails) before any
+            # reports, so a fast rank can't start the next job while a
+            # slow sibling still owes this one messages.
+            try:
+                comm.barrier()
+            except BaseException as exc:  # noqa: BLE001
+                if ok:
+                    ok, value = False, exc
+            result_q.put((job_id, comm.rank, ok, value if ok else _portable(value)))
+            jobs_done += 1
+            if not ok:
+                # This world is compromised (mismatched messages may be
+                # in flight); stop serving so the parent's poison/evict
+                # is symmetric with our exit.
+                return jobs_done
+
+    return loop
+
+
+class WorkerWorld:
+    """A resident process-backend world serving jobs that share one
+    layout key.
+
+    Fork + socket bootstrap + MPH handshake are paid once in
+    ``__init__``; each :meth:`submit` costs one task frame per rank, the
+    job's own work, a barrier, and one result frame per rank.
+    :func:`~repro.mpi.procbackend.run_procs` runs in a background thread
+    with the world's *ttl* as its wall-clock budget — the hard backstop
+    that reaps the children even if a job wedges the ranks beyond the
+    reach of the shutdown sentinels.
+    """
+
+    def __init__(self, resolved: ResolvedJob, *, ttl: float = 600.0):
+        if any(label == POOL_PROGRAM for label, _, _, _ in resolved.executables):
+            raise ServiceError("reserve-pool jobs cannot run on a resident world")
+        self.layout_key = resolved.layout_key
+        self.size = resolved.world_size
+        self.namespace = f"w{resolved.layout_key[:16]}"
+        self.poisoned = False
+        self.jobs_run = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._thread_error: Optional[BaseException] = None
+
+        ctx = multiprocessing.get_context("fork")
+        self._task_queues = [ctx.Queue() for _ in range(self.size)]
+        self._result_queue = ctx.Queue()
+
+        rank_fns: List[Callable] = [None] * self.size  # type: ignore[list-item]
+        labels: List[str] = [""] * self.size
+        for exe_index, ranks in enumerate(resolved.assignment):
+            label, fn, _, _ = resolved.executables[exe_index]
+            for local_index, world_rank in enumerate(ranks):
+                labels[world_rank] = f"{label}.{local_index}"
+                rank_fns[world_rank] = _resident_loop(
+                    self._task_queues[world_rank],
+                    self._result_queue,
+                    fn,
+                    label,
+                    exe_index,
+                    local_index,
+                    resolved.pre,
+                )
+
+        def serve() -> None:
+            from repro.mpi.procbackend import run_procs
+
+            try:
+                run_procs(
+                    self.size,
+                    rank_fns,
+                    config=resolved.config,
+                    timeout=ttl,
+                    labels=labels,
+                    namespace=self.namespace,
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced via submit
+                self._thread_error = exc
+                self.poisoned = True
+
+        self._thread = threading.Thread(
+            target=serve, daemon=True, name=f"worker-world-{self.namespace}"
+        )
+        self._thread.start()
+
+    def submit(
+        self,
+        job_id: str,
+        argvs: Sequence[Sequence[str]],
+        env_vars: Mapping[str, str],
+        timeout: float,
+    ) -> Dict[int, Tuple[bool, Any]]:
+        """Dispatch one job to every resident rank; per-rank ``(ok,
+        value)`` keyed by world rank.  Serialized — a resident world runs
+        one job at a time.  Any failure or timeout poisons the world."""
+        with self._lock:
+            if self.poisoned or self._closed:
+                raise ServiceError(
+                    f"worker world {self.namespace} is "
+                    + ("closed" if self._closed else "poisoned")
+                )
+            task = (job_id, [tuple(a) for a in argvs], dict(env_vars))
+            for q in self._task_queues:
+                q.put(task)
+            deadline = time.monotonic() + timeout
+            got: Dict[int, Tuple[bool, Any]] = {}
+            while len(got) < self.size:
+                if self._thread_error is not None:
+                    self.poisoned = True
+                    raise ServiceError(
+                        f"resident world {self.namespace} died: {self._thread_error}"
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.poisoned = True
+                    raise TimeoutError_(
+                        f"job {job_id} exceeded its {timeout}s budget on the "
+                        f"resident world (world poisoned)"
+                    )
+                try:
+                    jid, rank, ok, value = self._result_queue.get(
+                        timeout=min(0.2, remaining)
+                    )
+                except queue.Empty:
+                    continue
+                if jid != job_id:
+                    continue  # stale frame from a poisoned predecessor
+                got[rank] = (ok, value)
+            if any(not ok for ok, _ in got.values()):
+                self.poisoned = True
+            self.jobs_run += 1
+            return got
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Send every rank its shutdown sentinel and join the serve
+        thread.  Idempotent; a wedged world is abandoned to its ttl."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for q in self._task_queues:
+            try:
+                q.put(None)
+            except (ValueError, OSError):  # pragma: no cover - defensive
+                pass
+        self._thread.join(timeout)
+        for q in self._task_queues + [self._result_queue]:
+            q.close()
+            q.cancel_join_thread()
+
+
+# ---------------------------------------------------------------------------
+# The runtime
+# ---------------------------------------------------------------------------
+
+
+class JobRuntime:
+    """Executes validated job documents against a program catalog.
+
+    Parameters
+    ----------
+    programs :
+        The service's program catalog — job documents bind their
+        components' ``program`` keys against it (an unknown key is a
+        :class:`ServiceError` at resolve time, before anything forks).
+    max_resident :
+        How many resident worker worlds to keep (LRU-evicted beyond
+        this; 0 disables the warm path entirely).
+    resident_ttl :
+        Wall-clock budget of each resident world's ``run_procs``.
+    """
+
+    def __init__(
+        self,
+        programs: Mapping[str, Callable],
+        *,
+        max_resident: int = 2,
+        resident_ttl: float = 600.0,
+    ):
+        self.programs = dict(programs)
+        self.layouts = LayoutCache()
+        self.max_resident = max_resident
+        self.resident_ttl = resident_ttl
+        self._resident: "OrderedDict[str, WorkerWorld]" = OrderedDict()
+        self._resident_lock = threading.Lock()
+        self._seq = itertools.count()
+        self.stats = {"jobs": 0, "warm": 0, "cold": 0, "worlds_built": 0, "worlds_poisoned": 0}
+
+    # -- resolution --------------------------------------------------------
+
+    def resolve(self, document: JobDocument) -> ResolvedJob:
+        """Bind *document* to callables, ranks, config, and a (possibly
+        cached) precomputed handshake layout."""
+        executables: List[Tuple[str, Callable, int, Tuple[str, ...]]] = []
+        for comp in document.components:
+            fn = self.programs.get(comp.program)
+            if fn is None:
+                raise ServiceError(
+                    f"job {document.name!r}: component {comp.name!r} wants program "
+                    f"{comp.program!r}, which is not in the catalog "
+                    f"(available: {sorted(self.programs)})"
+                )
+            executables.append((comp.name, fn, comp.nprocs, comp.argv))
+        pool = document.runtime.pool
+        if pool:
+            executables.append((POOL_PROGRAM, reserve_pool_program, pool, ()))
+
+        sizes = [n for _, _, n, _ in executables]
+        assignment = assign_ranks(sizes, document.runtime.rank_policy)
+
+        key = document.layout_key()
+        before = self.layouts.misses
+
+        def build() -> PrecomputedLayout:
+            decls: List[Any] = [None] * sum(sizes)
+            for exe_index, ranks in enumerate(assignment):
+                label = executables[exe_index][0]
+                decl = (
+                    PoolDecl()
+                    if label == POOL_PROGRAM
+                    else ComponentDecl((label,))
+                )
+                for world_rank in ranks:
+                    decls[world_rank] = decl
+            return PrecomputedLayout.build(document.registry_text(), decls)
+
+        pre = self.layouts.get_or_build(key, build)
+
+        rt = document.runtime
+        config_kwargs: Dict[str, Any] = {
+            "backend": rt.backend,
+            "transport": rt.transport,
+            "nodes": rt.nodes,
+        }
+        if document.seeds.fault is not None:
+            from repro.mpi.faults import FaultSchedule
+
+            config_kwargs["fault_schedule"] = FaultSchedule.from_spec(document.seeds.fault)
+        if document.seeds.match is not None:
+            from repro.mpi.sched import MatchSchedule
+
+            config_kwargs["match_schedule"] = MatchSchedule(seed=document.seeds.match)
+        config = WorldConfig(**config_kwargs)
+
+        return ResolvedJob(
+            document=document,
+            layout_key=key,
+            executables=executables,
+            assignment=assignment,
+            pre=pre,
+            config=config,
+            layout_cached=self.layouts.misses == before,
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, document: JobDocument, job_id: Optional[str] = None) -> JobOutcome:
+        """Run one job to completion and return its outcome.
+
+        Never raises for a *job* failure — crashed ranks, aborts, and
+        timeouts all come back as a failed :class:`JobOutcome` — only
+        for *caller* errors (unknown program, closed runtime)."""
+        return self.execute_resolved(self.resolve(document), job_id)
+
+    def execute_resolved(
+        self,
+        resolved: ResolvedJob,
+        job_id: Optional[str] = None,
+        *,
+        log_dir: Optional[str] = None,
+    ) -> JobOutcome:
+        """Run an already-:meth:`resolve`-d job (the orchestrator's
+        two-step path, so resolution errors surface in its ``staging``
+        state instead of mid-run).  *log_dir* receives per-process log
+        files when the document asked for them."""
+        if job_id is None:
+            job_id = f"job{next(self._seq):05d}"
+        self.stats["jobs"] += 1
+
+        if self._warm_eligible(resolved):
+            outcome = self._execute_resident(resolved, job_id)
+            if outcome is not None:
+                return outcome
+        self.stats["cold"] += 1
+        return self._execute_isolated(resolved, job_id, log_dir=log_dir)
+
+    def _warm_eligible(self, resolved: ResolvedJob) -> bool:
+        rt = resolved.document.runtime
+        return (
+            self.max_resident > 0
+            and rt.backend == "process"
+            and rt.reuse_world
+            and rt.pool == 0
+            # per-job artifacts (process log files) need per-job children
+            and "logs" not in resolved.document.output.save
+            # seeds are thread-only by document validation, so no check
+        )
+
+    def _execute_resident(self, resolved: ResolvedJob, job_id: str) -> Optional[JobOutcome]:
+        """Run on (or build) the resident world for this layout key.
+        Returns ``None`` to fall back to the isolated path when the
+        cached world turned out to be dead on arrival."""
+        fresh = False
+        with self._resident_lock:
+            world = self._resident.get(resolved.layout_key)
+            if world is not None and (world.poisoned or not world._thread.is_alive()):
+                self._evict_locked(resolved.layout_key)
+                world = None
+            if world is None:
+                world = WorkerWorld(resolved, ttl=self.resident_ttl)
+                self._resident[resolved.layout_key] = world
+                self.stats["worlds_built"] += 1
+                fresh = True
+                while len(self._resident) > self.max_resident:
+                    oldest = next(iter(self._resident))
+                    self._evict_locked(oldest)
+            else:
+                self._resident.move_to_end(resolved.layout_key)
+
+        argvs = [argv for _, _, _, argv in resolved.executables]
+        start = time.perf_counter()
+        try:
+            per_rank = world.submit(
+                job_id, argvs, {}, timeout=resolved.document.runtime.timeout
+            )
+        except ServiceError:
+            # Dead/stale world: evict and (once) retry cold.
+            self._evict(resolved.layout_key)
+            return None
+        except TimeoutError_ as exc:
+            self._evict(resolved.layout_key)
+            return JobOutcome(
+                job_id=job_id,
+                name=resolved.document.name,
+                ok=False,
+                warm=not fresh,
+                elapsed=time.perf_counter() - start,
+                error=str(exc),
+            )
+        elapsed = time.perf_counter() - start
+
+        values: Dict[str, List[Any]] = {}
+        failures: List[Tuple[int, str, BaseException]] = []
+        for exe_index, ranks in enumerate(resolved.assignment):
+            label = resolved.executables[exe_index][0]
+            values[label] = []
+            for rank in ranks:
+                ok, value = per_rank[rank]
+                if ok:
+                    values[label].append(value)
+                else:
+                    values[label].append(None)
+                    failures.append((rank, label, value))
+        if failures:
+            self._evict(resolved.layout_key)
+            self.stats["worlds_poisoned"] += 1
+        self.stats["warm"] += 1
+        return JobOutcome(
+            job_id=job_id,
+            name=resolved.document.name,
+            ok=not failures,
+            warm=not fresh,
+            elapsed=elapsed,
+            values=values,
+            failures=sorted(failures, key=lambda f: f[0]),
+        )
+
+    def _execute_isolated(
+        self, resolved: ResolvedJob, job_id: str, *, log_dir: Optional[str] = None
+    ) -> JobOutcome:
+        """The default path: a fresh world per job, namespaced segments,
+        swept on teardown by the rendezvous cleanup."""
+        doc = resolved.document
+        if "logs" not in doc.output.save:
+            log_dir = None
+        from repro.launcher.cmdfile import ExecutableSpec
+
+        # Specs named after components (not Python functions), so
+        # JobResult.failures() and process-backend labels name the
+        # component a client would recognize from its document.
+        job = MpmdJob(
+            [
+                ExecutableSpec(label, nprocs, argv)
+                for label, _, nprocs, argv in resolved.executables
+            ],
+            programs={label: fn for label, fn, _, _ in resolved.executables},
+            rank_policy=doc.runtime.rank_policy,
+            config=resolved.config,
+            registry=resolved.pre,
+            namespace=job_id,
+            log_dir=log_dir,
+        )
+        start = time.perf_counter()
+        try:
+            result = job.run(timeout=doc.runtime.timeout)
+        except Exception as exc:  # noqa: BLE001 - _raise_root_cause re-raises
+            # the *user program's* exception type when the whole job
+            # aborted, so anything can land here; a job failure must
+            # come back as a failed outcome, never unwind the service.
+            return JobOutcome(
+                job_id=job_id,
+                name=doc.name,
+                ok=False,
+                warm=False,
+                elapsed=time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        elapsed = time.perf_counter() - start
+
+        values: Dict[str, List[Any]] = {}
+        pool_values: List[Any] = []
+        for exe_index, (label, _, _, _) in enumerate(resolved.executables):
+            vals = [result.procs[r].value for r in result.assignment[exe_index]]
+            if label == POOL_PROGRAM:
+                pool_values = vals
+            else:
+                values[label] = vals
+        failures = result.failures()
+        return JobOutcome(
+            job_id=job_id,
+            name=doc.name,
+            ok=not failures,
+            warm=False,
+            elapsed=elapsed,
+            values=values,
+            pool=pool_values,
+            failures=failures,
+            traffic=[p.traffic for p in result.procs],
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _evict(self, key: str) -> None:
+        with self._resident_lock:
+            self._evict_locked(key)
+
+    def _evict_locked(self, key: str) -> None:
+        world = self._resident.pop(key, None)
+        if world is not None:
+            world.close()
+
+    def close(self) -> None:
+        """Shut down every resident world.  The runtime stays usable for
+        isolated jobs afterwards."""
+        with self._resident_lock:
+            keys = list(self._resident)
+            for key in keys:
+                self._evict_locked(key)
+
+    def __enter__(self) -> "JobRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro",
     "repro.mpi",
     "repro.launcher",
+    "repro.service",
     "repro.core",
     "repro.grid",
     "repro.coupling",

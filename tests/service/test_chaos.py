@@ -1,0 +1,208 @@
+"""Service-level chaos: concurrent jobs, some seeded to crash, one
+orchestrator.
+
+The property under test is the service's per-job isolation: a job whose
+fault schedule kills a rank fails *alone*.  Every concurrent healthy job
+completes with exact values, and the worker pool keeps serving jobs
+afterwards.  The suite is sharded on the repo's ``fault_seed`` sweep
+fixture (``--mpi-fault-seed=J`` / ``CHAOS_SEED`` replay a shard
+bit-for-bit), and every job document carries its own wall-clock timeout
+as the hang guard — CI adds pytest-timeout on top, but the suite must
+not require it (the package is optional).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.mpi.faults import random_schedule
+from repro.service import JobDocument, JobRuntime, Orchestrator
+
+from tests.service.conftest import PROGRAMS
+
+#: Components of every chaos job (world size 4, program ``chaotic``).
+_COMPONENTS = [
+    {"name": "left", "nprocs": 2, "program": "chaotic"},
+    {"name": "right", "nprocs": 2, "program": "chaotic"},
+]
+_WORLD = sum(c["nprocs"] for c in _COMPONENTS)
+
+#: Expected value of one healthy chaotic rank (CHAOS_OPS barrier loop).
+from tests.service.conftest import CHAOS_OPS
+
+_HEALTHY_ACC = sum(range(CHAOS_OPS))
+
+
+def _chaos_spec(index: int, fault_seed: int | None) -> dict:
+    """One chaos job document; *fault_seed* ``None`` means healthy."""
+    spec = {
+        "name": f"chaos-{index}" + ("-faulty" if fault_seed is not None else ""),
+        "components": _COMPONENTS,
+        "runtime": {"backend": "thread", "timeout": 30.0},
+    }
+    if fault_seed is not None:
+        # Crash operations are drawn below CHAOS_OPS, so the scheduled
+        # rank always dies inside the barrier loop.
+        spec["seeds"] = {
+            "fault": random_schedule(
+                fault_seed, _WORLD, crashes=1, max_op=CHAOS_OPS - 10
+            ).to_spec()
+        }
+    return spec
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestChaosWave:
+    def test_faulty_jobs_fail_alone(self, fault_seed):
+        """Six concurrent jobs — indices 1 and 4 carry seeded crash
+        schedules — through one orchestrator with three workers."""
+        faulty = {1, 4}
+
+        async def wave():
+            async with Orchestrator(PROGRAMS, max_workers=3, max_queued=16) as orch:
+                handles = [
+                    await orch.submit(
+                        _chaos_spec(
+                            i,
+                            (1000 * fault_seed + i) if i in faulty else None,
+                        )
+                    )
+                    for i in range(6)
+                ]
+                for handle in handles:
+                    await handle.wait()
+
+                # After the wave, the same orchestrator must still serve:
+                # the crashed worlds were per-job, the workers survive.
+                after = await orch.submit(_chaos_spec(99, None))
+                await after.wait()
+                return handles, after
+
+        handles, after = _run(wave())
+
+        for i, handle in enumerate(handles):
+            if i in faulty:
+                assert handle.state == "failed", (
+                    f"seed {fault_seed}: job {i} should have failed: {handle.state}"
+                )
+                outcome = handle.outcome
+                assert outcome is not None and not outcome.ok
+                # Survivors degrade (ULFM idiom), so the failure list is
+                # exactly the crashed rank, naming its component.
+                schedule = handle.document.seeds.fault
+                crashed_rank = schedule["crashes"][0]["rank"]
+                crashed_component = "left" if crashed_rank < 2 else "right"
+                assert outcome.failed_components() == (crashed_component,), (
+                    f"seed {fault_seed}: crash of rank {crashed_rank} "
+                    f"({crashed_component}) misnamed: {outcome.failures}"
+                )
+                assert handle.error and crashed_component in handle.error
+            else:
+                assert handle.state == "done", (
+                    f"seed {fault_seed}: healthy job {i} was collateral damage: "
+                    f"{handle.state}: {handle.error}"
+                )
+                for comp in ("left", "right"):
+                    assert handle.outcome.values[comp] == [
+                        {"component": comp, "acc": _HEALTHY_ACC},
+                        {"component": comp, "acc": _HEALTHY_ACC},
+                    ], f"seed {fault_seed}: job {i} values drifted"
+
+        assert after.state == "done", (after.state, after.error)
+
+    def test_failures_list_names_rank_and_exception(self, fault_seed):
+        """The outcome's failures carry ``(world_rank, component, exc)``
+        with the injected crash identifiable by type name."""
+        document = JobDocument.from_spec(_chaos_spec(0, fault_seed + 500))
+        with JobRuntime(PROGRAMS) as runtime:
+            outcome = runtime.execute(document, f"direct-{fault_seed}")
+        assert not outcome.ok
+        crashed_rank = document.seeds.fault["crashes"][0]["rank"]
+        assert [rank for rank, _, _ in outcome.failures] == [crashed_rank], (
+            f"seed {fault_seed}: expected exactly rank {crashed_rank} failed: "
+            f"{outcome.failures}"
+        )
+        exc = outcome.failures[0][2]
+        assert type(exc).__name__ == "SimulatedCrash"
+
+
+class TestResidentWorldChaos:
+    """The process-backend analogue: a crashing job poisons only its own
+    resident world; the next same-layout job gets a fresh one."""
+
+    @staticmethod
+    def _crasher_spec(index: int, boom: bool) -> dict:
+        return {
+            "name": f"resident-{index}",
+            "components": [
+                {"name": "atm", "nprocs": 2, "program": "crasher",
+                 "argv": ["--boom"] if boom else []},
+            ],
+            "runtime": {"backend": "process", "timeout": 60.0},
+        }
+
+    def test_poisoned_world_is_rebuilt_not_reused(self):
+        runtime = JobRuntime(PROGRAMS, max_resident=2)
+        with runtime:
+            healthy = runtime.execute(
+                JobDocument.from_spec(self._crasher_spec(0, False)), "res-0"
+            )
+            assert healthy.ok, (healthy.error, healthy.failures)
+
+            boom = runtime.execute(
+                JobDocument.from_spec(self._crasher_spec(1, True)), "res-1"
+            )
+            assert not boom.ok
+            assert boom.failed_components() == ("atm",)
+            assert any("boom from atm" in str(exc) for _, _, exc in boom.failures)
+
+            again = runtime.execute(
+                JobDocument.from_spec(self._crasher_spec(2, False)), "res-2"
+            )
+            assert again.ok, (again.error, again.failures)
+        assert runtime.stats["worlds_poisoned"] >= 1
+        # The rebuild is visible: more than one world was constructed
+        # for a single layout key.
+        assert runtime.stats["worlds_built"] >= 2
+
+    def test_concurrent_mixed_wave_on_process_backend(self):
+        """Crashing and healthy process-backend jobs concurrently: the
+        healthy ones (a different layout) never notice."""
+
+        async def wave():
+            async with Orchestrator(PROGRAMS, max_workers=3, max_queued=16) as orch:
+                mixed = []
+                for i in range(4):
+                    boom = i % 2 == 1
+                    mixed.append(await orch.submit(self._crasher_spec(i, boom)))
+                    solo = {
+                        "name": f"solo-{i}",
+                        "components": [{"name": "solo", "nprocs": 1}],
+                        "runtime": {"backend": "process", "timeout": 60.0},
+                    }
+                    mixed.append(await orch.submit(solo))
+                for handle in mixed:
+                    await handle.wait()
+                return mixed
+
+        handles = _run(wave())
+        for handle in handles:
+            if handle.document.name.startswith("solo-"):
+                assert handle.state == "done", (handle.state, handle.error)
+            elif "--boom" in handle.document.components[0].argv:
+                assert handle.state == "failed"
+                # Per-rank attribution on the resident path; a fallback
+                # to the isolated path can only report the whole-job
+                # abort text — either way the error is the job's own.
+                outcome = handle.outcome
+                named = outcome.failed_components() if outcome else ()
+                assert "atm" in named or "boom" in (handle.error or ""), (
+                    named, handle.error
+                )
+            else:
+                assert handle.state == "done", (handle.state, handle.error)
