@@ -91,19 +91,21 @@ class LayoutCache:
 
     def get_or_build(
         self, key: str, build: Callable[[], PrecomputedLayout]
-    ) -> PrecomputedLayout:
-        """The cached layout for *key*, building (and caching) it on a
-        miss.  Thread-safe; concurrent misses may both build, the first
-        stored wins."""
+    ) -> Tuple[PrecomputedLayout, bool]:
+        """``(layout, was_hit)`` for *key*, building (and caching) the
+        layout on a miss.  The flag is this call's own hit/miss verdict
+        — callers must not infer it from the shared counters, which
+        concurrent resolves of other keys advance.  Thread-safe;
+        concurrent misses may both build, the first stored wins."""
         with self._lock:
             pre = self._layouts.get(key)
             if pre is not None:
                 self.hits += 1
-                return pre
+                return pre, True
             self.misses += 1
         built = build()  # outside the lock: Registry parsing is pure
         with self._lock:
-            return self._layouts.setdefault(key, built)
+            return self._layouts.setdefault(key, built), False
 
     def __len__(self) -> int:
         return len(self._layouts)
@@ -249,12 +251,19 @@ class WorkerWorld:
     reach of the shutdown sentinels.
     """
 
+    #: Per-process world generation counter: successive worlds for the
+    #: same layout key get distinct namespaces, so a replacement can
+    #: bootstrap while its dead predecessor's close (and rendezvous
+    #: sweep) is still in flight without either touching the other's
+    #: segments.
+    _generation = itertools.count()
+
     def __init__(self, resolved: ResolvedJob, *, ttl: float = 600.0):
         if any(label == POOL_PROGRAM for label, _, _, _ in resolved.executables):
             raise ServiceError("reserve-pool jobs cannot run on a resident world")
         self.layout_key = resolved.layout_key
         self.size = resolved.world_size
-        self.namespace = f"w{resolved.layout_key[:16]}"
+        self.namespace = f"w{resolved.layout_key[:12]}g{next(self._generation)}"
         self.poisoned = False
         self.jobs_run = 0
         self._closed = False
@@ -428,7 +437,6 @@ class JobRuntime:
         assignment = assign_ranks(sizes, document.runtime.rank_policy)
 
         key = document.layout_key()
-        before = self.layouts.misses
 
         def build() -> PrecomputedLayout:
             decls: List[Any] = [None] * sum(sizes)
@@ -443,7 +451,7 @@ class JobRuntime:
                     decls[world_rank] = decl
             return PrecomputedLayout.build(document.registry_text(), decls)
 
-        pre = self.layouts.get_or_build(key, build)
+        pre, layout_cached = self.layouts.get_or_build(key, build)
 
         rt = document.runtime
         config_kwargs: Dict[str, Any] = {
@@ -468,7 +476,7 @@ class JobRuntime:
             assignment=assignment,
             pre=pre,
             config=config,
-            layout_cached=self.layouts.misses == before,
+            layout_cached=layout_cached,
         )
 
     # -- execution ---------------------------------------------------------
@@ -512,6 +520,8 @@ class JobRuntime:
             and rt.pool == 0
             # per-job artifacts (process log files) need per-job children
             and "logs" not in resolved.document.output.save
+            # traffic counters are only collected by isolated runs
+            and "traffic" not in resolved.document.output.save
             # seeds are thread-only by document validation, so no check
         )
 
@@ -520,10 +530,11 @@ class JobRuntime:
         Returns ``None`` to fall back to the isolated path when the
         cached world turned out to be dead on arrival."""
         fresh = False
+        evicted: List[WorkerWorld] = []
         with self._resident_lock:
             world = self._resident.get(resolved.layout_key)
             if world is not None and (world.poisoned or not world._thread.is_alive()):
-                self._evict_locked(resolved.layout_key)
+                evicted.append(self._resident.pop(resolved.layout_key))
                 world = None
             if world is None:
                 world = WorkerWorld(resolved, ttl=self.resident_ttl)
@@ -532,9 +543,15 @@ class JobRuntime:
                 fresh = True
                 while len(self._resident) > self.max_resident:
                     oldest = next(iter(self._resident))
-                    self._evict_locked(oldest)
+                    evicted.append(self._resident.pop(oldest))
             else:
                 self._resident.move_to_end(resolved.layout_key)
+        # close() can block for a long time (an evictee mid-job holds its
+        # submit lock for up to the job's timeout, then the serve thread
+        # join) — never hold the pool lock across it, or every other
+        # dispatch/evict/close stalls behind this one.
+        for old in evicted:
+            old.close()
 
         argvs = [argv for _, _, _, argv in resolved.executables]
         start = time.perf_counter()
@@ -544,10 +561,11 @@ class JobRuntime:
             )
         except ServiceError:
             # Dead/stale world: evict and (once) retry cold.
-            self._evict(resolved.layout_key)
+            self._evict(resolved.layout_key, world)
             return None
         except TimeoutError_ as exc:
-            self._evict(resolved.layout_key)
+            self._evict(resolved.layout_key, world)
+            self.stats["cold" if fresh else "warm"] += 1
             return JobOutcome(
                 job_id=job_id,
                 name=resolved.document.name,
@@ -571,9 +589,11 @@ class JobRuntime:
                     values[label].append(None)
                     failures.append((rank, label, value))
         if failures:
-            self._evict(resolved.layout_key)
+            self._evict(resolved.layout_key, world)
             self.stats["worlds_poisoned"] += 1
-        self.stats["warm"] += 1
+        # Match the per-outcome warm flag: a freshly built resident world
+        # paid the cold cost even though it will serve later jobs warm.
+        self.stats["cold" if fresh else "warm"] += 1
         return JobOutcome(
             job_id=job_id,
             name=resolved.document.name,
@@ -649,22 +669,32 @@ class JobRuntime:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def _evict(self, key: str) -> None:
-        with self._resident_lock:
-            self._evict_locked(key)
+    def _evict(self, key: str, world: Optional[WorkerWorld] = None) -> None:
+        """Drop a world from the resident pool and close it.
 
-    def _evict_locked(self, key: str) -> None:
-        world = self._resident.pop(key, None)
-        if world is not None:
-            world.close()
+        With *world* given, only that instance leaves the pool — if a
+        concurrent dispatch already replaced the slot, the replacement
+        stays and the handed-in instance is closed anyway (close is
+        idempotent).  The close itself always runs *outside* the pool
+        lock: it can block for the length of an in-flight job plus the
+        serve-thread join, and nothing else may stall behind that.
+        """
+        with self._resident_lock:
+            current = self._resident.get(key)
+            if world is None or current is world:
+                self._resident.pop(key, None)
+            victim = world if world is not None else current
+        if victim is not None:
+            victim.close()
 
     def close(self) -> None:
         """Shut down every resident world.  The runtime stays usable for
         isolated jobs afterwards."""
         with self._resident_lock:
-            keys = list(self._resident)
-            for key in keys:
-                self._evict_locked(key)
+            victims = list(self._resident.values())
+            self._resident.clear()
+        for world in victims:
+            world.close()
 
     def __enter__(self) -> "JobRuntime":
         return self

@@ -66,15 +66,20 @@ class ResultStager:
         Staging is atomic per file (write to a temp name, ``rename``) so
         a reader never sees a torn artifact, and re-staging a job id is
         an error — job ids are unique per orchestrator lifetime and a
-        silent overwrite would mask an id collision.
+        silent overwrite would mask an id collision.  The collision
+        guard is ``result.json`` (the one artifact every staging
+        writes), not the directory itself: the job directory may
+        legitimately pre-exist, because a ``"logs"`` job streams
+        per-process log files into ``<job_id>/logs/`` *while running*,
+        before its outcome ever reaches the stager.
         """
         target = self.job_dir(outcome.job_id)
-        if target.exists():
+        if (target / "result.json").exists():
             raise ServiceError(
-                f"output directory {target} already exists; job ids must be "
-                "unique per service lifetime"
+                f"job {outcome.job_id!r} already staged under {target}; job ids "
+                "must be unique per service lifetime"
             )
-        target.mkdir(parents=True)
+        target.mkdir(parents=True, exist_ok=True)
 
         result: dict = {
             "name": outcome.name,

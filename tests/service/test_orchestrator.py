@@ -19,6 +19,7 @@ from repro.service import (
     JobDocument,
     JobRuntime,
     JobState,
+    LayoutCache,
     Orchestrator,
     ResultStager,
 )
@@ -170,7 +171,9 @@ class TestWarmPath:
         assert all(o.ok for o in outcomes), [o.error for o in outcomes]
         assert [o.warm for o in outcomes] == [False, True, True]
         assert runtime.stats["worlds_built"] == 1
-        assert runtime.stats["warm"] == 3  # all served by the resident path
+        # The counters match the per-outcome warm flag: the first job
+        # paid the world build (cold), the next two rode it warm.
+        assert runtime.stats["warm"] == 2 and runtime.stats["cold"] == 1
         assert runtime.layouts.misses == 1 and runtime.layouts.hits == 2
 
     def test_opt_out_reuse_world_stays_cold(self):
@@ -183,6 +186,20 @@ class TestWarmPath:
         assert all(o.ok and not o.warm for o in outcomes)
         assert runtime.stats["worlds_built"] == 0
         assert runtime.stats["cold"] == 2
+
+    def test_traffic_request_forces_isolated_path(self):
+        """A resident world never collects wire counters, so an explicit
+        ``"traffic"`` request must route to the isolated path instead of
+        silently staging without traffic.json."""
+        runtime = JobRuntime(PROGRAMS, max_resident=2)
+        spec = _solo_spec(backend="process", timeout=60.0)
+        spec["output"] = {"save": ["values", "traffic"]}
+        doc = JobDocument.from_spec(spec)
+        with runtime:
+            outcome = runtime.execute(doc, "traffic-iso")
+        assert outcome.ok and not outcome.warm
+        assert outcome.traffic is not None
+        assert runtime.stats["worlds_built"] == 0
 
     def test_max_resident_zero_disables_the_warm_path(self):
         runtime = JobRuntime(PROGRAMS, max_resident=0)
@@ -210,6 +227,19 @@ class TestWarmPath:
         assert len(runtime._resident) <= 1
 
 
+class TestLayoutCache:
+    def test_get_or_build_reports_per_call_verdict(self):
+        """The hit flag is this call's own, not inferred from the shared
+        counters (which concurrent resolves of other keys advance)."""
+        cache = LayoutCache()
+        sentinel = object()
+        layout, hit = cache.get_or_build("k", lambda: sentinel)
+        assert layout is sentinel and hit is False
+        layout, hit = cache.get_or_build("k", lambda: object())
+        assert layout is sentinel and hit is True
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
 class TestStaging:
     def test_staged_layout_and_atomicity(self, tmp_path):
         async def go():
@@ -227,13 +257,33 @@ class TestStaging:
         assert files == ["document.json", "meta.json", "result.json"]
         assert not [p for p in handle.staged.iterdir() if p.name.endswith(".tmp")]
 
+    def test_logs_job_stages_into_precreated_dir(self, tmp_path):
+        """Regression: a ``"logs"`` job streams per-process log files
+        into ``<job_id>/logs/`` *while running*, so the job directory
+        already exists when the outcome reaches the stager — staging
+        must tolerate that instead of failing the (successful) job."""
+
+        async def go():
+            async with Orchestrator(
+                PROGRAMS, output_dir=tmp_path, max_workers=1
+            ) as orch:
+                spec = _solo_spec("logs-job", backend="process", timeout=60.0)
+                spec["output"] = {"save": ["values", "logs"]}
+                handle = await orch.submit(spec)
+                return await handle.wait()
+
+        handle = _run(go())
+        assert handle.state == JobState.DONE, handle.error
+        assert (handle.staged / "result.json").exists()
+        assert list((handle.staged / "logs").iterdir())
+
     def test_duplicate_job_id_refuses_to_overwrite(self, tmp_path):
         runtime = JobRuntime(PROGRAMS, max_resident=0)
         stager = ResultStager(tmp_path)
         doc = JobDocument.from_spec(_solo_spec())
         outcome = runtime.execute(doc, "dup")
         stager.stage(outcome, doc)
-        with pytest.raises(ServiceError, match="already exists"):
+        with pytest.raises(ServiceError, match="already staged"):
             stager.stage(outcome, doc)
         assert stager.read_result("dup")["ok"] is True
 
